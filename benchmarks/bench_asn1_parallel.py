@@ -1,0 +1,106 @@
+"""E7 — footnote 3 of Section 5.2: parallel ASN.1 encoding does not pay off.
+
+*"One might expect performance gains for parallel encoding/decoding.  In
+[12], we show that by parallelization in this area, we do not obtain better
+performance."*
+
+The benchmark encodes and decodes batches of real MCAM PDUs sequentially and
+with worker pools of increasing size, measuring wall-clock time with
+pytest-benchmark, and additionally evaluates the analytic cost model.  The
+parallel variants must not beat the sequential baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.asn1 import (
+    ParallelEncodingModel,
+    SequentialBatchCodec,
+    ThreadedBatchCodec,
+)
+from repro.harness import ExperimentRecord, print_experiment
+from repro.mcam import MCAM_PDU, attributes_to_list
+
+BATCH_SIZE = 300
+
+
+def sample_pdus(count: int = BATCH_SIZE):
+    pdus = []
+    for index in range(count):
+        if index % 3 == 0:
+            pdus.append(
+                (
+                    "createMovieRequest",
+                    {
+                        "name": f"movie-{index}",
+                        "imageFormat": "mjpeg",
+                        "frameRate": 25,
+                        "durationSeconds": 10,
+                        "attributes": attributes_to_list({"owner": "bench", "keyword": "e7"}),
+                    },
+                )
+            )
+        elif index % 3 == 1:
+            pdus.append(("selectMovieRequest", {"name": f"movie-{index}"}))
+        else:
+            pdus.append(("playResponse", {"status": "success", "streamId": index}))
+    return pdus
+
+
+def timed_encode(codec, pdus):
+    start = time.perf_counter()
+    blobs = codec.encode_batch(MCAM_PDU, pdus)
+    elapsed = time.perf_counter() - start
+    return elapsed, blobs
+
+
+def reproduce_parallel_asn1():
+    pdus = sample_pdus()
+    sequential_codec = SequentialBatchCodec()
+    record = ExperimentRecord(
+        experiment_id="E7",
+        title="Parallel ASN.1 encoding/decoding of MCAM PDUs",
+        paper_claim="parallelising ASN.1 encoding/decoding does not improve performance",
+    )
+    sequential_time, reference = timed_encode(sequential_codec, pdus)
+    measured = {}
+    model = ParallelEncodingModel()
+    for workers in (2, 4, 8):
+        codec = ThreadedBatchCodec(workers=workers)
+        parallel_time, blobs = timed_encode(codec, pdus)
+        assert blobs == reference
+        measured[workers] = sequential_time / parallel_time if parallel_time else 1.0
+        record.add_row(
+            workers=workers,
+            wallclock_speedup=round(measured[workers], 2),
+            model_speedup=round(model.speedup(BATCH_SIZE, workers), 2),
+        )
+    record.add_row(workers=1, wallclock_speedup=1.0, model_speedup=1.0)
+    print_experiment(record)
+    return measured, model
+
+
+class TestParallelAsn1:
+    def test_no_speedup(self, benchmark):
+        measured, model = benchmark.pedantic(reproduce_parallel_asn1, rounds=1, iterations=1)
+        # Neither the real threaded implementation nor the cost model shows a
+        # meaningful speedup (some tolerance for timer noise).
+        assert all(speedup <= 1.25 for speedup in measured.values()), measured
+        assert all(model.speedup(BATCH_SIZE, workers) <= 1.05 for workers in (2, 4, 8, 16))
+
+    def test_sequential_encode_throughput(self, benchmark):
+        """Baseline encoder throughput (the quantity parallelism fails to improve)."""
+        pdus = sample_pdus(100)
+        codec = SequentialBatchCodec()
+        blobs = benchmark(lambda: codec.encode_batch(MCAM_PDU, pdus))
+        assert len(blobs) == 100
+
+    def test_sequential_decode_throughput(self, benchmark):
+        pdus = sample_pdus(100)
+        codec = SequentialBatchCodec()
+        blobs = codec.encode_batch(MCAM_PDU, pdus)
+        decoded = benchmark(lambda: codec.decode_batch(MCAM_PDU, blobs))
+        assert len(decoded) == 100

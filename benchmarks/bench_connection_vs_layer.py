@@ -1,0 +1,78 @@
+"""E3 — Section 3: connection-per-processor vs layer-per-processor.
+
+*"Initial experiments have shown that connection-per-processor will yield
+better performance than layer-per-processor."*  Also Section 5.2: for
+protocols with small processing times *"the only useful parallelization will
+be the mapping of one connection to one processor, as those modules will not
+exchange data and thus need no synchronization."*
+
+The benchmark runs a multi-connection workload under both mappings and
+compares elapsed time and synchronisation cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentRecord, print_experiment
+from repro.osi import build_transfer_specification, transfer_progress
+from repro.runtime import (
+    ConnectionPerProcessorMapping,
+    LayerPerProcessorMapping,
+    SequentialMapping,
+    run_specification,
+)
+from repro.sim import Cluster, Machine
+
+CONNECTIONS = 4
+PROCESSORS = 16
+DATA_REQUESTS = 20
+
+
+def run_with(mapping):
+    spec = build_transfer_specification(connections=CONNECTIONS, data_requests=DATA_REQUESTS, payload_size=2)
+    cluster = Cluster()
+    cluster.add(Machine("ksr1", PROCESSORS))
+    metrics, executor = run_specification(spec, cluster, mapping=mapping)
+    sent, received = transfer_progress(spec)
+    assert sent == received == CONNECTIONS * DATA_REQUESTS
+    return metrics, executor
+
+
+def reproduce_connection_vs_layer():
+    sequential, _ = run_with(SequentialMapping())
+    by_connection, connection_executor = run_with(ConnectionPerProcessorMapping())
+    by_layer, layer_executor = run_with(LayerPerProcessorMapping())
+    record = ExperimentRecord(
+        experiment_id="E3",
+        title="Connection-per-processor vs layer-per-processor",
+        paper_claim="connection-per-processor yields better performance than layer-per-processor",
+    )
+    for name, metrics, executor in (
+        ("connection-per-processor", by_connection, connection_executor),
+        ("layer-per-processor", by_layer, layer_executor),
+    ):
+        record.add_row(
+            mapping=name,
+            units=len(executor.mapping.units),
+            elapsed=round(metrics.elapsed_time, 1),
+            sync_time=round(metrics.sync_time, 1),
+            cross_unit_messages=metrics.messages_cross_unit,
+            speedup_vs_sequential=round(sequential.elapsed_time / metrics.elapsed_time, 2),
+        )
+    print_experiment(record)
+    return sequential, by_connection, by_layer
+
+
+class TestConnectionVsLayer:
+    def test_connection_mapping_wins(self, benchmark):
+        sequential, by_connection, by_layer = benchmark.pedantic(
+            reproduce_connection_vs_layer, rounds=1, iterations=1
+        )
+        # The paper's ordering: connection-per-processor is the better mapping.
+        assert by_connection.elapsed_time < by_layer.elapsed_time
+        # Because connection subtrees do not exchange data across units.
+        assert by_connection.messages_cross_unit < by_layer.messages_cross_unit
+        assert by_connection.sync_time < by_layer.sync_time
+        # Both still beat the sequential baseline on this workload.
+        assert by_connection.elapsed_time < sequential.elapsed_time

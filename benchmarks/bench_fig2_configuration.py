@@ -1,0 +1,77 @@
+"""F2 — Figure 2: the example configuration.
+
+Figure 2 shows MCAM clients on single-processor workstations controlling
+CM streams served by MCAM server entities that all run on the KSR1, with the
+control connections over the OSI stack and the CM streams over MTP.  The
+benchmark builds that configuration (two client workstations, server entities
+on a multi-processor machine), runs a video-on-demand workload on every
+client concurrently and reports per-client control latency and stream QoS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentRecord, print_experiment
+from repro.mcam import MovieSystem
+
+
+CLIENTS = 2
+
+
+def reproduce_figure2():
+    system = MovieSystem(
+        clients=CLIENTS,
+        stack="generated",
+        server_processors=16,
+        client_locations=[f"client-ws-{i + 1}" for i in range(CLIENTS)],
+    )
+    rows = []
+    playbacks = []
+    for index in range(CLIENTS):
+        client = system.client(index)
+        before = system.metrics.elapsed_time
+        client.connect()
+        client.create_movie(f"fig2-movie-{index}", duration_seconds=1, frame_rate=25)
+        client.select_movie(f"fig2-movie-{index}")
+        control_time = system.metrics.elapsed_time - before
+        playback = client.play()
+        playbacks.append(playback)
+        client.stop(playback.stream_id)
+        client.release()
+        rows.append(
+            {
+                "client": f"client-{index} @ client-ws-{index + 1}",
+                "control work units": round(control_time, 1),
+                "stream frames": f"{playback.frames_delivered}/{playback.frames_sent}",
+                "mean delay (ms)": round(playback.qos.mean_delay_ms, 2),
+                "jitter (ms)": round(playback.qos.jitter_ms, 3),
+                "throughput (kbit/s)": round(playback.qos.throughput_kbps, 1),
+            }
+        )
+    record = ExperimentRecord(
+        experiment_id="F2",
+        title="Example configuration: clients on workstations, server entities on the KSR1",
+        paper_claim="2 clients / 3 server entities; control over OSI, CM streams over MTP",
+        rows=rows,
+        notes=f"server entities: {CLIENTS}; cross-machine control messages: "
+        f"{system.metrics.messages_cross_machine}",
+    )
+    print_experiment(record)
+    return system, playbacks
+
+
+class TestFigure2:
+    def test_configuration(self, benchmark):
+        system, playbacks = benchmark.pedantic(reproduce_figure2, rounds=1, iterations=1)
+        # Every client completed its session and received its stream.
+        assert len(playbacks) == CLIENTS
+        for playback in playbacks:
+            assert playback.response["status"] == "success"
+            assert playback.frames_delivered == playback.frames_sent
+        # The control connections really crossed machines (client ws -> KSR1).
+        assert system.metrics.messages_cross_machine > 0
+        # Each client got its own server entity (per-connection parallelism).
+        for index in range(CLIENTS):
+            mca = system.specification.find(f"server/entity-{index}/mca")
+            assert mca.variables["requests_handled"] > 0

@@ -1,0 +1,147 @@
+"""E8 — Section 5.2: splitting long-running modules into pipelines.
+
+*"Modules which perform several long-running computations sequentially may be
+split in two or more modules resulting in a module pipeline where data is
+processed in parallel.  The right decision of whether to integrate modules or
+split them depends highly on the module runtime and on the performance
+requirements of the user."*
+
+The benchmark processes a stream of items through one computation module and
+through the same computation split into a two-stage pipeline, sweeping the
+per-item computation cost.  Splitting must only pay off once the computation
+is long relative to the synchronisation cost of the extra module boundary —
+the crossover the paper's advice is about.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estelle import Channel, Module, ModuleAttribute, Specification, ip, transition
+from repro.harness import ExperimentRecord, print_experiment
+from repro.runtime import ThreadPerModuleMapping, run_specification
+from repro.sim import Cluster, Machine
+
+WORK = Channel("Work", upstream={"Item"}, downstream={"Credit"})
+
+ITEMS = 30
+COMPUTATION_SWEEP = (1.0, 2.0, 4.0, 8.0, 16.0)
+PROCESSORS = 8
+
+
+class Source(Module):
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("sending", "done")
+    out = ip("out", WORK, role="upstream")
+
+    @transition(
+        from_state="sending",
+        provided=lambda m: m.variables.get("sent", 0) < m.variables.get("items", ITEMS),
+        cost=0.5,
+    )
+    def emit(self) -> None:
+        self.variables["sent"] = self.variables.get("sent", 0) + 1
+        self.output("out", "Item", sequence=self.variables["sent"])
+        if self.variables["sent"] >= self.variables.get("items", ITEMS):
+            self.state = "done"
+
+
+class Sink(Module):
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("collecting",)
+    inp = ip("inp", WORK, role="downstream")
+
+    @transition(from_state="collecting", when=("inp", "Item"), cost=0.5)
+    def collect(self, interaction) -> None:
+        self.variables["received"] = self.variables.get("received", 0) + 1
+
+
+def make_stage(cost: float):
+    """A computation stage forwarding each item after ``cost`` work units."""
+
+    class Stage(Module):
+        ATTRIBUTE = ModuleAttribute.PROCESS
+        STATES = ("working",)
+        inp = ip("inp", WORK, role="downstream")
+        out = ip("out", WORK, role="upstream")
+
+        @transition(from_state="working", when=("inp", "Item"), cost=cost)
+        def process(self, interaction) -> None:
+            self.output("out", "Item", sequence=interaction.param("sequence"))
+
+    Stage.__name__ = f"Stage{int(cost * 10)}"
+    return Stage
+
+
+class PipelineSystem(Module):
+    """System module wiring source -> stage(s) -> sink according to variables."""
+
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("running",)
+
+    def initialise(self) -> None:
+        super().initialise()
+        stage_costs = self.variables["stage_costs"]
+        source = self.create_child(Source, "source", items=self.variables.get("items", ITEMS))
+        previous_out = source.ip_named("out")
+        for index, cost in enumerate(stage_costs):
+            stage = self.create_child(make_stage(cost), f"stage-{index}")
+            previous_out.connect_to(stage.ip_named("inp"))
+            previous_out = stage.ip_named("out")
+        sink = self.create_child(Sink, "sink")
+        previous_out.connect_to(sink.ip_named("inp"))
+
+
+def run_pipeline(stage_costs):
+    spec = Specification("pipeline")
+    spec.add_system_module(PipelineSystem, "line", location="ksr1", stage_costs=list(stage_costs), items=ITEMS)
+    spec.validate()
+    cluster = Cluster()
+    cluster.add(Machine("ksr1", PROCESSORS))
+    metrics, _ = run_specification(spec, cluster, mapping=ThreadPerModuleMapping())
+    assert spec.find("line/sink").variables.get("received") == ITEMS
+    return metrics
+
+
+def reproduce_pipeline_split():
+    record = ExperimentRecord(
+        experiment_id="E8",
+        title="Integrated module vs two-stage module pipeline",
+        paper_claim="splitting pays off only for long-running computations; for small processing "
+        "times the extra synchronisation dominates",
+    )
+    results = {}
+    for computation in COMPUTATION_SWEEP:
+        integrated = run_pipeline([computation])
+        split = run_pipeline([computation / 2.0, computation / 2.0])
+        results[computation] = (integrated, split)
+        gain = integrated.elapsed_time / split.elapsed_time if split.elapsed_time else 1.0
+        record.add_row(
+            per_item_cost=computation,
+            integrated_elapsed=round(integrated.elapsed_time, 1),
+            split_elapsed=round(split.elapsed_time, 1),
+            split_gain=round(gain, 2),
+            split_extra_sync=round(split.sync_time - integrated.sync_time, 1),
+            worth_splitting="yes" if gain >= 1.2 else "no",
+        )
+    print_experiment(record)
+    return results
+
+
+class TestPipelineSplit:
+    def test_split_only_pays_for_long_computations(self, benchmark):
+        results = benchmark.pedantic(reproduce_pipeline_split, rounds=1, iterations=1)
+        smallest = COMPUTATION_SWEEP[0]
+        largest = COMPUTATION_SWEEP[-1]
+        integrated_small, split_small = results[smallest]
+        integrated_large, split_large = results[largest]
+        ratio_small = integrated_small.elapsed_time / split_small.elapsed_time
+        ratio_large = integrated_large.elapsed_time / split_large.elapsed_time
+        # For cheap computations splitting is not worth it: the gain is marginal
+        # while the extra module boundary costs real synchronisation work ...
+        assert ratio_small < 1.2
+        assert split_small.sync_time > integrated_small.sync_time
+        # ... for long-running computations the pipeline clearly wins.
+        assert ratio_large > 1.5
+        # And the benefit grows with the module's computation time.
+        assert ratio_large > ratio_small

@@ -1,0 +1,99 @@
+"""E5 — Section 5.2: the Estelle scheduler as the bottleneck.
+
+*"For protocols with small processing time, the Estelle scheduler of many
+available compilers becomes the bottleneck for the speedup.  Measurements show
+a runtime percentage of the scheduler of up to 80%.  Our scheduler shows
+better runtime behavior, as it is decentralized."*
+
+The benchmark runs the test environment with progressively smaller
+per-transition processing costs and reports the share of total work spent in
+scheduling (selection bookkeeping + transition scanning) for the conventional
+centralised scheduler, and the elapsed-time advantage of the decentralised
+scheduler.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentRecord, print_experiment
+from repro.osi import build_transfer_specification
+from repro.runtime import (
+    CentralisedScheduler,
+    DecentralisedScheduler,
+    ThreadPerModuleMapping,
+    run_specification,
+)
+from repro.sim import Cluster, CostModel, Machine
+
+#: progressively smaller protocol processing cost (1.0 = the normal kernel cost)
+PROCESSING_SCALES = (1.0, 0.5, 0.2, 0.1)
+PROCESSORS = 8
+
+
+def run_with(scheduler, scale: float):
+    cost_model = CostModel().scaled(transition_cost_scale=scale)
+    spec = build_transfer_specification(connections=2, data_requests=20, payload_size=2)
+    cluster = Cluster()
+    cluster.add(Machine("ksr1", PROCESSORS, cost_model))
+    metrics, _ = run_specification(
+        spec,
+        cluster,
+        mapping=ThreadPerModuleMapping(),
+        scheduler=scheduler,
+        cost_model=cost_model,
+    )
+    return metrics
+
+
+def scheduling_share(metrics) -> float:
+    """Share of the elapsed runtime spent in the (serial) scheduler.
+
+    For the centralised scheduler every bit of selection bookkeeping and
+    transition scanning happens in one thread, so its share of the elapsed
+    time is what the paper reports as "runtime percentage of the scheduler".
+    """
+    if metrics.elapsed_time <= 0:
+        return 0.0
+    return (metrics.scheduler_time + metrics.dispatch_time) / metrics.elapsed_time
+
+
+def reproduce_scheduler_overhead():
+    record = ExperimentRecord(
+        experiment_id="E5",
+        title="Scheduler overhead for protocols with small processing times",
+        paper_claim="centralised scheduler consumes up to 80% of the runtime; a decentralised "
+        "scheduler behaves better",
+    )
+    results = {}
+    for scale in PROCESSING_SCALES:
+        central = run_with(CentralisedScheduler(per_module_cost=0.25), scale)
+        decentral = run_with(DecentralisedScheduler(per_module_cost=0.25), scale)
+        results[scale] = (central, decentral)
+        record.add_row(
+            processing_scale=scale,
+            central_scheduling_share=round(scheduling_share(central), 2),
+            central_elapsed=round(central.elapsed_time, 1),
+            decentral_elapsed=round(decentral.elapsed_time, 1),
+            decentral_advantage=round(central.elapsed_time / decentral.elapsed_time, 2),
+        )
+    print_experiment(record)
+    return results
+
+
+class TestSchedulerOverhead:
+    def test_scheduler_share_and_decentralised_advantage(self, benchmark):
+        results = benchmark.pedantic(reproduce_scheduler_overhead, rounds=1, iterations=1)
+        shares = {scale: scheduling_share(central) for scale, (central, _) in results.items()}
+        # The scheduling share grows as protocol processing shrinks ...
+        assert shares[0.1] > shares[1.0]
+        # ... and approaches the paper's "up to 80%" regime for tiny processing costs.
+        assert 0.55 <= shares[0.1] <= 0.9
+        # The decentralised scheduler is faster in every configuration, and its
+        # advantage is largest exactly where the centralised one bottlenecks.
+        for scale, (central, decentral) in results.items():
+            assert decentral.elapsed_time < central.elapsed_time
+        advantage_small = results[0.1][0].elapsed_time / results[0.1][1].elapsed_time
+        advantage_large = results[1.0][0].elapsed_time / results[1.0][1].elapsed_time
+        assert advantage_small >= advantage_large
+        assert advantage_small >= 1.5

@@ -1,0 +1,91 @@
+"""E1 — Section 5.1: sequential vs parallel implementation.
+
+The paper: *"we used presentation and session kernel, without ASN.1
+encoding/decoding, and we transmitted very small P-Data units.  This is the
+worst case for parallelization.  Even with this environment, we got a speedup
+(in comparison with the sequential version) of 1.4 to 2 with 2 connections,
+parallel presentation and session and a varying number of Data requests."*
+
+The benchmark sweeps the number of Data requests and connections, runs the
+same specification sequentially (one processor, one execution unit) and in
+parallel (KSR1-like machine, one thread per module) and reports the speedup
+series.  The 2-connection speedups must fall in the paper's 1.4-2 band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentRecord, print_experiment
+from repro.osi import build_transfer_specification, transfer_progress
+from repro.runtime import SequentialMapping, ThreadPerModuleMapping, run_specification
+from repro.sim import Cluster, Machine
+
+DATA_REQUEST_SWEEP = (10, 20, 40)
+CONNECTION_SWEEP = (1, 2, 4)
+PARALLEL_PROCESSORS = 8
+
+
+def ksr_cluster(processors: int) -> Cluster:
+    cluster = Cluster()
+    cluster.add(Machine("ksr1", processors))
+    return cluster
+
+
+def run_pair(connections: int, data_requests: int):
+    sequential_spec = build_transfer_specification(
+        connections=connections, data_requests=data_requests, payload_size=2
+    )
+    parallel_spec = build_transfer_specification(
+        connections=connections, data_requests=data_requests, payload_size=2
+    )
+    sequential, _ = run_specification(
+        sequential_spec, ksr_cluster(1), mapping=SequentialMapping()
+    )
+    parallel, _ = run_specification(
+        parallel_spec, ksr_cluster(PARALLEL_PROCESSORS), mapping=ThreadPerModuleMapping()
+    )
+    assert transfer_progress(sequential_spec) == transfer_progress(parallel_spec)
+    return sequential, parallel
+
+
+def reproduce_speedup_series():
+    record = ExperimentRecord(
+        experiment_id="E1",
+        title="Sequential vs parallel execution of the presentation/session test environment",
+        paper_claim="speedup 1.4-2.0 with 2 connections, tiny P-Data units (worst case)",
+    )
+    speedups = {}
+    for connections in CONNECTION_SWEEP:
+        for data_requests in DATA_REQUEST_SWEEP:
+            sequential, parallel = run_pair(connections, data_requests)
+            speedup = parallel.speedup_against(sequential)
+            speedups[(connections, data_requests)] = speedup
+            record.add_row(
+                connections=connections,
+                data_requests=data_requests,
+                sequential_time=round(sequential.elapsed_time, 1),
+                parallel_time=round(parallel.elapsed_time, 1),
+                speedup=round(speedup, 2),
+            )
+    print_experiment(record)
+    return speedups
+
+
+class TestSpeedup:
+    def test_speedup_series(self, benchmark):
+        speedups = benchmark.pedantic(reproduce_speedup_series, rounds=1, iterations=1)
+        two_connection = [v for (c, _), v in speedups.items() if c == 2]
+        # The paper's band for two connections.
+        assert all(1.3 <= s <= 2.2 for s in two_connection), two_connection
+        # More connections never hurt; one connection gains less than two.
+        for data_requests in DATA_REQUEST_SWEEP:
+            assert speedups[(1, data_requests)] <= speedups[(2, data_requests)] + 0.05
+            assert speedups[(4, data_requests)] >= speedups[(2, data_requests)] - 0.05
+        # Parallelism always helps at least a little, even in the worst case.
+        assert min(speedups.values()) > 1.0
+
+    def test_single_pair_runtime(self, benchmark):
+        """Wall-clock cost of one sequential-vs-parallel comparison (2 connections)."""
+        sequential, parallel = benchmark.pedantic(run_pair, args=(2, 20), rounds=1, iterations=1)
+        assert parallel.elapsed_time < sequential.elapsed_time

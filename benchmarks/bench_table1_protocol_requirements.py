@@ -1,0 +1,130 @@
+"""T1 — Table 1: differing requirements of control and CM-stream protocols.
+
+The paper's Table 1 is qualitative: the control protocol needs low data
+rates, 100% reliability, error correction and no jitter control (OSI stack);
+the CM-stream protocol needs high data rates, tolerates <100% reliability,
+uses lightweight/no error correction and needs isochronous timing with
+delay/jitter control (XMovie/MTP stack).
+
+This benchmark runs both protocol types of the reproduction — an MCAM control
+session over the OSI stack and an MTP movie stream over the simulated
+UDP/IP/FDDI path with loss — and prints the measured characteristics next to
+the requirements, checking that each protocol meets its own column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ExperimentRecord, print_experiment
+from repro.mcam import MovieSystem
+from repro.sim import DatagramNetwork, EventScheduler, LinkProfile
+from repro.stream import (
+    CONTROL_PROTOCOL_REQUIREMENTS,
+    STREAM_PROTOCOL_REQUIREMENTS,
+    MtpReceiver,
+    QosMonitor,
+    compliance,
+    synthesise_movie,
+)
+from repro.stream.mtp import MtpSender
+
+
+def run_control_session():
+    """A complete MCAM control session; returns (bytes carried, operations, QoS)."""
+    system = MovieSystem(clients=1, stack="generated", server_processors=4)
+    client = system.client(0)
+    monitor = QosMonitor("control")
+    operations = 0
+    for action in (
+        client.connect,
+        lambda: client.create_movie("table1-movie", duration_seconds=1),
+        lambda: client.query_attributes(filter_expression="imageFormat=mjpeg"),
+        lambda: client.select_movie("table1-movie"),
+        lambda: client.modify_attributes("table1-movie", {"owner": "table1"}),
+        client.release,
+    ):
+        start = system.metrics.elapsed_time
+        monitor.note_sent(start)
+        action()
+        end = system.metrics.elapsed_time
+        monitor.note_delivered(start, end, 64)
+        operations += 1
+    pipe = system.specification.find("pipes/pipe-0")
+    return pipe.variables["relayed"], operations, monitor.report(), system
+
+
+def run_stream_session(loss_rate: float = 0.01):
+    """A movie streamed over a slightly lossy best-effort path; returns QoS."""
+    scheduler = EventScheduler()
+    network = DatagramNetwork(
+        scheduler, profile=LinkProfile(bandwidth=12.5 * 1024, latency=1.0, jitter=2.0, loss_rate=loss_rate), seed=5
+    )
+    movie = synthesise_movie("table1-stream", duration_seconds=4.0, frame_rate=25.0)
+    receiver = MtpReceiver(scheduler, network, host="client", port=5004,
+                           frame_interval_ms=movie.frame_interval_ms(), jitter_target_ms=40.0)
+    sender = MtpSender(scheduler, network, source="server", destination="client", port=5004)
+    sender.play(movie)
+    scheduler.run()
+    receiver.finalise()
+    return sender, receiver
+
+
+def reproduce_table1():
+    relayed, operations, control_report, system = run_control_session()
+    sender, receiver = run_stream_session()
+    stream_report = receiver.qos.report()
+
+    record = ExperimentRecord(
+        experiment_id="T1",
+        title="Requirements of the control vs CM-stream protocol",
+        paper_claim=(
+            "control: low data rate, 100% reliable, error corrected, asynchronous, no jitter "
+            "control, OSI stack / CM stream: high data rate, <100% reliability, lightweight "
+            "error handling, isochronous, jitter controlled, XMovie/MTP stack"
+        ),
+    )
+    record.add_row(**CONTROL_PROTOCOL_REQUIREMENTS.as_row())
+    record.add_row(**STREAM_PROTOCOL_REQUIREMENTS.as_row())
+    record.add_row(
+        protocol="control (measured)",
+        **{
+            "data rates": f"{relayed} PDUs / session",
+            "reliability": f"{control_report.delivery_ratio * 100:.0f}%",
+            "error correction": "reliable transport pipe",
+            "timing relations": "asynchronous (request/response)",
+            "delay and jitter control": "no",
+            "protocol stack": "MCAM/Pres/Sess/TP (generated)",
+        },
+    )
+    record.add_row(
+        protocol="CM stream (measured)",
+        **{
+            "data rates": f"{stream_report.throughput_kbps:.0f} kbit/s",
+            "reliability": f"{stream_report.delivery_ratio * 100:.1f}%",
+            "error correction": "none (loss detected only)",
+            "timing relations": f"isochronous ({receiver.jitter_buffer.frame_interval:.0f} ms frame interval)",
+            "delay and jitter control": f"yes (jitter {stream_report.jitter_ms:.2f} ms)",
+            "protocol stack": "MTP/UDP/IP/FDDI (simulated)",
+        },
+    )
+    print_experiment(record)
+    return control_report, stream_report, sender, receiver
+
+
+class TestTable1:
+    def test_table1_requirements(self, benchmark):
+        control_report, stream_report, sender, receiver = benchmark.pedantic(
+            reproduce_table1, rounds=1, iterations=1
+        )
+        # Control protocol: fully reliable, low volume.
+        assert control_report.delivery_ratio == 1.0
+        control_checks = compliance(control_report, CONTROL_PROTOCOL_REQUIREMENTS)
+        assert all(control_checks.values())
+        # CM stream: high rate, some loss tolerated, jitter kept small.
+        assert stream_report.throughput_kbps > 1000.0
+        assert 0.9 <= stream_report.delivery_ratio <= 1.0
+        stream_checks = compliance(stream_report, STREAM_PROTOCOL_REQUIREMENTS, max_jitter_ms=20.0)
+        assert stream_checks["jitter"] and stream_checks["data_rate"]
+        # The stream moves orders of magnitude more data than the control path.
+        assert sender.stats.bytes_sent > 50 * 1024

@@ -1,0 +1,104 @@
+"""E4 — Section 5.2: hard-coded vs table-driven transition selection.
+
+*"As newer performance measurements show, the table-controlled approach is
+significantly better than the hard-coded one when the number of transitions
+becomes larger than four."*
+
+The benchmark sweeps the number of transitions per module and reports the
+per-selection cost of both strategies under the runtime's cost model, plus a
+wall-clock micro-benchmark of selection on a large module.  The crossover
+must sit in the paper's region (around four transitions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estelle import Module, ModuleAttribute, transition
+from repro.harness import ExperimentRecord, print_experiment
+from repro.runtime import HardCodedDispatch, TableDrivenDispatch
+
+TRANSITION_SWEEP = (2, 4, 6, 8, 12, 16)
+
+
+def make_module(total_transitions: int):
+    """A module with ``total_transitions`` spread round-robin over four states.
+
+    No transition is ever enabled, so both strategies scan their full
+    candidate list — the worst case the selection-cost comparison is about
+    (the hard-coded function walks every transition, the table-driven one
+    only the current state's row).
+    """
+    states = ("s0", "s1", "s2", "s3")
+    namespace = {
+        "ATTRIBUTE": ModuleAttribute.SYSTEMPROCESS,
+        "STATES": states,
+        "INITIAL_STATE": "s0",
+    }
+    for count in range(total_transitions):
+        name = f"t{count}"
+
+        def action(self):
+            pass
+
+        action.__name__ = name
+        namespace[name] = transition(
+            from_state=states[count % len(states)],
+            provided=(lambda m: False),
+            cost=1.0,
+            name=name,
+        )(action)
+    cls = type(f"Synthetic{total_transitions}", (Module,), namespace)
+    return cls(f"m{total_transitions}")
+
+
+def reproduce_dispatch_crossover():
+    hard = HardCodedDispatch(scan_cost=0.08)
+    table = TableDrivenDispatch(scan_cost=0.08, table_overhead=0.25)
+    record = ExperimentRecord(
+        experiment_id="E4",
+        title="Transition selection: hard-coded scan vs table-driven",
+        paper_claim="table-driven is significantly better once a module has more than ~4 transitions",
+    )
+    costs = {}
+    for total in TRANSITION_SWEEP:
+        module = make_module(total)
+        hard_cost = hard.select(module).cost
+        table_cost = table.select(module).cost
+        costs[total] = (hard_cost, table_cost)
+        record.add_row(
+            transitions=total,
+            hard_coded_cost=round(hard_cost, 3),
+            table_driven_cost=round(table_cost, 3),
+            winner="table" if table_cost < hard_cost else "hard-coded",
+        )
+    print_experiment(record)
+    return costs
+
+
+class TestTransitionDispatch:
+    def test_crossover_near_four_transitions(self, benchmark):
+        costs = benchmark.pedantic(reproduce_dispatch_crossover, rounds=1, iterations=1)
+        # Few transitions: hard-coded is at least as good.
+        hard_small, table_small = costs[2]
+        assert hard_small <= table_small
+        # Beyond the paper's threshold the table wins, and the gap widens.
+        for total in (6, 8, 12, 16):
+            hard_cost, table_cost = costs[total]
+            assert table_cost < hard_cost
+        gap_8 = costs[8][0] - costs[8][1]
+        gap_16 = costs[16][0] - costs[16][1]
+        assert gap_16 > gap_8
+
+    def test_wallclock_selection_large_module(self, benchmark):
+        """Real (wall-clock) selection time on a 16-transition module, table-driven."""
+        module = make_module(16)
+        table = TableDrivenDispatch()
+        result = benchmark(lambda: table.select(module))
+        assert result.examined <= 4  # only the current state's row is scanned
+
+    def test_wallclock_selection_hardcoded(self, benchmark):
+        module = make_module(16)
+        hard = HardCodedDispatch()
+        result = benchmark(lambda: hard.select(module))
+        assert result.examined == 16  # the full transition list is scanned

@@ -1,0 +1,14 @@
+"""Pytest root conftest.
+
+Makes the in-repository ``src`` layout importable even when the package has
+not been installed (useful on machines without network access where editable
+installs are awkward), and makes ``tests.helpers`` importable from anywhere.
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).parent
+for entry in (str(_ROOT / "src"), str(_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)

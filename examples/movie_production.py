@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Movie production: recording with CM equipment, cataloguing and review.
+
+Exercises the parts of MCAM beyond playback: the Equipment Control System
+(camera and microphone are reserved, activated and parameterised for a
+recording), the RECORD operation (captured content lands in the movie store
+and the directory), attribute management, and finally playback of the freshly
+recorded material.
+
+Run with:  python examples/movie_production.py
+"""
+
+from repro.mcam import MovieSystem
+
+
+def main() -> None:
+    system = MovieSystem(clients=1, stack="generated", server_processors=8)
+    client = system.client(0)
+    eua = system.context.eua
+    site = system.context.host
+
+    client.connect()
+
+    print("== studio equipment before the shoot ==")
+    for device in eua.list_equipment(site):
+        print(f"  {device['name']:<14} {device['kind']:<11} state={device['state']}")
+
+    print("\n== set up the camera ==")
+    eua.reserve(site, "camera-1")
+    eua.power_on(site, "camera-1")
+    eua.set_parameter(site, "camera-1", "frameRate", 25)
+    eua.set_parameter(site, "camera-1", "zoom", 2.5)
+    print("  camera-1:", eua.device_status(site, "camera-1")["parameters"])
+
+    print("\n== record two takes ==")
+    for take in (1, 2):
+        response = client.record(f"interview-take-{take}", duration_seconds=2, frame_rate=25)
+        print(f"  take {take}: {response['status']}, {response['frameCount']} frames captured")
+
+    print("\n== equipment state right after recording ==")
+    for device in eua.list_equipment(site):
+        print(f"  {device['name']:<14} state={device['state']}")
+
+    print("\n== catalogue the good take ==")
+    client.modify_attributes(
+        "interview-take-2", {"owner": "production", "keyword": "interview"}
+    )
+    for movie in client.query_attributes(filter_expression="movieTitle~interview"):
+        attributes = {a["name"]: a["value"] for a in movie["attributes"]}
+        print(f"  {movie['name']}: frames={attributes['frameCount']} owner={attributes.get('owner', '-')}")
+
+    print("\n== review the recording ==")
+    client.select_movie("interview-take-2")
+    playback = client.play()
+    print(f"  delivered {playback.frames_delivered}/{playback.frames_sent} frames, "
+          f"jitter {playback.qos.jitter_ms:.3f} ms")
+    client.stop(playback.stream_id)
+
+    print("\n== clean up ==")
+    print("  delete take 1:", client.delete_movie("interview-take-1")["status"])
+    eua.stop_all(site)
+    eua.release(site, "camera-1")
+    print("  release:", client.release()["status"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: a complete MCAM session in a dozen lines.
+
+Builds the full system of the paper's Fig. 2 (one client workstation, the
+MCAM server on a simulated multi-processor, the movie directory, stream
+provider and equipment underneath), then walks through the MCAM service:
+connect, create a movie, query the directory, select and play the movie over
+the simulated XMovie/MTP stream, and release the association.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.mcam import MovieSystem
+
+
+def main() -> None:
+    system = MovieSystem(clients=1, stack="generated", server_processors=8)
+    client = system.client(0)
+
+    print("== connect ==")
+    print(" ", client.connect())
+
+    print("== create movie ==")
+    print(" ", client.create_movie(
+        "metropolis",
+        image_format="mjpeg",
+        frame_rate=25,
+        duration_seconds=3,
+        attributes={"owner": "ufa", "keyword": "silent"},
+    ))
+
+    print("== query the movie directory ==")
+    for movie in client.query_attributes(filter_expression="imageFormat=mjpeg"):
+        attributes = {a["name"]: a["value"] for a in movie["attributes"]}
+        print(f"  {movie['name']}: format={attributes['imageFormat']} "
+              f"frames={attributes['frameCount']} stored at {attributes['storageLocation']}")
+
+    print("== select and play ==")
+    client.select_movie("metropolis")
+    playback = client.play()
+    print(f"  stream id {playback.stream_id}: "
+          f"{playback.frames_delivered}/{playback.frames_sent} frames delivered")
+    print(f"  stream QoS: {playback.qos.as_row()}")
+
+    print("== modify attributes and release ==")
+    print(" ", client.modify_attributes("metropolis", {"owner": "fritz lang"}))
+    print(" ", client.release())
+
+    print("== control-plane summary (simulated work units) ==")
+    for key, value in system.control_plane_summary().items():
+        print(f"  {key:>22}: {value:10.2f}")
+    print("== module tree ==")
+    print(system.specification.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml.  This file exists so that the
+package can be installed in editable mode on machines without network access
+and without the ``wheel`` package (PEP 660 editable installs need it):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""ASN.1 (ISO 8824) types, BER (ISO 8825) transfer syntax and a small compiler.
+
+The MCAM PDUs are specified in ASN.1 and carried in BER through the
+presentation layer; :mod:`repro.mcam.pdus` builds its PDU schemas on top of
+this package.  :mod:`repro.asn1.parallel` reproduces the paper's negative
+result on parallel encoding/decoding.
+"""
+
+from .ber import BerError, decode, encode, encoded_size
+from .compiler import Asn1Module, Asn1SyntaxError, compile_module
+from .parallel import (
+    ParallelEncodingModel,
+    SequentialBatchCodec,
+    ThreadedBatchCodec,
+    model_parallel_encoding_time,
+)
+from .types import (
+    Asn1Error,
+    Asn1Type,
+    Asn1ValidationError,
+    Boolean,
+    Choice,
+    Component,
+    Enumerated,
+    IA5String,
+    Integer,
+    Null,
+    OctetString,
+    Sequence,
+    SequenceOf,
+    Tag,
+    Tagged,
+)
+
+__all__ = [
+    "Asn1Error",
+    "Asn1Module",
+    "Asn1SyntaxError",
+    "Asn1Type",
+    "Asn1ValidationError",
+    "BerError",
+    "Boolean",
+    "Choice",
+    "Component",
+    "Enumerated",
+    "IA5String",
+    "Integer",
+    "Null",
+    "OctetString",
+    "ParallelEncodingModel",
+    "Sequence",
+    "SequenceOf",
+    "SequentialBatchCodec",
+    "Tag",
+    "Tagged",
+    "ThreadedBatchCodec",
+    "compile_module",
+    "decode",
+    "encode",
+    "encoded_size",
+    "model_parallel_encoding_time",
+]

@@ -1,0 +1,262 @@
+"""BER (Basic Encoding Rules) transfer syntax for the ASN.1 subset.
+
+Encoding follows ISO 8825 definite-length BER: every value is a TLV
+(identifier octet, length octets, contents).  The encoder always emits the
+*definite* length form, the decoder accepts definite lengths only (the MCAM
+PDUs never need the indefinite form).
+
+The public entry points are :func:`encode` and :func:`decode`, both driven by
+the schema objects of :mod:`repro.asn1.types`, mirroring how the paper's
+generated encode/decode routines were driven by the ASN.1 specification of
+the MCAM PDUs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from .types import (
+    Asn1Error,
+    Asn1Type,
+    Asn1ValidationError,
+    Boolean,
+    Choice,
+    Component,
+    Enumerated,
+    IA5String,
+    Integer,
+    Null,
+    OctetString,
+    Sequence,
+    SequenceOf,
+    Tag,
+    Tagged,
+)
+
+
+class BerError(Asn1Error):
+    """Raised for malformed BER data or unencodable values."""
+
+
+# -- length helpers ---------------------------------------------------------------
+
+
+def _encode_length(length: int) -> bytes:
+    if length < 0:
+        raise BerError("negative length")
+    if length < 0x80:
+        return bytes([length])
+    octets = []
+    value = length
+    while value:
+        octets.insert(0, value & 0xFF)
+        value >>= 8
+    return bytes([0x80 | len(octets)]) + bytes(octets)
+
+
+def _decode_length(data: bytes, offset: int) -> Tuple[int, int]:
+    """Return (length, new offset)."""
+    if offset >= len(data):
+        raise BerError("truncated BER data: missing length octet")
+    first = data[offset]
+    offset += 1
+    if first < 0x80:
+        return first, offset
+    count = first & 0x7F
+    if count == 0:
+        raise BerError("indefinite lengths are not supported")
+    if offset + count > len(data):
+        raise BerError("truncated BER data: long-form length")
+    length = int.from_bytes(data[offset : offset + count], "big")
+    return length, offset + count
+
+
+def _wrap(tag: Tag, contents: bytes) -> bytes:
+    return bytes([tag.identifier_octet()]) + _encode_length(len(contents)) + contents
+
+
+def _expect_tag(data: bytes, offset: int, tag: Tag, context: str) -> Tuple[int, int]:
+    """Check the identifier octet; return (contents length, contents offset)."""
+    if offset >= len(data):
+        raise BerError(f"truncated BER data: expected {context}")
+    identifier = data[offset]
+    if identifier != tag.identifier_octet():
+        raise BerError(
+            f"unexpected tag 0x{identifier:02x} (expected 0x{tag.identifier_octet():02x}) "
+            f"while decoding {context}"
+        )
+    length, contents_offset = _decode_length(data, offset + 1)
+    if contents_offset + length > len(data):
+        raise BerError(f"truncated BER data: contents of {context}")
+    return length, contents_offset
+
+
+# -- primitive contents -------------------------------------------------------------
+
+
+def _encode_integer_contents(value: int) -> bytes:
+    length = max(1, (value.bit_length() + 8) // 8)
+    return value.to_bytes(length, "big", signed=True)
+
+
+def _decode_integer_contents(contents: bytes) -> int:
+    if not contents:
+        raise BerError("INTEGER with empty contents")
+    return int.from_bytes(contents, "big", signed=True)
+
+
+# -- encoding ------------------------------------------------------------------------
+
+
+def encode(schema: Asn1Type, value: Any) -> bytes:
+    """Encode ``value`` according to ``schema`` into definite-length BER."""
+    schema.validate(value)
+    return _encode_validated(schema, value)
+
+
+def _encode_validated(schema: Asn1Type, value: Any) -> bytes:
+    if isinstance(schema, Tagged):
+        return _wrap(schema.tag, _encode_validated(schema.inner, value))
+    if isinstance(schema, Integer):
+        return _wrap(schema.tag, _encode_integer_contents(value))
+    if isinstance(schema, Boolean):
+        return _wrap(schema.tag, b"\xff" if value else b"\x00")
+    if isinstance(schema, Null):
+        return _wrap(schema.tag, b"")
+    if isinstance(schema, Enumerated):
+        return _wrap(schema.tag, _encode_integer_contents(schema.number_of(value)))
+    if isinstance(schema, OctetString):
+        return _wrap(schema.tag, bytes(value))
+    if isinstance(schema, IA5String):
+        return _wrap(schema.tag, value.encode("ascii"))
+    if isinstance(schema, Sequence):
+        return _wrap(schema.tag, _encode_sequence_contents(schema, value))
+    if isinstance(schema, SequenceOf):
+        contents = b"".join(_encode_validated(schema.element_type, e) for e in value)
+        return _wrap(schema.tag, contents)
+    if isinstance(schema, Choice):
+        name, inner = value
+        index = schema.index_of(name)
+        encoded = _encode_validated(schema.type_of(name), inner)
+        return _wrap(Tag.context(index, constructed=True), encoded)
+    raise BerError(f"cannot encode values of type {type(schema).__name__}")
+
+
+def _encode_sequence_contents(schema: Sequence, value: Dict[str, Any]) -> bytes:
+    merged = schema.with_defaults(value)
+    parts: List[bytes] = []
+    for index, component in enumerate(schema.components):
+        if component.name not in merged:
+            continue  # optional and absent
+        encoded = _encode_validated(component.type, merged[component.name])
+        # Each component is wrapped in a context tag carrying its position so
+        # optional components can be skipped unambiguously when decoding.
+        parts.append(_wrap(Tag.context(index, constructed=True), encoded))
+    return b"".join(parts)
+
+
+# -- decoding ------------------------------------------------------------------------
+
+
+def decode(schema: Asn1Type, data: bytes) -> Any:
+    """Decode definite-length BER ``data`` according to ``schema``."""
+    value, offset = _decode_value(schema, bytes(data), 0)
+    if offset != len(data):
+        raise BerError(f"{len(data) - offset} trailing octets after the decoded value")
+    schema.validate(value)
+    return value
+
+
+def _decode_value(schema: Asn1Type, data: bytes, offset: int) -> Tuple[Any, int]:
+    if isinstance(schema, Tagged):
+        length, contents_offset = _expect_tag(data, offset, schema.tag, schema.name)
+        inner, inner_end = _decode_value(schema.inner, data, contents_offset)
+        if inner_end != contents_offset + length:
+            raise BerError(f"length mismatch inside {schema.name}")
+        return inner, inner_end
+    if isinstance(schema, Integer):
+        length, contents_offset = _expect_tag(data, offset, schema.tag, "INTEGER")
+        contents = data[contents_offset : contents_offset + length]
+        return _decode_integer_contents(contents), contents_offset + length
+    if isinstance(schema, Boolean):
+        length, contents_offset = _expect_tag(data, offset, schema.tag, "BOOLEAN")
+        if length != 1:
+            raise BerError("BOOLEAN contents must be a single octet")
+        return data[contents_offset] != 0, contents_offset + 1
+    if isinstance(schema, Null):
+        length, contents_offset = _expect_tag(data, offset, schema.tag, "NULL")
+        if length != 0:
+            raise BerError("NULL contents must be empty")
+        return None, contents_offset
+    if isinstance(schema, Enumerated):
+        length, contents_offset = _expect_tag(data, offset, schema.tag, "ENUMERATED")
+        number = _decode_integer_contents(data[contents_offset : contents_offset + length])
+        return schema.value_of(number), contents_offset + length
+    if isinstance(schema, OctetString):
+        length, contents_offset = _expect_tag(data, offset, schema.tag, "OCTET STRING")
+        return bytes(data[contents_offset : contents_offset + length]), contents_offset + length
+    if isinstance(schema, IA5String):
+        length, contents_offset = _expect_tag(data, offset, schema.tag, "IA5String")
+        contents = data[contents_offset : contents_offset + length]
+        try:
+            return contents.decode("ascii"), contents_offset + length
+        except UnicodeDecodeError as exc:
+            raise BerError("IA5String contents are not ASCII") from exc
+    if isinstance(schema, Sequence):
+        return _decode_sequence(schema, data, offset)
+    if isinstance(schema, SequenceOf):
+        length, contents_offset = _expect_tag(data, offset, schema.tag, schema.name)
+        end = contents_offset + length
+        elements = []
+        cursor = contents_offset
+        while cursor < end:
+            element, cursor = _decode_value(schema.element_type, data, cursor)
+            elements.append(element)
+        if cursor != end:
+            raise BerError(f"length mismatch inside {schema.name}")
+        return elements, end
+    if isinstance(schema, Choice):
+        if offset >= len(data):
+            raise BerError(f"truncated BER data: CHOICE {schema.name}")
+        identifier = data[offset]
+        index = identifier & 0x1F
+        name, alternative_type = schema.alternative_at(index)
+        length, contents_offset = _expect_tag(
+            data, offset, Tag.context(index, constructed=True), f"CHOICE {schema.name}"
+        )
+        inner, inner_end = _decode_value(alternative_type, data, contents_offset)
+        if inner_end != contents_offset + length:
+            raise BerError(f"length mismatch inside CHOICE {schema.name}")
+        return (name, inner), inner_end
+    raise BerError(f"cannot decode values of type {type(schema).__name__}")
+
+
+def _decode_sequence(schema: Sequence, data: bytes, offset: int) -> Tuple[Dict[str, Any], int]:
+    length, contents_offset = _expect_tag(data, offset, schema.tag, f"SEQUENCE {schema.name}")
+    end = contents_offset + length
+    cursor = contents_offset
+    value: Dict[str, Any] = {}
+    for index, component in enumerate(schema.components):
+        if cursor >= end:
+            break
+        identifier = data[cursor]
+        component_index = identifier & 0x1F
+        if component_index != index:
+            # Component absent (it must have been OPTIONAL / DEFAULT).
+            continue
+        inner_length, inner_offset = _expect_tag(
+            data, cursor, Tag.context(index, constructed=True), f"{schema.name}.{component.name}"
+        )
+        inner_value, inner_end = _decode_value(component.type, data, inner_offset)
+        if inner_end != inner_offset + inner_length:
+            raise BerError(f"length mismatch inside {schema.name}.{component.name}")
+        value[component.name] = inner_value
+        cursor = inner_end
+    if cursor != end:
+        raise BerError(f"unexpected extra components inside SEQUENCE {schema.name}")
+    return schema.with_defaults(value), end
+
+
+def encoded_size(schema: Asn1Type, value: Any) -> int:
+    """Size in octets of the BER encoding (used by the stream and benchmarks)."""
+    return len(encode(schema, value))

@@ -1,0 +1,336 @@
+"""A small ASN.1 "compiler": textual ASN.1 modules → schema objects.
+
+The paper had to implement an ASN.1-to-C++ translator so the MCAM PDU
+definitions could be used from the Estelle specification ([9] in the paper).
+This module is the Python counterpart: it parses the subset of ASN.1 (ISO
+8824) notation that the MCAM PDUs use and produces the schema objects of
+:mod:`repro.asn1.types`, ready for BER encoding.
+
+Supported notation::
+
+    ModuleName DEFINITIONS ::= BEGIN
+        MovieId   ::= INTEGER
+        Title     ::= IA5String
+        Status    ::= ENUMERATED { success(0), failure(1) }
+        Attribute ::= SEQUENCE {
+            name  IA5String,
+            value IA5String OPTIONAL,
+            kind  INTEGER DEFAULT 0
+        }
+        AttributeList ::= SEQUENCE OF Attribute
+        Pdu ::= CHOICE { request Attribute, status Status }
+    END
+
+Comments (``-- ...`` to end of line) are ignored.  Type references may appear
+before their definition; resolution happens at the end of the module.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from .types import (
+    Asn1Error,
+    Asn1Type,
+    Boolean,
+    Choice,
+    Component,
+    Enumerated,
+    IA5String,
+    Integer,
+    Null,
+    OctetString,
+    Sequence,
+    SequenceOf,
+)
+
+
+class Asn1SyntaxError(Asn1Error):
+    """The ASN.1 source text could not be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>--[^\n]*)
+  | (?P<assign>::=)
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<number>-?\d+)
+  | (?P<string>"[^"]*")
+  | (?P<word>[A-Za-z][A-Za-z0-9-]*)
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "DEFINITIONS",
+    "BEGIN",
+    "END",
+    "INTEGER",
+    "BOOLEAN",
+    "NULL",
+    "OCTET",
+    "STRING",
+    "IA5String",
+    "ENUMERATED",
+    "SEQUENCE",
+    "CHOICE",
+    "OF",
+    "OPTIONAL",
+    "DEFAULT",
+    "TRUE",
+    "FALSE",
+    "SIZE",
+}
+
+
+def _tokenise(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise Asn1SyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("space", "comment"):
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Reference(Asn1Type):
+    """Placeholder for a type referenced before its definition."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def validate(self, value: Any) -> None:  # pragma: no cover - replaced on resolve
+        raise Asn1Error(f"unresolved type reference {self.name!r}")
+
+
+class Asn1Module:
+    """A compiled ASN.1 module: a registry of named types."""
+
+    def __init__(self, name: str, types: Dict[str, Asn1Type]):
+        self.name = name
+        self.types = dict(types)
+
+    def get(self, name: str) -> Asn1Type:
+        try:
+            return self.types[name]
+        except KeyError as exc:
+            raise Asn1Error(
+                f"module {self.name!r} defines no type {name!r}; "
+                f"defined: {sorted(self.types)}"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.types
+
+    def type_names(self) -> List[str]:
+        return sorted(self.types)
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.position = 0
+        self.definitions: Dict[str, Asn1Type] = {}
+
+    # -- token helpers ---------------------------------------------------------------
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise Asn1SyntaxError("unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.next()
+        if token != expected:
+            raise Asn1SyntaxError(f"expected {expected!r}, found {token!r}")
+        return token
+
+    # -- grammar ---------------------------------------------------------------------
+
+    def parse_module(self) -> Asn1Module:
+        module_name = self.next()
+        self.expect("DEFINITIONS")
+        self.expect("::=")
+        self.expect("BEGIN")
+        while self.peek() != "END":
+            self.parse_assignment()
+        self.expect("END")
+        if self.peek() is not None:
+            raise Asn1SyntaxError(f"trailing tokens after END: {self.peek()!r}")
+        self._resolve_references()
+        return Asn1Module(module_name, self.definitions)
+
+    def parse_assignment(self) -> None:
+        name = self.next()
+        if not name[0].isupper():
+            raise Asn1SyntaxError(f"type names must start upper-case: {name!r}")
+        self.expect("::=")
+        self.definitions[name] = self.parse_type(type_name=name)
+
+    def parse_type(self, type_name: str = "") -> Asn1Type:
+        token = self.next()
+        if token == "INTEGER":
+            return Integer()
+        if token == "BOOLEAN":
+            return Boolean()
+        if token == "NULL":
+            return Null()
+        if token == "OCTET":
+            self.expect("STRING")
+            return OctetString(max_size=self._parse_optional_size())
+        if token == "IA5String":
+            return IA5String(max_size=self._parse_optional_size())
+        if token == "ENUMERATED":
+            return self.parse_enumerated()
+        if token == "SEQUENCE":
+            if self.peek() == "OF":
+                self.next()
+                element = self.parse_type()
+                return SequenceOf(element, name=type_name or f"SEQUENCE OF {element.name}")
+            return self.parse_sequence(type_name or "SEQUENCE")
+        if token == "CHOICE":
+            return self.parse_choice(type_name or "CHOICE")
+        if token[0].isupper() and token not in _KEYWORDS:
+            return _Reference(token)
+        raise Asn1SyntaxError(f"unexpected token {token!r} while parsing a type")
+
+    def _parse_optional_size(self) -> Optional[int]:
+        if self.peek() != "(":
+            return None
+        self.expect("(")
+        self.expect("SIZE")
+        self.expect("(")
+        size = int(self.next())
+        self.expect(")")
+        self.expect(")")
+        return size
+
+    def parse_enumerated(self) -> Enumerated:
+        self.expect("{")
+        alternatives: Dict[str, int] = {}
+        while True:
+            name = self.next()
+            self.expect("(")
+            number = int(self.next())
+            self.expect(")")
+            alternatives[name] = number
+            if self.peek() == ",":
+                self.next()
+                continue
+            break
+        self.expect("}")
+        return Enumerated(alternatives)
+
+    def parse_sequence(self, name: str) -> Sequence:
+        self.expect("{")
+        components: List[Component] = []
+        while True:
+            field_name = self.next()
+            field_type = self.parse_type()
+            optional = False
+            default: Any = None
+            if self.peek() == "OPTIONAL":
+                self.next()
+                optional = True
+            elif self.peek() == "DEFAULT":
+                self.next()
+                default = self._parse_default_value(field_type)
+            components.append(
+                Component(name=field_name, type=field_type, optional=optional, default=default)
+            )
+            if self.peek() == ",":
+                self.next()
+                continue
+            break
+        self.expect("}")
+        return Sequence(name, components)
+
+    def _parse_default_value(self, field_type: Asn1Type) -> Any:
+        token = self.next()
+        if token == "TRUE":
+            return True
+        if token == "FALSE":
+            return False
+        if token.startswith('"'):
+            return token.strip('"')
+        try:
+            return int(token)
+        except ValueError as exc:
+            raise Asn1SyntaxError(f"unsupported DEFAULT value {token!r}") from exc
+
+    def parse_choice(self, name: str) -> Choice:
+        self.expect("{")
+        alternatives: List[Tuple[str, Asn1Type]] = []
+        while True:
+            alternative_name = self.next()
+            alternative_type = self.parse_type()
+            alternatives.append((alternative_name, alternative_type))
+            if self.peek() == ",":
+                self.next()
+                continue
+            break
+        self.expect("}")
+        return Choice(name, alternatives)
+
+    # -- reference resolution -----------------------------------------------------------
+
+    def _resolve_references(self) -> None:
+        def resolve(schema: Asn1Type, seen: Tuple[str, ...] = ()) -> Asn1Type:
+            if isinstance(schema, _Reference):
+                if schema.name in seen:
+                    raise Asn1SyntaxError(
+                        f"circular type reference involving {schema.name!r}"
+                    )
+                if schema.name not in self.definitions:
+                    raise Asn1SyntaxError(f"reference to undefined type {schema.name!r}")
+                return resolve(self.definitions[schema.name], seen + (schema.name,))
+            if isinstance(schema, Sequence):
+                schema.components = [
+                    Component(
+                        name=c.name,
+                        type=resolve(c.type, seen),
+                        optional=c.optional,
+                        default=c.default,
+                    )
+                    for c in schema.components
+                ]
+                return schema
+            if isinstance(schema, SequenceOf):
+                schema.element_type = resolve(schema.element_type, seen)
+                return schema
+            if isinstance(schema, Choice):
+                schema.alternatives = [
+                    (name, resolve(alternative, seen))
+                    for name, alternative in schema.alternatives
+                ]
+                return schema
+            return schema
+
+        for name in list(self.definitions):
+            self.definitions[name] = resolve(self.definitions[name], (name,))
+
+
+def compile_module(text: str) -> Asn1Module:
+    """Compile ASN.1 source text into a module of schema objects."""
+    tokens = _tokenise(text)
+    if not tokens:
+        raise Asn1SyntaxError("empty ASN.1 module")
+    return _Parser(tokens).parse_module()

@@ -1,0 +1,351 @@
+"""ASN.1 type system (the subset MCAM's PDUs need).
+
+All MCAM PDUs are specified in ASN.1 (ISO 8824); the paper generated C++ data
+structures and BER encode/decode routines from that specification.  This
+module provides the schema objects those generated structures correspond to:
+
+* primitive types — ``INTEGER``, ``BOOLEAN``, ``ENUMERATED``, ``OCTET
+  STRING``, ``IA5String``, ``NULL``,
+* constructed types — ``SEQUENCE`` (with OPTIONAL and DEFAULT components),
+  ``SEQUENCE OF`` and ``CHOICE``,
+* context-specific tagging (``[n]``), which CHOICE alternatives and optional
+  SEQUENCE components rely on.
+
+Values are plain Python objects (int, bool, str, bytes, dict, list), checked
+against the schema by :meth:`Asn1Type.validate`; the BER transfer syntax lives
+in :mod:`repro.asn1.ber`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+
+class Asn1Error(Exception):
+    """Base class for schema-validation and encoding errors."""
+
+
+class Asn1ValidationError(Asn1Error):
+    """A value does not conform to its ASN.1 type."""
+
+
+# -- tags ------------------------------------------------------------------------
+
+TAG_CLASS_UNIVERSAL = 0x00
+TAG_CLASS_CONTEXT = 0x80
+
+UNIVERSAL_BOOLEAN = 1
+UNIVERSAL_INTEGER = 2
+UNIVERSAL_OCTET_STRING = 4
+UNIVERSAL_NULL = 5
+UNIVERSAL_ENUMERATED = 10
+UNIVERSAL_SEQUENCE = 16
+UNIVERSAL_IA5STRING = 22
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A BER tag: class, number and whether the encoding is constructed."""
+
+    number: int
+    tag_class: int = TAG_CLASS_UNIVERSAL
+    constructed: bool = False
+
+    def identifier_octet(self) -> int:
+        if self.number >= 31:
+            raise Asn1Error("multi-byte tag numbers are not supported")
+        octet = self.tag_class | self.number
+        if self.constructed:
+            octet |= 0x20
+        return octet
+
+    @staticmethod
+    def context(number: int, constructed: bool = True) -> "Tag":
+        return Tag(number=number, tag_class=TAG_CLASS_CONTEXT, constructed=constructed)
+
+
+# -- base type ---------------------------------------------------------------------
+
+
+class Asn1Type:
+    """Base class of all schema objects."""
+
+    #: the type's universal tag; overridden by every concrete type.
+    tag: Tag = Tag(0)
+    name: str = "ASN.1"
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`Asn1ValidationError` when ``value`` does not conform."""
+        raise NotImplementedError
+
+    def tagged(self, number: int) -> "Tagged":
+        """Apply a context-specific tag (IMPLICIT-style) to this type."""
+        return Tagged(number, self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Integer(Asn1Type):
+    """``INTEGER``, optionally range-constrained."""
+
+    tag = Tag(UNIVERSAL_INTEGER)
+    name = "INTEGER"
+
+    def __init__(self, minimum: Optional[int] = None, maximum: Optional[int] = None):
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise Asn1ValidationError(f"INTEGER value must be int, got {type(value).__name__}")
+        if self.minimum is not None and value < self.minimum:
+            raise Asn1ValidationError(f"INTEGER {value} below minimum {self.minimum}")
+        if self.maximum is not None and value > self.maximum:
+            raise Asn1ValidationError(f"INTEGER {value} above maximum {self.maximum}")
+
+
+class Boolean(Asn1Type):
+    tag = Tag(UNIVERSAL_BOOLEAN)
+    name = "BOOLEAN"
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, bool):
+            raise Asn1ValidationError(f"BOOLEAN value must be bool, got {type(value).__name__}")
+
+
+class Null(Asn1Type):
+    tag = Tag(UNIVERSAL_NULL)
+    name = "NULL"
+
+    def validate(self, value: Any) -> None:
+        if value is not None:
+            raise Asn1ValidationError("NULL value must be None")
+
+
+class OctetString(Asn1Type):
+    """``OCTET STRING`` — raw bytes, optionally size-constrained."""
+
+    tag = Tag(UNIVERSAL_OCTET_STRING)
+    name = "OCTET STRING"
+
+    def __init__(self, max_size: Optional[int] = None):
+        self.max_size = max_size
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise Asn1ValidationError(
+                f"OCTET STRING value must be bytes, got {type(value).__name__}"
+            )
+        if self.max_size is not None and len(value) > self.max_size:
+            raise Asn1ValidationError(
+                f"OCTET STRING of {len(value)} octets exceeds SIZE({self.max_size})"
+            )
+
+
+class IA5String(Asn1Type):
+    """``IA5String`` — ASCII text (movie titles, attribute names, addresses)."""
+
+    tag = Tag(UNIVERSAL_IA5STRING)
+    name = "IA5String"
+
+    def __init__(self, max_size: Optional[int] = None):
+        self.max_size = max_size
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, str):
+            raise Asn1ValidationError(f"IA5String value must be str, got {type(value).__name__}")
+        try:
+            value.encode("ascii")
+        except UnicodeEncodeError as exc:
+            raise Asn1ValidationError(f"IA5String must be ASCII: {value!r}") from exc
+        if self.max_size is not None and len(value) > self.max_size:
+            raise Asn1ValidationError(
+                f"IA5String of {len(value)} characters exceeds SIZE({self.max_size})"
+            )
+
+
+class Enumerated(Asn1Type):
+    """``ENUMERATED { name(number), ... }``; values are the symbolic names."""
+
+    tag = Tag(UNIVERSAL_ENUMERATED)
+    name = "ENUMERATED"
+
+    def __init__(self, alternatives: Mapping[str, int]):
+        if not alternatives:
+            raise Asn1Error("ENUMERATED needs at least one alternative")
+        numbers = list(alternatives.values())
+        if len(set(numbers)) != len(numbers):
+            raise Asn1Error("ENUMERATED numbers must be distinct")
+        self.alternatives: Dict[str, int] = dict(alternatives)
+        self.by_number: Dict[int, str] = {v: k for k, v in alternatives.items()}
+
+    def validate(self, value: Any) -> None:
+        if value not in self.alternatives:
+            raise Asn1ValidationError(
+                f"{value!r} is not one of the ENUMERATED alternatives "
+                f"{sorted(self.alternatives)}"
+            )
+
+    def number_of(self, value: str) -> int:
+        self.validate(value)
+        return self.alternatives[value]
+
+    def value_of(self, number: int) -> str:
+        try:
+            return self.by_number[number]
+        except KeyError as exc:
+            raise Asn1ValidationError(f"no ENUMERATED alternative numbered {number}") from exc
+
+
+@dataclass(frozen=True)
+class Component:
+    """A named component of a SEQUENCE."""
+
+    name: str
+    type: "Asn1Type"
+    optional: bool = False
+    default: Any = None
+
+    @property
+    def has_default(self) -> bool:
+        return self.default is not None
+
+
+class Sequence(Asn1Type):
+    """``SEQUENCE { ... }`` with OPTIONAL / DEFAULT components.
+
+    Values are dictionaries keyed by component name.
+    """
+
+    tag = Tag(UNIVERSAL_SEQUENCE, constructed=True)
+
+    def __init__(self, name: str, components: Sequence[Component]):
+        self.name = name
+        self.components: List[Component] = list(components)
+        names = [c.name for c in self.components]
+        if len(set(names)) != len(names):
+            raise Asn1Error(f"SEQUENCE {name}: duplicate component names")
+
+    def component(self, name: str) -> Component:
+        for component in self.components:
+            if component.name == name:
+                return component
+        raise Asn1Error(f"SEQUENCE {self.name} has no component {name!r}")
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, Mapping):
+            raise Asn1ValidationError(
+                f"SEQUENCE {self.name} value must be a mapping, got {type(value).__name__}"
+            )
+        known = {c.name for c in self.components}
+        unknown = set(value) - known
+        if unknown:
+            raise Asn1ValidationError(
+                f"SEQUENCE {self.name}: unknown components {sorted(unknown)}"
+            )
+        for component in self.components:
+            if component.name in value:
+                component.type.validate(value[component.name])
+            elif not component.optional and not component.has_default:
+                raise Asn1ValidationError(
+                    f"SEQUENCE {self.name}: missing mandatory component {component.name!r}"
+                )
+
+    def with_defaults(self, value: Mapping[str, Any]) -> Dict[str, Any]:
+        """Return a copy of ``value`` with DEFAULT components filled in."""
+        merged = dict(value)
+        for component in self.components:
+            if component.name not in merged and component.has_default:
+                merged[component.name] = component.default
+        return merged
+
+
+class SequenceOf(Asn1Type):
+    """``SEQUENCE OF <element type>``; values are Python lists."""
+
+    tag = Tag(UNIVERSAL_SEQUENCE, constructed=True)
+
+    def __init__(self, element_type: Asn1Type, name: str = ""):
+        self.element_type = element_type
+        self.name = name or f"SEQUENCE OF {element_type.name}"
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, (list, tuple)):
+            raise Asn1ValidationError(
+                f"{self.name} value must be a list, got {type(value).__name__}"
+            )
+        for index, element in enumerate(value):
+            try:
+                self.element_type.validate(element)
+            except Asn1ValidationError as exc:
+                raise Asn1ValidationError(f"{self.name}[{index}]: {exc}") from exc
+
+
+class Choice(Asn1Type):
+    """``CHOICE { ... }``; values are ``(alternative name, value)`` pairs.
+
+    Each alternative gets a distinct context tag so the chosen alternative can
+    be recognised when decoding (automatic tagging).
+    """
+
+    def __init__(self, name: str, alternatives: Sequence[Tuple[str, Asn1Type]]):
+        if not alternatives:
+            raise Asn1Error(f"CHOICE {name} needs at least one alternative")
+        self.name = name
+        self.alternatives: List[Tuple[str, Asn1Type]] = list(alternatives)
+        names = [n for n, _ in self.alternatives]
+        if len(set(names)) != len(names):
+            raise Asn1Error(f"CHOICE {name}: duplicate alternative names")
+
+    @property
+    def tag(self) -> Tag:  # type: ignore[override]
+        raise Asn1Error(f"CHOICE {self.name} has no tag of its own")
+
+    def index_of(self, alternative: str) -> int:
+        for index, (name, _) in enumerate(self.alternatives):
+            if name == alternative:
+                return index
+        raise Asn1Error(f"CHOICE {self.name} has no alternative {alternative!r}")
+
+    def type_of(self, alternative: str) -> Asn1Type:
+        return self.alternatives[self.index_of(alternative)][1]
+
+    def alternative_at(self, index: int) -> Tuple[str, Asn1Type]:
+        try:
+            return self.alternatives[index]
+        except IndexError as exc:
+            raise Asn1Error(f"CHOICE {self.name} has no alternative #{index}") from exc
+
+    def validate(self, value: Any) -> None:
+        if (
+            not isinstance(value, tuple)
+            or len(value) != 2
+            or not isinstance(value[0], str)
+        ):
+            raise Asn1ValidationError(
+                f"CHOICE {self.name} value must be an (alternative, value) pair"
+            )
+        alternative, inner = value
+        if all(alternative != name for name, _ in self.alternatives):
+            raise Asn1ValidationError(
+                f"CHOICE {self.name} has no alternative {alternative!r}"
+            )
+        self.type_of(alternative).validate(inner)
+
+
+class Tagged(Asn1Type):
+    """A context-tagged wrapper around another type (``[n] Type``)."""
+
+    def __init__(self, number: int, inner: Asn1Type):
+        self.number = number
+        self.inner = inner
+        self.name = f"[{number}] {inner.name}"
+
+    @property
+    def tag(self) -> Tag:  # type: ignore[override]
+        return Tag.context(self.number, constructed=True)
+
+    def validate(self, value: Any) -> None:
+        self.inner.validate(value)

@@ -1,0 +1,74 @@
+"""The X.500-style movie directory: schema, DIT, DSAs and the DUA.
+
+Fig. 1 of the paper places a distributed directory (DSAs) underneath MCAM;
+the MCAM server's Directory User Agent stores and retrieves movie metadata
+(image format, storage location, access rights, ...) here.
+"""
+
+from .dit import (
+    DirectoryError,
+    DirectoryInformationTree,
+    Entry,
+    EntryExists,
+    NoSuchEntry,
+    format_dn,
+    parse_dn,
+)
+from .dsa import DirectorySystemAgent, DsaStats, ReferralError
+from .dua import DirectoryUserAgent, DuaStats, NotBound
+from .filters import (
+    And,
+    Compare,
+    Equals,
+    Filter,
+    FilterError,
+    Not,
+    Or,
+    Present,
+    Substring,
+    TruePresent,
+    parse_filter,
+)
+from .schema import (
+    ATTRIBUTE_TYPES,
+    OBJECT_CLASSES,
+    AttributeType,
+    ObjectClass,
+    SchemaError,
+    validate_attribute,
+    validate_entry,
+)
+
+__all__ = [
+    "ATTRIBUTE_TYPES",
+    "And",
+    "AttributeType",
+    "Compare",
+    "DirectoryError",
+    "DirectoryInformationTree",
+    "DirectorySystemAgent",
+    "DirectoryUserAgent",
+    "DsaStats",
+    "DuaStats",
+    "Entry",
+    "EntryExists",
+    "Equals",
+    "Filter",
+    "FilterError",
+    "NoSuchEntry",
+    "Not",
+    "NotBound",
+    "OBJECT_CLASSES",
+    "ObjectClass",
+    "Or",
+    "Present",
+    "ReferralError",
+    "SchemaError",
+    "Substring",
+    "TruePresent",
+    "format_dn",
+    "parse_dn",
+    "parse_filter",
+    "validate_attribute",
+    "validate_entry",
+]

@@ -1,0 +1,186 @@
+"""The Directory Information Tree (DIT): entries, names and local operations.
+
+Names follow X.500 structure: a distinguished name (DN) is a sequence of
+relative distinguished names (RDNs), each written ``attribute=value``; e.g.
+``ou=movies/cn=metropolis``.  The DIT stores entries in a tree mirroring the
+DN hierarchy and offers the local flavour of the directory operations (read,
+list, search, add, modify, remove) that a single DSA performs on the naming
+context it masters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from .filters import Filter, TruePresent
+from .schema import SchemaError, validate_attribute, validate_entry
+
+
+class DirectoryError(Exception):
+    """Base class for directory operation failures."""
+
+
+class NoSuchEntry(DirectoryError):
+    """The addressed entry does not exist."""
+
+
+class EntryExists(DirectoryError):
+    """An entry with the same DN already exists."""
+
+
+def parse_dn(dn: str) -> Tuple[Tuple[str, str], ...]:
+    """Parse ``"ou=movies/cn=metropolis"`` into ``(("ou","movies"), ("cn","metropolis"))``.
+
+    The empty string denotes the root.
+    """
+    if dn.strip() in ("", "/"):
+        return ()
+    rdns: List[Tuple[str, str]] = []
+    for part in dn.strip("/").split("/"):
+        if "=" not in part:
+            raise DirectoryError(f"malformed RDN {part!r} in DN {dn!r}")
+        attribute, value = part.split("=", 1)
+        attribute = attribute.strip()
+        value = value.strip()
+        if not attribute or not value:
+            raise DirectoryError(f"malformed RDN {part!r} in DN {dn!r}")
+        rdns.append((attribute, value))
+    return tuple(rdns)
+
+
+def format_dn(rdns: Tuple[Tuple[str, str], ...]) -> str:
+    return "/".join(f"{attribute}={value}" for attribute, value in rdns)
+
+
+@dataclass
+class Entry:
+    """A directory entry: DN, object class and attributes."""
+
+    dn: str
+    object_class: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rdn(self) -> str:
+        rdns = parse_dn(self.dn)
+        return format_dn((rdns[-1],)) if rdns else ""
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        return self.attributes.get(attribute, default)
+
+    def matches(self, search_filter: Filter) -> bool:
+        return search_filter.matches(self.attributes)
+
+    def copy(self) -> "Entry":
+        return Entry(dn=self.dn, object_class=self.object_class, attributes=dict(self.attributes))
+
+
+class DirectoryInformationTree:
+    """An in-memory DIT holding the entries a DSA masters."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[Tuple[str, str], ...], Entry] = {}
+
+    # -- basic operations --------------------------------------------------------------
+
+    def add(self, dn: str, object_class: str, attributes: Mapping[str, Any]) -> Entry:
+        """Add an entry; its parent (if any) must already exist."""
+        rdns = parse_dn(dn)
+        if not rdns:
+            raise DirectoryError("cannot add an entry at the root DN")
+        if rdns in self._entries:
+            raise EntryExists(f"entry {dn!r} already exists")
+        parent = rdns[:-1]
+        if parent and parent not in self._entries:
+            raise NoSuchEntry(f"parent entry {format_dn(parent)!r} does not exist")
+        attributes = dict(attributes)
+        # The RDN attribute is implicitly part of the entry.
+        rdn_attribute, rdn_value = rdns[-1]
+        if rdn_attribute == "cn":
+            attributes.setdefault("commonName", rdn_value)
+        validate_entry(object_class, attributes)
+        entry = Entry(dn=format_dn(rdns), object_class=object_class, attributes=attributes)
+        self._entries[rdns] = entry
+        return entry.copy()
+
+    def read(self, dn: str) -> Entry:
+        entry = self._entries.get(parse_dn(dn))
+        if entry is None:
+            raise NoSuchEntry(f"no entry at {dn!r}")
+        return entry.copy()
+
+    def exists(self, dn: str) -> bool:
+        return parse_dn(dn) in self._entries
+
+    def remove(self, dn: str) -> None:
+        rdns = parse_dn(dn)
+        if rdns not in self._entries:
+            raise NoSuchEntry(f"no entry at {dn!r}")
+        children = [key for key in self._entries if key[: len(rdns)] == rdns and key != rdns]
+        if children:
+            raise DirectoryError(f"entry {dn!r} has {len(children)} subordinates; remove them first")
+        del self._entries[rdns]
+
+    def modify(self, dn: str, changes: Mapping[str, Any]) -> Entry:
+        """Apply attribute changes; a value of ``None`` removes the attribute."""
+        rdns = parse_dn(dn)
+        entry = self._entries.get(rdns)
+        if entry is None:
+            raise NoSuchEntry(f"no entry at {dn!r}")
+        updated = dict(entry.attributes)
+        for attribute, value in changes.items():
+            if value is None:
+                updated.pop(attribute, None)
+            else:
+                validate_attribute(attribute, value)
+                updated[attribute] = value
+        validate_entry(entry.object_class, updated)
+        entry.attributes = updated
+        return entry.copy()
+
+    # -- navigation and search ------------------------------------------------------------
+
+    def list_children(self, dn: str = "") -> List[Entry]:
+        base = parse_dn(dn)
+        if base and base not in self._entries:
+            raise NoSuchEntry(f"no entry at {dn!r}")
+        return [
+            entry.copy()
+            for key, entry in sorted(self._entries.items())
+            if len(key) == len(base) + 1 and key[: len(base)] == base
+        ]
+
+    def search(
+        self,
+        base_dn: str = "",
+        search_filter: Optional[Filter] = None,
+        scope: str = "subtree",
+    ) -> List[Entry]:
+        """Search below ``base_dn``.
+
+        ``scope`` is ``"base"`` (the entry itself), ``"onelevel"`` (direct
+        children) or ``"subtree"`` (the whole subtree, the default).
+        """
+        search_filter = search_filter or TruePresent()
+        base = parse_dn(base_dn)
+        if base and base not in self._entries:
+            raise NoSuchEntry(f"no entry at {base_dn!r}")
+        results: List[Entry] = []
+        for key, entry in sorted(self._entries.items()):
+            if key[: len(base)] != base:
+                continue
+            depth = len(key) - len(base)
+            if scope == "base" and depth != 0:
+                continue
+            if scope == "onelevel" and depth != 1:
+                continue
+            if entry.matches(search_filter):
+                results.append(entry.copy())
+        return results
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return (entry.copy() for _, entry in sorted(self._entries.items()))

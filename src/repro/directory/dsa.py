@@ -1,0 +1,150 @@
+"""Directory System Agents: distribution, referrals and chaining.
+
+The X.500 directory of the MCAM architecture (Fig. 1) is distributed over
+several DSAs, each mastering one naming context (a subtree of the global
+DIT).  A DSA receiving an operation for a name outside its context either
+*chains* the operation to the responsible DSA (performing it on the caller's
+behalf) or returns a *referral* naming that DSA so the DUA can retry there.
+Both interaction styles are implemented; the DUA uses chaining by default,
+falling back to referral handling when a DSA refuses to chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .dit import DirectoryError, DirectoryInformationTree, Entry, NoSuchEntry, parse_dn
+from .filters import Filter
+
+
+class ReferralError(DirectoryError):
+    """Raised towards the DUA when an operation must be retried at another DSA."""
+
+    def __init__(self, dsa_name: str, target_dn: str):
+        super().__init__(f"referral to DSA {dsa_name!r} for {target_dn!r}")
+        self.dsa_name = dsa_name
+        self.target_dn = target_dn
+
+
+@dataclass
+class DsaStats:
+    """Operation counters (exported in the Fig. 1 / quickstart reports)."""
+
+    operations: int = 0
+    chained: int = 0
+    referrals: int = 0
+
+
+class DirectorySystemAgent:
+    """One DSA: a naming context plus knowledge references to peer DSAs."""
+
+    def __init__(self, name: str, context_prefix: str = "", chaining: bool = True):
+        self.name = name
+        self.context_prefix = context_prefix.strip("/")
+        self.chaining = chaining
+        self.dit = DirectoryInformationTree()
+        self._peers: Dict[str, "DirectorySystemAgent"] = {}
+        self.stats = DsaStats()
+
+    # -- topology -----------------------------------------------------------------------
+
+    def add_peer(self, peer: "DirectorySystemAgent") -> None:
+        """Register a knowledge reference to another DSA (bidirectional is the
+        caller's choice; the MCAM setups register peers both ways)."""
+        if peer.name == self.name:
+            raise DirectoryError("a DSA cannot be its own peer")
+        self._peers[peer.name] = peer
+
+    def peers(self) -> List["DirectorySystemAgent"]:
+        return list(self._peers.values())
+
+    def masters(self, dn: str) -> bool:
+        """Whether this DSA's naming context contains ``dn``."""
+        if not self.context_prefix:
+            return True
+        prefix = parse_dn(self.context_prefix)
+        return parse_dn(dn)[: len(prefix)] == prefix
+
+    def _responsible_peer(self, dn: str) -> Optional["DirectorySystemAgent"]:
+        for peer in self._peers.values():
+            if peer.masters(dn):
+                return peer
+        return None
+
+    # -- operation dispatch -----------------------------------------------------------------
+
+    def _dispatch(self, dn: str, operation, *args, **kwargs):
+        self.stats.operations += 1
+        if self.masters(dn):
+            return operation(self.dit, dn, *args, **kwargs)
+        peer = self._responsible_peer(dn)
+        if peer is None:
+            raise NoSuchEntry(f"no DSA known for {dn!r}")
+        if self.chaining:
+            self.stats.chained += 1
+            return getattr(peer, operation.__name__.lstrip("_"))(dn, *args, **kwargs)
+        self.stats.referrals += 1
+        raise ReferralError(peer.name, dn)
+
+    # -- directory operations ------------------------------------------------------------------
+
+    def add(self, dn: str, object_class: str, attributes: Mapping[str, Any]) -> Entry:
+        def _add(dit: DirectoryInformationTree, target: str, oc: str, attrs: Mapping[str, Any]) -> Entry:
+            return dit.add(target, oc, attrs)
+
+        return self._dispatch(dn, _add, object_class, attributes)
+
+    def read(self, dn: str) -> Entry:
+        def _read(dit: DirectoryInformationTree, target: str) -> Entry:
+            return dit.read(target)
+
+        return self._dispatch(dn, _read)
+
+    def modify(self, dn: str, changes: Mapping[str, Any]) -> Entry:
+        def _modify(dit: DirectoryInformationTree, target: str, delta: Mapping[str, Any]) -> Entry:
+            return dit.modify(target, delta)
+
+        return self._dispatch(dn, _modify, changes)
+
+    def remove(self, dn: str) -> None:
+        def _remove(dit: DirectoryInformationTree, target: str) -> None:
+            dit.remove(target)
+
+        return self._dispatch(dn, _remove)
+
+    def exists(self, dn: str) -> bool:
+        if self.masters(dn):
+            return self.dit.exists(dn)
+        peer = self._responsible_peer(dn)
+        return peer.exists(dn) if peer is not None else False
+
+    def search(
+        self,
+        base_dn: str = "",
+        search_filter: Optional[Filter] = None,
+        scope: str = "subtree",
+        chain: bool = True,
+    ) -> List[Entry]:
+        """Search this DSA's context; optionally chain the search to all peers.
+
+        A whole-tree search (empty ``base_dn``) fans out to every peer DSA
+        exactly once, which is how the MCAM query-by-attribute operation finds
+        movies regardless of which server's directory holds them.
+        """
+        self.stats.operations += 1
+        results: List[Entry] = []
+        if not base_dn or self.masters(base_dn):
+            try:
+                results.extend(self.dit.search(base_dn, search_filter, scope))
+            except NoSuchEntry:
+                pass
+        if chain and self.chaining and (not base_dn or not self.masters(base_dn)):
+            for peer in self._peers.values():
+                if not base_dn or peer.masters(base_dn):
+                    self.stats.chained += 1
+                    results.extend(peer.search(base_dn, search_filter, scope, chain=False))
+        return results
+
+    def __len__(self) -> int:
+        return len(self.dit)

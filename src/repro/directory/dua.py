@@ -1,0 +1,145 @@
+"""The Directory User Agent: the client side of the movie directory.
+
+An MCAM entity never talks to a DSA directly; its DUA does (Fig. 1).  The DUA
+binds to a *home* DSA, issues operations there, and transparently follows
+referrals when the home DSA does not chain.  It also offers the convenience
+operations the MCAM protocol needs: registering a movie, looking movies up by
+title or attribute filter, and updating movie attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from .dit import DirectoryError, Entry, NoSuchEntry
+from .dsa import DirectorySystemAgent, ReferralError
+from .filters import Equals, Filter, parse_filter
+
+
+class NotBound(DirectoryError):
+    """An operation was attempted before binding to a DSA."""
+
+
+@dataclass
+class DuaStats:
+    operations: int = 0
+    referrals_followed: int = 0
+
+
+class DirectoryUserAgent:
+    """Client-side access point to the distributed movie directory."""
+
+    MAX_REFERRAL_HOPS = 8
+
+    def __init__(self, name: str = "dua"):
+        self.name = name
+        self._home: Optional[DirectorySystemAgent] = None
+        self._known: Dict[str, DirectorySystemAgent] = {}
+        self.stats = DuaStats()
+
+    # -- binding --------------------------------------------------------------------------
+
+    def bind(self, dsa: DirectorySystemAgent) -> None:
+        """Bind to a home DSA (and remember it for referral resolution)."""
+        self._home = dsa
+        self._known[dsa.name] = dsa
+        for peer in dsa.peers():
+            self._known.setdefault(peer.name, peer)
+
+    def unbind(self) -> None:
+        self._home = None
+
+    @property
+    def bound(self) -> bool:
+        return self._home is not None
+
+    def _require_home(self) -> DirectorySystemAgent:
+        if self._home is None:
+            raise NotBound(f"DUA {self.name!r} is not bound to any DSA")
+        return self._home
+
+    # -- referral-following core -----------------------------------------------------------
+
+    def _perform(self, operation: str, *args, **kwargs):
+        """Run an operation at the home DSA, following referrals as needed."""
+        self.stats.operations += 1
+        dsa = self._require_home()
+        for _ in range(self.MAX_REFERRAL_HOPS):
+            try:
+                return getattr(dsa, operation)(*args, **kwargs)
+            except ReferralError as referral:
+                self.stats.referrals_followed += 1
+                next_dsa = self._known.get(referral.dsa_name)
+                if next_dsa is None:
+                    raise NoSuchEntry(
+                        f"referral to unknown DSA {referral.dsa_name!r}"
+                    ) from referral
+                dsa = next_dsa
+        raise DirectoryError("referral limit exceeded")
+
+    # -- generic directory operations ----------------------------------------------------------
+
+    def add_entry(self, dn: str, object_class: str, attributes: Mapping[str, Any]) -> Entry:
+        return self._perform("add", dn, object_class, attributes)
+
+    def read_entry(self, dn: str) -> Entry:
+        return self._perform("read", dn)
+
+    def modify_entry(self, dn: str, changes: Mapping[str, Any]) -> Entry:
+        return self._perform("modify", dn, changes)
+
+    def remove_entry(self, dn: str) -> None:
+        return self._perform("remove", dn)
+
+    def entry_exists(self, dn: str) -> bool:
+        self.stats.operations += 1
+        return self._require_home().exists(dn)
+
+    def search(
+        self,
+        base_dn: str = "",
+        search_filter: Optional[Filter] = None,
+        scope: str = "subtree",
+    ) -> List[Entry]:
+        return self._perform("search", base_dn, search_filter, scope)
+
+    # -- movie-specific convenience operations ----------------------------------------------------
+
+    MOVIES_BASE = "ou=movies"
+
+    def register_movie(self, name: str, attributes: Mapping[str, Any]) -> Entry:
+        """Create the movie entry ``cn=<name>`` below the movies subtree."""
+        dn = f"{self.MOVIES_BASE}/cn={name}"
+        home = self._require_home()
+        if not home.exists(self.MOVIES_BASE):
+            home.add(self.MOVIES_BASE, "movieCollection", {"commonName": "movies"})
+        return self.add_entry(dn, "movie", attributes)
+
+    def movie_entry(self, name: str) -> Entry:
+        return self.read_entry(f"{self.MOVIES_BASE}/cn={name}")
+
+    def movie_exists(self, name: str) -> bool:
+        return self.entry_exists(f"{self.MOVIES_BASE}/cn={name}")
+
+    def delete_movie(self, name: str) -> None:
+        self.remove_entry(f"{self.MOVIES_BASE}/cn={name}")
+
+    def update_movie(self, name: str, changes: Mapping[str, Any]) -> Entry:
+        return self.modify_entry(f"{self.MOVIES_BASE}/cn={name}", changes)
+
+    def find_movies(self, filter_expression: str = "*") -> List[Entry]:
+        """Search the whole directory for movie entries matching the filter."""
+        search_filter = parse_filter(filter_expression)
+        return [
+            entry
+            for entry in self.search("", search_filter)
+            if entry.object_class == "movie"
+        ]
+
+    def find_movies_by_title(self, title: str) -> List[Entry]:
+        return [
+            entry
+            for entry in self.search("", Equals("movieTitle", title))
+            if entry.object_class == "movie"
+        ]

@@ -1,0 +1,196 @@
+"""Search filters for the movie directory (X.500 / LDAP style).
+
+Filters are composable predicate objects evaluated against an entry's
+attribute dictionary: equality, substring, presence, comparison and the
+boolean connectives.  A tiny string syntax (``format=mjpeg``,
+``title~metropolis``, ``frameRate>=24``) is provided for the examples and the
+MCAM query PDUs, which carry filters as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Mapping, Sequence
+
+
+class FilterError(Exception):
+    """A filter expression could not be parsed."""
+
+
+class Filter:
+    """Base class of all search filters."""
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    # boolean composition helpers -------------------------------------------------------
+
+    def __and__(self, other: "Filter") -> "Filter":
+        return And([self, other])
+
+    def __or__(self, other: "Filter") -> "Filter":
+        return Or([self, other])
+
+    def __invert__(self) -> "Filter":
+        return Not(self)
+
+
+def _values_of(attributes: Mapping[str, Any], attribute: str) -> List[Any]:
+    value = attributes.get(attribute)
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+@dataclass(frozen=True)
+class TruePresent(Filter):
+    """Matches every entry (the default filter)."""
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Present(Filter):
+    """Matches entries that have the attribute at all."""
+
+    attribute: str
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return bool(_values_of(attributes, self.attribute))
+
+
+@dataclass(frozen=True)
+class Equals(Filter):
+    attribute: str
+    value: Any
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return any(v == self.value for v in _values_of(attributes, self.attribute))
+
+
+@dataclass(frozen=True)
+class Substring(Filter):
+    """Case-insensitive substring match on string attributes."""
+
+    attribute: str
+    fragment: str
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        fragment = self.fragment.lower()
+        return any(
+            isinstance(v, str) and fragment in v.lower()
+            for v in _values_of(attributes, self.attribute)
+        )
+
+
+@dataclass(frozen=True)
+class Compare(Filter):
+    """Numeric comparison: operator is one of ``>=``, ``<=``, ``>``, ``<``."""
+
+    attribute: str
+    operator: str
+    value: float
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        operations = {
+            ">=": lambda v: v >= self.value,
+            "<=": lambda v: v <= self.value,
+            ">": lambda v: v > self.value,
+            "<": lambda v: v < self.value,
+        }
+        if self.operator not in operations:
+            raise FilterError(f"unknown comparison operator {self.operator!r}")
+        check = operations[self.operator]
+        return any(
+            isinstance(v, (int, float)) and not isinstance(v, bool) and check(v)
+            for v in _values_of(attributes, self.attribute)
+        )
+
+
+@dataclass(frozen=True)
+class And(Filter):
+    operands: Sequence[Filter]
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return all(operand.matches(attributes) for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Filter):
+    operands: Sequence[Filter]
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return any(operand.matches(attributes) for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class Not(Filter):
+    operand: Filter
+
+    def matches(self, attributes: Mapping[str, Any]) -> bool:
+        return not self.operand.matches(attributes)
+
+
+def parse_filter(expression: str) -> Filter:
+    """Parse the compact text syntax used in MCAM query PDUs.
+
+    Supported forms (``&`` binds tighter than ``|``)::
+
+        *                      -> match everything
+        attr=*                 -> presence
+        attr=value             -> equality
+        attr~fragment          -> substring
+        attr>=n, attr<=n, attr>n, attr<n  -> numeric comparison
+        expr & expr            -> conjunction
+        expr | expr            -> disjunction
+        !expr                  -> negation
+    """
+    expression = expression.strip()
+    if not expression:
+        raise FilterError("empty filter expression")
+    if expression == "*":
+        return TruePresent()
+
+    def parse_or(text: str) -> Filter:
+        parts = _split_top(text, "|")
+        if len(parts) > 1:
+            return Or([parse_and(p) for p in parts])
+        return parse_and(text)
+
+    def parse_and(text: str) -> Filter:
+        parts = _split_top(text, "&")
+        if len(parts) > 1:
+            return And([parse_atom(p) for p in parts])
+        return parse_atom(text)
+
+    def parse_atom(text: str) -> Filter:
+        text = text.strip()
+        if text.startswith("!"):
+            return Not(parse_atom(text[1:]))
+        for operator in (">=", "<=", ">", "<"):
+            if operator in text:
+                attribute, value = text.split(operator, 1)
+                try:
+                    return Compare(attribute.strip(), operator, float(value.strip()))
+                except ValueError as exc:
+                    raise FilterError(f"non-numeric comparison value in {text!r}") from exc
+        if "~" in text:
+            attribute, fragment = text.split("~", 1)
+            return Substring(attribute.strip(), fragment.strip())
+        if "=" in text:
+            attribute, value = text.split("=", 1)
+            attribute, value = attribute.strip(), value.strip()
+            if value == "*":
+                return Present(attribute)
+            if value.isdigit():
+                return Or([Equals(attribute, value), Equals(attribute, int(value))])
+            return Equals(attribute, value)
+        raise FilterError(f"cannot parse filter atom {text!r}")
+
+    def _split_top(text: str, separator: str) -> List[str]:
+        return [part for part in text.split(separator) if part.strip()]
+
+    return parse_or(expression)

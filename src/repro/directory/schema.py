@@ -1,0 +1,158 @@
+"""Movie directory schema: attribute types and object classes.
+
+The movie directory is *"a repository for movie information, such as digital
+image format and storage location"* (Section 2).  Following X.500 practice the
+directory is schema-driven: every entry belongs to an object class which
+prescribes mandatory and optional attribute types; attribute values are
+validated against the attribute type's syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Mapping, Optional
+
+
+class SchemaError(Exception):
+    """An entry or attribute violates the directory schema."""
+
+
+def _is_ascii_string(value: Any) -> bool:
+    if not isinstance(value, str):
+        return False
+    try:
+        value.encode("ascii")
+    except UnicodeEncodeError:
+        return False
+    return True
+
+
+def _is_non_negative_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def _is_positive_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and value > 0
+
+
+@dataclass(frozen=True)
+class AttributeType:
+    """An attribute type: name, syntax check and single/multi-valued flag."""
+
+    name: str
+    syntax: Callable[[Any], bool]
+    multi_valued: bool = False
+    description: str = ""
+
+    def validate(self, value: Any) -> None:
+        if not self.syntax(value):
+            raise SchemaError(f"value {value!r} is not valid for attribute {self.name!r}")
+
+
+#: The attribute types of the movie directory.
+ATTRIBUTE_TYPES: Dict[str, AttributeType] = {
+    a.name: a
+    for a in [
+        AttributeType("commonName", _is_ascii_string, description="entry name (RDN)"),
+        AttributeType("movieTitle", _is_ascii_string),
+        AttributeType("description", _is_ascii_string),
+        AttributeType("imageFormat", _is_ascii_string, description="e.g. mjpeg, yuv, xmovie-rl"),
+        AttributeType("colourDepth", _is_non_negative_int, description="bits per pixel"),
+        AttributeType("frameRate", _is_positive_number, description="frames per second"),
+        AttributeType("frameWidth", _is_non_negative_int),
+        AttributeType("frameHeight", _is_non_negative_int),
+        AttributeType("durationSeconds", _is_positive_number),
+        AttributeType("frameCount", _is_non_negative_int),
+        AttributeType("storageLocation", _is_ascii_string, description="host/path of the stream provider"),
+        AttributeType("owner", _is_ascii_string),
+        AttributeType("accessRights", _is_ascii_string, multi_valued=True),
+        AttributeType("keyword", _is_ascii_string, multi_valued=True),
+        AttributeType("organisation", _is_ascii_string),
+        AttributeType("equipmentType", _is_ascii_string, description="camera, microphone, speaker, display"),
+        AttributeType("networkAddress", _is_ascii_string),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class ObjectClass:
+    """An object class: mandatory and optional attribute type names."""
+
+    name: str
+    mandatory: FrozenSet[str]
+    optional: FrozenSet[str] = frozenset()
+
+    def allowed(self) -> FrozenSet[str]:
+        return self.mandatory | self.optional
+
+
+OBJECT_CLASSES: Dict[str, ObjectClass] = {
+    oc.name: oc
+    for oc in [
+        ObjectClass(
+            "movie",
+            mandatory=frozenset({"commonName", "movieTitle", "imageFormat", "storageLocation"}),
+            optional=frozenset(
+                {
+                    "description",
+                    "colourDepth",
+                    "frameRate",
+                    "frameWidth",
+                    "frameHeight",
+                    "durationSeconds",
+                    "frameCount",
+                    "owner",
+                    "accessRights",
+                    "keyword",
+                }
+            ),
+        ),
+        ObjectClass(
+            "movieCollection",
+            mandatory=frozenset({"commonName"}),
+            optional=frozenset({"description", "owner", "keyword"}),
+        ),
+        ObjectClass(
+            "organisationalUnit",
+            mandatory=frozenset({"commonName"}),
+            optional=frozenset({"description", "organisation"}),
+        ),
+        ObjectClass(
+            "equipment",
+            mandatory=frozenset({"commonName", "equipmentType", "networkAddress"}),
+            optional=frozenset({"description", "owner"}),
+        ),
+    ]
+}
+
+
+def validate_entry(object_class: str, attributes: Mapping[str, Any]) -> None:
+    """Validate a complete entry against its object class and attribute syntaxes."""
+    oc = OBJECT_CLASSES.get(object_class)
+    if oc is None:
+        raise SchemaError(f"unknown object class {object_class!r}")
+    missing = oc.mandatory - set(attributes)
+    if missing:
+        raise SchemaError(
+            f"object class {object_class!r}: missing mandatory attributes {sorted(missing)}"
+        )
+    unknown = set(attributes) - oc.allowed()
+    if unknown:
+        raise SchemaError(
+            f"object class {object_class!r}: attributes {sorted(unknown)} are not allowed"
+        )
+    for name, value in attributes.items():
+        attribute_type = ATTRIBUTE_TYPES[name]
+        values = value if attribute_type.multi_valued and isinstance(value, (list, tuple)) else [value]
+        for single in values:
+            attribute_type.validate(single)
+
+
+def validate_attribute(name: str, value: Any) -> None:
+    """Validate a single attribute assignment (used by modify operations)."""
+    attribute_type = ATTRIBUTE_TYPES.get(name)
+    if attribute_type is None:
+        raise SchemaError(f"unknown attribute type {name!r}")
+    values = value if attribute_type.multi_valued and isinstance(value, (list, tuple)) else [value]
+    for single in values:
+        attribute_type.validate(single)

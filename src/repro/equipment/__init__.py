@@ -1,0 +1,42 @@
+"""Continuous-media equipment control: devices, the ECA and the EUA.
+
+The equipment control system of Fig. 1: simulated cameras, microphones,
+speakers and displays, the per-site Equipment Control Agent that owns them,
+and the Equipment User Agent through which MCAM entities control them.
+"""
+
+from .devices import (
+    Camera,
+    DEVICE_KINDS,
+    Device,
+    Display,
+    EquipmentError,
+    InvalidTransition,
+    Microphone,
+    ParameterOutOfRange,
+    ParameterSpec,
+    Speaker,
+    UnknownParameter,
+    make_device,
+)
+from .eca import EquipmentControlAgent, Reservation
+from .eua import EquipmentUserAgent, EuaStats
+
+__all__ = [
+    "Camera",
+    "DEVICE_KINDS",
+    "Device",
+    "Display",
+    "EquipmentControlAgent",
+    "EquipmentError",
+    "EquipmentUserAgent",
+    "EuaStats",
+    "InvalidTransition",
+    "Microphone",
+    "ParameterOutOfRange",
+    "ParameterSpec",
+    "Reservation",
+    "Speaker",
+    "UnknownParameter",
+    "make_device",
+]

@@ -1,0 +1,204 @@
+"""Simulated continuous-media equipment.
+
+The equipment control service *"enables the user to control CM equipment
+attached to remote computer systems, e.g. speakers, cameras, and
+microphones"* (Section 2).  Each device is a small state machine
+(off → standby → active) with typed, range-checked parameters; the concrete
+device classes add the parameters a real device of that kind would expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+
+class EquipmentError(Exception):
+    """Base class for equipment control failures."""
+
+
+class InvalidTransition(EquipmentError):
+    """The requested device state change is not allowed from the current state."""
+
+
+class UnknownParameter(EquipmentError):
+    """The device has no such parameter."""
+
+
+class ParameterOutOfRange(EquipmentError):
+    """The parameter value is outside the device's allowed range."""
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One controllable parameter of a device."""
+
+    name: str
+    default: Any
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    choices: Optional[Tuple[Any, ...]] = None
+
+    def validate(self, value: Any) -> None:
+        if self.choices is not None:
+            if value not in self.choices:
+                raise ParameterOutOfRange(
+                    f"{self.name}={value!r} not in allowed choices {list(self.choices)}"
+                )
+            return
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ParameterOutOfRange(f"{self.name} expects a number, got {value!r}")
+        if self.minimum is not None and value < self.minimum:
+            raise ParameterOutOfRange(f"{self.name}={value} below minimum {self.minimum}")
+        if self.maximum is not None and value > self.maximum:
+            raise ParameterOutOfRange(f"{self.name}={value} above maximum {self.maximum}")
+
+
+class Device:
+    """Base device: state machine plus parameter store.
+
+    States: ``off`` → ``standby`` (powered, not producing/consuming media) →
+    ``active`` (attached to a stream).  ``fault`` can be entered from any
+    state by :meth:`fail` and left only through :meth:`reset`.
+    """
+
+    KIND = "device"
+    PARAMETERS: Tuple[ParameterSpec, ...] = ()
+
+    _TRANSITIONS = {
+        ("off", "standby"),
+        ("standby", "off"),
+        ("standby", "active"),
+        ("active", "standby"),
+    }
+
+    def __init__(self, name: str, location: str = "local"):
+        self.name = name
+        self.location = location
+        self.state = "off"
+        self.parameters: Dict[str, Any] = {
+            spec.name: spec.default for spec in self.PARAMETERS
+        }
+        self._specs = {spec.name: spec for spec in self.PARAMETERS}
+        self.transitions_log: List[Tuple[str, str]] = []
+
+    # -- state machine ------------------------------------------------------------------------
+
+    def _change_state(self, target: str) -> None:
+        if self.state == "fault":
+            raise InvalidTransition(f"{self.name} is in fault state; reset it first")
+        if (self.state, target) not in self._TRANSITIONS:
+            raise InvalidTransition(
+                f"{self.name}: cannot go from {self.state!r} to {target!r}"
+            )
+        self.transitions_log.append((self.state, target))
+        self.state = target
+
+    def power_on(self) -> None:
+        self._change_state("standby")
+
+    def power_off(self) -> None:
+        if self.state == "active":
+            self._change_state("standby")
+        self._change_state("off")
+
+    def activate(self) -> None:
+        self._change_state("active")
+
+    def deactivate(self) -> None:
+        if self.state != "active":
+            raise InvalidTransition(
+                f"{self.name}: deactivate is only legal from 'active' (state is {self.state!r})"
+            )
+        self._change_state("standby")
+
+    def fail(self, reason: str = "") -> None:
+        """Inject a fault (used by the failure-injection tests)."""
+        self.transitions_log.append((self.state, "fault"))
+        self.state = "fault"
+        self.fault_reason = reason
+
+    def reset(self) -> None:
+        self.transitions_log.append((self.state, "off"))
+        self.state = "off"
+
+    @property
+    def is_active(self) -> bool:
+        return self.state == "active"
+
+    # -- parameters --------------------------------------------------------------------------------
+
+    def set_parameter(self, name: str, value: Any) -> None:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise UnknownParameter(f"{self.name} has no parameter {name!r}")
+        spec.validate(value)
+        self.parameters[name] = value
+
+    def get_parameter(self, name: str) -> Any:
+        if name not in self.parameters:
+            raise UnknownParameter(f"{self.name} has no parameter {name!r}")
+        return self.parameters[name]
+
+    def status(self) -> Dict[str, Any]:
+        """A status report as the ECA returns it to remote EUAs."""
+        return {
+            "name": self.name,
+            "kind": self.KIND,
+            "location": self.location,
+            "state": self.state,
+            "parameters": dict(self.parameters),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r}, state={self.state!r})"
+
+
+class Camera(Device):
+    KIND = "camera"
+    PARAMETERS = (
+        ParameterSpec("frameRate", 25, minimum=1, maximum=60),
+        ParameterSpec("resolution", "352x288", choices=("176x144", "352x288", "704x576")),
+        ParameterSpec("zoom", 1.0, minimum=1.0, maximum=12.0),
+        ParameterSpec("pan", 0.0, minimum=-90.0, maximum=90.0),
+        ParameterSpec("tilt", 0.0, minimum=-45.0, maximum=45.0),
+    )
+
+
+class Microphone(Device):
+    KIND = "microphone"
+    PARAMETERS = (
+        ParameterSpec("gain", 0.5, minimum=0.0, maximum=1.0),
+        ParameterSpec("sampleRate", 44100, choices=(8000, 22050, 44100, 48000)),
+        ParameterSpec("muted", 0, choices=(0, 1)),
+    )
+
+
+class Speaker(Device):
+    KIND = "speaker"
+    PARAMETERS = (
+        ParameterSpec("volume", 0.7, minimum=0.0, maximum=1.0),
+        ParameterSpec("muted", 0, choices=(0, 1)),
+        ParameterSpec("balance", 0.0, minimum=-1.0, maximum=1.0),
+    )
+
+
+class Display(Device):
+    KIND = "display"
+    PARAMETERS = (
+        ParameterSpec("brightness", 0.8, minimum=0.0, maximum=1.0),
+        ParameterSpec("resolution", "1024x768", choices=("640x480", "1024x768", "1280x1024")),
+    )
+
+
+DEVICE_KINDS = {cls.KIND: cls for cls in (Camera, Microphone, Speaker, Display)}
+
+
+def make_device(kind: str, name: str, location: str = "local") -> Device:
+    """Factory used by the ECA when a site's equipment list is configured."""
+    try:
+        return DEVICE_KINDS[kind](name, location)
+    except KeyError as exc:
+        raise EquipmentError(
+            f"unknown device kind {kind!r}; known: {sorted(DEVICE_KINDS)}"
+        ) from exc

@@ -1,0 +1,142 @@
+"""The Equipment Control Agent (ECA).
+
+One ECA runs per site and owns the CM devices attached to that site's
+computer system.  Remote users act through their Equipment User Agent (EUA),
+which sends command dictionaries to the ECA; every command yields a result
+dictionary with ``success`` and either the requested data or an ``error``
+message.  The command/result indirection mirrors the request/response PDUs the
+real service would carry and is what the MCAM server's EUA module feeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from .devices import Device, EquipmentError, make_device
+
+
+@dataclass
+class Reservation:
+    """An exclusive reservation of a device by a user (e.g. one MCAM session)."""
+
+    device_name: str
+    owner: str
+
+
+class EquipmentControlAgent:
+    """Registry and command executor for one site's CM equipment."""
+
+    def __init__(self, site: str = "local"):
+        self.site = site
+        self._devices: Dict[str, Device] = {}
+        self._reservations: Dict[str, Reservation] = {}
+        self.commands_handled = 0
+
+    # -- configuration -------------------------------------------------------------------------
+
+    def install(self, device: Device) -> Device:
+        if device.name in self._devices:
+            raise EquipmentError(f"device {device.name!r} is already installed at {self.site}")
+        self._devices[device.name] = device
+        return device
+
+    def install_standard_studio(self) -> List[Device]:
+        """Install the equipment set used by the examples: camera, microphone,
+        speaker and display."""
+        devices = [
+            make_device("camera", "camera-1", self.site),
+            make_device("microphone", "microphone-1", self.site),
+            make_device("speaker", "speaker-1", self.site),
+            make_device("display", "display-1", self.site),
+        ]
+        for device in devices:
+            self.install(device)
+        return devices
+
+    def device(self, name: str) -> Device:
+        try:
+            return self._devices[name]
+        except KeyError as exc:
+            raise EquipmentError(f"no device {name!r} at site {self.site!r}") from exc
+
+    def devices(self) -> List[Device]:
+        return list(self._devices.values())
+
+    # -- reservations -----------------------------------------------------------------------------
+
+    def reserve(self, name: str, owner: str) -> None:
+        device = self.device(name)
+        current = self._reservations.get(name)
+        if current is not None and current.owner != owner:
+            raise EquipmentError(
+                f"device {name!r} is reserved by {current.owner!r}"
+            )
+        self._reservations[name] = Reservation(device_name=device.name, owner=owner)
+
+    def release(self, name: str, owner: str) -> None:
+        current = self._reservations.get(name)
+        if current is None:
+            return
+        if current.owner != owner:
+            raise EquipmentError(f"device {name!r} is reserved by {current.owner!r}")
+        del self._reservations[name]
+
+    def reserved_by(self, name: str) -> Optional[str]:
+        reservation = self._reservations.get(name)
+        return reservation.owner if reservation else None
+
+    def _check_owner(self, name: str, owner: str) -> None:
+        current = self._reservations.get(name)
+        if current is not None and current.owner != owner:
+            raise EquipmentError(f"device {name!r} is reserved by {current.owner!r}")
+
+    # -- command interface (what the EUA sends) -----------------------------------------------------
+
+    def handle(self, command: Mapping[str, Any]) -> Dict[str, Any]:
+        """Execute one equipment-control command.
+
+        Commands are dictionaries with an ``operation`` key; see the
+        individual branches for their parameters.  Errors never raise through
+        this interface — they are reported in the result, the way a protocol
+        would carry a negative response.
+        """
+        self.commands_handled += 1
+        operation = command.get("operation", "")
+        try:
+            if operation == "list":
+                return {"success": True, "devices": [d.status() for d in self.devices()]}
+            if operation == "status":
+                return {"success": True, "status": self.device(command["device"]).status()}
+            name = command["device"]
+            owner = command.get("owner", "")
+            if operation == "reserve":
+                self.reserve(name, owner)
+                return {"success": True}
+            if operation == "release":
+                self.release(name, owner)
+                return {"success": True}
+            self._check_owner(name, owner)
+            device = self.device(name)
+            if operation == "power_on":
+                device.power_on()
+            elif operation == "power_off":
+                device.power_off()
+            elif operation == "activate":
+                device.activate()
+            elif operation == "deactivate":
+                device.deactivate()
+            elif operation == "set_parameter":
+                device.set_parameter(command["parameter"], command["value"])
+            elif operation == "get_parameter":
+                return {
+                    "success": True,
+                    "value": device.get_parameter(command["parameter"]),
+                }
+            elif operation == "reset":
+                device.reset()
+            else:
+                return {"success": False, "error": f"unknown operation {operation!r}"}
+            return {"success": True, "status": device.status()}
+        except (EquipmentError, KeyError) as exc:
+            return {"success": False, "error": str(exc)}

@@ -1,0 +1,137 @@
+"""The Equipment User Agent (EUA): client-side equipment control.
+
+The EUA is the agent an MCAM entity embeds to control equipment at one or
+more remote sites (Fig. 1 shows one EUA talking to several ECAs).  It keeps a
+table of known ECAs, addresses commands to the right site, and exposes typed
+convenience methods so MCAM code does not build command dictionaries by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from .devices import EquipmentError
+from .eca import EquipmentControlAgent
+
+
+@dataclass
+class EuaStats:
+    commands_sent: int = 0
+    failures: int = 0
+
+
+class EquipmentUserAgent:
+    """Client-side access point to remote equipment control agents."""
+
+    def __init__(self, owner: str = "mcam-user"):
+        self.owner = owner
+        self._sites: Dict[str, EquipmentControlAgent] = {}
+        self.stats = EuaStats()
+
+    # -- site management ---------------------------------------------------------------------------
+
+    def attach_site(self, eca: EquipmentControlAgent) -> None:
+        if eca.site in self._sites:
+            raise EquipmentError(f"site {eca.site!r} is already attached")
+        self._sites[eca.site] = eca
+
+    def sites(self) -> List[str]:
+        return sorted(self._sites)
+
+    def _eca(self, site: str) -> EquipmentControlAgent:
+        try:
+            return self._sites[site]
+        except KeyError as exc:
+            raise EquipmentError(f"no equipment control agent for site {site!r}") from exc
+
+    # -- command plumbing -----------------------------------------------------------------------------
+
+    def send(self, site: str, command: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send a raw command dictionary to a site's ECA."""
+        self.stats.commands_sent += 1
+        enriched = dict(command)
+        enriched.setdefault("owner", self.owner)
+        result = self._eca(site).handle(enriched)
+        if not result.get("success", False):
+            self.stats.failures += 1
+        return result
+
+    def _checked(self, site: str, command: Mapping[str, Any]) -> Dict[str, Any]:
+        result = self.send(site, command)
+        if not result.get("success", False):
+            raise EquipmentError(result.get("error", "equipment command failed"))
+        return result
+
+    # -- typed operations ----------------------------------------------------------------------------------
+
+    def list_equipment(self, site: str) -> List[Dict[str, Any]]:
+        return self._checked(site, {"operation": "list"})["devices"]
+
+    def device_status(self, site: str, device: str) -> Dict[str, Any]:
+        return self._checked(site, {"operation": "status", "device": device})["status"]
+
+    def reserve(self, site: str, device: str) -> None:
+        self._checked(site, {"operation": "reserve", "device": device})
+
+    def release(self, site: str, device: str) -> None:
+        self._checked(site, {"operation": "release", "device": device})
+
+    def power_on(self, site: str, device: str) -> Dict[str, Any]:
+        return self._checked(site, {"operation": "power_on", "device": device})["status"]
+
+    def power_off(self, site: str, device: str) -> Dict[str, Any]:
+        return self._checked(site, {"operation": "power_off", "device": device})["status"]
+
+    def activate(self, site: str, device: str) -> Dict[str, Any]:
+        return self._checked(site, {"operation": "activate", "device": device})["status"]
+
+    def deactivate(self, site: str, device: str) -> Dict[str, Any]:
+        return self._checked(site, {"operation": "deactivate", "device": device})["status"]
+
+    def set_parameter(self, site: str, device: str, parameter: str, value: Any) -> Dict[str, Any]:
+        return self._checked(
+            site,
+            {"operation": "set_parameter", "device": device, "parameter": parameter, "value": value},
+        )["status"]
+
+    def get_parameter(self, site: str, device: str, parameter: str) -> Any:
+        return self._checked(
+            site, {"operation": "get_parameter", "device": device, "parameter": parameter}
+        )["value"]
+
+    def prepare_playback(self, site: str) -> List[str]:
+        """Power on and activate the playback chain (speaker + display) at a site.
+
+        Returns the names of the devices made active; used by the MCAM server
+        when a PLAY request arrives.
+        """
+        activated: List[str] = []
+        for status in self.list_equipment(site):
+            if status["kind"] in ("speaker", "display"):
+                name = status["name"]
+                if status["state"] == "off":
+                    self.power_on(site, name)
+                if self.device_status(site, name)["state"] != "active":
+                    self.activate(site, name)
+                activated.append(name)
+        return activated
+
+    def prepare_recording(self, site: str) -> List[str]:
+        """Power on and activate the recording chain (camera + microphone)."""
+        activated: List[str] = []
+        for status in self.list_equipment(site):
+            if status["kind"] in ("camera", "microphone"):
+                name = status["name"]
+                if status["state"] == "off":
+                    self.power_on(site, name)
+                if self.device_status(site, name)["state"] != "active":
+                    self.activate(site, name)
+                activated.append(name)
+        return activated
+
+    def stop_all(self, site: str) -> None:
+        """Deactivate every active device at a site (end of playback/recording)."""
+        for status in self.list_equipment(site):
+            if status["state"] == "active":
+                self.deactivate(site, status["name"])

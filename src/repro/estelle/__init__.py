@@ -1,0 +1,55 @@
+"""Estelle (ISO 9074) formal-description framework.
+
+This package reproduces the specification layer of the paper's methodology:
+communicating finite-state-machine modules arranged in a tree, typed channels
+between interaction points, the four module attributes controlling parallelism
+and the static semantic rules an Estelle compiler enforces.
+
+Public surface:
+
+* :class:`Channel`, :class:`Interaction`, :class:`InteractionPoint` — typed
+  message exchange.
+* :class:`Module`, :class:`ModuleAttribute`, :func:`ip` — module bodies.
+* :func:`transition`, :class:`Transition` — transition declarations.
+* :class:`Specification` — the root of a module tree, placement and wiring.
+* :func:`validate_tree` — the static semantics.
+"""
+
+from .errors import (
+    ChannelError,
+    EstelleError,
+    ModuleError,
+    SchedulingError,
+    SpecificationError,
+    TransitionError,
+)
+from .interaction import Channel, Interaction, InteractionPoint, IPDeclaration
+from .module import Module, ModuleAttribute, SpecificationRoot, ip
+from .specification import Placement, Specification
+from .transition import ANY_STATE, FiringRecord, Transition, transition
+from .validation import collect_violations, validate_tree
+
+__all__ = [
+    "ANY_STATE",
+    "Channel",
+    "ChannelError",
+    "EstelleError",
+    "FiringRecord",
+    "Interaction",
+    "InteractionPoint",
+    "IPDeclaration",
+    "Module",
+    "ModuleAttribute",
+    "ModuleError",
+    "Placement",
+    "SchedulingError",
+    "Specification",
+    "SpecificationError",
+    "SpecificationRoot",
+    "Transition",
+    "TransitionError",
+    "collect_violations",
+    "ip",
+    "transition",
+    "validate_tree",
+]

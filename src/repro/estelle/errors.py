@@ -1,0 +1,51 @@
+"""Exception hierarchy for the Estelle specification framework.
+
+The errors mirror the failure classes of the ISO 9074 (Estelle) static and
+dynamic semantics as the paper relies on them: attribute-rule violations are
+detected when a specification is validated, channel-role mismatches when
+interaction points are connected, and dynamic errors (firing a transition that
+is not enabled, outputting an interaction that the channel role does not
+permit) during execution.
+"""
+
+from __future__ import annotations
+
+
+class EstelleError(Exception):
+    """Base class for every error raised by :mod:`repro.estelle`."""
+
+
+class SpecificationError(EstelleError):
+    """A specification violates the static Estelle rules.
+
+    Examples: a system module nested inside an attributed module, an
+    ``activity`` module containing a ``process`` child, an active module
+    without an attribute, or a path from root to leaf containing zero or more
+    than one system module.
+    """
+
+
+class ChannelError(EstelleError):
+    """A channel definition or connection is inconsistent.
+
+    Raised when an interaction point is connected twice, when the two ends of
+    a connection do not use complementary roles of the same channel, or when
+    an interaction is output that the sender's role does not permit.
+    """
+
+
+class TransitionError(EstelleError):
+    """A transition declaration or firing is invalid."""
+
+
+class ModuleError(EstelleError):
+    """A dynamic module operation is invalid.
+
+    Examples: creating a child whose attribute is incompatible with the
+    parent's attribute, releasing a child that does not exist, or accessing an
+    interaction point the module does not declare.
+    """
+
+
+class SchedulingError(EstelleError):
+    """The runtime detected an inconsistency while selecting transitions."""

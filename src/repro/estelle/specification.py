@@ -1,0 +1,154 @@
+"""Specifications: the root of an Estelle module tree plus its wiring.
+
+A :class:`Specification` owns the root module, offers helpers to declare the
+static part of the system (system modules, their placement on machines, and
+channel connections) and performs the static semantic validation that an
+Estelle compiler would do before generating code.
+
+The paper (Section 4.1) describes exactly this structure: *"for the server and
+for each client, we generate an Estelle systemprocess module.  In comments, we
+declare the location (i.e. a machine name) where the module will be placed in
+the implementation."*  Placement comments are modelled by the ``location``
+argument of :meth:`Specification.add_system_module`, which the runtime's
+mapping layer later uses to decide which simulated machine executes which
+system module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from .errors import SpecificationError
+from .interaction import InteractionPoint
+from .module import Module, ModuleAttribute, SpecificationRoot
+from .validation import validate_tree
+
+
+@dataclass
+class Placement:
+    """Where a system module is intended to run (the paper's location comment)."""
+
+    module_path: str
+    location: str
+
+
+class Specification:
+    """An executable Estelle specification.
+
+    Typical construction::
+
+        spec = Specification("mcam-demo")
+        server = spec.add_system_module(McamServerSystem, "server", location="ksr1")
+        client = spec.add_system_module(McamClientSystem, "client-1", location="sun-1")
+        spec.connect(client.ip_named("transport"), server.ip_named("transport"))
+        spec.validate()
+
+    The specification object is purely structural; execution is delegated to
+    :class:`repro.runtime.executor.SpecificationExecutor`.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.root = SpecificationRoot(name)
+        self.placements: List[Placement] = []
+        self._connections: List[Tuple[InteractionPoint, InteractionPoint]] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def add_system_module(
+        self,
+        module_class: Type[Module],
+        name: str,
+        location: str = "local",
+        **variables,
+    ) -> Module:
+        """Create a system-module instance directly under the root.
+
+        ``location`` names the (simulated) machine the module is placed on;
+        it mirrors the placement comments in the paper's Estelle sources.
+        """
+        if not module_class.ATTRIBUTE.is_system:
+            raise SpecificationError(
+                f"{module_class.__name__} has attribute "
+                f"{module_class.ATTRIBUTE.value!r}; only system modules may be "
+                "instantiated directly under the specification root"
+            )
+        instance = self.root.create_child(module_class, name, **variables)
+        self.placements.append(Placement(module_path=instance.path, location=location))
+        return instance
+
+    def connect(self, a: InteractionPoint, b: InteractionPoint) -> None:
+        """Connect two interaction points and remember the link."""
+        a.connect_to(b)
+        self._connections.append((a, b))
+
+    # -- lookup -----------------------------------------------------------------
+
+    def modules(self) -> Iterator[Module]:
+        """All module instances in the tree, excluding the root."""
+        for module in self.root.walk():
+            if module is not self.root:
+                yield module
+
+    def system_modules(self) -> List[Module]:
+        return [m for m in self.root.children.values() if m.attribute.is_system]
+
+    def find(self, path: str) -> Module:
+        """Resolve a slash-separated module path relative to the root."""
+        node: Module = self.root
+        parts = path.split("/")
+        if parts and parts[0] == self.root.name:
+            parts = parts[1:]
+        for part in parts:
+            try:
+                node = node.children[part]
+            except KeyError as exc:
+                raise SpecificationError(
+                    f"no module at path {path!r} (failed at {part!r})"
+                ) from exc
+        return node
+
+    def location_of(self, module: Module) -> str:
+        """The placement location of the system module owning ``module``."""
+        system = module.system_module()
+        if system is None:
+            return "local"
+        for placement in self.placements:
+            if placement.module_path == system.path:
+                return placement.location
+        return "local"
+
+    def connections(self) -> List[Tuple[InteractionPoint, InteractionPoint]]:
+        return list(self._connections)
+
+    # -- statistics used in reports and tests ------------------------------------
+
+    def module_count(self) -> int:
+        return sum(1 for _ in self.modules())
+
+    def interaction_point_count(self) -> int:
+        return sum(len(m.ips) for m in self.modules())
+
+    def pending_interactions(self) -> int:
+        return sum(m.pending_interactions() for m in self.modules())
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Run the static semantic checks; raises SpecificationError on failure."""
+        validate_tree(self.root)
+
+    def describe(self) -> str:
+        """A human-readable summary of the module tree (used by examples)."""
+        lines = [f"specification {self.name}"]
+        for module in self.root.walk():
+            if module is self.root:
+                continue
+            indent = "  " * module.depth()
+            ip_names = ", ".join(sorted(module.ips)) or "-"
+            lines.append(
+                f"{indent}{module.name} [{module.attribute.value}] "
+                f"state={module.state!r} ips=({ip_names})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Transition declarations for Estelle modules.
+
+A transition in Estelle has the clauses::
+
+    from <state>  to <state>
+    when <interaction point> . <interaction>
+    provided <boolean expression>
+    priority <n>
+    delay (<min>, <max>)
+    begin <action block> end
+
+This module provides the :func:`transition` decorator used inside module-class
+bodies, the :class:`Transition` descriptor that stores the clauses, and the
+:class:`FiringContext` handed to the action block when the transition fires.
+
+The paper's performance discussion (Section 5.2) distinguishes *hard-coded*
+transition selection (a linear scan over the full transition list) from a
+*table-driven* selection (indexing by the current state).  Both strategies are
+implemented in :mod:`repro.runtime.dispatch` on top of the metadata captured
+here; the declaration layer stays strategy-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple, Union
+
+from .errors import TransitionError
+from .interaction import Interaction
+
+#: Sentinel state name meaning "any state" (Estelle allows transitions without
+#: a ``from`` clause, and ``from`` clauses listing several states).
+ANY_STATE = "*"
+
+GuardFn = Callable[..., bool]
+ActionFn = Callable[..., None]
+
+
+@dataclass
+class Transition:
+    """A declared Estelle transition.
+
+    Instances are created by the :func:`transition` decorator and attached to
+    the module class; they are shared by all instances of that module class
+    (the per-instance data lives on the module instance itself).
+    """
+
+    action: ActionFn
+    from_states: Tuple[str, ...]
+    to_state: Optional[str]
+    when: Optional[Tuple[str, str]]  # (interaction point name, interaction name)
+    provided: Optional[GuardFn]
+    priority: int = 0
+    delay: float = 0.0
+    cost: float = 1.0
+    name: str = ""
+    spontaneous: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.spontaneous = self.when is None
+        if not self.name:
+            self.name = self.action.__name__
+
+    # -- enabling ---------------------------------------------------------------
+
+    def applies_to_state(self, state: Optional[str]) -> bool:
+        """Whether the ``from`` clause admits ``state``."""
+        if ANY_STATE in self.from_states:
+            return True
+        return state in self.from_states
+
+    def enabled(self, module: Any) -> bool:
+        """Full enabling check against a module instance.
+
+        A transition is enabled when the module is in one of the ``from``
+        states, the ``when`` clause (if any) matches the head of the named
+        interaction point's queue, and the ``provided`` guard (if any) holds.
+        """
+        if not self.applies_to_state(module.state):
+            return False
+        interaction = None
+        if self.when is not None:
+            ip_name, interaction_name = self.when
+            ip = module.ips.get(ip_name)
+            if ip is None:
+                return False
+            interaction = ip.head()
+            if interaction is None or interaction.name != interaction_name:
+                return False
+        if self.provided is not None:
+            if self.when is not None:
+                return bool(self.provided(module, interaction))
+            return bool(self.provided(module))
+        return True
+
+    def fire(self, module: Any) -> "FiringRecord":
+        """Execute the action block against ``module``.
+
+        The matched interaction (if any) is consumed from the IP queue, the
+        action is run, and the ``to`` state change is applied afterwards
+        unless the action already changed the state explicitly.
+        """
+        if not self.enabled(module):
+            raise TransitionError(
+                f"transition {self.name!r} of {module.path} is not enabled"
+            )
+        interaction: Optional[Interaction] = None
+        if self.when is not None:
+            ip_name, _ = self.when
+            interaction = module.ips[ip_name].consume()
+        state_before = module.state
+        if interaction is not None:
+            self.action(module, interaction)
+        else:
+            self.action(module)
+        if self.to_state is not None and module.state == state_before:
+            module.state = self.to_state
+        return FiringRecord(
+            transition=self,
+            module_path=module.path,
+            state_before=state_before,
+            state_after=module.state,
+            interaction=interaction,
+            cost=self.cost,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        clause = f"when={self.when}" if self.when else "spontaneous"
+        return (
+            f"Transition({self.name!r}, from={self.from_states}, "
+            f"to={self.to_state!r}, {clause}, priority={self.priority})"
+        )
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """Immutable record of a single transition firing (for traces and metrics)."""
+
+    transition: Transition
+    module_path: str
+    state_before: Optional[str]
+    state_after: Optional[str]
+    interaction: Optional[Interaction]
+    cost: float
+
+
+def _normalise_states(value: Union[str, Iterable[str], None]) -> Tuple[str, ...]:
+    if value is None:
+        return (ANY_STATE,)
+    if isinstance(value, str):
+        return (value,)
+    states = tuple(value)
+    if not states:
+        raise TransitionError("the from_state clause may not be an empty sequence")
+    return states
+
+
+def transition(
+    from_state: Union[str, Sequence[str], None] = None,
+    to_state: Optional[str] = None,
+    when: Optional[Tuple[str, str]] = None,
+    provided: Optional[GuardFn] = None,
+    priority: int = 0,
+    delay: float = 0.0,
+    cost: float = 1.0,
+    name: str = "",
+):
+    """Declare a transition on a module-class method.
+
+    Parameters mirror the Estelle clauses.  ``when`` is a pair of
+    ``(interaction point name, interaction name)``; omitting it declares a
+    spontaneous transition.  ``cost`` is the simulated execution cost of the
+    action block in abstract time units, consumed by the multiprocessor
+    simulator (:mod:`repro.sim`) when the generated system runs in parallel.
+    ``priority`` follows Estelle: *lower* numbers are higher priority.
+    """
+
+    if delay < 0:
+        raise TransitionError("delay must be non-negative")
+    if cost < 0:
+        raise TransitionError("cost must be non-negative")
+
+    def decorator(func: ActionFn) -> Transition:
+        return Transition(
+            action=func,
+            from_states=_normalise_states(from_state),
+            to_state=to_state,
+            when=when,
+            provided=provided,
+            priority=priority,
+            delay=delay,
+            cost=cost,
+            name=name or func.__name__,
+        )
+
+    return decorator

@@ -1,0 +1,109 @@
+"""Static semantic validation of Estelle module trees.
+
+Implements the attribute rules quoted in Section 4 of the paper:
+
+1. Every active module must have one of the four attributes.
+2. A system module cannot be contained in another attributed module.
+3. Each ``process`` and each ``activity`` module must be contained (perhaps
+   indirectly) in a system module.
+4. A ``process`` or ``systemprocess`` module may contain ``process`` or
+   ``activity`` children.
+5. An ``activity`` or ``systemactivity`` module may only contain ``activity``
+   children.
+6. In each root-to-leaf path of *active* modules there is exactly one system
+   module; a module containing a system module must itself be inactive.
+
+Violations raise :class:`repro.estelle.errors.SpecificationError` with a
+message naming the offending module, which is what an Estelle compiler's
+static-semantics pass would report.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import SpecificationError
+from .module import Module, ModuleAttribute
+
+
+def validate_tree(root: Module) -> None:
+    """Validate the full tree rooted at ``root`` (the specification root)."""
+    _validate_node(root)
+    _validate_system_module_paths(root)
+    _validate_transition_states(root)
+
+
+def _validate_node(module: Module) -> None:
+    for child in module.children.values():
+        if not module.attribute.may_contain(child.attribute):
+            raise SpecificationError(
+                f"{module.path} ({module.attribute.value}) may not contain "
+                f"{child.path} ({child.attribute.value})"
+            )
+        _validate_node(child)
+
+    if module.attribute in (ModuleAttribute.PROCESS, ModuleAttribute.ACTIVITY):
+        if module.system_module() is None:
+            raise SpecificationError(
+                f"{module.path} has attribute {module.attribute.value!r} but is "
+                "not contained in any system module"
+            )
+
+    if module.attribute.is_system:
+        for ancestor in module.ancestors():
+            if ancestor.attribute.is_active:
+                raise SpecificationError(
+                    f"system module {module.path} is contained in attributed "
+                    f"module {ancestor.path} ({ancestor.attribute.value})"
+                )
+
+
+def _validate_system_module_paths(root: Module) -> None:
+    """Rule 6: exactly one system module on each path to an *active* leaf."""
+    for module in root.walk():
+        if not module.attribute.is_active:
+            continue
+        system_count = sum(
+            1
+            for node in [module, *module.ancestors()]
+            if node.attribute.is_system
+        )
+        if system_count != 1:
+            raise SpecificationError(
+                f"the path from the root to {module.path} contains "
+                f"{system_count} system modules (exactly one is required)"
+            )
+
+
+def _validate_transition_states(root: Module) -> None:
+    """Every transition's from/to states must exist in the module's state set.
+
+    Modules with an empty state set (pure external bodies) are skipped, as are
+    wildcard ``from`` clauses.
+    """
+    for module in root.walk():
+        if not module.STATES:
+            continue
+        state_set = set(module.STATES)
+        for tr in module.declared_transitions():
+            for state in tr.from_states:
+                if state != "*" and state not in state_set:
+                    raise SpecificationError(
+                        f"{module.path}: transition {tr.name!r} refers to unknown "
+                        f"from-state {state!r} (states: {sorted(state_set)})"
+                    )
+            if tr.to_state is not None and tr.to_state not in state_set:
+                raise SpecificationError(
+                    f"{module.path}: transition {tr.name!r} refers to unknown "
+                    f"to-state {tr.to_state!r} (states: {sorted(state_set)})"
+                )
+
+
+def collect_violations(root: Module) -> List[str]:
+    """Non-raising variant used by tooling: returns a list of messages."""
+    violations: List[str] = []
+    try:
+        validate_tree(root)
+    except SpecificationError as exc:
+        violations.append(str(exc))
+    return violations

@@ -1,0 +1,11 @@
+"""Benchmark harness helpers: result tables and experiment records.
+
+Every benchmark in ``benchmarks/`` regenerates one table or figure of the
+paper; the helpers here render the regenerated rows/series in a uniform way so
+the console output of ``pytest benchmarks/ --benchmark-only`` can be compared
+side-by-side with the paper (see EXPERIMENTS.md).
+"""
+
+from .report import ExperimentRecord, format_table, print_experiment
+
+__all__ = ["ExperimentRecord", "format_table", "print_experiment"]

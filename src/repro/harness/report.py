@@ -1,0 +1,61 @@
+"""Plain-text experiment reports for the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+    rendered = [[_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * widths[index] for index in range(len(columns)))
+    body = [
+        "  ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentRecord:
+    """One reproduced experiment: identity, the paper's claim, our measurement."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(dict(values))
+
+    def render(self) -> str:
+        lines = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            f"paper: {self.paper_claim}",
+            "",
+            format_table(self.rows),
+        ]
+        if self.notes:
+            lines += ["", f"note: {self.notes}"]
+        return "\n".join(lines)
+
+
+def print_experiment(record: ExperimentRecord) -> None:
+    """Print a reproduced experiment (captured by pytest -s / benchmark logs)."""
+    print("\n" + record.render() + "\n")

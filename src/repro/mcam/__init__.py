@@ -1,0 +1,73 @@
+"""MCAM — Movie Control, Access and Management (the paper's contribution).
+
+The package contains the ASN.1-specified MCAM PDUs, the Estelle channels of
+the functional model (Fig. 1), the Movie Control Agents and the external
+agent bodies (Fig. 3), the client/server system modules and full
+specification (Fig. 2), and a high-level API (:class:`MovieSystem`) for
+downstream use.
+"""
+
+from .agents import DirectoryAgentModule, EquipmentAgentModule, StreamAgentModule
+from .api import ClientHandle, McamApiError, MovieSystem, PlaybackResult
+from .channels import DIRECTORY_AGENT, EQUIPMENT_AGENT, MCAM_SERVICE, STREAM_AGENT
+from .context import ServerContext, build_server_context
+from .mca import SERVER_PIPELINES, ClientMca, ServerMca
+from .pdus import (
+    MCAM_ABSTRACT_SYNTAX,
+    MCAM_ASN1_SOURCE,
+    MCAM_CONTEXT_ID,
+    MCAM_MODULE,
+    MCAM_PDU,
+    RESPONSE_OF,
+    attributes_from_list,
+    attributes_to_list,
+    decode_pdu,
+    encode_pdu,
+    is_request,
+    is_response,
+)
+from .systems import (
+    ClientApplication,
+    McamClientSystem,
+    McamPipeSystem,
+    McamServerSystem,
+    build_mcam_specification,
+    mcam_syntax_registry,
+)
+
+__all__ = [
+    "ClientApplication",
+    "ClientHandle",
+    "ClientMca",
+    "DIRECTORY_AGENT",
+    "DirectoryAgentModule",
+    "EQUIPMENT_AGENT",
+    "EquipmentAgentModule",
+    "MCAM_ABSTRACT_SYNTAX",
+    "MCAM_ASN1_SOURCE",
+    "MCAM_CONTEXT_ID",
+    "MCAM_MODULE",
+    "MCAM_PDU",
+    "MCAM_SERVICE",
+    "McamApiError",
+    "McamClientSystem",
+    "McamPipeSystem",
+    "McamServerSystem",
+    "MovieSystem",
+    "PlaybackResult",
+    "RESPONSE_OF",
+    "SERVER_PIPELINES",
+    "STREAM_AGENT",
+    "ServerContext",
+    "ServerMca",
+    "StreamAgentModule",
+    "attributes_from_list",
+    "attributes_to_list",
+    "build_mcam_specification",
+    "build_server_context",
+    "decode_pdu",
+    "encode_pdu",
+    "is_request",
+    "is_response",
+    "mcam_syntax_registry",
+]

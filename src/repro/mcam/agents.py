@@ -1,0 +1,227 @@
+"""The external-body agent modules of an MCAM server entity.
+
+Fig. 3 of the paper: *"Only the MCA module is completely written in Estelle
+(header and body), whereas the three remaining ones describe only their
+interface in Estelle with their module body written in C or C++.  So we can
+very easily access existing services such as the movie directory out of our
+Estelle specification."*
+
+Accordingly the three agents below declare their interaction points in
+Estelle terms (``EXTERNAL = True``) and implement their bodies as plain
+Python against the shared :class:`repro.mcam.context.ServerContext`:
+
+* :class:`DirectoryAgentModule` — the DUA body, operating on the X.500-style
+  movie directory;
+* :class:`StreamAgentModule` — the SUA/SPA body, operating on the movie store
+  and the XMovie stream provider;
+* :class:`EquipmentAgentModule` — the EUA body, operating on the equipment
+  control service.
+
+Each external step consumes one request interaction from the MCA and outputs
+exactly one response interaction; failures are reported in the response, never
+raised into the runtime (a protocol machine must keep running).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from ..directory import DirectoryError, parse_filter
+from ..equipment import EquipmentError
+from ..estelle import Module, ModuleAttribute, ip
+from ..stream import MovieError, MtpError, synthesise_movie
+from .channels import DIRECTORY_AGENT, EQUIPMENT_AGENT, STREAM_AGENT
+from .context import ServerContext
+
+
+class _AgentModule(Module):
+    """Shared plumbing of the three external agent bodies."""
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    EXTERNAL = True
+    STEP_COST = 2.0
+    REQUEST_NAME = ""
+    RESPONSE_NAME = ""
+    PORT_NAME = "mca"
+
+    def initialise(self) -> None:
+        super().initialise()
+        self.context: ServerContext = self.variables["context"]
+        self.requests_handled = 0
+
+    def external_step(self) -> float:
+        port = self.ip_named(self.PORT_NAME)
+        if not port.pending():
+            return 0.1
+        interaction = port.consume()
+        self.requests_handled += 1
+        result = self._perform(interaction.param("operation", ""), interaction.params)
+        self.output(
+            self.PORT_NAME,
+            self.RESPONSE_NAME,
+            request_id=interaction.param("request_id"),
+            **result,
+        )
+        return self.STEP_COST
+
+    # -- to be provided by each agent ----------------------------------------------------
+
+    def _perform(self, operation: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _failure(error: Exception | str, status: str) -> Dict[str, Any]:
+        return {"success": False, "error": str(error), "status": status}
+
+
+class DirectoryAgentModule(_AgentModule):
+    """The Directory User Agent body (movie metadata operations)."""
+
+    LAYER = "dua"
+    RESPONSE_NAME = "DirectoryResponse"
+
+    mca = ip("mca", DIRECTORY_AGENT, role="agent")
+
+    def _perform(self, operation: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+        dua = self.context.dua
+        try:
+            if operation == "registerMovie":
+                entry = dua.register_movie(params["name"], dict(params["attributes"]))
+                return {"success": True, "dn": entry.dn}
+            if operation == "deleteMovie":
+                if not dua.movie_exists(params["name"]):
+                    return self._failure(f"no movie {params['name']!r}", "noSuchMovie")
+                dua.delete_movie(params["name"])
+                return {"success": True}
+            if operation == "lookupMovie":
+                if not dua.movie_exists(params["name"]):
+                    return self._failure(f"no movie {params['name']!r}", "noSuchMovie")
+                entry = dua.movie_entry(params["name"])
+                return {"success": True, "attributes": dict(entry.attributes)}
+            if operation == "query":
+                name = params.get("name")
+                if name:
+                    if not dua.movie_exists(name):
+                        return self._failure(f"no movie {name!r}", "noSuchMovie")
+                    entries = [dua.movie_entry(name)]
+                else:
+                    entries = dua.find_movies(params.get("filter") or "*")
+                movies = [
+                    {"name": entry.get("commonName", ""), "attributes": dict(entry.attributes)}
+                    for entry in entries
+                ]
+                return {"success": True, "movies": movies}
+            if operation == "modifyAttributes":
+                if not dua.movie_exists(params["name"]):
+                    return self._failure(f"no movie {params['name']!r}", "noSuchMovie")
+                entry = dua.update_movie(params["name"], dict(params["changes"]))
+                return {"success": True, "attributes": dict(entry.attributes)}
+            return self._failure(f"unknown directory operation {operation!r}", "protocolError")
+        except (DirectoryError, KeyError, Exception) as exc:  # noqa: BLE001 - protocol surface
+            return self._failure(exc, "directoryFailure")
+
+
+class StreamAgentModule(_AgentModule):
+    """The Stream User / Provider Agent body (movie content and CM streams)."""
+
+    LAYER = "sua"
+    RESPONSE_NAME = "StreamResponse"
+
+    mca = ip("mca", STREAM_AGENT, role="agent")
+
+    def _perform(self, operation: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+        store = self.context.movie_store
+        provider = self.context.stream_provider
+        try:
+            if operation == "allocateContent":
+                if store.exists(params["name"]):
+                    return self._failure(f"movie {params['name']!r} already exists", "movieExists")
+                movie = store.create(
+                    params["name"],
+                    duration_seconds=float(params.get("durationSeconds", 10)),
+                    frame_rate=float(params.get("frameRate", 25)),
+                    format_name=params.get("imageFormat", "mjpeg"),
+                    title=params.get("title", params["name"]),
+                )
+                location = f"{self.context.host}:/movies/{movie.name}"
+                return {
+                    "success": True,
+                    "storageLocation": location,
+                    "attributes": movie.directory_attributes(location),
+                }
+            if operation == "releaseContent":
+                if store.exists(params["name"]):
+                    store.remove(params["name"])
+                return {"success": True}
+            if operation == "startStream":
+                if not store.exists(params["name"]):
+                    return self._failure(f"no movie {params['name']!r}", "noSuchMovie")
+                movie = store.get(params["name"])
+                sender = provider.start_playback(
+                    movie,
+                    destination=params["destination"],
+                    port=int(params.get("port", 5004)),
+                    rate_factor=float(params.get("ratePercent", 100)) / 100.0,
+                )
+                return {"success": True, "streamId": sender.stream_id, "frameCount": movie.frame_count}
+            if operation == "pause":
+                provider.pause(int(params["streamId"]))
+                return {"success": True}
+            if operation == "resume":
+                provider.resume(int(params["streamId"]))
+                return {"success": True}
+            if operation == "stop":
+                provider.stop(int(params["streamId"]))
+                return {"success": True}
+            if operation == "recordContent":
+                if store.exists(params["name"]):
+                    return self._failure(f"movie {params['name']!r} already exists", "movieExists")
+                recorded = synthesise_movie(
+                    params["name"],
+                    duration_seconds=float(params.get("durationSeconds", 5)),
+                    frame_rate=float(params.get("frameRate", 25)),
+                    format_name=params.get("imageFormat", "mjpeg"),
+                    title=params.get("title", params["name"]),
+                )
+                store.add(recorded)
+                location = f"{self.context.host}:/movies/{recorded.name}"
+                return {
+                    "success": True,
+                    "frameCount": recorded.frame_count,
+                    "storageLocation": location,
+                    "attributes": recorded.directory_attributes(location),
+                }
+            return self._failure(f"unknown stream operation {operation!r}", "protocolError")
+        except (MovieError, MtpError, KeyError, ValueError) as exc:
+            return self._failure(exc, "streamFailure")
+
+
+class EquipmentAgentModule(_AgentModule):
+    """The Equipment User Agent body (CM equipment control)."""
+
+    LAYER = "eua"
+    RESPONSE_NAME = "EquipmentResponse"
+
+    mca = ip("mca", EQUIPMENT_AGENT, role="agent")
+
+    def _perform(self, operation: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+        eua = self.context.eua
+        site = params.get("site", self.context.host)
+        try:
+            if operation == "preparePlayback":
+                return {"success": True, "devices": eua.prepare_playback(site)}
+            if operation == "prepareRecording":
+                return {"success": True, "devices": eua.prepare_recording(site)}
+            if operation == "stopAll":
+                eua.stop_all(site)
+                return {"success": True}
+            if operation == "setParameter":
+                status = eua.set_parameter(
+                    site, params["device"], params["parameter"], params["value"]
+                )
+                return {"success": True, "status": status}
+            if operation == "listEquipment":
+                return {"success": True, "devices": eua.list_equipment(site)}
+            return self._failure(f"unknown equipment operation {operation!r}", "protocolError")
+        except (EquipmentError, KeyError) as exc:
+            return self._failure(exc, "equipmentFailure")

@@ -1,0 +1,302 @@
+"""High-level MCAM API: the facade a downstream application programs against.
+
+:class:`MovieSystem` assembles the whole distributed system of Fig. 2 — the
+server context (directory, movie store, stream provider, equipment), the
+Estelle specification (clients, server entities, stacks, pipes), the
+simulated cluster (KSR1 plus client workstations) and the runtime executor —
+and exposes per-client handles with synchronous movie operations.
+
+Control operations run on the Estelle runtime (work-unit time); continuous-
+media streams run on the shared discrete-event scheduler (millisecond time).
+:meth:`ClientHandle.play` drives both: it performs the MCAM control exchange
+and then lets the network simulation deliver the stream, returning the QoS
+report the receiver measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..runtime import (
+    ConnectionPerProcessorMapping,
+    DispatchStrategy,
+    MappingStrategy,
+    Scheduler,
+    SpecificationExecutor,
+)
+from ..sim import Cluster, CostModel, Machine
+from ..stream import MtpReceiver, QosReport
+from .context import ServerContext, build_server_context
+from .pdus import attributes_to_list
+from .systems import build_mcam_specification
+
+
+class McamApiError(Exception):
+    """Raised when an MCAM operation cannot be completed at the API level."""
+
+
+@dataclass
+class PlaybackResult:
+    """Everything a PLAY operation produced."""
+
+    response: Dict[str, Any]
+    stream_id: int
+    frames_sent: int
+    frames_delivered: int
+    qos: QosReport
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.frames_delivered / self.frames_sent if self.frames_sent else 1.0
+
+
+class ClientHandle:
+    """Synchronous movie operations for one MCAM client entity."""
+
+    def __init__(self, system: "MovieSystem", index: int, host: str, stream_port: int):
+        self.system = system
+        self.index = index
+        self.host = host
+        self.stream_port = stream_port
+        self._application = system.specification.find(f"client-{index}/app")
+        self.receiver: Optional[MtpReceiver] = None
+        self._last_play_frame_interval: float = 40.0
+
+    # -- plumbing ------------------------------------------------------------------------------
+
+    def _request(self, alternative: str, value: Mapping[str, Any], max_rounds: int = 4000) -> Dict[str, Any]:
+        """Send one MCAM request and run the runtime until its response arrives."""
+        responses: List = self._application.variables["responses"]
+        expected = len(responses) + 1
+        self._application.variables["commands"].append((alternative, dict(value)))
+        self.system.run_rounds(max_rounds=max_rounds, until=lambda: len(responses) >= expected)
+        if len(responses) < expected:
+            raise McamApiError(
+                f"client {self.index}: no response to {alternative!r} after {max_rounds} rounds"
+            )
+        name, response = responses[-1]
+        return {"pdu": name, **response}
+
+    @staticmethod
+    def _check(response: Dict[str, Any], operation: str) -> Dict[str, Any]:
+        if response.get("status") != "success":
+            raise McamApiError(f"{operation} failed: {response.get('status')}")
+        return response
+
+    # -- association ----------------------------------------------------------------------------------
+
+    def connect(self) -> Dict[str, Any]:
+        response = self._request(
+            "connectRequest",
+            {
+                "clientName": f"client-{self.index}",
+                "streamAddress": self.host,
+                "streamPort": self.stream_port,
+            },
+        )
+        return self._check(response, "connect")
+
+    def release(self) -> Dict[str, Any]:
+        return self._check(self._request("releaseRequest", {}), "release")
+
+    # -- movie access ----------------------------------------------------------------------------------
+
+    def create_movie(
+        self,
+        name: str,
+        image_format: str = "mjpeg",
+        frame_rate: int = 25,
+        duration_seconds: int = 10,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        value: Dict[str, Any] = {
+            "name": name,
+            "imageFormat": image_format,
+            "frameRate": frame_rate,
+            "durationSeconds": duration_seconds,
+        }
+        if attributes:
+            value["attributes"] = attributes_to_list(attributes)
+        self._last_play_frame_interval = 1000.0 / frame_rate
+        return self._check(self._request("createMovieRequest", value), "create_movie")
+
+    def delete_movie(self, name: str) -> Dict[str, Any]:
+        return self._check(self._request("deleteMovieRequest", {"name": name}), "delete_movie")
+
+    def select_movie(self, name: str) -> Dict[str, Any]:
+        return self._check(self._request("selectMovieRequest", {"name": name}), "select_movie")
+
+    # -- movie management --------------------------------------------------------------------------------
+
+    def query_attributes(self, name: Optional[str] = None, filter_expression: Optional[str] = None) -> List[Dict[str, Any]]:
+        value: Dict[str, Any] = {}
+        if name:
+            value["name"] = name
+        if filter_expression:
+            value["filter"] = filter_expression
+        response = self._check(self._request("queryAttributesRequest", value), "query_attributes")
+        return response.get("movies", [])
+
+    def modify_attributes(self, name: str, changes: Mapping[str, Any]) -> Dict[str, Any]:
+        value = {"name": name, "changes": attributes_to_list(changes)}
+        return self._check(self._request("modifyAttributesRequest", value), "modify_attributes")
+
+    # -- movie control -------------------------------------------------------------------------------------
+
+    def play(
+        self,
+        name: Optional[str] = None,
+        rate_percent: int = 100,
+        jitter_target_ms: float = 30.0,
+        deliver: bool = True,
+    ) -> PlaybackResult:
+        """PLAY the selected (or named) movie and, optionally, deliver the stream."""
+        frame_rate = 25.0
+        if name:
+            described = self.query_attributes(name=name)
+            if described:
+                attributes = {a["name"]: a["value"] for a in described[0]["attributes"]}
+                frame_rate = float(attributes.get("frameRate", frame_rate))
+        frame_interval = 1000.0 / frame_rate * (100.0 / rate_percent)
+
+        self.receiver = MtpReceiver(
+            self.system.context.scheduler,
+            self.system.context.network,
+            host=self.host,
+            port=self.stream_port,
+            frame_interval_ms=frame_interval,
+            jitter_target_ms=jitter_target_ms,
+        )
+        value: Dict[str, Any] = {"ratePercent": rate_percent}
+        if name:
+            value["name"] = name
+        response = self._check(self._request("playRequest", value), "play")
+        stream_id = int(response.get("streamId", 0))
+
+        frames_sent = 0
+        frames_delivered = 0
+        if deliver:
+            self.system.deliver_streams()
+            self.receiver.finalise()
+            sender = self.system.context.stream_provider.sender(stream_id)
+            frames_sent = sender.stats.frames_sent
+            frames_delivered = self.receiver.stats.frames_delivered
+        qos = self.receiver.qos.report()
+        return PlaybackResult(
+            response=response,
+            stream_id=stream_id,
+            frames_sent=frames_sent,
+            frames_delivered=frames_delivered,
+            qos=qos,
+        )
+
+    def pause(self, stream_id: int) -> Dict[str, Any]:
+        return self._check(self._request("pauseRequest", {"streamId": stream_id}), "pause")
+
+    def resume(self, stream_id: int) -> Dict[str, Any]:
+        return self._check(self._request("resumeRequest", {"streamId": stream_id}), "resume")
+
+    def stop(self, stream_id: int) -> Dict[str, Any]:
+        response = self._check(self._request("stopRequest", {"streamId": stream_id}), "stop")
+        if self.receiver is not None:
+            self.receiver.close()
+            self.receiver = None
+        return response
+
+    def record(
+        self, name: str, duration_seconds: int = 5, image_format: str = "mjpeg", frame_rate: int = 25
+    ) -> Dict[str, Any]:
+        value = {
+            "name": name,
+            "durationSeconds": duration_seconds,
+            "imageFormat": image_format,
+            "frameRate": frame_rate,
+        }
+        return self._check(self._request("recordRequest", value), "record")
+
+
+class MovieSystem:
+    """The complete MCAM system: substrate, specification, cluster and runtime."""
+
+    def __init__(
+        self,
+        clients: int = 1,
+        stack: str = "generated",
+        server_processors: int = 8,
+        client_locations: Optional[Sequence[str]] = None,
+        mapping: Optional[MappingStrategy] = None,
+        scheduler: Optional[Scheduler] = None,
+        dispatch: Optional[DispatchStrategy] = None,
+        cost_model: Optional[CostModel] = None,
+        dsa_count: int = 2,
+        trace: bool = False,
+    ):
+        self.context: ServerContext = build_server_context(host="ksr1", dsa_count=dsa_count)
+        locations = list(client_locations or [f"client-ws-{i + 1}" for i in range(clients)])
+        self.stream_ports = [5004 + i for i in range(clients)]
+        self.specification, self.broker = build_mcam_specification(
+            self.context,
+            clients=clients,
+            stack=stack,
+            server_location="ksr1",
+            client_locations=locations,
+            stream_ports=self.stream_ports,
+        )
+        self.cluster = Cluster()
+        self.cluster.add(Machine("ksr1", server_processors, cost_model))
+        for location in dict.fromkeys(locations):
+            self.cluster.add(Machine(location, 1, cost_model))
+        self.executor = SpecificationExecutor(
+            self.specification,
+            self.cluster,
+            mapping=mapping or ConnectionPerProcessorMapping(),
+            scheduler=scheduler,
+            dispatch=dispatch,
+            cost_model=cost_model,
+            trace=trace,
+        )
+        self.clients = [
+            ClientHandle(self, index, locations[index], self.stream_ports[index])
+            for index in range(clients)
+        ]
+
+    # -- runtime driving -----------------------------------------------------------------------------------
+
+    def client(self, index: int = 0) -> ClientHandle:
+        return self.clients[index]
+
+    def run_rounds(self, max_rounds: int = 4000, until=None) -> None:
+        """Run computation rounds until ``until()`` holds or the system quiesces."""
+        for _ in range(max_rounds):
+            if until is not None and until():
+                return
+            if not self.executor.step_round():
+                if until is None or until():
+                    return
+                # Nothing fired but the condition is unmet: give the stream /
+                # network side a chance, then retry once.
+                return
+
+    def run_until_idle(self, max_rounds: int = 10_000) -> None:
+        self.executor.run(max_rounds=max_rounds)
+
+    def deliver_streams(self, max_events: int = 200_000) -> None:
+        """Run the discrete-event simulation until all media traffic drains."""
+        self.context.scheduler.run(max_events=max_events)
+
+    # -- reporting ------------------------------------------------------------------------------------------
+
+    @property
+    def metrics(self):
+        return self.executor.metrics
+
+    def control_plane_summary(self) -> Dict[str, float]:
+        return self.executor.metrics.summary()
+
+    def directory_summary(self) -> Dict[str, int]:
+        return {
+            "entries": sum(len(dsa) for dsa in self.context.dsas),
+            "operations": sum(dsa.stats.operations for dsa in self.context.dsas),
+            "chained": sum(dsa.stats.chained for dsa in self.context.dsas),
+        }

@@ -1,0 +1,46 @@
+"""Estelle channels of the MCAM architecture (Fig. 1 / Fig. 3).
+
+Four service boundaries appear inside an MCAM entity:
+
+* ``MCAM_SERVICE`` — between the application (the user interface generated
+  from the channel description in the paper) and the Movie Control Agent.
+* ``DIRECTORY_AGENT`` — between the MCA and the Directory User Agent module.
+* ``STREAM_AGENT`` — between the MCA and the Stream User / Provider Agent.
+* ``EQUIPMENT_AGENT`` — between the MCA and the Equipment User Agent.
+
+The lower boundary of the MCA is the OSI presentation service
+(:data:`repro.osi.channels.PRESENTATION_SERVICE`), on which the MCAM PDUs are
+exchanged between client and server entities.
+"""
+
+from __future__ import annotations
+
+from ..estelle import Channel
+
+#: Application <-> Movie Control Agent.
+MCAM_SERVICE = Channel(
+    "McamService",
+    user={"McamRequest"},
+    provider={"McamConfirm", "McamIndication"},
+)
+
+#: MCA <-> Directory User Agent (external body).
+DIRECTORY_AGENT = Channel(
+    "DirectoryAgent",
+    mca={"DirectoryRequest"},
+    agent={"DirectoryResponse"},
+)
+
+#: MCA <-> Stream User / Provider Agent (external body).
+STREAM_AGENT = Channel(
+    "StreamAgent",
+    mca={"StreamRequest"},
+    agent={"StreamResponse"},
+)
+
+#: MCA <-> Equipment User Agent (external body).
+EQUIPMENT_AGENT = Channel(
+    "EquipmentAgent",
+    mca={"EquipmentRequest"},
+    agent={"EquipmentResponse"},
+)

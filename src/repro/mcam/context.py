@@ -1,0 +1,90 @@
+"""Server-side resources shared by the MCAM agent modules.
+
+The MCAM server entities of Fig. 2 all operate on the same underlying
+services: the distributed movie directory (DSAs), the movie store and stream
+provider of the Stream Provider System, and the equipment of the Equipment
+Control System.  :class:`ServerContext` bundles those resources; the external
+agent modules (DUA, SUA, EUA) receive the context as a module variable,
+mirroring the paper's external bodies that "access existing services".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..directory import DirectorySystemAgent, DirectoryUserAgent
+from ..equipment import EquipmentControlAgent, EquipmentUserAgent
+from ..sim import DatagramNetwork, EventScheduler, FDDI_PROFILE, LinkProfile
+from ..stream import MovieStore, StreamProvider
+
+
+@dataclass
+class ServerContext:
+    """Everything an MCAM server entity needs beyond its protocol modules."""
+
+    scheduler: EventScheduler
+    network: DatagramNetwork
+    host: str
+    dsas: List[DirectorySystemAgent]
+    dua: DirectoryUserAgent
+    movie_store: MovieStore
+    stream_provider: StreamProvider
+    eca: EquipmentControlAgent
+    eua: EquipmentUserAgent
+
+    @property
+    def home_dsa(self) -> DirectorySystemAgent:
+        return self.dsas[0]
+
+
+def build_server_context(
+    host: str = "ksr1",
+    dsa_count: int = 2,
+    link_profile: Optional[LinkProfile] = None,
+    with_studio_equipment: bool = True,
+    network_seed: int = 7,
+) -> ServerContext:
+    """Build the full server-side substrate.
+
+    ``dsa_count`` DSAs are created; the first masters the whole tree by
+    default, additional DSAs master disjoint organisational subtrees and are
+    connected as peers (so chained searches exercise the distribution).
+    """
+    scheduler = EventScheduler()
+    network = DatagramNetwork(scheduler, profile=link_profile or FDDI_PROFILE, seed=network_seed)
+
+    dsas: List[DirectorySystemAgent] = []
+    primary = DirectorySystemAgent("dsa-1", context_prefix="")
+    dsas.append(primary)
+    for index in range(2, dsa_count + 1):
+        peer = DirectorySystemAgent(f"dsa-{index}", context_prefix=f"ou=site-{index}")
+        dsas.append(peer)
+    for dsa in dsas:
+        for other in dsas:
+            if dsa is not other:
+                dsa.add_peer(other)
+
+    dua = DirectoryUserAgent("server-dua")
+    dua.bind(primary)
+
+    movie_store = MovieStore()
+    stream_provider = StreamProvider(scheduler, network, host)
+
+    eca = EquipmentControlAgent(site=host)
+    if with_studio_equipment:
+        eca.install_standard_studio()
+    eua = EquipmentUserAgent(owner="mcam-server")
+    eua.attach_site(eca)
+
+    return ServerContext(
+        scheduler=scheduler,
+        network=network,
+        host=host,
+        dsas=dsas,
+        dua=dua,
+        movie_store=movie_store,
+        stream_provider=stream_provider,
+        eca=eca,
+        eua=eua,
+    )

@@ -1,0 +1,379 @@
+"""The Movie Control Agents — the only modules written fully "in Estelle".
+
+Two bodies exist: the client MCA translates application service requests into
+MCAM PDUs sent over the presentation service, and the server MCA executes the
+requested operations by orchestrating the three external agents (directory,
+stream, equipment) before answering with a response PDU.
+
+Server-side operations are small pipelines (e.g. CREATE = allocate content at
+the stream provider, then register the movie in the directory); the pipeline
+state is kept in module variables because MCAM allows one outstanding request
+per association, matching the synchronous application interface the paper's
+generated X interface offered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..estelle import Module, ModuleAttribute, ip, transition
+from ..osi.channels import PRESENTATION_SERVICE
+from ..osi.pdus import PresentationContext
+from .channels import DIRECTORY_AGENT, EQUIPMENT_AGENT, MCAM_SERVICE, STREAM_AGENT
+from .pdus import (
+    MCAM_ABSTRACT_SYNTAX,
+    MCAM_CONTEXT_ID,
+    RESPONSE_OF,
+    attributes_from_list,
+    attributes_to_list,
+    decode_pdu,
+    encode_pdu,
+)
+
+
+def _pdu_of(interaction) -> Tuple[str, Dict[str, Any]]:
+    """Extract a decoded MCAM PDU from a presentation-service interaction."""
+    value = interaction.param("value")
+    if value is not None:
+        return value
+    data = interaction.param("data") or interaction.param("user_data") or b""
+    return decode_pdu(bytes(data))
+
+
+class ClientMca(Module):
+    """Client-side Movie Control Agent."""
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("idle", "connecting", "associated", "releasing")
+    INITIAL_STATE = "idle"
+    LAYER = "mcam"
+
+    user = ip("user", MCAM_SERVICE, role="provider")
+    pres = ip("pres", PRESENTATION_SERVICE, role="user")
+
+    def initialise(self) -> None:
+        super().initialise()
+        self.variables.setdefault("server_address", "mcam-server")
+        self.variables.setdefault("requests_sent", 0)
+        self.variables.setdefault("responses_received", 0)
+
+    # -- association establishment ----------------------------------------------------------
+
+    @transition(
+        from_state="idle",
+        to_state="connecting",
+        when=("user", "McamRequest"),
+        provided=lambda m, i: i.param("pdu", ("", {}))[0] == "connectRequest",
+        cost=1.8,
+    )
+    def connect_request(self, interaction) -> None:
+        pdu = interaction.param("pdu")
+        self.variables["requests_sent"] += 1
+        self.output(
+            "pres",
+            "PConnectRequest",
+            contexts=(PresentationContext(MCAM_CONTEXT_ID, MCAM_ABSTRACT_SYNTAX),),
+            called_address=self.variables["server_address"],
+            calling_address=self.path,
+            connection_ref=self.uid,
+            user_data=encode_pdu(pdu),
+        )
+
+    @transition(from_state="connecting", when=("pres", "PConnectConfirm"), cost=1.8)
+    def connect_confirm(self, interaction) -> None:
+        accepted = interaction.param("accepted", True)
+        user_data = interaction.param("user_data", b"")
+        if user_data:
+            pdu = decode_pdu(user_data)
+        else:
+            pdu = (
+                "connectResponse",
+                {"status": "success" if accepted else "refused", "serverName": ""},
+            )
+        self.variables["responses_received"] += 1
+        self.output("user", "McamConfirm", pdu=pdu)
+        self.state = "associated" if accepted and pdu[1].get("status") == "success" else "idle"
+
+    # -- operation requests -----------------------------------------------------------------------
+
+    @transition(
+        from_state="associated",
+        to_state="releasing",
+        when=("user", "McamRequest"),
+        provided=lambda m, i: i.param("pdu", ("", {}))[0] == "releaseRequest",
+        priority=-1,
+        cost=1.5,
+    )
+    def release_request(self, interaction) -> None:
+        self.variables["requests_sent"] += 1
+        self.output("pres", "PReleaseRequest", user_data=encode_pdu(interaction.param("pdu")))
+
+    @transition(
+        from_state="associated",
+        when=("user", "McamRequest"),
+        cost=1.8,
+    )
+    def operation_request(self, interaction) -> None:
+        pdu = interaction.param("pdu")
+        self.variables["requests_sent"] += 1
+        self.output("pres", "PDataRequest", context_id=MCAM_CONTEXT_ID, value=pdu, data=encode_pdu(pdu))
+
+    @transition(from_state="associated", when=("pres", "PDataIndication"), cost=1.8)
+    def operation_confirm(self, interaction) -> None:
+        self.variables["responses_received"] += 1
+        self.output("user", "McamConfirm", pdu=_pdu_of(interaction))
+
+    @transition(from_state="releasing", to_state="idle", when=("pres", "PReleaseConfirm"), cost=1.5)
+    def release_confirm(self, interaction) -> None:
+        self.variables["responses_received"] += 1
+        self.output("user", "McamConfirm", pdu=("releaseResponse", {"status": "success"}))
+
+    @transition(from_state="*", to_state="idle", when=("pres", "PAbortIndication"), priority=-2, cost=1.0)
+    def aborted(self, interaction) -> None:
+        self.output("user", "McamIndication", pdu=("releaseResponse", {"status": "refused"}))
+
+
+#: The per-operation pipelines of the server MCA: request alternative ->
+#: ordered list of (agent, operation) steps executed before the response.
+SERVER_PIPELINES: Dict[str, List[Tuple[str, str]]] = {
+    "createMovieRequest": [("stream", "allocateContent"), ("directory", "registerMovie")],
+    "deleteMovieRequest": [("directory", "deleteMovie"), ("stream", "releaseContent")],
+    "selectMovieRequest": [("directory", "lookupMovie")],
+    "queryAttributesRequest": [("directory", "query")],
+    "modifyAttributesRequest": [("directory", "modifyAttributes")],
+    "playRequest": [("equipment", "preparePlayback"), ("stream", "startStream")],
+    "pauseRequest": [("stream", "pause")],
+    "resumeRequest": [("stream", "resume")],
+    "stopRequest": [("stream", "stop"), ("equipment", "stopAll")],
+    "recordRequest": [
+        ("equipment", "prepareRecording"),
+        ("stream", "recordContent"),
+        ("directory", "registerMovie"),
+    ],
+}
+
+#: Which agent interaction name answers which agent port.
+_AGENT_RESPONSE = {
+    "directory": "DirectoryResponse",
+    "stream": "StreamResponse",
+    "equipment": "EquipmentResponse",
+}
+
+
+class ServerMca(Module):
+    """Server-side Movie Control Agent."""
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("idle", "associated")
+    INITIAL_STATE = "idle"
+    LAYER = "mcam"
+
+    pres = ip("pres", PRESENTATION_SERVICE, role="user")
+    directory = ip("directory", DIRECTORY_AGENT, role="mca")
+    stream = ip("stream", STREAM_AGENT, role="mca")
+    equipment = ip("equipment", EQUIPMENT_AGENT, role="mca")
+
+    def initialise(self) -> None:
+        super().initialise()
+        self.variables.setdefault("server_name", self.path)
+        self.variables.setdefault("client_name", "")
+        self.variables.setdefault("client_stream_address", "")
+        self.variables.setdefault("client_stream_port", 5004)
+        self.variables.setdefault("selected_movie", "")
+        self.variables.setdefault("requests_handled", 0)
+        self._clear_pipeline()
+
+    # -- association ------------------------------------------------------------------------------
+
+    @transition(from_state="idle", to_state="associated", when=("pres", "PConnectIndication"), cost=2.0)
+    def connect_indication(self, interaction) -> None:
+        user_data = interaction.param("user_data", b"")
+        client_name = ""
+        if user_data:
+            alternative, value = decode_pdu(user_data)
+            if alternative == "connectRequest":
+                client_name = value.get("clientName", "")
+                self.variables["client_stream_address"] = value.get("streamAddress", client_name)
+                self.variables["client_stream_port"] = value.get("streamPort", 5004)
+        self.variables["client_name"] = client_name
+        response = (
+            "connectResponse",
+            {"status": "success", "serverName": self.variables["server_name"]},
+        )
+        self.output(
+            "pres",
+            "PConnectResponse",
+            accepted=True,
+            contexts=tuple(interaction.param("contexts", ())),
+            user_data=encode_pdu(response),
+        )
+
+    @transition(from_state="associated", to_state="idle", when=("pres", "PReleaseIndication"), cost=1.5)
+    def release_indication(self, interaction) -> None:
+        self._clear_pipeline()
+        self.output("pres", "PReleaseResponse", user_data=encode_pdu(("releaseResponse", {"status": "success"})))
+
+    @transition(from_state="*", to_state="idle", when=("pres", "PAbortIndication"), priority=-2, cost=1.0)
+    def aborted(self, interaction) -> None:
+        self._clear_pipeline()
+
+    # -- request handling ----------------------------------------------------------------------------
+
+    @transition(from_state="associated", when=("pres", "PDataIndication"), cost=2.0)
+    def request_received(self, interaction) -> None:
+        alternative, value = _pdu_of(interaction)
+        self.variables["requests_handled"] += 1
+        pipeline = SERVER_PIPELINES.get(alternative)
+        if pipeline is None:
+            self._respond(("releaseResponse", {"status": "protocolError"}))
+            return
+        self.variables["request"] = (alternative, value)
+        self.variables["pipeline"] = list(pipeline)
+        self.variables["collected"] = {}
+        self._issue_next_step()
+
+    @transition(
+        from_state="associated",
+        when=("directory", "DirectoryResponse"),
+        cost=1.5,
+    )
+    def directory_response(self, interaction) -> None:
+        self._step_completed(interaction.params)
+
+    @transition(from_state="associated", when=("stream", "StreamResponse"), cost=1.5)
+    def stream_response(self, interaction) -> None:
+        self._step_completed(interaction.params)
+
+    @transition(from_state="associated", when=("equipment", "EquipmentResponse"), cost=1.5)
+    def equipment_response(self, interaction) -> None:
+        self._step_completed(interaction.params)
+
+    # -- pipeline machinery ------------------------------------------------------------------------------
+
+    def _clear_pipeline(self) -> None:
+        self.variables["request"] = None
+        self.variables["pipeline"] = []
+        self.variables["collected"] = {}
+
+    _AGENT_REQUEST = {
+        "directory": "DirectoryRequest",
+        "stream": "StreamRequest",
+        "equipment": "EquipmentRequest",
+    }
+
+    def _issue_next_step(self) -> None:
+        pipeline: List[Tuple[str, str]] = self.variables["pipeline"]
+        if not pipeline:
+            self._respond(self._build_response())
+            return
+        agent, operation = pipeline[0]
+        params = self._step_params(operation)
+        self.output(agent, self._AGENT_REQUEST[agent], **params)
+
+    def _respond(self, pdu: Tuple[str, Dict[str, Any]]) -> None:
+        self.output("pres", "PDataRequest", context_id=MCAM_CONTEXT_ID, value=pdu, data=encode_pdu(pdu))
+        self._clear_pipeline()
+
+    def _step_completed(self, result: Mapping[str, Any]) -> None:
+        if self.variables["request"] is None:
+            return  # stale response after an abort
+        pipeline: List[Tuple[str, str]] = self.variables["pipeline"]
+        if not pipeline:
+            return
+        agent, operation = pipeline.pop(0)
+        if not result.get("success", False):
+            status = result.get("status", "protocolError")
+            self._respond(self._failure_response(status))
+            return
+        collected: Dict[str, Any] = self.variables["collected"]
+        collected[f"{agent}:{operation}"] = dict(result)
+        collected.update(
+            {k: v for k, v in result.items() if k not in ("success", "error", "request_id")}
+        )
+        self._issue_next_step()
+
+    # -- per-step request parameters -----------------------------------------------------------------------
+
+    def _step_params(self, operation: str) -> Dict[str, Any]:
+        alternative, value = self.variables["request"]
+        collected: Dict[str, Any] = self.variables["collected"]
+        params: Dict[str, Any] = {"operation": operation}
+        if operation == "allocateContent":
+            params.update(
+                name=value["name"],
+                imageFormat=value.get("imageFormat", "mjpeg"),
+                frameRate=value.get("frameRate", 25),
+                durationSeconds=value.get("durationSeconds", 10),
+            )
+        elif operation == "releaseContent":
+            params.update(name=value["name"])
+        elif operation == "registerMovie":
+            attributes = dict(collected.get("attributes", {}))
+            extra = value.get("attributes")
+            if extra:
+                attributes.update(attributes_from_list(extra))
+            params.update(name=value["name"], attributes=attributes)
+        elif operation == "deleteMovie":
+            params.update(name=value["name"])
+        elif operation == "lookupMovie":
+            params.update(name=value["name"])
+        elif operation == "query":
+            params.update(name=value.get("name"), filter=value.get("filter"))
+        elif operation == "modifyAttributes":
+            params.update(name=value["name"], changes=attributes_from_list(value["changes"]))
+        elif operation == "preparePlayback" or operation == "prepareRecording" or operation == "stopAll":
+            params.update(site=self.variables.get("site", ""))
+            if not params["site"]:
+                params.pop("site")
+        elif operation == "startStream":
+            name = value.get("name") or self.variables["selected_movie"]
+            params.update(
+                name=name,
+                destination=self.variables["client_stream_address"] or self.variables["client_name"],
+                port=self.variables["client_stream_port"],
+                ratePercent=value.get("ratePercent", 100),
+            )
+        elif operation in ("pause", "resume", "stop"):
+            params.update(streamId=value["streamId"])
+        elif operation == "recordContent":
+            params.update(
+                name=value["name"],
+                durationSeconds=value.get("durationSeconds", 5),
+                imageFormat=value.get("imageFormat", "mjpeg"),
+                frameRate=value.get("frameRate", 25),
+            )
+        return params
+
+    # -- response construction ---------------------------------------------------------------------------------
+
+    def _failure_response(self, status: str) -> Tuple[str, Dict[str, Any]]:
+        alternative, _ = self.variables["request"]
+        response_name = RESPONSE_OF[alternative]
+        response: Dict[str, Any] = {"status": status}
+        if response_name == "queryAttributesResponse":
+            response["movies"] = []
+        if response_name == "connectResponse":
+            response["serverName"] = self.variables["server_name"]
+        return (response_name, response)
+
+    def _build_response(self) -> Tuple[str, Dict[str, Any]]:
+        alternative, value = self.variables["request"]
+        collected: Dict[str, Any] = self.variables["collected"]
+        response_name = RESPONSE_OF[alternative]
+        response: Dict[str, Any] = {"status": "success"}
+
+        if alternative == "createMovieRequest":
+            response["storageLocation"] = collected.get("storageLocation", "")
+        elif alternative == "selectMovieRequest":
+            self.variables["selected_movie"] = value["name"]
+            response["attributes"] = attributes_to_list(collected.get("attributes", {}))
+        elif alternative == "queryAttributesRequest":
+            response["movies"] = [
+                {"name": movie["name"], "attributes": attributes_to_list(movie["attributes"])}
+                for movie in collected.get("movies", [])
+            ]
+        elif alternative == "playRequest":
+            response["streamId"] = collected.get("streamId", 0)
+        elif alternative == "recordRequest":
+            response["frameCount"] = collected.get("frameCount", 0)
+        return (response_name, response)

@@ -1,0 +1,206 @@
+"""MCAM PDUs: the ASN.1 specification and helpers to build PDU values.
+
+All MCAM PDUs are specified in ASN.1 (Section 4.2); the textual module below
+is compiled with :func:`repro.asn1.compile_module` — the Python counterpart of
+the paper's ASN.1-to-C++ translator — and the resulting ``McamPdu`` CHOICE is
+registered as the abstract syntax carried in MCAM's presentation context.
+
+The operation set follows the MCAM service definition summarised in Section
+2: *access* (create, delete, select), *management* (query and modify
+attributes) and *control* (playback / record, with pause, resume, stop and
+position as the control sub-operations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..asn1 import Asn1Module, compile_module, decode, encode
+
+#: The abstract-syntax name used in the presentation context (Fig. 2 stacks).
+MCAM_ABSTRACT_SYNTAX = "mcam-pdus-1993"
+
+#: Presentation context id MCAM uses on its association.
+MCAM_CONTEXT_ID = 1
+
+MCAM_ASN1_SOURCE = """
+McamPDUs DEFINITIONS ::= BEGIN
+
+    MovieName   ::= IA5String (SIZE(128))
+    Reason      ::= IA5String (SIZE(256))
+    StreamId    ::= INTEGER
+    Status      ::= ENUMERATED {
+        success(0), movieExists(1), noSuchMovie(2), notSelected(3),
+        directoryFailure(4), streamFailure(5), equipmentFailure(6),
+        refused(7), protocolError(8)
+    }
+
+    Attribute ::= SEQUENCE {
+        name  IA5String (SIZE(64)),
+        value IA5String (SIZE(512))
+    }
+    AttributeList ::= SEQUENCE OF Attribute
+
+    MovieDescription ::= SEQUENCE {
+        name       MovieName,
+        attributes AttributeList
+    }
+    MovieDescriptionList ::= SEQUENCE OF MovieDescription
+
+    ConnectRequest ::= SEQUENCE {
+        version    INTEGER DEFAULT 1,
+        clientName IA5String (SIZE(128)),
+        streamAddress IA5String (SIZE(128)) OPTIONAL,
+        streamPort INTEGER OPTIONAL
+    }
+    ConnectResponse ::= SEQUENCE {
+        status Status,
+        serverName IA5String (SIZE(128))
+    }
+
+    ReleaseRequest  ::= SEQUENCE { reason Reason OPTIONAL }
+    ReleaseResponse ::= SEQUENCE { status Status }
+
+    CreateMovieRequest ::= SEQUENCE {
+        name            MovieName,
+        imageFormat     IA5String (SIZE(32)) DEFAULT "mjpeg",
+        frameRate       INTEGER DEFAULT 25,
+        durationSeconds INTEGER DEFAULT 10,
+        attributes      AttributeList OPTIONAL
+    }
+    CreateMovieResponse ::= SEQUENCE {
+        status          Status,
+        storageLocation IA5String (SIZE(256)) OPTIONAL
+    }
+
+    DeleteMovieRequest  ::= SEQUENCE { name MovieName }
+    DeleteMovieResponse ::= SEQUENCE { status Status }
+
+    SelectMovieRequest  ::= SEQUENCE { name MovieName }
+    SelectMovieResponse ::= SEQUENCE {
+        status     Status,
+        attributes AttributeList OPTIONAL
+    }
+
+    QueryAttributesRequest ::= SEQUENCE {
+        name   MovieName OPTIONAL,
+        filter IA5String (SIZE(256)) OPTIONAL
+    }
+    QueryAttributesResponse ::= SEQUENCE {
+        status Status,
+        movies MovieDescriptionList
+    }
+
+    ModifyAttributesRequest ::= SEQUENCE {
+        name    MovieName,
+        changes AttributeList
+    }
+    ModifyAttributesResponse ::= SEQUENCE { status Status }
+
+    PlayRequest ::= SEQUENCE {
+        name        MovieName OPTIONAL,
+        startFrame  INTEGER DEFAULT 0,
+        ratePercent INTEGER DEFAULT 100
+    }
+    PlayResponse ::= SEQUENCE {
+        status   Status,
+        streamId StreamId OPTIONAL
+    }
+
+    PauseRequest   ::= SEQUENCE { streamId StreamId }
+    PauseResponse  ::= SEQUENCE { status Status }
+    ResumeRequest  ::= SEQUENCE { streamId StreamId }
+    ResumeResponse ::= SEQUENCE { status Status }
+    StopRequest    ::= SEQUENCE { streamId StreamId }
+    StopResponse   ::= SEQUENCE { status Status }
+
+    RecordRequest ::= SEQUENCE {
+        name            MovieName,
+        durationSeconds INTEGER DEFAULT 5,
+        imageFormat     IA5String (SIZE(32)) DEFAULT "mjpeg",
+        frameRate       INTEGER DEFAULT 25
+    }
+    RecordResponse ::= SEQUENCE {
+        status Status,
+        frameCount INTEGER OPTIONAL
+    }
+
+    McamPdu ::= CHOICE {
+        connectRequest           ConnectRequest,
+        connectResponse          ConnectResponse,
+        releaseRequest           ReleaseRequest,
+        releaseResponse          ReleaseResponse,
+        createMovieRequest       CreateMovieRequest,
+        createMovieResponse      CreateMovieResponse,
+        deleteMovieRequest       DeleteMovieRequest,
+        deleteMovieResponse      DeleteMovieResponse,
+        selectMovieRequest       SelectMovieRequest,
+        selectMovieResponse      SelectMovieResponse,
+        queryAttributesRequest   QueryAttributesRequest,
+        queryAttributesResponse  QueryAttributesResponse,
+        modifyAttributesRequest  ModifyAttributesRequest,
+        modifyAttributesResponse ModifyAttributesResponse,
+        playRequest              PlayRequest,
+        playResponse             PlayResponse,
+        pauseRequest             PauseRequest,
+        pauseResponse            PauseResponse,
+        resumeRequest            ResumeRequest,
+        resumeResponse           ResumeResponse,
+        stopRequest              StopRequest,
+        stopResponse             StopResponse,
+        recordRequest            RecordRequest,
+        recordResponse           RecordResponse
+    }
+
+END
+"""
+
+#: The compiled ASN.1 module (shared by every MCAM entity in the process).
+MCAM_MODULE: Asn1Module = compile_module(MCAM_ASN1_SOURCE)
+
+#: The top-level PDU type carried in P-DATA.
+MCAM_PDU = MCAM_MODULE.get("McamPdu")
+
+#: request alternative name -> response alternative name
+RESPONSE_OF: Dict[str, str] = {
+    "connectRequest": "connectResponse",
+    "releaseRequest": "releaseResponse",
+    "createMovieRequest": "createMovieResponse",
+    "deleteMovieRequest": "deleteMovieResponse",
+    "selectMovieRequest": "selectMovieResponse",
+    "queryAttributesRequest": "queryAttributesResponse",
+    "modifyAttributesRequest": "modifyAttributesResponse",
+    "playRequest": "playResponse",
+    "pauseRequest": "pauseResponse",
+    "resumeRequest": "resumeResponse",
+    "stopRequest": "stopResponse",
+    "recordRequest": "recordResponse",
+}
+
+
+def encode_pdu(pdu: Tuple[str, Mapping[str, Any]]) -> bytes:
+    """BER-encode an MCAM PDU value."""
+    return encode(MCAM_PDU, pdu)
+
+
+def decode_pdu(data: bytes) -> Tuple[str, Dict[str, Any]]:
+    """Decode BER octets into an MCAM PDU value."""
+    return decode(MCAM_PDU, data)
+
+
+def attributes_to_list(attributes: Mapping[str, Any]) -> List[Dict[str, str]]:
+    """Convert a Python attribute mapping into the AttributeList PDU form."""
+    return [{"name": str(name), "value": str(value)} for name, value in sorted(attributes.items())]
+
+
+def attributes_from_list(attribute_list: List[Mapping[str, str]]) -> Dict[str, str]:
+    """Convert an AttributeList PDU value back into a mapping."""
+    return {item["name"]: item["value"] for item in attribute_list}
+
+
+def is_request(alternative: str) -> bool:
+    return alternative in RESPONSE_OF
+
+
+def is_response(alternative: str) -> bool:
+    return alternative in set(RESPONSE_OF.values())

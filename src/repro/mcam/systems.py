@@ -1,0 +1,245 @@
+"""MCAM client and server system modules and the full specification (Fig. 2).
+
+The specification mirrors the paper's experimental configuration: a fixed
+number of client entities (Estelle cannot create new clients at runtime —
+Section 4.1), one MCAM server entity per client connection running on the
+KSR1, and either the generated OSI stack (presentation + session + transport
+pipe) or the hand-coded ISODE interface underneath each MCAM module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..estelle import Module, ModuleAttribute, Specification, ip, transition
+from ..osi import (
+    IsodeBroker,
+    IsodeInterfaceModule,
+    PresentationEntity,
+    SessionEntity,
+    SyntaxRegistry,
+    TransportPipe,
+)
+from .agents import DirectoryAgentModule, EquipmentAgentModule, StreamAgentModule
+from .channels import MCAM_SERVICE
+from .context import ServerContext
+from .mca import ClientMca, ServerMca
+from .pdus import MCAM_ABSTRACT_SYNTAX, MCAM_PDU
+
+
+def mcam_syntax_registry() -> SyntaxRegistry:
+    """A presentation syntax registry with the MCAM abstract syntax registered."""
+    registry = SyntaxRegistry()
+    registry.register(MCAM_ABSTRACT_SYNTAX, MCAM_PDU)
+    return registry
+
+
+class ClientApplication(Module):
+    """The application module: the stand-in for the generated X interface.
+
+    The paper generated an X-window interface from the channel description;
+    here the "user" is a command queue (``variables["commands"]``, a list of
+    MCAM PDU values) filled by the high-level API or an example script.
+    Responses are collected in ``variables["responses"]``.
+    """
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("ready", "waiting")
+    INITIAL_STATE = "ready"
+    LAYER = "application"
+
+    mcam = ip("mcam", MCAM_SERVICE, role="user")
+
+    def initialise(self) -> None:
+        super().initialise()
+        self.variables.setdefault("commands", [])
+        self.variables.setdefault("responses", [])
+        self.variables.setdefault("indications", [])
+
+    @transition(
+        from_state="ready",
+        to_state="waiting",
+        provided=lambda m: len(m.variables["commands"]) > 0,
+        cost=1.0,
+    )
+    def issue_request(self) -> None:
+        pdu = self.variables["commands"].pop(0)
+        self.output("mcam", "McamRequest", pdu=pdu)
+
+    @transition(from_state="waiting", to_state="ready", when=("mcam", "McamConfirm"), cost=1.0)
+    def confirm(self, interaction) -> None:
+        self.variables["responses"].append(interaction.param("pdu"))
+
+    @transition(from_state="*", when=("mcam", "McamIndication"), priority=1, cost=1.0)
+    def indication(self, interaction) -> None:
+        self.variables["indications"].append(interaction.param("pdu"))
+
+
+class McamClientSystem(Module):
+    """One MCAM client entity: application + client MCA + control stack."""
+
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("running",)
+    LAYER = "client"
+
+    def initialise(self) -> None:
+        super().initialise()
+        stack: str = self.variables.get("stack", "generated")
+        syntaxes: SyntaxRegistry = self.variables.get("syntaxes") or mcam_syntax_registry()
+        application = self.create_child(ClientApplication, "app")
+        mca = self.create_child(
+            ClientMca, "mca", server_address=self.variables.get("server_address", "mcam-server")
+        )
+        application.ip_named("mcam").connect_to(mca.ip_named("user"))
+
+        if stack == "generated":
+            presentation = self.create_child(PresentationEntity, "presentation", syntaxes=syntaxes)
+            session = self.create_child(SessionEntity, "session")
+            mca.ip_named("pres").connect_to(presentation.ip_named("user"))
+            presentation.ip_named("session").connect_to(session.ip_named("user"))
+        elif stack == "isode":
+            interface = self.create_child(
+                IsodeInterfaceModule,
+                "isode",
+                broker=self.variables["broker"],
+                address=self.variables.get("isode_address", self.path),
+            )
+            mca.ip_named("pres").connect_to(interface.ip_named("user"))
+        else:
+            raise ValueError(f"unknown stack variant {stack!r}")
+
+    @property
+    def application(self) -> ClientApplication:
+        return self.children["app"]  # type: ignore[return-value]
+
+
+class _ServerEntity(Module):
+    """One server-side MCAM entity (handles one client connection)."""
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("running",)
+    LAYER = "entity"
+
+    def initialise(self) -> None:
+        super().initialise()
+        context: ServerContext = self.variables["context"]
+        stack: str = self.variables.get("stack", "generated")
+        syntaxes: SyntaxRegistry = self.variables.get("syntaxes") or mcam_syntax_registry()
+
+        mca = self.create_child(ServerMca, "mca", server_name=self.path, site=context.host)
+        dua = self.create_child(DirectoryAgentModule, "dua", context=context)
+        sua = self.create_child(StreamAgentModule, "sua", context=context)
+        eua = self.create_child(EquipmentAgentModule, "eua", context=context)
+        mca.ip_named("directory").connect_to(dua.ip_named("mca"))
+        mca.ip_named("stream").connect_to(sua.ip_named("mca"))
+        mca.ip_named("equipment").connect_to(eua.ip_named("mca"))
+
+        if stack == "generated":
+            presentation = self.create_child(PresentationEntity, "presentation", syntaxes=syntaxes)
+            session = self.create_child(SessionEntity, "session")
+            mca.ip_named("pres").connect_to(presentation.ip_named("user"))
+            presentation.ip_named("session").connect_to(session.ip_named("user"))
+        elif stack == "isode":
+            interface = self.create_child(
+                IsodeInterfaceModule,
+                "isode",
+                broker=self.variables["broker"],
+                address=self.variables["isode_address"],
+            )
+            mca.ip_named("pres").connect_to(interface.ip_named("user"))
+        else:
+            raise ValueError(f"unknown stack variant {stack!r}")
+
+
+class McamServerSystem(Module):
+    """The MCAM server: one server entity per expected client connection."""
+
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("running",)
+    LAYER = "server"
+
+    def initialise(self) -> None:
+        super().initialise()
+        for index in range(self.variables.get("entities", 1)):
+            self.create_child(
+                _ServerEntity,
+                f"entity-{index}",
+                context=self.variables["context"],
+                stack=self.variables.get("stack", "generated"),
+                syntaxes=self.variables.get("syntaxes"),
+                broker=self.variables.get("broker"),
+                isode_address=f"mcam-server-{index}",
+            )
+
+
+class McamPipeSystem(Module):
+    """Transport pipes between client and server control stacks."""
+
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("running",)
+    LAYER = "transport"
+
+    def initialise(self) -> None:
+        super().initialise()
+        for index in range(self.variables.get("connections", 1)):
+            self.create_child(TransportPipe, f"pipe-{index}")
+
+
+def build_mcam_specification(
+    context: ServerContext,
+    clients: int = 2,
+    stack: str = "generated",
+    server_location: str = "ksr1",
+    client_locations: Optional[Sequence[str]] = None,
+    stream_ports: Optional[Sequence[int]] = None,
+) -> Tuple[Specification, Optional[IsodeBroker]]:
+    """Build the Fig. 2 configuration.
+
+    Returns the specification and, for the ISODE stack variant, the broker the
+    interface modules share (None for the generated stack).
+    """
+    if clients < 1:
+        raise ValueError("at least one client is required")
+    locations = list(client_locations or [f"client-ws-{i + 1}" for i in range(clients)])
+    if len(locations) != clients:
+        raise ValueError("client_locations must name one machine per client")
+    ports = list(stream_ports or [5004 + i for i in range(clients)])
+
+    syntaxes = mcam_syntax_registry()
+    broker: Optional[IsodeBroker] = IsodeBroker() if stack == "isode" else None
+
+    spec = Specification("mcam")
+    server = spec.add_system_module(
+        McamServerSystem,
+        "server",
+        location=server_location,
+        entities=clients,
+        context=context,
+        stack=stack,
+        syntaxes=syntaxes,
+        broker=broker,
+    )
+    pipes = None
+    if stack == "generated":
+        pipes = spec.add_system_module(
+            McamPipeSystem, "pipes", location=server_location, connections=clients
+        )
+    for index in range(clients):
+        client = spec.add_system_module(
+            McamClientSystem,
+            f"client-{index}",
+            location=locations[index],
+            stack=stack,
+            syntaxes=syntaxes,
+            broker=broker,
+            server_address=f"mcam-server-{index}",
+            isode_address=f"mcam-client-{index}",
+        )
+        if stack == "generated":
+            client_session = client.children["session"]
+            server_session = server.children[f"entity-{index}"].children["session"]
+            pipe = pipes.children[f"pipe-{index}"]
+            spec.connect(client_session.ip_named("transport"), pipe.ip_named("side_a"))
+            spec.connect(server_session.ip_named("transport"), pipe.ip_named("side_b"))
+    spec.validate()
+    return spec, broker

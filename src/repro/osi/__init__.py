@@ -1,0 +1,84 @@
+"""OSI upper layers: transport pipe, session, presentation, ACSE and ISODE.
+
+Two interchangeable control-protocol stacks are provided, matching the
+paper's Fig. 2:
+
+* the *generated* stack — :class:`SessionEntity` and :class:`PresentationEntity`
+  Estelle modules over a :class:`TransportPipe`;
+* the *hand-coded* stack — the :class:`IsodeInterfaceModule` driving the
+  in-process :class:`IsodeBroker` (the stand-in for the ISODE library).
+
+:mod:`repro.osi.testenv` rebuilds the Section 5.1 measurement environment on
+top of the generated stack.
+"""
+
+from .acse import (
+    ACSE_APDU,
+    AcseAssociation,
+    AcseError,
+    build_aare,
+    build_aarq,
+    build_rlre,
+    build_rlrq,
+    parse_apdu,
+)
+from .channels import (
+    ACSE_SERVICE,
+    PRESENTATION_SERVICE,
+    SESSION_SERVICE,
+    TRANSPORT_SERVICE,
+)
+from .isode import IsodeBroker, IsodeError, IsodeInterfaceModule
+from .pdus import (
+    PduError,
+    PresentationContext,
+    PresentationPdu,
+    SessionPdu,
+)
+from .presentation import DEFAULT_SYNTAXES, PresentationEntity, SyntaxRegistry
+from .session import SessionEntity
+from .testenv import (
+    Initiator,
+    InitiatorStack,
+    PipeSystem,
+    Responder,
+    ResponderStack,
+    build_transfer_specification,
+    transfer_progress,
+)
+from .transport import TransportPipe, TransportPipeSystem
+
+__all__ = [
+    "ACSE_APDU",
+    "ACSE_SERVICE",
+    "AcseAssociation",
+    "AcseError",
+    "DEFAULT_SYNTAXES",
+    "Initiator",
+    "InitiatorStack",
+    "IsodeBroker",
+    "IsodeError",
+    "IsodeInterfaceModule",
+    "PRESENTATION_SERVICE",
+    "PduError",
+    "PipeSystem",
+    "PresentationContext",
+    "PresentationEntity",
+    "PresentationPdu",
+    "Responder",
+    "ResponderStack",
+    "SESSION_SERVICE",
+    "SessionEntity",
+    "SessionPdu",
+    "SyntaxRegistry",
+    "TRANSPORT_SERVICE",
+    "TransportPipe",
+    "TransportPipeSystem",
+    "build_aare",
+    "build_aarq",
+    "build_rlre",
+    "build_rlrq",
+    "build_transfer_specification",
+    "parse_apdu",
+    "transfer_progress",
+]

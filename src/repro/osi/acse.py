@@ -1,0 +1,216 @@
+"""ACSE — Association Control Service Element (ISO 8649/8650 subset).
+
+MCAM associations in the ISODE-based stack are established through ACSE on
+top of the presentation service.  This module defines the four APDUs the
+kernel needs (AARQ, AARE, RLRQ, RLRE) with their ASN.1 schemas, BER
+encoding helpers and a small association state machine used by the hand-coded
+ISODE-style interface (:mod:`repro.osi.isode`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..asn1 import (
+    Choice,
+    Component,
+    Enumerated,
+    IA5String,
+    Integer,
+    OctetString,
+    Sequence,
+    decode,
+    encode,
+)
+
+
+class AcseError(Exception):
+    """Protocol errors of the association control service element."""
+
+
+# -- APDU schemas ------------------------------------------------------------------------
+
+AARQ_SCHEMA = Sequence(
+    "AARQ",
+    [
+        Component("protocolVersion", Integer(), default=1),
+        Component("applicationContextName", IA5String()),
+        Component("callingApTitle", IA5String(), optional=True),
+        Component("calledApTitle", IA5String(), optional=True),
+        Component("userInformation", OctetString(), optional=True),
+    ],
+)
+
+AARE_RESULT = Enumerated({"accepted": 0, "rejectedPermanent": 1, "rejectedTransient": 2})
+
+AARE_SCHEMA = Sequence(
+    "AARE",
+    [
+        Component("protocolVersion", Integer(), default=1),
+        Component("applicationContextName", IA5String()),
+        Component("result", AARE_RESULT),
+        Component("userInformation", OctetString(), optional=True),
+    ],
+)
+
+RLRQ_SCHEMA = Sequence(
+    "RLRQ",
+    [
+        Component("reason", Integer(), default=0),
+        Component("userInformation", OctetString(), optional=True),
+    ],
+)
+
+RLRE_SCHEMA = Sequence(
+    "RLRE",
+    [
+        Component("reason", Integer(), default=0),
+        Component("userInformation", OctetString(), optional=True),
+    ],
+)
+
+ACSE_APDU = Choice(
+    "AcseApdu",
+    [
+        ("aarq", AARQ_SCHEMA),
+        ("aare", AARE_SCHEMA),
+        ("rlrq", RLRQ_SCHEMA),
+        ("rlre", RLRE_SCHEMA),
+    ],
+)
+
+
+# -- convenience constructors ---------------------------------------------------------------
+
+
+def build_aarq(
+    application_context: str,
+    calling: str = "",
+    called: str = "",
+    user_information: bytes = b"",
+) -> bytes:
+    """Encode an A-ASSOCIATE request APDU."""
+    value = {"applicationContextName": application_context}
+    if calling:
+        value["callingApTitle"] = calling
+    if called:
+        value["calledApTitle"] = called
+    if user_information:
+        value["userInformation"] = user_information
+    return encode(ACSE_APDU, ("aarq", value))
+
+
+def build_aare(
+    application_context: str, accepted: bool, user_information: bytes = b""
+) -> bytes:
+    """Encode an A-ASSOCIATE response APDU."""
+    value = {
+        "applicationContextName": application_context,
+        "result": "accepted" if accepted else "rejectedPermanent",
+    }
+    if user_information:
+        value["userInformation"] = user_information
+    return encode(ACSE_APDU, ("aare", value))
+
+
+def build_rlrq(reason: int = 0) -> bytes:
+    return encode(ACSE_APDU, ("rlrq", {"reason": reason}))
+
+
+def build_rlre(reason: int = 0) -> bytes:
+    return encode(ACSE_APDU, ("rlre", {"reason": reason}))
+
+
+def parse_apdu(data: bytes) -> Tuple[str, dict]:
+    """Decode any ACSE APDU; returns (kind, value dict)."""
+    kind, value = decode(ACSE_APDU, data)
+    return kind, value
+
+
+# -- association state machine ------------------------------------------------------------------
+
+
+@dataclass
+class AcseAssociation:
+    """State machine of one ACSE association endpoint.
+
+    Used by the hand-coded ISODE interface module (and its tests) to keep the
+    association life cycle honest: requests are only legal in the states the
+    standard allows.
+    """
+
+    application_context: str = "mcam"
+    local_title: str = ""
+    remote_title: str = ""
+    state: str = "idle"  # idle | associating | associated | releasing
+
+    def associate_request(self, called: str, user_information: bytes = b"") -> bytes:
+        if self.state != "idle":
+            raise AcseError(f"A-ASSOCIATE request illegal in state {self.state!r}")
+        self.remote_title = called
+        self.state = "associating"
+        return build_aarq(
+            self.application_context,
+            calling=self.local_title,
+            called=called,
+            user_information=user_information,
+        )
+
+    def associate_indication(self, apdu: bytes) -> dict:
+        if self.state != "idle":
+            raise AcseError(f"A-ASSOCIATE indication illegal in state {self.state!r}")
+        kind, value = parse_apdu(apdu)
+        if kind != "aarq":
+            raise AcseError(f"expected AARQ, got {kind.upper()}")
+        self.remote_title = value.get("callingApTitle", "")
+        self.state = "associating"
+        return value
+
+    def associate_response(self, accepted: bool, user_information: bytes = b"") -> bytes:
+        if self.state != "associating":
+            raise AcseError(f"A-ASSOCIATE response illegal in state {self.state!r}")
+        self.state = "associated" if accepted else "idle"
+        return build_aare(self.application_context, accepted, user_information)
+
+    def associate_confirm(self, apdu: bytes) -> bool:
+        if self.state != "associating":
+            raise AcseError(f"A-ASSOCIATE confirm illegal in state {self.state!r}")
+        kind, value = parse_apdu(apdu)
+        if kind != "aare":
+            raise AcseError(f"expected AARE, got {kind.upper()}")
+        accepted = value["result"] == "accepted"
+        self.state = "associated" if accepted else "idle"
+        return accepted
+
+    def release_request(self) -> bytes:
+        if self.state != "associated":
+            raise AcseError(f"A-RELEASE request illegal in state {self.state!r}")
+        self.state = "releasing"
+        return build_rlrq()
+
+    def release_indication(self, apdu: bytes) -> None:
+        if self.state != "associated":
+            raise AcseError(f"A-RELEASE indication illegal in state {self.state!r}")
+        kind, _ = parse_apdu(apdu)
+        if kind != "rlrq":
+            raise AcseError(f"expected RLRQ, got {kind.upper()}")
+        self.state = "releasing"
+
+    def release_response(self) -> bytes:
+        if self.state != "releasing":
+            raise AcseError(f"A-RELEASE response illegal in state {self.state!r}")
+        self.state = "idle"
+        return build_rlre()
+
+    def release_confirm(self, apdu: bytes) -> None:
+        if self.state != "releasing":
+            raise AcseError(f"A-RELEASE confirm illegal in state {self.state!r}")
+        kind, _ = parse_apdu(apdu)
+        if kind != "rlre":
+            raise AcseError(f"expected RLRE, got {kind.upper()}")
+        self.state = "idle"
+
+    @property
+    def is_associated(self) -> bool:
+        return self.state == "associated"

@@ -1,0 +1,93 @@
+"""Estelle channel definitions for the OSI service boundaries.
+
+Each OSI layer boundary is an Estelle channel with a *user* and a *provider*
+role; the interactions are the service primitives of that boundary
+(request/indication/response/confirm).  These channels are shared by the
+generated (Estelle) protocol stack, the hand-coded ISODE-style interface
+module and the MCAM modules, which is what lets the two stack variants of the
+paper's Fig. 2 be swapped underneath the same MCAM specification.
+"""
+
+from __future__ import annotations
+
+from ..estelle import Channel
+
+#: Transport service boundary (simplified to the connectionless reliable pipe
+#: the paper's Section 5.1 test environment uses).
+TRANSPORT_SERVICE = Channel(
+    "TransportService",
+    user={
+        "TConnectRequest",
+        "TDataRequest",
+        "TDisconnectRequest",
+    },
+    provider={
+        "TConnectConfirm",
+        "TDataIndication",
+        "TDisconnectIndication",
+    },
+)
+
+#: Session service boundary (kernel functional unit).
+SESSION_SERVICE = Channel(
+    "SessionService",
+    user={
+        "SConnectRequest",
+        "SConnectResponse",
+        "SDataRequest",
+        "SReleaseRequest",
+        "SReleaseResponse",
+        "SAbortRequest",
+    },
+    provider={
+        "SConnectIndication",
+        "SConnectConfirm",
+        "SDataIndication",
+        "SReleaseIndication",
+        "SReleaseConfirm",
+        "SAbortIndication",
+    },
+)
+
+#: Presentation service boundary (kernel functional unit).  This is also the
+#: boundary offered by the hand-coded ISODE interface module, so the MCAM
+#: module can be placed on either implementation.
+PRESENTATION_SERVICE = Channel(
+    "PresentationService",
+    user={
+        "PConnectRequest",
+        "PConnectResponse",
+        "PDataRequest",
+        "PReleaseRequest",
+        "PReleaseResponse",
+        "PAbortRequest",
+    },
+    provider={
+        "PConnectIndication",
+        "PConnectConfirm",
+        "PDataIndication",
+        "PReleaseIndication",
+        "PReleaseConfirm",
+        "PAbortIndication",
+    },
+)
+
+#: ACSE association boundary (used by the ISODE-style hand-coded path).
+ACSE_SERVICE = Channel(
+    "AcseService",
+    user={
+        "AAssociateRequest",
+        "AAssociateResponse",
+        "ADataRequest",
+        "AReleaseRequest",
+        "AReleaseResponse",
+    },
+    provider={
+        "AAssociateIndication",
+        "AAssociateConfirm",
+        "ADataIndication",
+        "AReleaseIndication",
+        "AReleaseConfirm",
+        "AAbortIndication",
+    },
+)

@@ -1,0 +1,244 @@
+"""Session SPDUs and presentation PPDUs with a compact transfer encoding.
+
+The session and presentation *protocol* data units exchanged between peer
+entities are modelled as small dataclasses.  On the wire (i.e. across the
+simulated transport pipe) they are carried in a simple framed form:
+
+``[1 octet kind][2 octet big-endian length][payload octets]``
+
+with the structured header fields of connect/accept PDUs encoded in BER via a
+small ASN.1 SEQUENCE.  Full OSI would use the session layer's own encoding
+(ISO 8327) — the framing here keeps the byte counts realistic (a few octets of
+overhead per PDU) without reproducing that standard's octet layout, which none
+of the paper's measurements depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..asn1 import Component, IA5String, Integer, Sequence, decode, encode
+from ..asn1.ber import BerError
+
+
+class PduError(Exception):
+    """Raised for malformed framed PDUs."""
+
+
+# -- session PDUs (ISO 8327 kernel subset) -----------------------------------------
+
+SPDU_KINDS = {
+    "CN": 0x0D,  # CONNECT
+    "AC": 0x0E,  # ACCEPT
+    "RF": 0x0C,  # REFUSE
+    "DT": 0x01,  # DATA TRANSFER
+    "FN": 0x09,  # FINISH
+    "DN": 0x0A,  # DISCONNECT
+    "AB": 0x19,  # ABORT
+}
+_SPDU_BY_CODE = {code: kind for kind, code in SPDU_KINDS.items()}
+
+_CONNECT_HEADER = Sequence(
+    "SessionConnectHeader",
+    [
+        Component("callingAddress", IA5String()),
+        Component("calledAddress", IA5String()),
+        Component("connectionRef", Integer()),
+    ],
+)
+
+
+@dataclass(frozen=True)
+class SessionPdu:
+    """A session protocol data unit."""
+
+    kind: str
+    connection_ref: int = 0
+    calling_address: str = ""
+    called_address: str = ""
+    user_data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPDU_KINDS:
+            raise PduError(f"unknown SPDU kind {self.kind!r}")
+
+    def to_bytes(self) -> bytes:
+        if self.kind in ("CN", "AC", "RF"):
+            header = encode(
+                _CONNECT_HEADER,
+                {
+                    "callingAddress": self.calling_address,
+                    "calledAddress": self.called_address,
+                    "connectionRef": self.connection_ref,
+                },
+            )
+            payload = (
+                len(header).to_bytes(2, "big") + header + self.user_data
+            )
+        else:
+            payload = self.user_data
+        return _frame(SPDU_KINDS[self.kind], payload)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "SessionPdu":
+        code, payload = _unframe(data)
+        kind = _SPDU_BY_CODE.get(code)
+        if kind is None:
+            raise PduError(f"unknown SPDU code 0x{code:02x}")
+        if kind in ("CN", "AC", "RF"):
+            if len(payload) < 2:
+                raise PduError("truncated SPDU connect header")
+            header_length = int.from_bytes(payload[:2], "big")
+            header_bytes = payload[2 : 2 + header_length]
+            user_data = payload[2 + header_length :]
+            try:
+                header = decode(_CONNECT_HEADER, header_bytes)
+            except BerError as exc:
+                raise PduError(f"malformed SPDU connect header: {exc}") from exc
+            return SessionPdu(
+                kind=kind,
+                connection_ref=header["connectionRef"],
+                calling_address=header["callingAddress"],
+                called_address=header["calledAddress"],
+                user_data=user_data,
+            )
+        return SessionPdu(kind=kind, user_data=payload)
+
+
+# -- presentation PDUs (ISO 8823 kernel subset) --------------------------------------
+
+PPDU_KINDS = {
+    "CP": 0x31,   # Connect Presentation
+    "CPA": 0x32,  # Connect Presentation Accept
+    "CPR": 0x33,  # Connect Presentation Reject
+    "TD": 0x01,   # Transfer Data
+    "RL": 0x34,   # Release request
+    "RLA": 0x35,  # Release accept
+    "AB": 0x36,   # Abort
+}
+_PPDU_BY_CODE = {code: kind for kind, code in PPDU_KINDS.items()}
+
+_CONTEXT_ITEM = Sequence(
+    "PresentationContextItem",
+    [
+        Component("contextId", Integer()),
+        Component("abstractSyntax", IA5String()),
+        Component("transferSyntax", IA5String()),
+    ],
+)
+
+
+@dataclass(frozen=True)
+class PresentationContext:
+    """One negotiated presentation context."""
+
+    context_id: int
+    abstract_syntax: str
+    transfer_syntax: str = "ber"
+
+    def to_value(self) -> Dict[str, object]:
+        return {
+            "contextId": self.context_id,
+            "abstractSyntax": self.abstract_syntax,
+            "transferSyntax": self.transfer_syntax,
+        }
+
+    @staticmethod
+    def from_value(value: Dict[str, object]) -> "PresentationContext":
+        return PresentationContext(
+            context_id=int(value["contextId"]),
+            abstract_syntax=str(value["abstractSyntax"]),
+            transfer_syntax=str(value["transferSyntax"]),
+        )
+
+
+@dataclass(frozen=True)
+class PresentationPdu:
+    """A presentation protocol data unit."""
+
+    kind: str
+    contexts: Tuple[PresentationContext, ...] = ()
+    context_id: int = 0
+    user_data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.kind not in PPDU_KINDS:
+            raise PduError(f"unknown PPDU kind {self.kind!r}")
+
+    def to_bytes(self) -> bytes:
+        if self.kind in ("CP", "CPA", "CPR"):
+            encoded_contexts = b"".join(
+                _length_prefixed(encode(_CONTEXT_ITEM, c.to_value())) for c in self.contexts
+            )
+            payload = (
+                len(self.contexts).to_bytes(1, "big")
+                + encoded_contexts
+                + self.user_data
+            )
+        else:
+            payload = self.context_id.to_bytes(2, "big") + self.user_data
+        return _frame(PPDU_KINDS[self.kind], payload)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "PresentationPdu":
+        code, payload = _unframe(data)
+        kind = _PPDU_BY_CODE.get(code)
+        if kind is None:
+            raise PduError(f"unknown PPDU code 0x{code:02x}")
+        if kind in ("CP", "CPA", "CPR"):
+            if not payload:
+                raise PduError("truncated PPDU: missing context count")
+            count = payload[0]
+            cursor = 1
+            contexts: List[PresentationContext] = []
+            for _ in range(count):
+                item, cursor = _read_length_prefixed(payload, cursor)
+                contexts.append(PresentationContext.from_value(decode(_CONTEXT_ITEM, item)))
+            return PresentationPdu(
+                kind=kind, contexts=tuple(contexts), user_data=payload[cursor:]
+            )
+        if len(payload) < 2:
+            raise PduError("truncated PPDU: missing context id")
+        return PresentationPdu(
+            kind=kind,
+            context_id=int.from_bytes(payload[:2], "big"),
+            user_data=payload[2:],
+        )
+
+
+# -- framing helpers --------------------------------------------------------------------
+
+
+def _frame(code: int, payload: bytes) -> bytes:
+    if len(payload) > 0xFFFF:
+        raise PduError(f"payload of {len(payload)} octets exceeds the 64 KiB frame limit")
+    return bytes([code]) + len(payload).to_bytes(2, "big") + payload
+
+
+def _unframe(data: bytes) -> Tuple[int, bytes]:
+    if len(data) < 3:
+        raise PduError("truncated frame")
+    code = data[0]
+    length = int.from_bytes(data[1:3], "big")
+    payload = data[3 : 3 + length]
+    if len(payload) != length:
+        raise PduError("frame length mismatch")
+    if len(data) != 3 + length:
+        raise PduError("trailing octets after frame")
+    return code, payload
+
+
+def _length_prefixed(data: bytes) -> bytes:
+    return len(data).to_bytes(2, "big") + data
+
+
+def _read_length_prefixed(data: bytes, offset: int) -> Tuple[bytes, int]:
+    if offset + 2 > len(data):
+        raise PduError("truncated length-prefixed item")
+    length = int.from_bytes(data[offset : offset + 2], "big")
+    start = offset + 2
+    end = start + length
+    if end > len(data):
+        raise PduError("truncated length-prefixed item payload")
+    return data[start:end], end

@@ -1,0 +1,266 @@
+"""The presentation layer kernel as an Estelle module (ISO 8823 subset).
+
+The entity negotiates presentation contexts at connect time, and transforms
+P-DATA values between their abstract-syntax form (Python values conforming to
+an ASN.1 schema) and the BER transfer syntax on the way to/from the session
+service.  A context whose abstract syntax is not registered carries raw octet
+strings untouched — that pass-through mode is what the paper's Section 5.1
+kernel measurements ("without ASN.1 encoding/decoding") correspond to.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..asn1 import Asn1Type, decode, encode
+from ..estelle import Module, ModuleAttribute, ip, transition
+from .channels import PRESENTATION_SERVICE, SESSION_SERVICE
+from .pdus import PresentationContext, PresentationPdu
+
+
+class SyntaxRegistry:
+    """Registry of abstract syntaxes: name → ASN.1 schema.
+
+    The registry plays the role of the generated ASN.1 data structures and
+    codecs: the MCAM package registers its PDU type under the abstract-syntax
+    name carried in the presentation context, and both peers' presentation
+    entities share the registration (they were generated from the same ASN.1
+    module).
+    """
+
+    def __init__(self) -> None:
+        self._syntaxes: Dict[str, Asn1Type] = {}
+
+    def register(self, name: str, schema: Asn1Type) -> None:
+        self._syntaxes[name] = schema
+
+    def knows(self, name: str) -> bool:
+        return name in self._syntaxes
+
+    def schema(self, name: str) -> Asn1Type:
+        try:
+            return self._syntaxes[name]
+        except KeyError as exc:
+            raise KeyError(f"abstract syntax {name!r} is not registered") from exc
+
+    def encode_value(self, name: str, value: Any) -> bytes:
+        return encode(self.schema(name), value)
+
+    def decode_value(self, name: str, data: bytes) -> Any:
+        return decode(self.schema(name), data)
+
+
+#: Registry shared by default between every presentation entity of a process
+#: (both ends of a connection are generated from the same ASN.1 module).
+DEFAULT_SYNTAXES = SyntaxRegistry()
+
+
+def _incoming_kind(interaction) -> str:
+    data = interaction.param("user_data")
+    if not data:
+        return ""
+    try:
+        return PresentationPdu.from_bytes(data).kind
+    except Exception:
+        return ""
+
+
+def _kind_guard(*kinds: str):
+    return lambda module, interaction: _incoming_kind(interaction) in kinds
+
+
+class PresentationEntity(Module):
+    """Presentation-kernel protocol entity."""
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = (
+        "idle",
+        "outgoing",
+        "incoming",
+        "connected",
+        "releasing_out",
+        "releasing_in",
+    )
+    INITIAL_STATE = "idle"
+    LAYER = "presentation"
+
+    user = ip("user", PRESENTATION_SERVICE, role="provider")
+    session = ip("session", SESSION_SERVICE, role="user")
+
+    def initialise(self) -> None:
+        super().initialise()
+        self.variables.setdefault("syntaxes", DEFAULT_SYNTAXES)
+        self.variables.setdefault("contexts", {})
+        self.variables.setdefault("data_sent", 0)
+        self.variables.setdefault("data_received", 0)
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    @property
+    def _registry(self) -> SyntaxRegistry:
+        return self.variables["syntaxes"]
+
+    def _contexts(self) -> Dict[int, PresentationContext]:
+        return self.variables["contexts"]
+
+    def _store_contexts(self, contexts) -> None:
+        self.variables["contexts"] = {c.context_id: c for c in contexts}
+
+    def _encode_user_value(self, context_id: int, interaction) -> bytes:
+        """P-DATA: value → transfer syntax (or raw pass-through)."""
+        context = self._contexts().get(context_id)
+        value = interaction.param("value")
+        if value is not None and context is not None and self._registry.knows(context.abstract_syntax):
+            return self._registry.encode_value(context.abstract_syntax, value)
+        data = interaction.param("data", b"")
+        if isinstance(data, str):
+            data = data.encode("ascii")
+        return bytes(data)
+
+    def _decode_user_value(self, context_id: int, data: bytes):
+        context = self._contexts().get(context_id)
+        if context is not None and self._registry.knows(context.abstract_syntax):
+            return self._registry.decode_value(context.abstract_syntax, data)
+        return None
+
+    # -- connection establishment ----------------------------------------------------------------
+
+    @transition(from_state="idle", to_state="outgoing", when=("user", "PConnectRequest"), cost=1.4)
+    def connect_request(self, interaction) -> None:
+        contexts = tuple(interaction.param("contexts", ()))
+        self._store_contexts(contexts)
+        ppdu = PresentationPdu(kind="CP", contexts=contexts, user_data=interaction.param("user_data", b""))
+        self.output(
+            "session",
+            "SConnectRequest",
+            calling_address=interaction.param("calling_address", self.path),
+            called_address=interaction.param("called_address", ""),
+            connection_ref=interaction.param("connection_ref", 0),
+            user_data=ppdu.to_bytes(),
+        )
+
+    @transition(from_state="idle", to_state="incoming", when=("session", "SConnectIndication"), cost=1.4)
+    def connect_indication(self, interaction) -> None:
+        ppdu = PresentationPdu.from_bytes(interaction.param("user_data"))
+        self._store_contexts(ppdu.contexts)
+        self.output(
+            "user",
+            "PConnectIndication",
+            contexts=ppdu.contexts,
+            calling_address=interaction.param("calling_address", ""),
+            called_address=interaction.param("called_address", ""),
+            connection_ref=interaction.param("connection_ref", 0),
+            user_data=ppdu.user_data,
+        )
+
+    @transition(from_state="incoming", when=("user", "PConnectResponse"), cost=1.4)
+    def connect_response(self, interaction) -> None:
+        accepted = interaction.param("accepted", True)
+        contexts = tuple(interaction.param("contexts", tuple(self._contexts().values())))
+        if accepted:
+            self._store_contexts(contexts)
+        ppdu = PresentationPdu(
+            kind="CPA" if accepted else "CPR",
+            contexts=contexts,
+            user_data=interaction.param("user_data", b""),
+        )
+        self.output("session", "SConnectResponse", accepted=accepted, user_data=ppdu.to_bytes())
+        self.state = "connected" if accepted else "idle"
+
+    @transition(from_state="outgoing", when=("session", "SConnectConfirm"), cost=1.4)
+    def connect_confirm(self, interaction) -> None:
+        accepted = interaction.param("accepted", True)
+        ppdu = PresentationPdu.from_bytes(interaction.param("user_data")) if interaction.param("user_data") else None
+        if ppdu is not None and ppdu.kind == "CPR":
+            accepted = False
+        if ppdu is not None and accepted:
+            self._store_contexts(ppdu.contexts)
+        self.output(
+            "user",
+            "PConnectConfirm",
+            accepted=accepted,
+            contexts=tuple(self._contexts().values()),
+            user_data=ppdu.user_data if ppdu else b"",
+        )
+        self.state = "connected" if accepted else "idle"
+
+    # -- data transfer ------------------------------------------------------------------------------
+
+    @transition(from_state="connected", when=("user", "PDataRequest"), cost=1.0)
+    def data_request(self, interaction) -> None:
+        context_id = interaction.param("context_id", 1)
+        payload = self._encode_user_value(context_id, interaction)
+        ppdu = PresentationPdu(kind="TD", context_id=context_id, user_data=payload)
+        self.variables["data_sent"] += 1
+        self.output("session", "SDataRequest", user_data=ppdu.to_bytes())
+
+    @transition(
+        from_state="connected",
+        when=("session", "SDataIndication"),
+        provided=_kind_guard("TD"),
+        cost=1.0,
+    )
+    def data_indication(self, interaction) -> None:
+        ppdu = PresentationPdu.from_bytes(interaction.param("user_data"))
+        value = self._decode_user_value(ppdu.context_id, ppdu.user_data)
+        self.variables["data_received"] += 1
+        self.output(
+            "user",
+            "PDataIndication",
+            context_id=ppdu.context_id,
+            data=ppdu.user_data,
+            value=value,
+        )
+
+    # -- orderly release -----------------------------------------------------------------------------
+
+    @transition(
+        from_state="connected",
+        to_state="releasing_out",
+        when=("user", "PReleaseRequest"),
+        cost=1.0,
+    )
+    def release_request(self, interaction) -> None:
+        ppdu = PresentationPdu(kind="RL", user_data=interaction.param("user_data", b""))
+        self.output("session", "SReleaseRequest", user_data=ppdu.to_bytes())
+
+    @transition(
+        from_state="connected",
+        to_state="releasing_in",
+        when=("session", "SReleaseIndication"),
+        cost=1.0,
+    )
+    def release_indication(self, interaction) -> None:
+        ppdu = PresentationPdu.from_bytes(interaction.param("user_data"))
+        self.output("user", "PReleaseIndication", user_data=ppdu.user_data)
+
+    @transition(
+        from_state="releasing_in",
+        to_state="idle",
+        when=("user", "PReleaseResponse"),
+        cost=1.0,
+    )
+    def release_response(self, interaction) -> None:
+        ppdu = PresentationPdu(kind="RLA", user_data=interaction.param("user_data", b""))
+        self.output("session", "SReleaseResponse", user_data=ppdu.to_bytes())
+
+    @transition(
+        from_state="releasing_out",
+        to_state="idle",
+        when=("session", "SReleaseConfirm"),
+        cost=1.0,
+    )
+    def release_confirm(self, interaction) -> None:
+        ppdu = PresentationPdu.from_bytes(interaction.param("user_data"))
+        self.output("user", "PReleaseConfirm", user_data=ppdu.user_data)
+
+    # -- abort ------------------------------------------------------------------------------------------
+
+    @transition(from_state="*", to_state="idle", when=("user", "PAbortRequest"), priority=-1, cost=0.8)
+    def abort_request(self, interaction) -> None:
+        ppdu = PresentationPdu(kind="AB", user_data=interaction.param("user_data", b""))
+        self.output("session", "SAbortRequest", user_data=ppdu.to_bytes())
+
+    @transition(from_state="*", to_state="idle", when=("session", "SAbortIndication"), priority=-1, cost=0.8)
+    def abort_indication(self, interaction) -> None:
+        self.output("user", "PAbortIndication", user_data=interaction.param("user_data", b""))

@@ -1,0 +1,230 @@
+"""The session layer kernel as an Estelle module (ISO 8327 subset).
+
+The entity implements the kernel functional unit only — connection
+establishment, orderly release, data transfer and abort — which is exactly
+what the paper's Section 5.1 measurements exercised ("presentation and session
+kernel, without ASN.1 encoding/decoding").  The module offers the session
+service to its user (normally the presentation entity) on the ``user``
+interaction point and uses the transport service on the ``transport``
+interaction point.
+
+The Estelle sources for the presentation and session layers used by the paper
+were provided by the University of Bern; this module is an independent
+re-specification of the same kernel behaviour.
+"""
+
+from __future__ import annotations
+
+from ..estelle import Module, ModuleAttribute, ip, transition
+from .channels import SESSION_SERVICE, TRANSPORT_SERVICE
+from .pdus import SessionPdu
+
+
+def _incoming_kind(interaction) -> str:
+    """SPDU kind of a TDataIndication (used by the ``provided`` guards)."""
+    data = interaction.param("data")
+    if not data:
+        return ""
+    try:
+        return SessionPdu.from_bytes(data).kind
+    except Exception:
+        return ""
+
+
+def _kind_guard(kind: str):
+    return lambda module, interaction: _incoming_kind(interaction) == kind
+
+
+class SessionEntity(Module):
+    """Session-kernel protocol entity."""
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = (
+        "idle",
+        "outgoing",
+        "incoming",
+        "connected",
+        "releasing_out",
+        "releasing_in",
+    )
+    INITIAL_STATE = "idle"
+    LAYER = "session"
+
+    user = ip("user", SESSION_SERVICE, role="provider")
+    transport = ip("transport", TRANSPORT_SERVICE, role="user")
+
+    def initialise(self) -> None:
+        super().initialise()
+        self.variables.setdefault("local_address", self.path)
+        self.variables.setdefault("remote_address", "")
+        self.variables.setdefault("connection_ref", 0)
+        self.variables.setdefault("data_sent", 0)
+        self.variables.setdefault("data_received", 0)
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _send_spdu(self, pdu: SessionPdu) -> None:
+        self.output("transport", "TDataRequest", data=pdu.to_bytes())
+
+    # -- connection establishment ----------------------------------------------------------
+
+    @transition(from_state="idle", to_state="outgoing", when=("user", "SConnectRequest"), cost=1.2)
+    def connect_request(self, interaction) -> None:
+        self.variables["remote_address"] = interaction.param("called_address", "")
+        self.variables["connection_ref"] = interaction.param("connection_ref", 0)
+        self._send_spdu(
+            SessionPdu(
+                kind="CN",
+                connection_ref=self.variables["connection_ref"],
+                calling_address=interaction.param("calling_address", self.variables["local_address"]),
+                called_address=self.variables["remote_address"],
+                user_data=interaction.param("user_data", b""),
+            )
+        )
+
+    @transition(
+        from_state="idle",
+        to_state="incoming",
+        when=("transport", "TDataIndication"),
+        provided=_kind_guard("CN"),
+        cost=1.2,
+    )
+    def connect_indication(self, interaction) -> None:
+        pdu = SessionPdu.from_bytes(interaction.param("data"))
+        self.variables["remote_address"] = pdu.calling_address
+        self.variables["connection_ref"] = pdu.connection_ref
+        self.output(
+            "user",
+            "SConnectIndication",
+            calling_address=pdu.calling_address,
+            called_address=pdu.called_address,
+            connection_ref=pdu.connection_ref,
+            user_data=pdu.user_data,
+        )
+
+    @transition(from_state="incoming", when=("user", "SConnectResponse"), cost=1.2)
+    def connect_response(self, interaction) -> None:
+        accepted = interaction.param("accepted", True)
+        kind = "AC" if accepted else "RF"
+        self._send_spdu(
+            SessionPdu(
+                kind=kind,
+                connection_ref=self.variables["connection_ref"],
+                calling_address=self.variables["local_address"],
+                called_address=self.variables["remote_address"],
+                user_data=interaction.param("user_data", b""),
+            )
+        )
+        self.state = "connected" if accepted else "idle"
+
+    @transition(
+        from_state="outgoing",
+        to_state="connected",
+        when=("transport", "TDataIndication"),
+        provided=_kind_guard("AC"),
+        cost=1.2,
+    )
+    def connect_confirm(self, interaction) -> None:
+        pdu = SessionPdu.from_bytes(interaction.param("data"))
+        self.output(
+            "user",
+            "SConnectConfirm",
+            accepted=True,
+            connection_ref=pdu.connection_ref,
+            user_data=pdu.user_data,
+        )
+
+    @transition(
+        from_state="outgoing",
+        to_state="idle",
+        when=("transport", "TDataIndication"),
+        provided=_kind_guard("RF"),
+        cost=1.0,
+    )
+    def connect_refused(self, interaction) -> None:
+        pdu = SessionPdu.from_bytes(interaction.param("data"))
+        self.output(
+            "user",
+            "SConnectConfirm",
+            accepted=False,
+            connection_ref=pdu.connection_ref,
+            user_data=pdu.user_data,
+        )
+
+    # -- data transfer --------------------------------------------------------------------
+
+    @transition(from_state="connected", when=("user", "SDataRequest"), cost=1.0)
+    def data_request(self, interaction) -> None:
+        self.variables["data_sent"] += 1
+        self._send_spdu(SessionPdu(kind="DT", user_data=interaction.param("user_data", b"")))
+
+    @transition(
+        from_state="connected",
+        when=("transport", "TDataIndication"),
+        provided=_kind_guard("DT"),
+        cost=1.0,
+    )
+    def data_indication(self, interaction) -> None:
+        pdu = SessionPdu.from_bytes(interaction.param("data"))
+        self.variables["data_received"] += 1
+        self.output("user", "SDataIndication", user_data=pdu.user_data)
+
+    # -- orderly release -------------------------------------------------------------------
+
+    @transition(
+        from_state="connected",
+        to_state="releasing_out",
+        when=("user", "SReleaseRequest"),
+        cost=1.0,
+    )
+    def release_request(self, interaction) -> None:
+        self._send_spdu(SessionPdu(kind="FN", user_data=interaction.param("user_data", b"")))
+
+    @transition(
+        from_state="connected",
+        to_state="releasing_in",
+        when=("transport", "TDataIndication"),
+        provided=_kind_guard("FN"),
+        cost=1.0,
+    )
+    def release_indication(self, interaction) -> None:
+        pdu = SessionPdu.from_bytes(interaction.param("data"))
+        self.output("user", "SReleaseIndication", user_data=pdu.user_data)
+
+    @transition(
+        from_state="releasing_in",
+        to_state="idle",
+        when=("user", "SReleaseResponse"),
+        cost=1.0,
+    )
+    def release_response(self, interaction) -> None:
+        self._send_spdu(SessionPdu(kind="DN", user_data=interaction.param("user_data", b"")))
+
+    @transition(
+        from_state="releasing_out",
+        to_state="idle",
+        when=("transport", "TDataIndication"),
+        provided=_kind_guard("DN"),
+        cost=1.0,
+    )
+    def release_confirm(self, interaction) -> None:
+        pdu = SessionPdu.from_bytes(interaction.param("data"))
+        self.output("user", "SReleaseConfirm", user_data=pdu.user_data)
+
+    # -- abort -------------------------------------------------------------------------------
+
+    @transition(from_state="*", to_state="idle", when=("user", "SAbortRequest"), priority=-1, cost=0.8)
+    def abort_request(self, interaction) -> None:
+        self._send_spdu(SessionPdu(kind="AB", user_data=interaction.param("user_data", b"")))
+
+    @transition(
+        from_state="*",
+        to_state="idle",
+        when=("transport", "TDataIndication"),
+        provided=_kind_guard("AB"),
+        priority=-1,
+        cost=0.8,
+    )
+    def abort_indication(self, interaction) -> None:
+        pdu = SessionPdu.from_bytes(interaction.param("data"))
+        self.output("user", "SAbortIndication", user_data=pdu.user_data)

@@ -1,0 +1,87 @@
+"""Transport layer: the simulated transport pipe of the paper's test setup.
+
+Section 5.1: *"we specified a simple test environment in Estelle with two
+protocol stacks connected by a simulated transport layer pipe"*.  The pipe is
+an Estelle module with one interaction point per stack side; every
+``TDataRequest`` arriving on one side reappears as a ``TDataIndication`` on
+the other side.  Delivery is reliable and order-preserving (which is what the
+real ISODE TP0/TCP path provided for the low-rate control traffic).
+
+A connection-oriented flavour is not needed by the kernel experiments, but
+``TConnectRequest`` is answered with ``TConnectConfirm`` so specifications
+that want an explicit transport set-up phase also work.
+"""
+
+from __future__ import annotations
+
+from ..estelle import Module, ModuleAttribute, ip, transition
+from .channels import TRANSPORT_SERVICE
+
+
+class TransportPipe(Module):
+    """A bidirectional, reliable, order-preserving transport pipe."""
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("relay",)
+    LAYER = "transport"
+
+    side_a = ip("side_a", TRANSPORT_SERVICE, role="provider")
+    side_b = ip("side_b", TRANSPORT_SERVICE, role="provider")
+
+    def initialise(self) -> None:
+        super().initialise()
+        self.variables.setdefault("relayed", 0)
+
+    # -- data relay -----------------------------------------------------------------
+
+    @transition(from_state="relay", when=("side_a", "TDataRequest"), cost=0.5)
+    def relay_a_to_b(self, interaction) -> None:
+        self.variables["relayed"] += 1
+        self.output("side_b", "TDataIndication", data=interaction.param("data"))
+
+    @transition(from_state="relay", when=("side_b", "TDataRequest"), cost=0.5)
+    def relay_b_to_a(self, interaction) -> None:
+        self.variables["relayed"] += 1
+        self.output("side_a", "TDataIndication", data=interaction.param("data"))
+
+    # -- optional explicit connection phase ---------------------------------------------
+
+    @transition(from_state="relay", when=("side_a", "TConnectRequest"), cost=0.5)
+    def connect_a(self, interaction) -> None:
+        self.output("side_a", "TConnectConfirm")
+
+    @transition(from_state="relay", when=("side_b", "TConnectRequest"), cost=0.5)
+    def connect_b(self, interaction) -> None:
+        self.output("side_b", "TConnectConfirm")
+
+    # -- disconnect propagation -----------------------------------------------------------
+
+    @transition(from_state="relay", when=("side_a", "TDisconnectRequest"), cost=0.5)
+    def disconnect_a(self, interaction) -> None:
+        self.output("side_b", "TDisconnectIndication")
+
+    @transition(from_state="relay", when=("side_b", "TDisconnectRequest"), cost=0.5)
+    def disconnect_b(self, interaction) -> None:
+        self.output("side_a", "TDisconnectIndication")
+
+
+class TransportPipeSystem(Module):
+    """A system module holding one :class:`TransportPipe` per connection.
+
+    The number of pipes is configured with the ``connections`` variable; each
+    pipe is created as child ``pipe-<index>`` during initialisation, matching
+    the paper's fixed-at-specification-time structure.
+    """
+
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("running",)
+    LAYER = "transport"
+
+    def initialise(self) -> None:
+        super().initialise()
+        for index in range(self.variables.get("connections", 1)):
+            self.create_child(TransportPipe, f"pipe-{index}")
+
+    def pipe(self, index: int) -> TransportPipe:
+        """Convenience accessor used by specification builders."""
+        return self.children[f"pipe-{index}"]  # type: ignore[return-value]

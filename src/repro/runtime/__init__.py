@@ -1,0 +1,69 @@
+"""The parallel Estelle runtime (what the paper's code generator emits).
+
+Pieces:
+
+* dispatch strategies (hard-coded scan vs table-driven selection),
+* schedulers (centralised vs decentralised),
+* mapping strategies (thread-per-module, grouping, connection-per-processor,
+  layer-per-processor, sequential baseline),
+* the executor that runs a specification on a simulated cluster and produces
+  :class:`repro.sim.metrics.ExecutionMetrics`,
+* execution traces.
+"""
+
+from .dispatch import (
+    DispatchResult,
+    DispatchStrategy,
+    HardCodedDispatch,
+    TableDrivenDispatch,
+    dispatch_by_name,
+)
+from .executor import SpecificationExecutor, run_specification
+from .mapping import (
+    ConnectionPerProcessorMapping,
+    ExecutionUnit,
+    GroupedMapping,
+    LayerPerProcessorMapping,
+    MappingStrategy,
+    SequentialMapping,
+    SystemMapping,
+    ThreadPerModuleMapping,
+    mapping_by_name,
+)
+from .scheduler import (
+    CentralisedScheduler,
+    DecentralisedScheduler,
+    PlannedFiring,
+    RoundPlan,
+    Scheduler,
+    scheduler_by_name,
+)
+from .tracing import ExecutionTrace, FiringEvent, RoundRecord
+
+__all__ = [
+    "CentralisedScheduler",
+    "ConnectionPerProcessorMapping",
+    "DecentralisedScheduler",
+    "DispatchResult",
+    "DispatchStrategy",
+    "ExecutionTrace",
+    "ExecutionUnit",
+    "FiringEvent",
+    "GroupedMapping",
+    "HardCodedDispatch",
+    "LayerPerProcessorMapping",
+    "MappingStrategy",
+    "PlannedFiring",
+    "RoundPlan",
+    "RoundRecord",
+    "Scheduler",
+    "SequentialMapping",
+    "SpecificationExecutor",
+    "SystemMapping",
+    "TableDrivenDispatch",
+    "ThreadPerModuleMapping",
+    "dispatch_by_name",
+    "mapping_by_name",
+    "run_specification",
+    "scheduler_by_name",
+]

@@ -1,0 +1,322 @@
+"""The specification executor: Estelle semantics on a simulated multiprocessor.
+
+This is the runtime a code generator would emit.  It repeatedly asks the
+scheduler for a round plan (which modules fire), executes the selected
+transitions, and accounts the cost of every piece of work to the execution
+unit — and through the unit to the processor — that performs it:
+
+* transition action cost (``Transition.cost`` scaled by the machine model),
+* transition-selection cost (dispatch strategy, charged per examined module),
+* scheduler bookkeeping (serial for the centralised scheduler, per-unit for
+  the decentralised one),
+* message-passing cost, depending on whether an interaction stays within a
+  unit, crosses units on the same machine (thread synchronisation) or crosses
+  machines (remote message),
+* context-switch cost when several runnable units share a processor.
+
+The round's *makespan* is the serial scheduler overhead plus the busiest
+processor's work; simulated time advances by the makespan per round.  Speedup
+numbers in the benchmarks are ratios of the elapsed time of two executions of
+the same specification under different mappings/machines, exactly the
+methodology of the paper's Section 5.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..estelle.errors import SchedulingError
+from ..estelle.module import Module
+from ..estelle.specification import Specification
+from ..sim.machine import Cluster, CostModel, Machine
+from ..sim.metrics import ExecutionMetrics
+from .dispatch import DispatchStrategy, TableDrivenDispatch
+from .mapping import ExecutionUnit, MappingStrategy, SystemMapping, ThreadPerModuleMapping
+from .scheduler import DecentralisedScheduler, PlannedFiring, RoundPlan, Scheduler
+from .tracing import ExecutionTrace, FiringEvent
+
+
+class SpecificationExecutor:
+    """Executes a validated specification on a simulated cluster."""
+
+    def __init__(
+        self,
+        specification: Specification,
+        cluster: Cluster,
+        mapping: Optional[MappingStrategy] = None,
+        scheduler: Optional[Scheduler] = None,
+        dispatch: Optional[DispatchStrategy] = None,
+        cost_model: Optional[CostModel] = None,
+        trace: bool = False,
+    ):
+        self.specification = specification
+        self.cluster = cluster
+        self.mapping_strategy = mapping or ThreadPerModuleMapping()
+        self.scheduler = scheduler or DecentralisedScheduler()
+        self.dispatch = dispatch or TableDrivenDispatch()
+        self.cost_model = cost_model or cluster.machines()[0].cost_model
+        self.trace = ExecutionTrace(enabled=trace)
+        self.metrics = ExecutionMetrics()
+        self.deadlocked = False
+        self._round_index = 0
+
+        specification.validate()
+        self._mapping: SystemMapping = self.mapping_strategy.compute(
+            specification, cluster
+        )
+        # Modules created dynamically after the mapping was computed inherit
+        # their parent's unit (the paper's runtime attaches a new connection
+        # handler to the thread that created it unless remapped).
+        self._dynamic_unit: Dict[str, ExecutionUnit] = {}
+
+    # -- mapping helpers ----------------------------------------------------------
+
+    @property
+    def mapping(self) -> SystemMapping:
+        return self._mapping
+
+    def remap(self) -> None:
+        """Recompute the module-to-unit mapping (e.g. after many inits)."""
+        self._mapping = self.mapping_strategy.compute(self.specification, self.cluster)
+        self._dynamic_unit.clear()
+
+    def unit_of(self, module: Module) -> ExecutionUnit:
+        """Execution unit of a module, resolving dynamically created modules."""
+        path = module.path
+        if self._mapping.knows(path):
+            return self._mapping.unit_of(path)
+        if path in self._dynamic_unit:
+            return self._dynamic_unit[path]
+        ancestor = module.parent
+        while ancestor is not None:
+            if self._mapping.knows(ancestor.path):
+                unit = self._mapping.unit_of(ancestor.path)
+                self._dynamic_unit[path] = unit
+                return unit
+            if ancestor.path in self._dynamic_unit:
+                unit = self._dynamic_unit[ancestor.path]
+                self._dynamic_unit[path] = unit
+                return unit
+            ancestor = ancestor.parent
+        raise SchedulingError(
+            f"cannot determine an execution unit for module {path!r}"
+        )
+
+    def _unit_of_path(self, path: str) -> Optional[ExecutionUnit]:
+        if self._mapping.knows(path):
+            return self._mapping.unit_of(path)
+        return self._dynamic_unit.get(path)
+
+    # -- execution ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_rounds: int = 10_000,
+        stop_when_quiescent: bool = True,
+    ) -> ExecutionMetrics:
+        """Run rounds until quiescence (no enabled transition) or ``max_rounds``."""
+        for _ in range(max_rounds):
+            progressed = self.step_round()
+            if not progressed and stop_when_quiescent:
+                break
+        return self.metrics
+
+    def step_round(self) -> bool:
+        """Execute one computation round; returns False when nothing fired."""
+        plan = self.scheduler.plan_round(self.specification, self.dispatch)
+        if plan.empty:
+            self.deadlocked = self.specification.pending_interactions() > 0
+            return False
+
+        self._round_index += 1
+        self.trace.start_round(self._round_index)
+
+        unit_work: Dict[int, float] = defaultdict(float)
+        units_by_id: Dict[int, ExecutionUnit] = {}
+
+        serial_overhead = self._charge_selection(plan, unit_work, units_by_id)
+        self._charge_firings(plan, unit_work, units_by_id)
+        makespan = self._account_round(serial_overhead, unit_work, units_by_id)
+
+        self.metrics.rounds += 1
+        self.metrics.elapsed_time += makespan
+        self.metrics.round_makespans.append(makespan)
+        self.trace.finish_round(makespan, serial_overhead)
+        return True
+
+    # -- selection overhead -----------------------------------------------------------
+
+    def _charge_selection(
+        self,
+        plan: RoundPlan,
+        unit_work: Dict[int, float],
+        units_by_id: Dict[int, ExecutionUnit],
+    ) -> float:
+        """Charge scheduler bookkeeping + dispatch scanning; return serial part."""
+        per_module = self.scheduler.per_module_cost
+        scan_total = sum(plan.examined_costs.values())
+        if self.scheduler.centralised:
+            serial = per_module * plan.examined_modules + scan_total
+            self.metrics.scheduler_time += per_module * plan.examined_modules
+            self.metrics.dispatch_time += scan_total
+            return serial
+
+        for path, scan_cost in plan.examined_costs.items():
+            unit = self._unit_of_path(path)
+            if unit is None:
+                # Module examined before any firing established its unit; it
+                # will be resolved when it fires.  Charge it to no unit.
+                continue
+            units_by_id.setdefault(unit.uid, unit)
+            unit_work[unit.uid] += per_module + scan_cost
+            self.metrics.scheduler_time += per_module
+            self.metrics.dispatch_time += scan_cost
+        return 0.0
+
+    # -- firing ------------------------------------------------------------------------
+
+    def _charge_firings(
+        self,
+        plan: RoundPlan,
+        unit_work: Dict[int, float],
+        units_by_id: Dict[int, ExecutionUnit],
+    ) -> None:
+        for firing in plan.firings:
+            module = firing.module
+            unit = self.unit_of(module)
+            units_by_id.setdefault(unit.uid, unit)
+
+            sent_before = {
+                name: ip.sent_count for name, ip in module.ips.items()
+            }
+
+            if firing.is_external:
+                cost = module.external_step() * self.cost_model.transition_cost_scale
+                self.metrics.external_steps += 1
+                transition_name = "external_step"
+                state_before = state_after = module.state
+                interaction_name = None
+            else:
+                record = firing.result.transition.fire(module)
+                cost = record.cost * self.cost_model.transition_cost_scale
+                transition_name = record.transition.name
+                state_before = record.state_before
+                state_after = record.state_after
+                interaction_name = (
+                    record.interaction.name if record.interaction else None
+                )
+
+            module.note_fired()
+            self.metrics.transitions_fired += 1
+            self.metrics.transition_time += cost
+            unit_work[unit.uid] += cost
+
+            unit_work[unit.uid] += self._charge_messages(module, unit, sent_before)
+
+            self.trace.record_firing(
+                FiringEvent(
+                    round_index=self._round_index,
+                    module_path=module.path,
+                    transition_name=transition_name,
+                    state_before=state_before,
+                    state_after=state_after,
+                    interaction_name=interaction_name,
+                    cost=cost,
+                    unit_id=unit.uid,
+                    machine=unit.machine,
+                )
+            )
+
+    def _charge_messages(
+        self,
+        module: Module,
+        unit: ExecutionUnit,
+        sent_before: Dict[str, int],
+    ) -> float:
+        """Cost of the interactions the firing just emitted."""
+        cost = 0.0
+        for name, point in module.ips.items():
+            delta = point.sent_count - sent_before.get(name, 0)
+            if delta <= 0 or point.peer is None:
+                continue
+            peer_owner = point.peer.owner
+            peer_unit = (
+                self.unit_of(peer_owner) if isinstance(peer_owner, Module) else None
+            )
+            if peer_unit is None or peer_unit.uid == unit.uid:
+                per_message = self.cost_model.intra_unit_message_cost
+                self.metrics.messages_intra_unit += delta
+            elif peer_unit.machine != unit.machine:
+                per_message = self.cost_model.remote_message_cost
+                self.metrics.messages_cross_machine += delta
+            else:
+                per_message = self.cost_model.sync_cost
+                self.metrics.messages_cross_unit += delta
+            cost += per_message * delta
+            self.metrics.sync_time += per_message * delta
+        return cost
+
+    # -- per-round time accounting --------------------------------------------------------
+
+    def _account_round(
+        self,
+        serial_overhead: float,
+        unit_work: Dict[int, float],
+        units_by_id: Dict[int, ExecutionUnit],
+    ) -> float:
+        processor_work: Dict[Tuple[str, int], float] = defaultdict(float)
+        processor_units: Dict[Tuple[str, int], int] = defaultdict(int)
+
+        for uid, work in unit_work.items():
+            if work <= 0:
+                continue
+            unit = units_by_id[uid]
+            key = (unit.machine, unit.processor_index)
+            processor_work[key] += work
+            processor_units[key] += 1
+
+        context_switch_total = 0.0
+        for key, active_units in processor_units.items():
+            if active_units > 1:
+                penalty = self.cost_model.context_switch_cost * (active_units - 1)
+                processor_work[key] += penalty
+                context_switch_total += penalty
+                machine = self.cluster.get(key[0])
+                machine.processors[key[1]].context_switches += active_units - 1
+        self.metrics.context_switch_time += context_switch_total
+
+        for (machine_name, proc_index), work in processor_work.items():
+            machine = self.cluster.get(machine_name)
+            machine.processors[proc_index].busy_time += work
+            label = f"{machine_name}/cpu{proc_index}"
+            self.metrics.per_processor_busy[label] = (
+                self.metrics.per_processor_busy.get(label, 0.0) + work
+            )
+
+        parallel_part = max(processor_work.values()) if processor_work else 0.0
+        return serial_overhead + parallel_part
+
+
+def run_specification(
+    specification: Specification,
+    cluster: Cluster,
+    mapping: Optional[MappingStrategy] = None,
+    scheduler: Optional[Scheduler] = None,
+    dispatch: Optional[DispatchStrategy] = None,
+    cost_model: Optional[CostModel] = None,
+    max_rounds: int = 10_000,
+    trace: bool = False,
+) -> Tuple[ExecutionMetrics, SpecificationExecutor]:
+    """Convenience wrapper: build an executor, run to quiescence, return both."""
+    executor = SpecificationExecutor(
+        specification,
+        cluster,
+        mapping=mapping,
+        scheduler=scheduler,
+        dispatch=dispatch,
+        cost_model=cost_model,
+        trace=trace,
+    )
+    metrics = executor.run(max_rounds=max_rounds)
+    return metrics, executor

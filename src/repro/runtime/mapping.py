@@ -1,0 +1,300 @@
+"""Mapping of Estelle modules onto execution units, threads and processors.
+
+Section 5.2 of the paper: the generated runtime initially created *one thread
+per Estelle module* ("the maximum degree of parallelism allowed by Estelle
+semantics"), which loses when the number of modules exceeds the number of
+processors because of synchronisation and context-switch overhead.  The
+paper's remedy is to *group* modules into as many units as there are
+processors.  Section 3 adds that *connection-per-processor* beats
+*layer-per-processor*.
+
+A mapping assigns every module instance to exactly one :class:`ExecutionUnit`
+(the unit is what a thread executes: all modules in a unit run sequentially),
+and every unit to a processor of the machine the module's system module was
+placed on.  Interactions between modules of the same unit are cheap; crossing
+units costs synchronisation; crossing machines costs a remote message.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..estelle.module import Module
+from ..estelle.specification import Specification
+from ..sim.machine import Cluster, Machine
+
+
+@dataclass
+class ExecutionUnit:
+    """A group of modules executed sequentially by one (simulated) thread."""
+
+    uid: int
+    machine: str
+    processor_index: int
+    module_paths: List[str] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.module_paths)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ExecutionUnit(#{self.uid} {self.label or ''} on "
+            f"{self.machine}/cpu{self.processor_index}, modules={self.size})"
+        )
+
+
+class SystemMapping:
+    """The complete assignment of modules to units and units to processors."""
+
+    def __init__(self, units: Sequence[ExecutionUnit]):
+        self.units: List[ExecutionUnit] = list(units)
+        self._unit_of: Dict[str, ExecutionUnit] = {}
+        for unit in self.units:
+            for path in unit.module_paths:
+                if path in self._unit_of:
+                    raise ValueError(f"module {path!r} assigned to two units")
+                self._unit_of[path] = unit
+
+    def unit_of(self, module_path: str) -> ExecutionUnit:
+        try:
+            return self._unit_of[module_path]
+        except KeyError as exc:
+            raise KeyError(
+                f"module {module_path!r} has no execution unit; "
+                "was it created after the mapping was computed?"
+            ) from exc
+
+    def knows(self, module_path: str) -> bool:
+        return module_path in self._unit_of
+
+    def units_on(self, machine: str) -> List[ExecutionUnit]:
+        return [u for u in self.units if u.machine == machine]
+
+    def processors_used(self, machine: str) -> int:
+        return len({u.processor_index for u in self.units_on(machine)})
+
+    def describe(self) -> str:
+        lines = []
+        for unit in self.units:
+            members = ", ".join(unit.module_paths)
+            lines.append(
+                f"unit#{unit.uid} [{unit.label}] {unit.machine}/cpu{unit.processor_index}: {members}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+
+class MappingStrategy:
+    """Interface: derive a :class:`SystemMapping` from a specification."""
+
+    name = "abstract"
+
+    def compute(self, specification: Specification, cluster: Cluster) -> SystemMapping:
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _modules_by_machine(
+        specification: Specification, cluster: Cluster
+    ) -> Dict[str, List[Module]]:
+        grouped: Dict[str, List[Module]] = defaultdict(list)
+        default_machine = cluster.machines()[0].name if cluster.machines() else None
+        for module in specification.modules():
+            location = specification.location_of(module)
+            if location not in cluster:
+                if location == "local" and default_machine is not None:
+                    # "local" is the specification default, meaning "no explicit
+                    # placement comment": run on the cluster's first machine.
+                    location = default_machine
+                else:
+                    raise KeyError(
+                        f"module {module.path} is placed on {location!r}, which is not "
+                        "a machine of the cluster"
+                    )
+            grouped[location].append(module)
+        return grouped
+
+    @staticmethod
+    def _build_units(
+        groups_per_machine: Dict[str, List[Tuple[str, List[Module]]]],
+        cluster: Cluster,
+    ) -> SystemMapping:
+        """Turn per-machine (label, modules) groups into processor-assigned units."""
+        units: List[ExecutionUnit] = []
+        uid_counter = itertools.count(1)
+        for machine_name, groups in groups_per_machine.items():
+            machine = cluster.get(machine_name)
+            for index, (label, members) in enumerate(groups):
+                if not members:
+                    continue
+                units.append(
+                    ExecutionUnit(
+                        uid=next(uid_counter),
+                        machine=machine_name,
+                        processor_index=index % machine.processor_count,
+                        module_paths=[m.path for m in members],
+                        label=label,
+                    )
+                )
+        return SystemMapping(units)
+
+
+class ThreadPerModuleMapping(MappingStrategy):
+    """One unit (thread) per module — the generator's default, maximum parallelism."""
+
+    name = "thread-per-module"
+
+    def compute(self, specification: Specification, cluster: Cluster) -> SystemMapping:
+        by_machine = self._modules_by_machine(specification, cluster)
+        groups = {
+            machine: [(module.path, [module]) for module in modules]
+            for machine, modules in by_machine.items()
+        }
+        return self._build_units(groups, cluster)
+
+
+class SequentialMapping(MappingStrategy):
+    """All modules of a machine in a single unit: the sequential baseline."""
+
+    name = "sequential"
+
+    def compute(self, specification: Specification, cluster: Cluster) -> SystemMapping:
+        by_machine = self._modules_by_machine(specification, cluster)
+        groups = {
+            machine: [("all", modules)] for machine, modules in by_machine.items()
+        }
+        return self._build_units(groups, cluster)
+
+
+class GroupedMapping(MappingStrategy):
+    """The paper's grouping scheme: as many units as processors.
+
+    Modules of a machine are distributed over ``min(processors, modules)``
+    units.  Whole subtrees of the system module are kept together when
+    possible (a connection handler and its children stay in one unit), which
+    is what avoids the synchronisation losses the paper describes.
+    """
+
+    name = "grouped"
+
+    def __init__(self, max_units: Optional[int] = None):
+        self.max_units = max_units
+
+    def compute(self, specification: Specification, cluster: Cluster) -> SystemMapping:
+        by_machine = self._modules_by_machine(specification, cluster)
+        groups: Dict[str, List[Tuple[str, List[Module]]]] = {}
+        for machine_name, modules in by_machine.items():
+            machine = cluster.get(machine_name)
+            unit_count = min(
+                machine.processor_count if self.max_units is None else self.max_units,
+                len(modules),
+            )
+            unit_count = max(1, unit_count)
+            buckets: List[List[Module]] = [[] for _ in range(unit_count)]
+            # Keep subtrees together: assign each top-level subtree (system
+            # module child) to the currently least-loaded bucket; the system
+            # modules themselves go to bucket 0.
+            subtree_of: Dict[str, int] = {}
+            for module in modules:
+                anchor = self._subtree_anchor(module)
+                if anchor in subtree_of:
+                    buckets[subtree_of[anchor]].append(module)
+                else:
+                    target = min(range(unit_count), key=lambda i: len(buckets[i]))
+                    subtree_of[anchor] = target
+                    buckets[target].append(module)
+            groups[machine_name] = [
+                (f"group-{i}", bucket) for i, bucket in enumerate(buckets) if bucket
+            ]
+        return self._build_units(groups, cluster)
+
+    @staticmethod
+    def _subtree_anchor(module: Module) -> str:
+        """Path of the module's ancestor directly below its system module."""
+        system = module.system_module()
+        if system is None or module is system:
+            return module.path
+        node = module
+        while node.parent is not None and node.parent is not system:
+            node = node.parent
+        return node.path
+
+
+class ConnectionPerProcessorMapping(MappingStrategy):
+    """Group by connection: every connection-handler subtree is one unit.
+
+    The key function defaults to "the subtree rooted directly below the system
+    module", which in the MCAM and OSI specifications corresponds to one
+    protocol-entity instance per connection.  Modules with no such ancestor
+    (the system modules themselves) form a per-machine control unit.
+    """
+
+    name = "connection-per-processor"
+
+    def __init__(self, key: Optional[Callable[[Module], str]] = None):
+        self._key = key or GroupedMapping._subtree_anchor
+
+    def compute(self, specification: Specification, cluster: Cluster) -> SystemMapping:
+        by_machine = self._modules_by_machine(specification, cluster)
+        groups: Dict[str, List[Tuple[str, List[Module]]]] = {}
+        for machine_name, modules in by_machine.items():
+            keyed: Dict[str, List[Module]] = defaultdict(list)
+            for module in modules:
+                keyed[self._key(module)].append(module)
+            groups[machine_name] = [
+                (key, members) for key, members in sorted(keyed.items())
+            ]
+        return self._build_units(groups, cluster)
+
+
+class LayerPerProcessorMapping(MappingStrategy):
+    """Group by protocol layer: all instances of one layer share a unit.
+
+    Modules advertise their layer through a ``LAYER`` class attribute (the
+    OSI and MCAM modules in this repository all set it); modules without one
+    are grouped by their class name.  The paper reports this mapping to be
+    inferior to connection-per-processor because every end-to-end interaction
+    crosses a unit boundary at each layer.
+    """
+
+    name = "layer-per-processor"
+
+    def compute(self, specification: Specification, cluster: Cluster) -> SystemMapping:
+        by_machine = self._modules_by_machine(specification, cluster)
+        groups: Dict[str, List[Tuple[str, List[Module]]]] = {}
+        for machine_name, modules in by_machine.items():
+            keyed: Dict[str, List[Module]] = defaultdict(list)
+            for module in modules:
+                layer = getattr(type(module), "LAYER", type(module).__name__)
+                keyed[str(layer)].append(module)
+            groups[machine_name] = [
+                (key, members) for key, members in sorted(keyed.items())
+            ]
+        return self._build_units(groups, cluster)
+
+
+def mapping_by_name(name: str, **kwargs) -> MappingStrategy:
+    """Factory used by benchmarks and examples."""
+    strategies = {
+        ThreadPerModuleMapping.name: ThreadPerModuleMapping,
+        SequentialMapping.name: SequentialMapping,
+        GroupedMapping.name: GroupedMapping,
+        ConnectionPerProcessorMapping.name: ConnectionPerProcessorMapping,
+        LayerPerProcessorMapping.name: LayerPerProcessorMapping,
+    }
+    try:
+        return strategies[name](**kwargs)
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown mapping strategy {name!r}; choose from {sorted(strategies)}"
+        ) from exc

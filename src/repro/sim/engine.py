@@ -1,0 +1,172 @@
+"""A small discrete-event simulation engine.
+
+The engine drives everything in the reproduction that needs a notion of
+*time*: the simulated datagram network under the XMovie stream service, the
+isochronous MTP sender, jitter buffers, and QoS monitoring.  The Estelle
+runtime uses its own round-based cost accounting (see
+:mod:`repro.runtime.executor`), but shares this clock abstraction when a
+protocol stack and a media stream are simulated together.
+
+The design is the classic event-list simulator: a priority queue of
+``(time, sequence, callback)`` entries, a current-time cursor, and helpers for
+periodic processes.  Determinism matters more than performance here — given
+the same seed and the same schedule of events, a run always produces the same
+trace, which the property-based tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventScheduler.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventScheduler:
+    """Deterministic discrete-event scheduler.
+
+    Time is a float in abstract units; throughout the reproduction the
+    convention is *milliseconds* for the stream/network simulation.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.now: float = 0.0
+        self.processed_events = 0
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: EventCallback, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        event = _ScheduledEvent(
+            time=self.now + delay,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, label: str = ""
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(max(0.0, time - self.now), callback, label=label)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: EventCallback,
+        count: Optional[int] = None,
+        label: str = "",
+    ) -> None:
+        """Schedule ``callback`` every ``period`` units, ``count`` times (or forever).
+
+        "Forever" in a terminating simulation means "until :meth:`run_until`'s
+        horizon"; unbounded periodic events are only drained up to the horizon.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+
+        remaining = count
+
+        def tick() -> None:
+            nonlocal remaining
+            callback()
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    return
+            self.schedule(period, tick, label=label)
+
+        self.schedule(period, tick, label=label)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _pop_next(self) -> Optional[_ScheduledEvent]:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        event = self._pop_next()
+        if event is None:
+            return False
+        self.now = event.time
+        event.callback()
+        self.processed_events += 1
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains (or ``max_events`` is hit)."""
+        processed = 0
+        while max_events is None or processed < max_events:
+            if not self.step():
+                break
+            processed += 1
+        return processed
+
+    def run_until(self, horizon: float) -> int:
+        """Run events with time <= ``horizon``; advances ``now`` to the horizon."""
+        processed = 0
+        while True:
+            next_time = self.peek_next_time()
+            if next_time is None or next_time > horizon:
+                break
+            self.step()
+            processed += 1
+        self.now = max(self.now, horizon)
+        return processed
+
+    def pending(self) -> int:
+        """Number of pending, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock (for test isolation)."""
+        self._queue.clear()
+        self.now = 0.0
+        self.processed_events = 0

@@ -1,0 +1,177 @@
+"""Execution metrics collected by the runtime and the stream simulator.
+
+Two kinds of metrics matter in the paper's evaluation:
+
+* *Protocol execution metrics* (Section 5): elapsed simulated time, speedup of
+  a parallel configuration relative to the sequential one, the share of time
+  spent in the Estelle scheduler, synchronisation losses, and context-switch
+  losses.  These are accumulated in :class:`ExecutionMetrics`.
+* *Stream quality metrics* (Section 2 / Table 1): throughput, end-to-end
+  delay, delay jitter and loss of the continuous-media stream.  Those live in
+  :mod:`repro.stream.qos`; this module only provides the small statistics
+  helpers shared by both.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def std_dev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two samples)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class ExecutionMetrics:
+    """Accumulated cost breakdown of one execution of a specification."""
+
+    elapsed_time: float = 0.0
+    rounds: int = 0
+    transitions_fired: int = 0
+    external_steps: int = 0
+    transition_time: float = 0.0
+    dispatch_time: float = 0.0
+    scheduler_time: float = 0.0
+    sync_time: float = 0.0
+    context_switch_time: float = 0.0
+    messages_intra_unit: int = 0
+    messages_cross_unit: int = 0
+    messages_cross_machine: int = 0
+    per_processor_busy: Dict[str, float] = field(default_factory=dict)
+    round_makespans: List[float] = field(default_factory=list)
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all accounted work, regardless of where it ran."""
+        return (
+            self.transition_time
+            + self.dispatch_time
+            + self.scheduler_time
+            + self.sync_time
+            + self.context_switch_time
+        )
+
+    @property
+    def scheduler_share(self) -> float:
+        """Fraction of total work spent in the Estelle scheduler (paper: up to 0.8)."""
+        total = self.total_work
+        return self.scheduler_time / total if total > 0 else 0.0
+
+    @property
+    def overhead_share(self) -> float:
+        """Fraction of work that is pure overhead (scheduler + sync + switches)."""
+        total = self.total_work
+        if total <= 0:
+            return 0.0
+        return (self.scheduler_time + self.sync_time + self.context_switch_time) / total
+
+    def utilisation(self, processor_count: int) -> float:
+        """Mean processor utilisation implied by the elapsed time."""
+        if self.elapsed_time <= 0 or processor_count <= 0:
+            return 0.0
+        return self.total_work / (self.elapsed_time * processor_count)
+
+    def speedup_against(self, baseline: "ExecutionMetrics") -> float:
+        """Speedup of this run relative to ``baseline`` (baseline / this)."""
+        if self.elapsed_time <= 0:
+            return float("inf")
+        return baseline.elapsed_time / self.elapsed_time
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary used by the benchmark harness's report tables."""
+        return {
+            "elapsed_time": self.elapsed_time,
+            "rounds": float(self.rounds),
+            "transitions_fired": float(self.transitions_fired),
+            "external_steps": float(self.external_steps),
+            "transition_time": self.transition_time,
+            "dispatch_time": self.dispatch_time,
+            "scheduler_time": self.scheduler_time,
+            "sync_time": self.sync_time,
+            "context_switch_time": self.context_switch_time,
+            "scheduler_share": self.scheduler_share,
+            "overhead_share": self.overhead_share,
+        }
+
+
+@dataclass
+class LatencySeries:
+    """A growing series of latency samples with summary statistics.
+
+    Used by the MCAM client to record per-operation response times and by the
+    MTP receiver for packet delays.
+    """
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("latency samples must be non-negative")
+        self.samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return mean(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def jitter(self) -> float:
+        """Mean absolute difference between consecutive samples (RFC-3550 style)."""
+        if len(self.samples) < 2:
+            return 0.0
+        diffs = [
+            abs(b - a) for a, b in zip(self.samples, self.samples[1:])
+        ]
+        return mean(diffs)
+
+    def percentile(self, fraction: float) -> float:
+        return percentile(self.samples, fraction)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p95": self.percentile(0.95),
+            "jitter": self.jitter,
+        }

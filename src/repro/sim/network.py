@@ -1,0 +1,227 @@
+"""Simulated datagram network: links, FDDI-like rings and UDP/IP delivery.
+
+The paper runs the XMovie Movie Transmission Protocol "directly on top of UDP,
+IP and FDDI".  We model that path as a best-effort datagram service over a
+shared-medium link with configurable bandwidth, propagation delay, delay
+jitter and loss.  The control path (OSI transport) uses a separate, reliable
+ordered pipe built on the same link abstraction (see
+:mod:`repro.osi.transport`).
+
+The network is driven by the shared :class:`repro.sim.engine.EventScheduler`;
+delivery is asynchronous (a callback fires on the receiver when a datagram
+arrives) which is exactly the shape of the socket layer the original system
+programmed against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .engine import EventScheduler
+
+DeliveryCallback = Callable[["Datagram"], None]
+
+_datagram_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """A best-effort network datagram (UDP-like)."""
+
+    source: str
+    destination: str
+    payload: bytes
+    port: int = 0
+    uid: int = field(default_factory=lambda: next(_datagram_counter))
+    sent_at: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class LinkProfile:
+    """Transmission characteristics of a (shared) link.
+
+    ``bandwidth`` is in bytes per millisecond (so 12.5 corresponds roughly to
+    a 100 Mbit/s FDDI ring), ``latency`` and ``jitter`` in milliseconds, and
+    ``loss_rate`` is a probability in [0, 1] applied per datagram.
+    """
+
+    bandwidth: float = 12.5 * 1024
+    latency: float = 0.5
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+
+    def transmission_delay(self, size: int) -> float:
+        if self.bandwidth <= 0:
+            return 0.0
+        return size / self.bandwidth
+
+    def validate(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be within [0, 1]")
+        if self.latency < 0 or self.jitter < 0 or self.bandwidth < 0:
+            raise ValueError("latency, jitter and bandwidth must be non-negative")
+
+
+#: Approximation of the paper's FDDI campus ring: 100 Mbit/s, sub-millisecond
+#: propagation, negligible loss.
+FDDI_PROFILE = LinkProfile(bandwidth=12.5 * 1024, latency=0.3, jitter=0.05, loss_rate=0.0)
+
+#: A congested best-effort path used by the loss/jitter experiments.
+LOSSY_PROFILE = LinkProfile(bandwidth=4 * 1024, latency=2.0, jitter=1.5, loss_rate=0.02)
+
+
+@dataclass
+class NetworkStats:
+    """Counters kept per network instance."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.sent if self.sent else 1.0
+
+
+class DatagramNetwork:
+    """Best-effort datagram delivery between named hosts.
+
+    Hosts register a receive callback per (host, port).  Sending never blocks;
+    datagrams are delivered through the event scheduler after the link's
+    transmission + propagation delay, may be reordered by jitter and may be
+    dropped according to the loss rate.  All randomness is drawn from a
+    dedicated ``random.Random`` seeded at construction, keeping runs
+    reproducible.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        profile: Optional[LinkProfile] = None,
+        seed: int = 7,
+    ):
+        self.scheduler = scheduler
+        self.profile = profile or FDDI_PROFILE
+        self.profile.validate()
+        self._rng = random.Random(seed)
+        self._receivers: Dict[Tuple[str, int], DeliveryCallback] = {}
+        self.stats = NetworkStats()
+        self.in_flight = 0
+
+    # -- host management ----------------------------------------------------------
+
+    def bind(self, host: str, port: int, callback: DeliveryCallback) -> None:
+        """Register the receive callback for ``host``:``port``."""
+        key = (host, port)
+        if key in self._receivers:
+            raise ValueError(f"{host}:{port} is already bound")
+        self._receivers[key] = callback
+
+    def unbind(self, host: str, port: int) -> None:
+        self._receivers.pop((host, port), None)
+
+    def is_bound(self, host: str, port: int) -> bool:
+        return (host, port) in self._receivers
+
+    # -- sending --------------------------------------------------------------------
+
+    def send(self, source: str, destination: str, payload: bytes, port: int = 0) -> Datagram:
+        """Send a datagram; returns it (even if it will eventually be dropped)."""
+        datagram = Datagram(
+            source=source,
+            destination=destination,
+            payload=bytes(payload),
+            port=port,
+            sent_at=self.scheduler.now,
+        )
+        self.stats.sent += 1
+        self.stats.bytes_sent += datagram.size
+
+        if self._rng.random() < self.profile.loss_rate:
+            self.stats.dropped += 1
+            return datagram
+
+        delay = (
+            self.profile.latency
+            + self.profile.transmission_delay(datagram.size)
+            + (self._rng.uniform(0.0, self.profile.jitter) if self.profile.jitter else 0.0)
+        )
+        self.in_flight += 1
+        self.scheduler.schedule(
+            delay, lambda: self._deliver(datagram), label=f"deliver#{datagram.uid}"
+        )
+        return datagram
+
+    def _deliver(self, datagram: Datagram) -> None:
+        self.in_flight -= 1
+        callback = self._receivers.get((datagram.destination, datagram.port))
+        if callback is None:
+            # Matching real UDP semantics: datagrams to unbound ports vanish.
+            self.stats.dropped += 1
+            return
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += datagram.size
+        callback(datagram)
+
+
+class ReliablePipe:
+    """A reliable, ordered, bidirectional byte-message pipe between two hosts.
+
+    This is the "simulated transport layer pipe" of the paper's Section 5.1
+    test environment: the control stack (session/presentation/MCAM) runs on
+    top of it.  Reliability is modelled directly (no retransmission machinery)
+    because the underlying campus FDDI link in the original setup was
+    effectively loss-free for the low-rate control traffic.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        latency: float = 0.5,
+        per_byte_delay: float = 0.0001,
+    ):
+        self.scheduler = scheduler
+        self.latency = latency
+        self.per_byte_delay = per_byte_delay
+        self._endpoints: Dict[str, Callable[[str, bytes], None]] = {}
+        self.messages_carried = 0
+        self.bytes_carried = 0
+        self._sequence = itertools.count()
+        self._last_delivery_time: Dict[str, float] = {}
+
+    def attach(self, endpoint: str, callback: Callable[[str, bytes], None]) -> None:
+        """Attach an endpoint; ``callback(sender, payload)`` runs on delivery."""
+        if endpoint in self._endpoints:
+            raise ValueError(f"endpoint {endpoint!r} already attached to the pipe")
+        self._endpoints[endpoint] = callback
+
+    def detach(self, endpoint: str) -> None:
+        self._endpoints.pop(endpoint, None)
+
+    def send(self, sender: str, receiver: str, payload: bytes) -> None:
+        """Deliver ``payload`` to ``receiver`` after the pipe delay, in order."""
+        if receiver not in self._endpoints:
+            raise ValueError(f"unknown pipe endpoint {receiver!r}")
+        delay = self.latency + self.per_byte_delay * len(payload)
+        # In-order delivery: never deliver earlier than the previous message
+        # to the same receiver.
+        earliest = self._last_delivery_time.get(receiver, 0.0)
+        delivery_time = max(self.scheduler.now + delay, earliest)
+        self._last_delivery_time[receiver] = delivery_time
+        self.messages_carried += 1
+        self.bytes_carried += len(payload)
+        callback = self._endpoints[receiver]
+        self.scheduler.schedule_at(
+            delivery_time,
+            lambda: callback(sender, bytes(payload)),
+            label=f"pipe->{receiver}",
+        )

@@ -1,0 +1,62 @@
+"""The XMovie stream service: movies, MTP, jitter buffering and QoS.
+
+The continuous-media half of the paper's architecture (Table 1's right
+column): a synthetic movie model, the Movie Transmission Protocol over the
+simulated UDP/IP/FDDI path, receiver-side jitter buffering and QoS
+monitoring.
+"""
+
+from .jitter import JitterBuffer, PlayoutDecision
+from .movie import (
+    FORMATS,
+    Frame,
+    Movie,
+    MovieError,
+    MovieFormat,
+    MovieStore,
+    synthesise_movie,
+)
+from .mtp import (
+    DEFAULT_MTU,
+    MTP_HEADER_SIZE,
+    MtpError,
+    MtpPacket,
+    MtpReceiver,
+    MtpSender,
+    StreamProvider,
+    StreamStatistics,
+)
+from .qos import (
+    CONTROL_PROTOCOL_REQUIREMENTS,
+    STREAM_PROTOCOL_REQUIREMENTS,
+    QosMonitor,
+    QosReport,
+    QosRequirements,
+    compliance,
+)
+
+__all__ = [
+    "CONTROL_PROTOCOL_REQUIREMENTS",
+    "DEFAULT_MTU",
+    "FORMATS",
+    "Frame",
+    "JitterBuffer",
+    "MTP_HEADER_SIZE",
+    "Movie",
+    "MovieError",
+    "MovieFormat",
+    "MovieStore",
+    "MtpError",
+    "MtpPacket",
+    "MtpReceiver",
+    "MtpSender",
+    "PlayoutDecision",
+    "QosMonitor",
+    "QosReport",
+    "QosRequirements",
+    "STREAM_PROTOCOL_REQUIREMENTS",
+    "StreamProvider",
+    "StreamStatistics",
+    "compliance",
+    "synthesise_movie",
+]

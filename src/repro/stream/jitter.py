@@ -1,0 +1,116 @@
+"""Receiver-side jitter buffering for isochronous playout.
+
+A continuous-media stream needs *"delay and jitter control"* (Table 1).  The
+receiver cannot display frames the moment they arrive — network jitter would
+make playback stutter — so it delays the first frame by a configurable target
+and plays subsequent frames at the nominal frame interval relative to that
+anchored playout clock.  Frames that arrive after their playout time are
+counted as late and dropped (a lightweight policy: no retransmission, matching
+the stream-protocol column of Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PlayoutDecision:
+    """The buffer's verdict for one arriving frame."""
+
+    frame_index: int
+    arrival_time: float
+    playout_time: float
+    late: bool
+
+    @property
+    def buffered_for(self) -> float:
+        """How long the frame waits in the buffer before playout (0 when late)."""
+        return 0.0 if self.late else self.playout_time - self.arrival_time
+
+
+class JitterBuffer:
+    """Fixed-target playout buffer.
+
+    ``target_delay`` is the initial buffering delay in milliseconds;
+    ``frame_interval`` the nominal distance between consecutive frames.
+    """
+
+    def __init__(self, target_delay: float, frame_interval: float):
+        if target_delay < 0:
+            raise ValueError("target_delay must be non-negative")
+        if frame_interval <= 0:
+            raise ValueError("frame_interval must be positive")
+        self.target_delay = target_delay
+        self.frame_interval = frame_interval
+        self._base_playout: Optional[float] = None
+        self._base_index: Optional[int] = None
+        self.decisions: List[PlayoutDecision] = []
+        self.late_frames = 0
+        self.on_time_frames = 0
+
+    def reset(self) -> None:
+        self._base_playout = None
+        self._base_index = None
+        self.decisions.clear()
+        self.late_frames = 0
+        self.on_time_frames = 0
+
+    def playout_time_for(self, frame_index: int) -> Optional[float]:
+        """The scheduled playout time of a frame (None before the first arrival)."""
+        if self._base_playout is None or self._base_index is None:
+            return None
+        return self._base_playout + (frame_index - self._base_index) * self.frame_interval
+
+    def accept(self, frame_index: int, arrival_time: float) -> PlayoutDecision:
+        """Register an arriving frame and decide its playout."""
+        if self._base_playout is None:
+            self._base_playout = arrival_time + self.target_delay
+            self._base_index = frame_index
+        playout = self.playout_time_for(frame_index)
+        assert playout is not None
+        late = arrival_time > playout
+        decision = PlayoutDecision(
+            frame_index=frame_index,
+            arrival_time=arrival_time,
+            playout_time=playout,
+            late=late,
+        )
+        if late:
+            self.late_frames += 1
+        else:
+            self.on_time_frames += 1
+        self.decisions.append(decision)
+        return decision
+
+    # -- statistics ----------------------------------------------------------------------------
+
+    @property
+    def frames_seen(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def late_ratio(self) -> float:
+        return self.late_frames / self.frames_seen if self.decisions else 0.0
+
+    def buffering_delays(self) -> List[float]:
+        return [d.buffered_for for d in self.decisions if not d.late]
+
+    def max_buffer_occupancy(self) -> float:
+        """The largest time any frame spent buffered — a proxy for the memory
+        the receiver needs to smooth the stream."""
+        delays = self.buffering_delays()
+        return max(delays) if delays else 0.0
+
+    def suggest_target_delay(self, safety_factor: float = 1.2) -> float:
+        """Smallest target delay that would have made every seen frame on time.
+
+        Used by the adaptive example to re-tune the buffer between plays.
+        """
+        worst = 0.0
+        for decision in self.decisions:
+            nominal = decision.playout_time - self.target_delay
+            lateness = decision.arrival_time - nominal
+            worst = max(worst, lateness)
+        return worst * safety_factor

@@ -1,0 +1,183 @@
+"""Digital movies: frames, formats and the movie store.
+
+The XMovie project transmits digital movies frame by frame; for the
+reproduction a movie is a synthetic sequence of frames whose sizes follow the
+characteristics of the chosen image format (I-frame-only formats such as
+M-JPEG have roughly constant frame sizes, differential formats alternate
+large key frames with small delta frames).  The movie store is the server-side
+repository the MCAM Stream Provider reads from and records into.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+
+class MovieError(Exception):
+    """Errors of the movie model and store."""
+
+
+@dataclass(frozen=True)
+class MovieFormat:
+    """A digital image format as stored in the movie directory.
+
+    ``key_frame_bytes`` is the nominal size of a full frame,
+    ``delta_ratio`` the size of differential frames relative to key frames
+    (1.0 = every frame is a key frame), ``key_frame_interval`` the distance
+    between key frames.
+    """
+
+    name: str
+    key_frame_bytes: int
+    delta_ratio: float = 1.0
+    key_frame_interval: int = 1
+    colour_depth: int = 24
+
+    def frame_size(self, index: int, rng: random.Random) -> int:
+        is_key = self.key_frame_interval <= 1 or index % self.key_frame_interval == 0
+        base = self.key_frame_bytes if is_key else int(self.key_frame_bytes * self.delta_ratio)
+        jitter = rng.uniform(0.9, 1.1)
+        return max(64, int(base * jitter))
+
+
+#: Formats the examples and benchmarks use.  Sizes are scaled-down stand-ins
+#: for early-1990s formats so simulations stay fast; ratios are realistic.
+FORMATS: Dict[str, MovieFormat] = {
+    "mjpeg": MovieFormat("mjpeg", key_frame_bytes=8 * 1024, delta_ratio=1.0, key_frame_interval=1),
+    "xmovie-rl": MovieFormat("xmovie-rl", key_frame_bytes=10 * 1024, delta_ratio=0.25, key_frame_interval=8),
+    "yuv-raw": MovieFormat("yuv-raw", key_frame_bytes=32 * 1024, delta_ratio=1.0, key_frame_interval=1),
+}
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One movie frame (payload is synthesised, only the size matters)."""
+
+    index: int
+    size: int
+    is_key: bool
+
+    def payload(self) -> bytes:
+        # A deterministic payload of the right size; contents never matter.
+        return bytes((self.index + i) & 0xFF for i in range(self.size))
+
+
+@dataclass
+class Movie:
+    """A stored digital movie."""
+
+    name: str
+    format: MovieFormat
+    frame_rate: float
+    frames: List[Frame]
+    title: str = ""
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.frames)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.frame_count / self.frame_rate if self.frame_rate else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(frame.size for frame in self.frames)
+
+    @property
+    def mean_frame_size(self) -> float:
+        return self.total_bytes / self.frame_count if self.frames else 0.0
+
+    def frame_interval_ms(self) -> float:
+        """Milliseconds between frames at the nominal rate."""
+        if self.frame_rate <= 0:
+            raise MovieError(f"movie {self.name!r} has a non-positive frame rate")
+        return 1000.0 / self.frame_rate
+
+    def directory_attributes(self, storage_location: str) -> Dict[str, object]:
+        """The attribute set registered for this movie in the directory."""
+        return {
+            "movieTitle": self.title or self.name,
+            "imageFormat": self.format.name,
+            "frameRate": self.frame_rate,
+            "frameCount": self.frame_count,
+            "durationSeconds": round(self.duration_seconds, 3),
+            "colourDepth": self.format.colour_depth,
+            "storageLocation": storage_location,
+        }
+
+
+def synthesise_movie(
+    name: str,
+    duration_seconds: float = 10.0,
+    frame_rate: float = 25.0,
+    format_name: str = "mjpeg",
+    title: str = "",
+    seed: int = 11,
+) -> Movie:
+    """Create a synthetic movie with format-appropriate frame sizes."""
+    movie_format = FORMATS.get(format_name)
+    if movie_format is None:
+        raise MovieError(f"unknown movie format {format_name!r}; known: {sorted(FORMATS)}")
+    if duration_seconds <= 0 or frame_rate <= 0:
+        raise MovieError("duration and frame rate must be positive")
+    rng = random.Random(seed)
+    frame_count = max(1, int(round(duration_seconds * frame_rate)))
+    frames = [
+        Frame(
+            index=index,
+            size=movie_format.frame_size(index, rng),
+            is_key=movie_format.key_frame_interval <= 1
+            or index % movie_format.key_frame_interval == 0,
+        )
+        for index in range(frame_count)
+    ]
+    return Movie(name=name, format=movie_format, frame_rate=frame_rate, frames=frames, title=title)
+
+
+class MovieStore:
+    """The server-side movie repository the Stream Provider serves from."""
+
+    def __init__(self) -> None:
+        self._movies: Dict[str, Movie] = {}
+
+    def add(self, movie: Movie) -> Movie:
+        if movie.name in self._movies:
+            raise MovieError(f"movie {movie.name!r} already exists in the store")
+        self._movies[movie.name] = movie
+        return movie
+
+    def create(self, name: str, **kwargs) -> Movie:
+        """Synthesise and store a movie in one step (MCAM CREATE)."""
+        movie = synthesise_movie(name, **kwargs)
+        return self.add(movie)
+
+    def get(self, name: str) -> Movie:
+        try:
+            return self._movies[name]
+        except KeyError as exc:
+            raise MovieError(f"no movie named {name!r} in the store") from exc
+
+    def exists(self, name: str) -> bool:
+        return name in self._movies
+
+    def remove(self, name: str) -> None:
+        if name not in self._movies:
+            raise MovieError(f"no movie named {name!r} in the store")
+        del self._movies[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._movies)
+
+    def record(self, name: str, frames: List[Frame], frame_rate: float, format_name: str = "mjpeg") -> Movie:
+        """Store frames captured from equipment as a new movie (MCAM RECORD)."""
+        movie_format = FORMATS.get(format_name)
+        if movie_format is None:
+            raise MovieError(f"unknown movie format {format_name!r}")
+        movie = Movie(name=name, format=movie_format, frame_rate=frame_rate, frames=list(frames))
+        return self.add(movie)
+
+    def __len__(self) -> int:
+        return len(self._movies)

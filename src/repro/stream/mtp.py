@@ -1,0 +1,326 @@
+"""MTP — the XMovie Movie Transmission Protocol (simulated).
+
+The paper runs *"the XMovie transmission protocol MTP directly on top of UDP,
+IP and FDDI"*.  MTP here is a lightweight, connectionless media transport:
+
+* the sender paces frames isochronously at the movie's nominal frame rate,
+* frames larger than the network MTU are fragmented into numbered packets,
+* packets carry stream id, frame index, fragment indices and a send timestamp,
+* there is **no retransmission** — loss is detected by sequence gaps and
+  reported to the QoS monitor (Table 1: "lightweight or none" error
+  correction),
+* the receiver reassembles frames, feeds a jitter buffer for isochronous
+  playout and records delay/jitter/loss statistics.
+
+Everything runs on the shared :class:`repro.sim.engine.EventScheduler` and the
+:class:`repro.sim.network.DatagramNetwork`, so a control connection (OSI
+stack) and several CM streams can be simulated together, as in Fig. 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import EventScheduler
+from ..sim.network import Datagram, DatagramNetwork
+from .jitter import JitterBuffer
+from .movie import Frame, Movie
+from .qos import QosMonitor
+
+
+class MtpError(Exception):
+    """Errors of the movie transmission protocol."""
+
+
+MTP_HEADER_SIZE = 24
+DEFAULT_MTU = 4096  # FDDI-sized payloads
+
+
+@dataclass(frozen=True)
+class MtpPacket:
+    """One MTP packet (a fragment of a frame)."""
+
+    stream_id: int
+    sequence: int
+    frame_index: int
+    fragment_index: int
+    fragment_count: int
+    timestamp_us: int
+    payload_size: int
+
+    def to_bytes(self) -> bytes:
+        header = (
+            self.stream_id.to_bytes(4, "big")
+            + self.sequence.to_bytes(4, "big")
+            + self.frame_index.to_bytes(4, "big")
+            + self.fragment_index.to_bytes(2, "big")
+            + self.fragment_count.to_bytes(2, "big")
+            + self.timestamp_us.to_bytes(8, "big")
+        )
+        return header + bytes(self.payload_size)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "MtpPacket":
+        if len(data) < MTP_HEADER_SIZE:
+            raise MtpError("truncated MTP packet")
+        return MtpPacket(
+            stream_id=int.from_bytes(data[0:4], "big"),
+            sequence=int.from_bytes(data[4:8], "big"),
+            frame_index=int.from_bytes(data[8:12], "big"),
+            fragment_index=int.from_bytes(data[12:14], "big"),
+            fragment_count=int.from_bytes(data[14:16], "big"),
+            timestamp_us=int.from_bytes(data[16:24], "big"),
+            payload_size=len(data) - MTP_HEADER_SIZE,
+        )
+
+
+@dataclass
+class StreamStatistics:
+    """Sender- and receiver-side counters for one stream."""
+
+    frames_sent: int = 0
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    frames_delivered: int = 0
+    frames_incomplete: int = 0
+    packets_received: int = 0
+    packets_lost: int = 0
+
+    @property
+    def frame_delivery_ratio(self) -> float:
+        return self.frames_delivered / self.frames_sent if self.frames_sent else 1.0
+
+    @property
+    def packet_loss_ratio(self) -> float:
+        total = self.packets_received + self.packets_lost
+        return self.packets_lost / total if total else 0.0
+
+
+class MtpSender:
+    """Isochronous sender for one movie stream."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        network: DatagramNetwork,
+        source: str,
+        destination: str,
+        port: int,
+        mtu: int = DEFAULT_MTU,
+    ):
+        self.scheduler = scheduler
+        self.network = network
+        self.source = source
+        self.destination = destination
+        self.port = port
+        self.mtu = mtu
+        self.stream_id = next(self._ids)
+        self.stats = StreamStatistics()
+        self._sequence = 0
+        self._paused = False
+        self._stopped = False
+        self._pending_frames: List[Frame] = []
+        self._frame_interval = 0.0
+        self.finished = False
+
+    # -- control interface (driven by the MCAM Stream Provider Agent) -----------------------------
+
+    def play(self, movie: Movie, start_frame: int = 0, rate_factor: float = 1.0) -> None:
+        """Start (or restart) isochronous transmission of ``movie``."""
+        if rate_factor <= 0:
+            raise MtpError("rate_factor must be positive")
+        self._pending_frames = list(movie.frames[start_frame:])
+        self._frame_interval = movie.frame_interval_ms() / rate_factor
+        self._paused = False
+        self._stopped = False
+        self.finished = False
+        self.scheduler.schedule(0.0, self._send_next, label=f"mtp-{self.stream_id}-start")
+
+    def pause(self) -> None:
+        self._paused = True
+
+    def resume(self) -> None:
+        if self._paused and not self._stopped:
+            self._paused = False
+            self.scheduler.schedule(0.0, self._send_next, label=f"mtp-{self.stream_id}-resume")
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._pending_frames = []
+        self.finished = True
+
+    # -- transmission -----------------------------------------------------------------------------------
+
+    def _send_next(self) -> None:
+        if self._stopped or self._paused:
+            return
+        if not self._pending_frames:
+            self.finished = True
+            return
+        frame = self._pending_frames.pop(0)
+        self._send_frame(frame)
+        if self._pending_frames:
+            self.scheduler.schedule(
+                self._frame_interval, self._send_next, label=f"mtp-{self.stream_id}-tick"
+            )
+        else:
+            self.finished = True
+
+    def _send_frame(self, frame: Frame) -> None:
+        payload_capacity = self.mtu - MTP_HEADER_SIZE
+        fragment_count = max(1, -(-frame.size // payload_capacity))
+        remaining = frame.size
+        timestamp_us = int(self.scheduler.now * 1000)
+        for fragment_index in range(fragment_count):
+            size = min(payload_capacity, remaining)
+            remaining -= size
+            packet = MtpPacket(
+                stream_id=self.stream_id,
+                sequence=self._sequence,
+                frame_index=frame.index,
+                fragment_index=fragment_index,
+                fragment_count=fragment_count,
+                timestamp_us=timestamp_us,
+                payload_size=size,
+            )
+            self._sequence += 1
+            self.stats.packets_sent += 1
+            self.stats.bytes_sent += size + MTP_HEADER_SIZE
+            self.network.send(self.source, self.destination, packet.to_bytes(), port=self.port)
+        self.stats.frames_sent += 1
+
+
+class MtpReceiver:
+    """Receiver: reassembles frames, runs the jitter buffer, records QoS."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        network: DatagramNetwork,
+        host: str,
+        port: int,
+        frame_interval_ms: float,
+        jitter_target_ms: float = 30.0,
+        on_frame: Optional[Callable[[int, float], None]] = None,
+    ):
+        self.scheduler = scheduler
+        self.network = network
+        self.host = host
+        self.port = port
+        self.stats = StreamStatistics()
+        self.qos = QosMonitor("CM stream")
+        self.jitter_buffer = JitterBuffer(jitter_target_ms, frame_interval_ms)
+        self.on_frame = on_frame
+        self._fragments: Dict[Tuple[int, int], Dict[int, int]] = {}
+        self._frame_meta: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._highest_sequence: Optional[int] = None
+        network.bind(host, port, self._on_datagram)
+        self.delivered_frames: List[int] = []
+
+    def close(self) -> None:
+        self.network.unbind(self.host, self.port)
+
+    # -- datagram handling -----------------------------------------------------------------------------
+
+    def _on_datagram(self, datagram: Datagram) -> None:
+        packet = MtpPacket.from_bytes(datagram.payload)
+        self.stats.packets_received += 1
+        if self._highest_sequence is None or packet.sequence > self._highest_sequence:
+            self._highest_sequence = packet.sequence
+
+        key = (packet.stream_id, packet.frame_index)
+        fragments = self._fragments.setdefault(key, {})
+        fragments[packet.fragment_index] = packet.payload_size
+        self._frame_meta[key] = (packet.fragment_count, packet.timestamp_us)
+
+        fragment_count, timestamp_us = self._frame_meta[key]
+        if len(fragments) == fragment_count:
+            self._deliver_frame(key, sum(fragments.values()), timestamp_us)
+
+    def _deliver_frame(self, key: Tuple[int, int], size: int, timestamp_us: int) -> None:
+        _, frame_index = key
+        now = self.scheduler.now
+        sent_at = timestamp_us / 1000.0
+        self.qos.note_sent(sent_at)
+        self.qos.note_delivered(sent_at, now, size)
+        decision = self.jitter_buffer.accept(frame_index, now)
+        if decision.late:
+            self.qos.note_late_or_lost()
+        else:
+            self.stats.frames_delivered += 1
+            self.delivered_frames.append(frame_index)
+            if self.on_frame is not None:
+                self.on_frame(frame_index, decision.playout_time)
+        del self._fragments[key]
+        del self._frame_meta[key]
+
+    # -- end-of-run summary ------------------------------------------------------------------------------
+
+    def incomplete_frames(self) -> int:
+        """Frames for which fragments are still outstanding (lost fragments)."""
+        return len(self._fragments)
+
+    def finalise(self) -> None:
+        """Account losses once the stream has ended.
+
+        Packet loss is inferred from the gap between the highest sequence
+        number seen and the number of packets received (MTP has no
+        retransmission, so a missing sequence number is a lost packet);
+        still-incomplete frames are counted as frame losses.
+        """
+        if self._highest_sequence is not None:
+            expected = self._highest_sequence + 1
+            lost = max(0, expected - self.stats.packets_received)
+            self.stats.packets_lost = lost
+        incomplete = self.incomplete_frames()
+        self.stats.frames_incomplete += incomplete
+        if incomplete:
+            self.qos.note_late_or_lost(incomplete)
+        self._fragments.clear()
+        self._frame_meta.clear()
+
+
+class StreamProvider:
+    """Server-side stream service: one MTP sender per active playback.
+
+    This is the Stream Provider System (SPS) of Fig. 1 in library form; the
+    MCAM server's Stream Provider Agent drives it when PLAY / PAUSE / STOP /
+    RECORD requests arrive.
+    """
+
+    def __init__(self, scheduler: EventScheduler, network: DatagramNetwork, host: str):
+        self.scheduler = scheduler
+        self.network = network
+        self.host = host
+        self._sessions: Dict[int, MtpSender] = {}
+
+    def start_playback(
+        self, movie: Movie, destination: str, port: int, rate_factor: float = 1.0
+    ) -> MtpSender:
+        sender = MtpSender(self.scheduler, self.network, self.host, destination, port)
+        sender.play(movie, rate_factor=rate_factor)
+        self._sessions[sender.stream_id] = sender
+        return sender
+
+    def sender(self, stream_id: int) -> MtpSender:
+        try:
+            return self._sessions[stream_id]
+        except KeyError as exc:
+            raise MtpError(f"no active stream {stream_id}") from exc
+
+    def pause(self, stream_id: int) -> None:
+        self.sender(stream_id).pause()
+
+    def resume(self, stream_id: int) -> None:
+        self.sender(stream_id).resume()
+
+    def stop(self, stream_id: int) -> None:
+        self.sender(stream_id).stop()
+        del self._sessions[stream_id]
+
+    def active_streams(self) -> List[int]:
+        return sorted(self._sessions)

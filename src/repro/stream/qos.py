@@ -1,0 +1,166 @@
+"""Quality-of-service requirements and monitoring for both protocol types.
+
+Table 1 of the paper contrasts the requirements of the *control* protocol and
+the *CM stream* protocol: data rate, reliability, error correction, timing
+relations, and delay/jitter control.  :class:`QosRequirements` encodes one
+column of that table; :class:`QosMonitor` measures what a protocol actually
+delivered in a run so the Table 1 benchmark can print requirement vs
+measurement side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.metrics import LatencySeries, mean
+
+
+@dataclass(frozen=True)
+class QosRequirements:
+    """One column of Table 1."""
+
+    name: str
+    data_rate: str                 # qualitative: "low" / "high"
+    reliability: str               # "100%" / "<100%"
+    error_correction: str          # "yes" / "lightweight or none"
+    timing_relations: str          # "asynchronous" / "isochronous"
+    delay_jitter_control: bool
+    protocol_stack: str
+
+    def as_row(self) -> Dict[str, str]:
+        return {
+            "protocol": self.name,
+            "data rates": self.data_rate,
+            "reliability": self.reliability,
+            "error correction": self.error_correction,
+            "timing relations": self.timing_relations,
+            "delay and jitter control": "yes" if self.delay_jitter_control else "no",
+            "protocol stack": self.protocol_stack,
+        }
+
+
+#: The two columns of Table 1.
+CONTROL_PROTOCOL_REQUIREMENTS = QosRequirements(
+    name="control",
+    data_rate="low",
+    reliability="100%",
+    error_correction="yes",
+    timing_relations="asynchronous",
+    delay_jitter_control=False,
+    protocol_stack="OSI or TCP/IP",
+)
+
+STREAM_PROTOCOL_REQUIREMENTS = QosRequirements(
+    name="CM stream",
+    data_rate="high",
+    reliability="< 100%",
+    error_correction="lightweight or none",
+    timing_relations="isochronous",
+    delay_jitter_control=True,
+    protocol_stack="XMovie/MTP",
+)
+
+
+@dataclass
+class QosReport:
+    """Measured behaviour of one protocol run (one row of the T1 benchmark)."""
+
+    name: str
+    duration_ms: float
+    bytes_delivered: int
+    messages_sent: int
+    messages_delivered: int
+    mean_delay_ms: float
+    jitter_ms: float
+    max_delay_ms: float
+    late_or_lost_ratio: float
+
+    @property
+    def throughput_kbps(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return (self.bytes_delivered * 8) / self.duration_ms  # kbit/s == bits/ms
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.messages_delivered / self.messages_sent if self.messages_sent else 1.0
+
+    def as_row(self) -> Dict[str, str]:
+        return {
+            "protocol": self.name,
+            "throughput": f"{self.throughput_kbps:8.1f} kbit/s",
+            "delivery": f"{self.delivery_ratio * 100:5.1f} %",
+            "mean delay": f"{self.mean_delay_ms:6.2f} ms",
+            "jitter": f"{self.jitter_ms:6.2f} ms",
+            "max delay": f"{self.max_delay_ms:6.2f} ms",
+            "late/lost": f"{self.late_or_lost_ratio * 100:5.2f} %",
+        }
+
+
+class QosMonitor:
+    """Collects per-message delay samples and byte counts during a run."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.delays = LatencySeries()
+        self.bytes_delivered = 0
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.late_or_lost = 0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def note_sent(self, at: float, count: int = 1) -> None:
+        if self.started_at is None:
+            self.started_at = at
+        self.messages_sent += count
+
+    def note_delivered(self, sent_at: float, delivered_at: float, size: int) -> None:
+        self.messages_delivered += 1
+        self.bytes_delivered += size
+        self.delays.add(max(0.0, delivered_at - sent_at))
+        self.finished_at = delivered_at
+
+    def note_late_or_lost(self, count: int = 1) -> None:
+        self.late_or_lost += count
+
+    def report(self) -> QosReport:
+        duration = 0.0
+        if self.started_at is not None and self.finished_at is not None:
+            duration = max(0.0, self.finished_at - self.started_at)
+        total = self.messages_sent if self.messages_sent else 1
+        return QosReport(
+            name=self.name,
+            duration_ms=duration,
+            bytes_delivered=self.bytes_delivered,
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            mean_delay_ms=self.delays.mean,
+            jitter_ms=self.delays.jitter,
+            max_delay_ms=self.delays.maximum,
+            late_or_lost_ratio=self.late_or_lost / total,
+        )
+
+
+def compliance(report: QosReport, requirements: QosRequirements, max_jitter_ms: float = 20.0) -> Dict[str, bool]:
+    """Check a measured run against its Table 1 requirements column.
+
+    The check is intentionally coarse — Table 1 is qualitative — but it gives
+    the benchmark a pass/fail per requirement dimension.
+    """
+    checks: Dict[str, bool] = {}
+    if requirements.reliability == "100%":
+        checks["reliability"] = report.delivery_ratio >= 0.999
+    else:
+        checks["reliability"] = report.delivery_ratio >= 0.9
+    if requirements.delay_jitter_control:
+        checks["jitter"] = report.jitter_ms <= max_jitter_ms
+    else:
+        checks["jitter"] = True
+    checks["data_rate"] = (
+        report.throughput_kbps >= 100.0
+        if requirements.data_rate == "high"
+        else True
+    )
+    return checks

@@ -1,0 +1,183 @@
+"""Unit and property tests for BER encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asn1 import (
+    Boolean,
+    Choice,
+    Component,
+    Enumerated,
+    IA5String,
+    Integer,
+    Null,
+    OctetString,
+    Sequence,
+    SequenceOf,
+    decode,
+    encode,
+    encoded_size,
+)
+from repro.asn1.ber import BerError
+
+
+MOVIE = Sequence(
+    "Movie",
+    [
+        Component("id", Integer()),
+        Component("title", IA5String()),
+        Component("year", Integer(), optional=True),
+        Component("format", IA5String(), default="mjpeg"),
+    ],
+)
+
+STATUS = Enumerated({"ok": 0, "notFound": 1, "refused": 2})
+
+PDU = Choice(
+    "Pdu",
+    [
+        ("movie", MOVIE),
+        ("status", STATUS),
+        ("raw", OctetString()),
+        ("titles", SequenceOf(IA5String())),
+    ],
+)
+
+
+class TestPrimitiveRoundTrips:
+    @pytest.mark.parametrize("value", [0, 1, -1, 127, 128, -128, 255, 2**31, -(2**31), 10**12])
+    def test_integer(self, value):
+        assert decode(Integer(), encode(Integer(), value)) == value
+
+    @pytest.mark.parametrize("value", [True, False])
+    def test_boolean(self, value):
+        assert decode(Boolean(), encode(Boolean(), value)) is value
+
+    def test_null(self):
+        assert decode(Null(), encode(Null(), None)) is None
+
+    @pytest.mark.parametrize("value", [b"", b"x", bytes(range(256)), b"a" * 1000])
+    def test_octet_string(self, value):
+        assert decode(OctetString(), encode(OctetString(), value)) == value
+
+    @pytest.mark.parametrize("value", ["", "hello", "Movie Title 42!"])
+    def test_ia5_string(self, value):
+        assert decode(IA5String(), encode(IA5String(), value)) == value
+
+    def test_enumerated(self):
+        for value in ("ok", "notFound", "refused"):
+            assert decode(STATUS, encode(STATUS, value)) == value
+
+    def test_long_form_length(self):
+        value = b"z" * 300  # forces the long-form length encoding
+        blob = encode(OctetString(), value)
+        assert decode(OctetString(), blob) == value
+
+
+class TestConstructedRoundTrips:
+    def test_sequence_with_defaults_and_optionals(self):
+        value = {"id": 7, "title": "Metropolis"}
+        decoded = decode(MOVIE, encode(MOVIE, value))
+        assert decoded["id"] == 7
+        assert decoded["title"] == "Metropolis"
+        assert decoded["format"] == "mjpeg"  # default filled in
+        assert "year" not in decoded
+
+    def test_sequence_full(self):
+        value = {"id": 1, "title": "M", "year": 1931, "format": "yuv"}
+        assert decode(MOVIE, encode(MOVIE, value)) == value
+
+    def test_sequence_of(self):
+        titles = SequenceOf(IA5String())
+        value = ["a", "bb", "ccc"]
+        assert decode(titles, encode(titles, value)) == value
+        assert decode(titles, encode(titles, [])) == []
+
+    def test_choice_alternatives(self):
+        for value in [("movie", {"id": 2, "title": "X"}), ("status", "ok"), ("raw", b"\x00\x01")]:
+            name, decoded = decode(PDU, encode(PDU, value))
+            assert name == value[0]
+
+    def test_nested_choice_in_sequence_of(self):
+        value = ("titles", ["x", "y"])
+        assert decode(PDU, encode(PDU, value)) == value
+
+    def test_encoded_size(self):
+        assert encoded_size(Integer(), 1) == 3  # tag + length + one content octet
+
+
+class TestErrors:
+    def test_validation_before_encoding(self):
+        with pytest.raises(Exception):
+            encode(Integer(), "not an int")
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode(Integer(), 5) + b"\x00"
+        with pytest.raises(BerError):
+            decode(Integer(), blob)
+
+    def test_truncated_data_rejected(self):
+        blob = encode(MOVIE, {"id": 1, "title": "M"})
+        with pytest.raises(BerError):
+            decode(MOVIE, blob[:-2])
+
+    def test_wrong_tag_rejected(self):
+        blob = encode(Integer(), 5)
+        with pytest.raises(BerError):
+            decode(Boolean(), blob)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(BerError):
+            decode(Integer(), b"")
+
+
+# -- property-based round-trip tests -----------------------------------------------------
+
+ia5_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60
+)
+
+movie_values = st.fixed_dictionaries(
+    {"id": st.integers(min_value=-(2**40), max_value=2**40), "title": ia5_text},
+    optional={"year": st.integers(min_value=0, max_value=3000), "format": ia5_text},
+)
+
+pdu_values = st.one_of(
+    st.tuples(st.just("movie"), movie_values),
+    st.tuples(st.just("status"), st.sampled_from(["ok", "notFound", "refused"])),
+    st.tuples(st.just("raw"), st.binary(max_size=200)),
+    st.tuples(st.just("titles"), st.lists(ia5_text, max_size=10)),
+)
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63))
+def test_integer_roundtrip_property(value):
+    assert decode(Integer(), encode(Integer(), value)) == value
+
+
+@given(st.binary(max_size=500))
+def test_octet_string_roundtrip_property(value):
+    assert decode(OctetString(), encode(OctetString(), value)) == value
+
+
+@given(movie_values)
+@settings(max_examples=60)
+def test_sequence_roundtrip_property(value):
+    decoded = decode(MOVIE, encode(MOVIE, value))
+    for key, expected in value.items():
+        assert decoded[key] == expected
+
+
+@given(pdu_values)
+@settings(max_examples=60)
+def test_choice_roundtrip_property(value):
+    name, decoded = decode(PDU, encode(PDU, value))
+    assert name == value[0]
+    if name in ("status", "raw", "titles"):
+        assert decoded == value[1]
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=30))
+def test_sequence_of_roundtrip_property(values):
+    schema = SequenceOf(Integer())
+    assert decode(schema, encode(schema, values)) == values

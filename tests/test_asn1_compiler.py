@@ -1,0 +1,147 @@
+"""Unit tests for the ASN.1 module compiler (textual notation → schemas)."""
+
+import pytest
+
+from repro.asn1 import (
+    Asn1SyntaxError,
+    Choice,
+    Enumerated,
+    IA5String,
+    Integer,
+    OctetString,
+    Sequence,
+    SequenceOf,
+    compile_module,
+    decode,
+    encode,
+)
+
+MODULE_TEXT = """
+-- MCAM-like PDU definitions used by the compiler tests
+McamTest DEFINITIONS ::= BEGIN
+    MovieId    ::= INTEGER
+    Title      ::= IA5String (SIZE(64))
+    Payload    ::= OCTET STRING
+    Status     ::= ENUMERATED { success(0), notFound(1), refused(2) }
+
+    Attribute ::= SEQUENCE {
+        name   IA5String,
+        value  IA5String OPTIONAL,
+        weight INTEGER DEFAULT 1
+    }
+
+    AttributeList ::= SEQUENCE OF Attribute
+
+    SelectRequest ::= SEQUENCE {
+        movie   MovieId,
+        title   Title OPTIONAL
+    }
+
+    Pdu ::= CHOICE {
+        select     SelectRequest,
+        attributes AttributeList,
+        status     Status,
+        raw        Payload
+    }
+END
+"""
+
+
+@pytest.fixture(scope="module")
+def module():
+    return compile_module(MODULE_TEXT)
+
+
+class TestCompilation:
+    def test_module_name_and_type_names(self, module):
+        assert module.name == "McamTest"
+        assert {"MovieId", "Title", "Status", "Attribute", "AttributeList", "Pdu"} <= set(
+            module.type_names()
+        )
+
+    def test_primitive_types(self, module):
+        assert isinstance(module.get("MovieId"), Integer)
+        title = module.get("Title")
+        assert isinstance(title, IA5String)
+        assert title.max_size == 64
+        assert isinstance(module.get("Payload"), OctetString)
+
+    def test_enumerated(self, module):
+        status = module.get("Status")
+        assert isinstance(status, Enumerated)
+        assert status.alternatives == {"success": 0, "notFound": 1, "refused": 2}
+
+    def test_sequence_with_optional_and_default(self, module):
+        attribute = module.get("Attribute")
+        assert isinstance(attribute, Sequence)
+        assert attribute.component("value").optional
+        assert attribute.component("weight").default == 1
+
+    def test_sequence_of_and_references(self, module):
+        attribute_list = module.get("AttributeList")
+        assert isinstance(attribute_list, SequenceOf)
+        assert isinstance(attribute_list.element_type, Sequence)
+        assert attribute_list.element_type.name == "Attribute"
+
+    def test_choice_resolution(self, module):
+        pdu = module.get("Pdu")
+        assert isinstance(pdu, Choice)
+        assert isinstance(pdu.type_of("select"), Sequence)
+        assert isinstance(pdu.type_of("attributes"), SequenceOf)
+
+    def test_unknown_type_lookup(self, module):
+        with pytest.raises(Exception):
+            module.get("Ghost")
+        assert "Pdu" in module
+        assert "Ghost" not in module
+
+    def test_compiled_types_encode_and_decode(self, module):
+        pdu = module.get("Pdu")
+        value = ("select", {"movie": 42, "title": "Metropolis"})
+        assert decode(pdu, encode(pdu, value)) == value
+        attributes = ("attributes", [{"name": "format", "value": "mjpeg", "weight": 2}])
+        name, decoded = decode(pdu, encode(pdu, attributes))
+        assert name == "attributes"
+        assert decoded[0]["name"] == "format"
+
+
+class TestSyntaxErrors:
+    def test_empty_module(self):
+        with pytest.raises(Asn1SyntaxError):
+            compile_module("   ")
+
+    def test_missing_begin(self):
+        with pytest.raises(Asn1SyntaxError):
+            compile_module("M DEFINITIONS ::= X ::= INTEGER END")
+
+    def test_undefined_reference(self):
+        text = "M DEFINITIONS ::= BEGIN A ::= SEQUENCE { x Ghost } END"
+        with pytest.raises(Asn1SyntaxError):
+            compile_module(text)
+
+    def test_circular_reference(self):
+        text = "M DEFINITIONS ::= BEGIN A ::= B B ::= A END"
+        with pytest.raises(Asn1SyntaxError):
+            compile_module(text)
+
+    def test_lowercase_type_name_rejected(self):
+        with pytest.raises(Asn1SyntaxError):
+            compile_module("M DEFINITIONS ::= BEGIN a ::= INTEGER END")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(Asn1SyntaxError):
+            compile_module("M DEFINITIONS ::= BEGIN A ::= INTEGER END extra")
+
+    def test_unexpected_character(self):
+        with pytest.raises(Asn1SyntaxError):
+            compile_module("M DEFINITIONS ::= BEGIN A ::= INTEGER @ END")
+
+    def test_comments_are_ignored(self):
+        text = """
+        M DEFINITIONS ::= BEGIN
+            -- this is a comment
+            A ::= INTEGER -- trailing comment
+        END
+        """
+        module = compile_module(text)
+        assert isinstance(module.get("A"), Integer)

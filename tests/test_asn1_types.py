@@ -1,0 +1,163 @@
+"""Unit tests for the ASN.1 type system (schema validation)."""
+
+import pytest
+
+from repro.asn1 import (
+    Asn1Error,
+    Asn1ValidationError,
+    Boolean,
+    Choice,
+    Component,
+    Enumerated,
+    IA5String,
+    Integer,
+    Null,
+    OctetString,
+    Sequence,
+    SequenceOf,
+    Tag,
+)
+
+
+class TestPrimitives:
+    def test_integer(self):
+        Integer().validate(42)
+        Integer().validate(-7)
+        with pytest.raises(Asn1ValidationError):
+            Integer().validate("42")
+        with pytest.raises(Asn1ValidationError):
+            Integer().validate(True)  # bool is not INTEGER
+
+    def test_integer_range(self):
+        bounded = Integer(minimum=0, maximum=10)
+        bounded.validate(5)
+        with pytest.raises(Asn1ValidationError):
+            bounded.validate(-1)
+        with pytest.raises(Asn1ValidationError):
+            bounded.validate(11)
+
+    def test_boolean(self):
+        Boolean().validate(True)
+        with pytest.raises(Asn1ValidationError):
+            Boolean().validate(1)
+
+    def test_null(self):
+        Null().validate(None)
+        with pytest.raises(Asn1ValidationError):
+            Null().validate(0)
+
+    def test_octet_string(self):
+        OctetString().validate(b"abc")
+        with pytest.raises(Asn1ValidationError):
+            OctetString().validate("abc")
+        with pytest.raises(Asn1ValidationError):
+            OctetString(max_size=2).validate(b"abc")
+
+    def test_ia5_string(self):
+        IA5String().validate("movie-42")
+        with pytest.raises(Asn1ValidationError):
+            IA5String().validate(b"bytes")
+        with pytest.raises(Asn1ValidationError):
+            IA5String().validate("schön")
+        with pytest.raises(Asn1ValidationError):
+            IA5String(max_size=3).validate("abcd")
+
+    def test_enumerated(self):
+        status = Enumerated({"ok": 0, "error": 1})
+        status.validate("ok")
+        assert status.number_of("error") == 1
+        assert status.value_of(0) == "ok"
+        with pytest.raises(Asn1ValidationError):
+            status.validate("unknown")
+        with pytest.raises(Asn1ValidationError):
+            status.value_of(9)
+
+    def test_enumerated_rejects_duplicates(self):
+        with pytest.raises(Asn1Error):
+            Enumerated({"a": 0, "b": 0})
+        with pytest.raises(Asn1Error):
+            Enumerated({})
+
+
+class TestConstructed:
+    def make_movie(self):
+        return Sequence(
+            "Movie",
+            [
+                Component("id", Integer()),
+                Component("title", IA5String()),
+                Component("year", Integer(), optional=True),
+                Component("format", IA5String(), default="mjpeg"),
+            ],
+        )
+
+    def test_sequence_validation(self):
+        movie = self.make_movie()
+        movie.validate({"id": 1, "title": "Metropolis"})
+        with pytest.raises(Asn1ValidationError):
+            movie.validate({"title": "Metropolis"})  # missing mandatory id
+        with pytest.raises(Asn1ValidationError):
+            movie.validate({"id": 1, "title": "x", "director": "?"})  # unknown
+        with pytest.raises(Asn1ValidationError):
+            movie.validate([("id", 1)])  # not a mapping
+
+    def test_sequence_defaults(self):
+        movie = self.make_movie()
+        merged = movie.with_defaults({"id": 1, "title": "M"})
+        assert merged["format"] == "mjpeg"
+        assert "year" not in merged
+
+    def test_sequence_component_lookup(self):
+        movie = self.make_movie()
+        assert movie.component("title").type.name == "IA5String"
+        with pytest.raises(Asn1Error):
+            movie.component("ghost")
+
+    def test_sequence_duplicate_components_rejected(self):
+        with pytest.raises(Asn1Error):
+            Sequence("Bad", [Component("a", Integer()), Component("a", Integer())])
+
+    def test_sequence_of(self):
+        numbers = SequenceOf(Integer())
+        numbers.validate([1, 2, 3])
+        numbers.validate([])
+        with pytest.raises(Asn1ValidationError):
+            numbers.validate([1, "x"])
+        with pytest.raises(Asn1ValidationError):
+            numbers.validate(5)
+
+    def test_choice(self):
+        pdu = Choice("Pdu", [("num", Integer()), ("text", IA5String())])
+        pdu.validate(("num", 5))
+        pdu.validate(("text", "hi"))
+        assert pdu.index_of("text") == 1
+        with pytest.raises(Asn1ValidationError):
+            pdu.validate(("ghost", 5))
+        with pytest.raises(Asn1ValidationError):
+            pdu.validate("num")
+        with pytest.raises(Asn1Error):
+            pdu.alternative_at(7)
+
+    def test_choice_rejects_duplicates_and_empty(self):
+        with pytest.raises(Asn1Error):
+            Choice("Bad", [("a", Integer()), ("a", Integer())])
+        with pytest.raises(Asn1Error):
+            Choice("Empty", [])
+
+    def test_tagged(self):
+        tagged = Integer().tagged(3)
+        tagged.validate(5)
+        assert tagged.tag.number == 3
+        with pytest.raises(Asn1ValidationError):
+            tagged.validate("x")
+
+
+class TestTags:
+    def test_identifier_octet(self):
+        assert Tag(2).identifier_octet() == 0x02
+        assert Tag(16, constructed=True).identifier_octet() == 0x30
+        assert Tag.context(0).identifier_octet() == 0xA0
+
+    def test_large_tag_numbers_unsupported(self):
+        with pytest.raises(Asn1Error):
+            Tag(31).identifier_octet()

@@ -1,0 +1,225 @@
+"""Unit and property tests for the X.500-style movie directory."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.directory import (
+    DirectoryInformationTree,
+    DirectorySystemAgent,
+    DirectoryUserAgent,
+    EntryExists,
+    Equals,
+    NoSuchEntry,
+    NotBound,
+    ReferralError,
+    SchemaError,
+    Substring,
+    format_dn,
+    parse_dn,
+    parse_filter,
+    validate_entry,
+)
+
+
+def movie_attributes(title="Metropolis", fmt="mjpeg"):
+    return {
+        "movieTitle": title,
+        "imageFormat": fmt,
+        "storageLocation": "ksr1:/movies/x",
+        "frameRate": 25,
+    }
+
+
+class TestDnParsing:
+    def test_roundtrip(self):
+        rdns = parse_dn("ou=movies/cn=metropolis")
+        assert rdns == (("ou", "movies"), ("cn", "metropolis"))
+        assert format_dn(rdns) == "ou=movies/cn=metropolis"
+
+    def test_root(self):
+        assert parse_dn("") == ()
+        assert parse_dn("/") == ()
+
+    def test_malformed(self):
+        with pytest.raises(Exception):
+            parse_dn("ou=movies/broken")
+
+
+class TestSchema:
+    def test_valid_movie_entry(self):
+        validate_entry("movie", {"commonName": "m", **movie_attributes()})
+
+    def test_missing_mandatory_attribute(self):
+        with pytest.raises(SchemaError):
+            validate_entry("movie", {"commonName": "m", "movieTitle": "x"})
+
+    def test_unknown_object_class(self):
+        with pytest.raises(SchemaError):
+            validate_entry("spaceship", {"commonName": "x"})
+
+    def test_attribute_syntax_checked(self):
+        attributes = {"commonName": "m", **movie_attributes()}
+        attributes["frameRate"] = "fast"
+        with pytest.raises(SchemaError):
+            validate_entry("movie", attributes)
+
+
+class TestDit:
+    def make_dit(self):
+        dit = DirectoryInformationTree()
+        dit.add("ou=movies", "movieCollection", {"commonName": "movies"})
+        dit.add("ou=movies/cn=metropolis", "movie", movie_attributes())
+        dit.add("ou=movies/cn=nosferatu", "movie", movie_attributes("Nosferatu", "xmovie-rl"))
+        return dit
+
+    def test_add_read_remove(self):
+        dit = self.make_dit()
+        entry = dit.read("ou=movies/cn=metropolis")
+        assert entry.get("movieTitle") == "Metropolis"
+        assert entry.get("commonName") == "metropolis"  # RDN attribute implied
+        with pytest.raises(EntryExists):
+            dit.add("ou=movies/cn=metropolis", "movie", movie_attributes())
+        dit.remove("ou=movies/cn=metropolis")
+        assert not dit.exists("ou=movies/cn=metropolis")
+
+    def test_parent_must_exist(self):
+        dit = DirectoryInformationTree()
+        with pytest.raises(NoSuchEntry):
+            dit.add("ou=movies/cn=x", "movie", movie_attributes())
+
+    def test_remove_with_children_refused(self):
+        dit = self.make_dit()
+        with pytest.raises(Exception):
+            dit.remove("ou=movies")
+
+    def test_modify(self):
+        dit = self.make_dit()
+        updated = dit.modify("ou=movies/cn=metropolis", {"owner": "ufa", "frameRate": 24})
+        assert updated.get("owner") == "ufa"
+        removed = dit.modify("ou=movies/cn=metropolis", {"owner": None})
+        assert removed.get("owner") is None
+        with pytest.raises(SchemaError):
+            dit.modify("ou=movies/cn=metropolis", {"spaceship": 1})
+
+    def test_search_scopes(self):
+        dit = self.make_dit()
+        assert len(dit.search("", scope="subtree")) == 3
+        assert len(dit.search("ou=movies", scope="onelevel")) == 2
+        assert len(dit.search("ou=movies/cn=metropolis", scope="base")) == 1
+
+    def test_search_with_filter(self):
+        dit = self.make_dit()
+        results = dit.search("", Equals("imageFormat", "xmovie-rl"))
+        assert [e.get("movieTitle") for e in results] == ["Nosferatu"]
+        assert len(dit.search("", Substring("movieTitle", "metro"))) == 1
+
+
+class TestFilters:
+    def test_parse_equality_and_presence(self):
+        assert parse_filter("imageFormat=mjpeg").matches({"imageFormat": "mjpeg"})
+        assert parse_filter("owner=*").matches({"owner": "x"})
+        assert not parse_filter("owner=*").matches({})
+
+    def test_parse_comparison_and_boolean(self):
+        f = parse_filter("frameRate>=24 & imageFormat=mjpeg")
+        assert f.matches({"frameRate": 25, "imageFormat": "mjpeg"})
+        assert not f.matches({"frameRate": 10, "imageFormat": "mjpeg"})
+        g = parse_filter("imageFormat=mjpeg | imageFormat=yuv-raw")
+        assert g.matches({"imageFormat": "yuv-raw"})
+        assert parse_filter("!owner=*").matches({})
+
+    def test_parse_substring_and_wildcard(self):
+        assert parse_filter("movieTitle~metro").matches({"movieTitle": "Metropolis"})
+        assert parse_filter("*").matches({})
+
+    def test_parse_errors(self):
+        with pytest.raises(Exception):
+            parse_filter("")
+        with pytest.raises(Exception):
+            parse_filter("frameRate>=fast")
+
+
+class TestDistribution:
+    def make_dsas(self, chaining=True):
+        main = DirectorySystemAgent("dsa-main", context_prefix="", chaining=chaining)
+        site = DirectorySystemAgent("dsa-site", context_prefix="ou=site-2", chaining=chaining)
+        main.add_peer(site)
+        site.add_peer(main)
+        main.dit.add("ou=movies", "movieCollection", {"commonName": "movies"})
+        site.dit.add("ou=site-2", "organisationalUnit", {"commonName": "site-2"})
+        return main, site
+
+    def test_chaining(self):
+        main, site = self.make_dsas(chaining=True)
+        # main masters everything; operations for ou=site-2 on `site` are local,
+        # operations addressed to `site` for other names are chained to main.
+        entry = site.add("ou=movies/cn=chained", "movie", movie_attributes("Chained"))
+        assert entry.dn == "ou=movies/cn=chained"
+        assert main.read("ou=movies/cn=chained").get("movieTitle") == "Chained"
+        assert site.stats.chained >= 1
+
+    def test_referral(self):
+        main, site = self.make_dsas(chaining=False)
+        with pytest.raises(ReferralError) as excinfo:
+            site.add("ou=movies/cn=r", "movie", movie_attributes())
+        assert excinfo.value.dsa_name == "dsa-main"
+
+    def test_whole_tree_search_fans_out(self):
+        main, site = self.make_dsas()
+        main.add("ou=movies/cn=a", "movie", movie_attributes("A"))
+        site.add("ou=site-2/cn=b", "equipment", {"equipmentType": "camera", "networkAddress": "h:1"})
+        results = main.search("", parse_filter("*"))
+        dns = {e.dn for e in results}
+        assert "ou=movies/cn=a" in dns and "ou=site-2/cn=b" in dns
+
+
+class TestDua:
+    def make_bound_dua(self, chaining=True):
+        main = DirectorySystemAgent("dsa-main", chaining=chaining)
+        dua = DirectoryUserAgent()
+        dua.bind(main)
+        return dua, main
+
+    def test_requires_bind(self):
+        dua = DirectoryUserAgent()
+        with pytest.raises(NotBound):
+            dua.read_entry("ou=movies")
+
+    def test_movie_convenience_operations(self):
+        dua, _ = self.make_bound_dua()
+        dua.register_movie("metropolis", movie_attributes())
+        assert dua.movie_exists("metropolis")
+        entry = dua.movie_entry("metropolis")
+        assert entry.get("imageFormat") == "mjpeg"
+        dua.update_movie("metropolis", {"owner": "ufa"})
+        assert dua.movie_entry("metropolis").get("owner") == "ufa"
+        assert len(dua.find_movies("imageFormat=mjpeg")) == 1
+        assert len(dua.find_movies_by_title("Metropolis")) == 1
+        dua.delete_movie("metropolis")
+        assert not dua.movie_exists("metropolis")
+
+    def test_referral_following(self):
+        main = DirectorySystemAgent("dsa-main", context_prefix="ou=movies", chaining=False)
+        other = DirectorySystemAgent("dsa-other", context_prefix="ou=other", chaining=False)
+        main.add_peer(other)
+        other.add_peer(main)
+        other.dit.add("ou=other", "organisationalUnit", {"commonName": "other"})
+        dua = DirectoryUserAgent()
+        dua.bind(main)
+        entry = dua.add_entry(
+            "ou=other/cn=cam", "equipment", {"equipmentType": "camera", "networkAddress": "h:1"}
+        )
+        assert entry.dn == "ou=other/cn=cam"
+        assert dua.stats.referrals_followed >= 1
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=25, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_register_then_find_property(self, movie_ids):
+        """Every registered movie is findable by title and by filter."""
+        dua, _ = self.make_bound_dua()
+        for movie_id in movie_ids:
+            dua.register_movie(f"movie-{movie_id}", movie_attributes(title=f"Title {movie_id}"))
+        found = dua.find_movies("imageFormat=mjpeg")
+        assert len(found) == len(movie_ids)
+        for movie_id in movie_ids:
+            assert dua.movie_exists(f"movie-{movie_id}")

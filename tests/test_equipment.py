@@ -1,0 +1,169 @@
+"""Unit tests for the equipment control system (devices, ECA, EUA)."""
+
+import pytest
+
+from repro.equipment import (
+    Camera,
+    EquipmentControlAgent,
+    EquipmentError,
+    EquipmentUserAgent,
+    InvalidTransition,
+    Microphone,
+    ParameterOutOfRange,
+    Speaker,
+    UnknownParameter,
+    make_device,
+)
+
+
+class TestDevices:
+    def test_state_machine_lifecycle(self):
+        camera = Camera("cam")
+        assert camera.state == "off"
+        camera.power_on()
+        camera.activate()
+        assert camera.is_active
+        camera.deactivate()
+        camera.power_off()
+        assert camera.state == "off"
+
+    def test_invalid_transitions(self):
+        camera = Camera("cam")
+        with pytest.raises(InvalidTransition):
+            camera.activate()  # cannot activate from off
+        camera.power_on()
+        camera.power_off()
+        with pytest.raises(InvalidTransition):
+            camera.deactivate()
+
+    def test_power_off_from_active_passes_through_standby(self):
+        speaker = Speaker("spk")
+        speaker.power_on()
+        speaker.activate()
+        speaker.power_off()
+        assert speaker.state == "off"
+        assert ("active", "standby") in speaker.transitions_log
+
+    def test_fault_and_reset(self):
+        microphone = Microphone("mic")
+        microphone.power_on()
+        microphone.fail("overheated")
+        with pytest.raises(InvalidTransition):
+            microphone.power_on()
+        microphone.reset()
+        microphone.power_on()
+        assert microphone.state == "standby"
+
+    def test_parameters_range_checked(self):
+        camera = Camera("cam")
+        camera.set_parameter("zoom", 4.0)
+        assert camera.get_parameter("zoom") == 4.0
+        with pytest.raises(ParameterOutOfRange):
+            camera.set_parameter("zoom", 100.0)
+        with pytest.raises(ParameterOutOfRange):
+            camera.set_parameter("resolution", "8k")
+        with pytest.raises(UnknownParameter):
+            camera.set_parameter("shutter", 1)
+        with pytest.raises(UnknownParameter):
+            camera.get_parameter("shutter")
+
+    def test_status_report(self):
+        camera = Camera("cam", location="studio")
+        status = camera.status()
+        assert status["kind"] == "camera"
+        assert status["location"] == "studio"
+        assert "frameRate" in status["parameters"]
+
+    def test_factory(self):
+        assert make_device("speaker", "s").KIND == "speaker"
+        with pytest.raises(EquipmentError):
+            make_device("teleporter", "t")
+
+
+class TestEca:
+    def make_eca(self):
+        eca = EquipmentControlAgent(site="studio")
+        eca.install_standard_studio()
+        return eca
+
+    def test_install_and_list(self):
+        eca = self.make_eca()
+        result = eca.handle({"operation": "list"})
+        assert result["success"]
+        assert {d["kind"] for d in result["devices"]} == {"camera", "microphone", "speaker", "display"}
+
+    def test_duplicate_install_rejected(self):
+        eca = self.make_eca()
+        with pytest.raises(EquipmentError):
+            eca.install(Camera("camera-1"))
+
+    def test_command_lifecycle(self):
+        eca = self.make_eca()
+        assert eca.handle({"operation": "power_on", "device": "camera-1"})["success"]
+        assert eca.handle({"operation": "activate", "device": "camera-1"})["success"]
+        status = eca.handle({"operation": "status", "device": "camera-1"})
+        assert status["status"]["state"] == "active"
+        assert eca.handle(
+            {"operation": "set_parameter", "device": "camera-1", "parameter": "zoom", "value": 2.0}
+        )["success"]
+        assert eca.handle(
+            {"operation": "get_parameter", "device": "camera-1", "parameter": "zoom"}
+        )["value"] == 2.0
+
+    def test_errors_reported_not_raised(self):
+        eca = self.make_eca()
+        result = eca.handle({"operation": "activate", "device": "camera-1"})
+        assert not result["success"] and "camera-1" in result["error"]
+        assert not eca.handle({"operation": "status", "device": "ghost"})["success"]
+        assert not eca.handle({"operation": "warp", "device": "camera-1"})["success"]
+
+    def test_reservations(self):
+        eca = self.make_eca()
+        assert eca.handle({"operation": "reserve", "device": "camera-1", "owner": "alice"})["success"]
+        denied = eca.handle({"operation": "power_on", "device": "camera-1", "owner": "bob"})
+        assert not denied["success"]
+        allowed = eca.handle({"operation": "power_on", "device": "camera-1", "owner": "alice"})
+        assert allowed["success"]
+        assert eca.reserved_by("camera-1") == "alice"
+        assert eca.handle({"operation": "release", "device": "camera-1", "owner": "alice"})["success"]
+        assert eca.reserved_by("camera-1") is None
+
+
+class TestEua:
+    def make_eua(self):
+        eca = EquipmentControlAgent(site="studio")
+        eca.install_standard_studio()
+        eua = EquipmentUserAgent(owner="session-1")
+        eua.attach_site(eca)
+        return eua, eca
+
+    def test_attach_and_list(self):
+        eua, _ = self.make_eua()
+        assert eua.sites() == ["studio"]
+        assert len(eua.list_equipment("studio")) == 4
+        with pytest.raises(EquipmentError):
+            eua.list_equipment("nowhere")
+
+    def test_duplicate_attach_rejected(self):
+        eua, eca = self.make_eua()
+        with pytest.raises(EquipmentError):
+            eua.attach_site(eca)
+
+    def test_prepare_playback_and_recording(self):
+        eua, eca = self.make_eua()
+        playback_devices = eua.prepare_playback("studio")
+        assert set(playback_devices) == {"speaker-1", "display-1"}
+        assert eca.device("speaker-1").is_active
+        recording_devices = eua.prepare_recording("studio")
+        assert set(recording_devices) == {"camera-1", "microphone-1"}
+        eua.stop_all("studio")
+        assert not any(device.is_active for device in eca.devices())
+
+    def test_parameter_roundtrip_and_failure_counting(self):
+        eua, _ = self.make_eua()
+        eua.set_parameter("studio", "speaker-1", "volume", 0.3)
+        assert eua.get_parameter("studio", "speaker-1", "volume") == 0.3
+        with pytest.raises(EquipmentError):
+            eua.set_parameter("studio", "speaker-1", "volume", 3.0)
+        assert eua.stats.failures == 1
+        assert eua.stats.commands_sent >= 3

@@ -1,0 +1,221 @@
+"""Unit tests for module attributes, hierarchy and dynamic creation."""
+
+import pytest
+
+from repro.estelle import (
+    Channel,
+    Module,
+    ModuleAttribute,
+    ModuleError,
+    ip,
+    transition,
+)
+
+CH = Channel("C", left={"A"}, right={"B"})
+
+
+class SystemNode(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("s",)
+
+
+class ProcessNode(Module):
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("s",)
+
+
+class ActivityNode(Module):
+    ATTRIBUTE = ModuleAttribute.ACTIVITY
+    STATES = ("s",)
+
+
+class SystemActivityNode(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMACTIVITY
+    STATES = ("s",)
+
+
+class TestModuleAttribute:
+    def test_system_flags(self):
+        assert ModuleAttribute.SYSTEMPROCESS.is_system
+        assert ModuleAttribute.SYSTEMACTIVITY.is_system
+        assert not ModuleAttribute.PROCESS.is_system
+
+    def test_children_parallel(self):
+        assert ModuleAttribute.PROCESS.children_parallel
+        assert ModuleAttribute.SYSTEMPROCESS.children_parallel
+        assert not ModuleAttribute.ACTIVITY.children_parallel
+        assert not ModuleAttribute.SYSTEMACTIVITY.children_parallel
+
+    def test_process_may_contain_process_and_activity(self):
+        assert ModuleAttribute.PROCESS.may_contain(ModuleAttribute.PROCESS)
+        assert ModuleAttribute.PROCESS.may_contain(ModuleAttribute.ACTIVITY)
+        assert not ModuleAttribute.PROCESS.may_contain(ModuleAttribute.SYSTEMPROCESS)
+
+    def test_activity_may_only_contain_activity(self):
+        assert ModuleAttribute.ACTIVITY.may_contain(ModuleAttribute.ACTIVITY)
+        assert not ModuleAttribute.ACTIVITY.may_contain(ModuleAttribute.PROCESS)
+        assert ModuleAttribute.SYSTEMACTIVITY.may_contain(ModuleAttribute.ACTIVITY)
+        assert not ModuleAttribute.SYSTEMACTIVITY.may_contain(ModuleAttribute.PROCESS)
+
+    def test_unattributed_may_contain_system(self):
+        assert ModuleAttribute.UNATTRIBUTED.may_contain(ModuleAttribute.SYSTEMPROCESS)
+        assert not ModuleAttribute.UNATTRIBUTED.may_contain(ModuleAttribute.PROCESS)
+
+
+class TestHierarchy:
+    def test_create_child_and_path(self):
+        system = SystemNode("sys")
+        child = system.create_child(ProcessNode, "child")
+        grandchild = child.create_child(ActivityNode, "grand")
+        assert grandchild.path == "sys/child/grand"
+        assert list(system.walk()) == [system, child, grandchild]
+        assert list(grandchild.ancestors()) == [child, system]
+        assert grandchild.depth() == 2
+
+    def test_duplicate_child_name_rejected(self):
+        system = SystemNode("sys")
+        system.create_child(ProcessNode, "a")
+        with pytest.raises(ModuleError):
+            system.create_child(ProcessNode, "a")
+
+    def test_attribute_rule_enforced_on_create(self):
+        system = SystemActivityNode("sys")
+        with pytest.raises(ModuleError):
+            system.create_child(ProcessNode, "bad")
+
+    def test_release_child_disconnects_ips(self):
+        class WithPort(Module):
+            ATTRIBUTE = ModuleAttribute.PROCESS
+            STATES = ("s",)
+            port = ip("port", CH, role="left")
+
+        class Peer(Module):
+            ATTRIBUTE = ModuleAttribute.PROCESS
+            STATES = ("s",)
+            port = ip("port", CH, role="right")
+
+        system = SystemNode("sys")
+        a = system.create_child(WithPort, "a")
+        b = system.create_child(Peer, "b")
+        a.ip_named("port").connect_to(b.ip_named("port"))
+        system.release_child("a")
+        assert "a" not in system.children
+        assert not b.ip_named("port").connected
+
+    def test_release_unknown_child_raises(self):
+        system = SystemNode("sys")
+        with pytest.raises(ModuleError):
+            system.release_child("nope")
+
+    def test_system_module_lookup(self):
+        system = SystemNode("sys")
+        child = system.create_child(ProcessNode, "p")
+        leaf = child.create_child(ActivityNode, "a")
+        assert leaf.system_module() is system
+        assert system.system_module() is system
+
+    def test_initialise_called_on_create(self):
+        created = []
+
+        class Recorder(Module):
+            ATTRIBUTE = ModuleAttribute.PROCESS
+            STATES = ("s",)
+
+            def initialise(self):
+                super().initialise()
+                created.append(self.name)
+
+        system = SystemNode("sys")
+        system.create_child(Recorder, "r1")
+        assert created == ["r1"]
+        assert system.children["r1"].initialised
+
+
+class TestInteractionPointsOnModules:
+    def test_static_ips_created(self):
+        class M(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("s",)
+            left = ip("left", CH, role="left")
+
+        m = M("m")
+        assert "left" in m.ips
+        assert m.ip_named("left").role.name == "left"
+
+    def test_unknown_ip_raises(self):
+        m = SystemNode("m")
+        with pytest.raises(ModuleError):
+            m.ip_named("ghost")
+
+    def test_array_ip_instantiation(self):
+        class M(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("s",)
+            conns = ip("conns", CH, role="left", array=True)
+
+        m = M("m")
+        assert "conns" not in m.ips
+        first = m.add_array_ip("conns")
+        second = m.add_array_ip("conns")
+        assert first.name == "conns[0]"
+        assert second.name == "conns[1]"
+        assert m.ips["conns[0]"] is first
+
+    def test_array_ip_requires_declaration(self):
+        m = SystemNode("m")
+        with pytest.raises(ModuleError):
+            m.add_array_ip("conns")
+
+    def test_inherited_declarations(self):
+        class Base(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("s",)
+            left = ip("left", CH, role="left")
+
+            @transition(from_state="s", cost=1.0, provided=lambda m: False)
+            def never(self):
+                pass
+
+        class Derived(Base):
+            pass
+
+        d = Derived("d")
+        assert "left" in d.ips
+        assert [t.name for t in Derived.declared_transitions()] == ["never"]
+
+
+class TestExternalModules:
+    def test_external_module_requires_override(self):
+        class Ext(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            EXTERNAL = True
+
+        e = Ext("e")
+        with pytest.raises(ModuleError):
+            e.external_step()
+
+    def test_external_ready_follows_queues(self):
+        class Ext(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            EXTERNAL = True
+            port = ip("port", CH, role="right")
+
+            def external_step(self):
+                self.ip_named("port").consume()
+                return 1.0
+
+        class Sender(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("s",)
+            port = ip("port", CH, role="left")
+
+        ext = Ext("ext")
+        sender = Sender("s")
+        sender.ip_named("port").connect_to(ext.ip_named("port"))
+        assert not ext.external_ready()
+        assert not ext.has_enabled_transition()
+        sender.output("port", "A")
+        assert ext.external_ready()
+        assert ext.has_enabled_transition()
+        ext.external_step()
+        assert not ext.external_ready()

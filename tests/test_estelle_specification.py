@@ -1,0 +1,141 @@
+"""Unit tests for specifications and static validation."""
+
+import pytest
+
+from repro.estelle import (
+    Module,
+    ModuleAttribute,
+    Specification,
+    SpecificationError,
+    SpecificationRoot,
+    collect_violations,
+    transition,
+    validate_tree,
+)
+from tests.helpers import Pinger, Ponger, build_ping_pong_spec
+
+
+class Sys(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("s",)
+
+
+class Proc(Module):
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("s",)
+
+
+class Act(Module):
+    ATTRIBUTE = ModuleAttribute.ACTIVITY
+    STATES = ("s",)
+
+
+class TestSpecificationConstruction:
+    def test_add_system_module_and_placement(self):
+        spec = Specification("demo")
+        server = spec.add_system_module(Sys, "server", location="ksr1")
+        assert spec.location_of(server) == "ksr1"
+        assert spec.system_modules() == [server]
+
+    def test_non_system_module_rejected_at_root(self):
+        spec = Specification("demo")
+        with pytest.raises(SpecificationError):
+            spec.add_system_module(Proc, "bad")
+
+    def test_find_by_path(self):
+        spec = build_ping_pong_spec()
+        pinger = spec.find("pinger")
+        assert isinstance(pinger, Pinger)
+        assert spec.find("ping-pong/pinger") is pinger
+        with pytest.raises(SpecificationError):
+            spec.find("ghost")
+
+    def test_counts_and_describe(self):
+        spec = build_ping_pong_spec()
+        assert spec.module_count() == 2
+        assert spec.interaction_point_count() == 2
+        text = spec.describe()
+        assert "pinger" in text and "ponger" in text
+
+    def test_connections_recorded(self):
+        spec = build_ping_pong_spec()
+        assert len(spec.connections()) == 1
+
+    def test_location_of_child_module_follows_system_module(self):
+        spec = Specification("demo")
+        server = spec.add_system_module(Sys, "server", location="ksr1")
+        child = server.create_child(Proc, "handler")
+        assert spec.location_of(child) == "ksr1"
+
+
+class TestValidation:
+    def test_valid_ping_pong(self):
+        spec = build_ping_pong_spec()
+        spec.validate()  # should not raise
+
+    def test_process_outside_system_module_rejected(self):
+        root = SpecificationRoot("root")
+        # Bypass create_child checks by attaching manually.
+        orphan = Proc("orphan", parent=root)
+        root.children["orphan"] = orphan
+        with pytest.raises(SpecificationError):
+            validate_tree(root)
+
+    def test_system_inside_attributed_module_rejected(self):
+        root = SpecificationRoot("root")
+        system = Sys("sys", parent=root)
+        root.children["sys"] = system
+        nested = Sys("nested", parent=system)
+        system.children["nested"] = nested
+        with pytest.raises(SpecificationError):
+            validate_tree(root)
+
+    def test_activity_containing_process_rejected(self):
+        root = SpecificationRoot("root")
+        system = Sys("sys", parent=root)
+        root.children["sys"] = system
+        act = Act("act", parent=system)
+        system.children["act"] = act
+        bad = Proc("bad", parent=act)
+        act.children["bad"] = bad
+        with pytest.raises(SpecificationError):
+            validate_tree(root)
+
+    def test_unknown_transition_state_rejected(self):
+        class Broken(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("a",)
+
+            @transition(from_state="ghost", cost=1.0)
+            def t(self):
+                pass
+
+        spec = Specification("demo")
+        spec.add_system_module(Broken, "broken")
+        with pytest.raises(SpecificationError):
+            spec.validate()
+
+    def test_unknown_to_state_rejected(self):
+        class Broken(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("a",)
+
+            @transition(from_state="a", to_state="ghost", cost=1.0)
+            def t(self):
+                pass
+
+        spec = Specification("demo")
+        spec.add_system_module(Broken, "broken")
+        with pytest.raises(SpecificationError):
+            spec.validate()
+
+    def test_collect_violations_returns_messages(self):
+        root = SpecificationRoot("root")
+        orphan = Proc("orphan", parent=root)
+        root.children["orphan"] = orphan
+        violations = collect_violations(root)
+        assert violations and "orphan" in violations[0]
+
+    def test_collect_violations_empty_for_valid_tree(self):
+        spec = build_ping_pong_spec()
+        assert collect_violations(spec.root) == []

@@ -1,0 +1,155 @@
+"""Unit tests for transition declaration, enabling and firing."""
+
+import pytest
+
+from repro.estelle import (
+    ANY_STATE,
+    Channel,
+    Module,
+    ModuleAttribute,
+    TransitionError,
+    ip,
+    transition,
+)
+
+CH = Channel("C", client={"Go", "Data"}, server={"Ack"})
+
+
+class Simple(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("idle", "busy", "done")
+    INITIAL_STATE = "idle"
+
+    port = ip("port", CH, role="server")
+
+    @transition(from_state="idle", to_state="busy", when=("port", "Go"), cost=2.0)
+    def start(self, interaction):
+        self.variables["started_with"] = interaction.param("n")
+
+    @transition(from_state="busy", when=("port", "Data"), cost=1.0)
+    def data(self, interaction):
+        self.variables.setdefault("received", 0)
+        self.variables["received"] += 1
+
+    @transition(
+        from_state="busy",
+        to_state="done",
+        provided=lambda m: m.variables.get("received", 0) >= 2,
+        priority=-1,
+        cost=0.5,
+    )
+    def finish(self):
+        pass
+
+    @transition(from_state=ANY_STATE, when=("port", "Go"), priority=5, cost=0.1)
+    def late_go(self, interaction):
+        self.variables["late"] = True
+
+
+class Driver(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("s",)
+    port = ip("port", CH, role="client")
+
+
+def connected_pair():
+    simple = Simple("simple")
+    driver = Driver("driver")
+    driver.ip_named("port").connect_to(simple.ip_named("port"))
+    return simple, driver
+
+
+class TestDeclaration:
+    def test_declared_transitions_collected(self):
+        names = {t.name for t in Simple.declared_transitions()}
+        assert names == {"start", "data", "finish", "late_go"}
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(TransitionError):
+            transition(delay=-1.0)(lambda self: None)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(TransitionError):
+            transition(cost=-1.0)(lambda self: None)
+
+    def test_empty_from_state_sequence_rejected(self):
+        with pytest.raises(TransitionError):
+            transition(from_state=[])(lambda self: None)
+
+    def test_spontaneous_flag(self):
+        finish = Simple._transition_declarations["finish"]
+        start = Simple._transition_declarations["start"]
+        assert finish.spontaneous
+        assert not start.spontaneous
+
+
+class TestEnabling:
+    def test_when_clause_requires_matching_head(self):
+        simple, driver = connected_pair()
+        start = Simple._transition_declarations["start"]
+        assert not start.enabled(simple)
+        driver.output("port", "Go", n=7)
+        assert start.enabled(simple)
+
+    def test_from_state_restricts(self):
+        simple, driver = connected_pair()
+        driver.output("port", "Data")
+        data = Simple._transition_declarations["data"]
+        assert not data.enabled(simple)  # still idle
+        simple.state = "busy"
+        assert data.enabled(simple)
+
+    def test_provided_guard(self):
+        simple, _ = connected_pair()
+        simple.state = "busy"
+        finish = Simple._transition_declarations["finish"]
+        assert not finish.enabled(simple)
+        simple.variables["received"] = 2
+        assert finish.enabled(simple)
+
+    def test_wildcard_state(self):
+        simple, driver = connected_pair()
+        simple.state = "done"
+        driver.output("port", "Go", n=1)
+        late = Simple._transition_declarations["late_go"]
+        assert late.enabled(simple)
+
+
+class TestFiring:
+    def test_fire_consumes_interaction_and_changes_state(self):
+        simple, driver = connected_pair()
+        driver.output("port", "Go", n=9)
+        record = Simple._transition_declarations["start"].fire(simple)
+        assert simple.state == "busy"
+        assert simple.variables["started_with"] == 9
+        assert simple.ip_named("port").pending() == 0
+        assert record.state_before == "idle"
+        assert record.state_after == "busy"
+        assert record.cost == 2.0
+
+    def test_fire_disabled_raises(self):
+        simple, _ = connected_pair()
+        with pytest.raises(TransitionError):
+            Simple._transition_declarations["start"].fire(simple)
+
+    def test_explicit_state_change_in_action_wins(self):
+        class Explicit(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("a", "b", "c")
+            INITIAL_STATE = "a"
+
+            @transition(from_state="a", to_state="b", cost=1.0)
+            def jump(self):
+                self.state = "c"
+
+        m = Explicit("m")
+        Explicit._transition_declarations["jump"].fire(m)
+        assert m.state == "c"
+
+    def test_enabled_transitions_sorted_by_priority(self):
+        simple, driver = connected_pair()
+        simple.state = "busy"
+        simple.variables["received"] = 5
+        driver.output("port", "Data")
+        enabled = simple.enabled_transitions()
+        assert enabled[0].name == "finish"  # priority -1 beats 0

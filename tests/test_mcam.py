@@ -1,0 +1,183 @@
+"""Integration tests for the MCAM protocol, agents and high-level API."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mcam import (
+    MCAM_PDU,
+    MovieSystem,
+    McamApiError,
+    RESPONSE_OF,
+    attributes_from_list,
+    attributes_to_list,
+    build_mcam_specification,
+    build_server_context,
+    decode_pdu,
+    encode_pdu,
+    is_request,
+    is_response,
+)
+from repro.runtime import SequentialMapping
+
+
+class TestPdus:
+    def test_every_request_has_a_response(self):
+        for request, response in RESPONSE_OF.items():
+            assert is_request(request)
+            assert is_response(response)
+
+    def test_connect_roundtrip(self):
+        pdu = ("connectRequest", {"clientName": "c1", "streamAddress": "ws-1", "streamPort": 5004})
+        assert decode_pdu(encode_pdu(pdu)) == (
+            "connectRequest",
+            {"version": 1, "clientName": "c1", "streamAddress": "ws-1", "streamPort": 5004},
+        )
+
+    def test_attribute_list_helpers(self):
+        attributes = {"owner": "ufa", "frameRate": 25}
+        as_list = attributes_to_list(attributes)
+        assert attributes_from_list(as_list) == {"owner": "ufa", "frameRate": "25"}
+
+    @given(
+        st.sampled_from(list(RESPONSE_OF.values())),
+        st.sampled_from(["success", "noSuchMovie", "refused", "streamFailure"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_response_roundtrip_property(self, response_name, status):
+        value = {"status": status}
+        if response_name == "connectResponse":
+            value["serverName"] = "srv"
+        if response_name == "queryAttributesResponse":
+            value["movies"] = []
+        decoded_name, decoded = decode_pdu(encode_pdu((response_name, value)))
+        assert decoded_name == response_name
+        assert decoded["status"] == status
+
+
+class TestSpecification:
+    def test_structure_generated_stack(self):
+        context = build_server_context()
+        spec, broker = build_mcam_specification(context, clients=2, stack="generated")
+        assert broker is None
+        for index in range(2):
+            assert spec.find(f"client-{index}/mca")
+            assert spec.find(f"client-{index}/session")
+            entity = spec.find(f"server/entity-{index}")
+            assert set(entity.children) == {"mca", "dua", "sua", "eua", "presentation", "session"}
+        assert spec.find("pipes/pipe-1")
+
+    def test_structure_isode_stack(self):
+        context = build_server_context()
+        spec, broker = build_mcam_specification(context, clients=1, stack="isode")
+        assert broker is not None
+        assert spec.find("client-0/isode")
+        assert "session" not in spec.find("server/entity-0").children
+
+    def test_invalid_arguments(self):
+        context = build_server_context()
+        with pytest.raises(ValueError):
+            build_mcam_specification(context, clients=0)
+        with pytest.raises(ValueError):
+            build_mcam_specification(context, clients=2, client_locations=["only-one"])
+
+
+@pytest.fixture(scope="module")
+def vod_session():
+    """One full video-on-demand session over the generated stack (module-scoped:
+    building and driving the whole system is comparatively slow)."""
+    system = MovieSystem(clients=1, stack="generated", server_processors=8)
+    client = system.client(0)
+    results = {
+        "connect": client.connect(),
+        "create": client.create_movie("metropolis", duration_seconds=2, attributes={"owner": "ufa"}),
+        "query": client.query_attributes(filter_expression="imageFormat=mjpeg"),
+        "select": client.select_movie("metropolis"),
+        "play": client.play(),
+        "modify": client.modify_attributes("metropolis", {"owner": "lang"}),
+        "record": client.record("interview", duration_seconds=1),
+        "release": client.release(),
+    }
+    return system, results
+
+
+class TestEndToEnd:
+    def test_control_operations_succeed(self, vod_session):
+        _, results = vod_session
+        for key in ("connect", "create", "select", "modify", "record", "release"):
+            assert results[key]["status"] == "success", key
+
+    def test_query_reflects_directory_contents(self, vod_session):
+        _, results = vod_session
+        names = {movie["name"] for movie in results["query"]}
+        assert "metropolis" in names
+        attributes = attributes_from_list(results["query"][0]["attributes"])
+        assert attributes["imageFormat"] == "mjpeg"
+
+    def test_playback_stream_delivered(self, vod_session):
+        _, results = vod_session
+        playback = results["play"]
+        assert playback.response["status"] == "success"
+        assert playback.frames_sent == 50
+        assert playback.frames_delivered == playback.frames_sent
+        assert playback.qos.jitter_ms < 10.0
+
+    def test_server_side_state(self, vod_session):
+        system, results = vod_session
+        assert system.context.movie_store.exists("metropolis")
+        assert system.context.movie_store.exists("interview")
+        assert system.context.dua.movie_exists("metropolis")
+        assert system.context.dua.movie_entry("metropolis").get("owner") == "lang"
+        # Playback activated the playback equipment chain at the server site.
+        assert system.context.eca.commands_handled > 0
+        # Control and media planes both carried traffic.
+        assert system.metrics.transitions_fired > 50
+        assert system.context.network.stats.delivered > 0
+
+    def test_runtime_metrics_exposed(self, vod_session):
+        system, _ = vod_session
+        summary = system.control_plane_summary()
+        assert summary["elapsed_time"] > 0
+        assert system.directory_summary()["entries"] >= 2
+
+
+class TestErrorPaths:
+    def test_operations_on_missing_movie(self):
+        system = MovieSystem(clients=1, stack="generated", server_processors=4)
+        client = system.client(0)
+        client.connect()
+        with pytest.raises(McamApiError):
+            client.select_movie("ghost")
+        with pytest.raises(McamApiError):
+            client.delete_movie("ghost")
+        with pytest.raises(McamApiError):
+            client.modify_attributes("ghost", {"owner": "x"})
+        # the association survives the failures
+        assert client.create_movie("real", duration_seconds=1)["status"] == "success"
+        with pytest.raises(McamApiError):
+            client.create_movie("real", duration_seconds=1)  # duplicate
+        client.release()
+
+    def test_isode_stack_end_to_end(self):
+        system = MovieSystem(
+            clients=1, stack="isode", server_processors=4, mapping=SequentialMapping()
+        )
+        client = system.client(0)
+        assert client.connect()["status"] == "success"
+        assert client.create_movie("iso-movie", duration_seconds=1)["status"] == "success"
+        assert client.select_movie("iso-movie")["status"] == "success"
+        assert client.release()["status"] == "success"
+
+    def test_two_clients_are_isolated(self):
+        system = MovieSystem(clients=2, stack="generated", server_processors=8)
+        first, second = system.client(0), system.client(1)
+        first.connect()
+        second.connect()
+        first.create_movie("shared", duration_seconds=1)
+        # the movie is visible to the second client through the shared directory
+        names = {m["name"] for m in second.query_attributes()}
+        assert "shared" in names
+        # but each client talks to its own server entity
+        assert system.specification.find("server/entity-0/mca").variables["requests_handled"] > 0
+        assert system.specification.find("server/entity-1/mca").variables["requests_handled"] > 0
+        first.release()
+        second.release()

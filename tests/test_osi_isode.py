@@ -1,0 +1,163 @@
+"""Tests for the hand-coded ISODE interface module and broker."""
+
+import pytest
+
+from repro.estelle import Module, ModuleAttribute, Specification, ip, transition
+from repro.osi import IsodeBroker, IsodeError, IsodeInterfaceModule
+from repro.osi.channels import PRESENTATION_SERVICE
+from repro.runtime import run_specification
+from tests.helpers import single_machine_cluster
+
+
+class ClientApp(Module):
+    """Minimal application driving the presentation service as an initiator."""
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("start", "connecting", "sending", "releasing", "done")
+    INITIAL_STATE = "start"
+    pres = ip("pres", PRESENTATION_SERVICE, role="user")
+
+    def initialise(self):
+        super().initialise()
+        self.variables.setdefault("messages", 3)
+        self.variables["sent"] = 0
+
+    @transition(from_state="start", to_state="connecting", cost=1.0)
+    def connect(self):
+        self.output("pres", "PConnectRequest", called_address="server", user_data=b"hello")
+
+    @transition(from_state="connecting", to_state="sending", when=("pres", "PConnectConfirm"), cost=1.0)
+    def connected(self, interaction):
+        self.variables["accepted"] = interaction.param("accepted")
+
+    @transition(
+        from_state="sending",
+        provided=lambda m: m.variables["sent"] < m.variables["messages"],
+        cost=1.0,
+    )
+    def send(self):
+        self.variables["sent"] += 1
+        self.output("pres", "PDataRequest", data=f"msg-{self.variables['sent']}".encode())
+
+    @transition(
+        from_state="sending",
+        to_state="releasing",
+        provided=lambda m: m.variables["sent"] >= m.variables["messages"],
+        priority=1,
+        cost=1.0,
+    )
+    def release(self):
+        self.output("pres", "PReleaseRequest")
+
+    @transition(from_state="releasing", to_state="done", when=("pres", "PReleaseConfirm"), cost=1.0)
+    def released(self, interaction):
+        pass
+
+
+class ServerApp(Module):
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("idle", "connected", "done")
+    INITIAL_STATE = "idle"
+    pres = ip("pres", PRESENTATION_SERVICE, role="user")
+
+    def initialise(self):
+        super().initialise()
+        self.variables["received"] = []
+
+    @transition(from_state="idle", to_state="connected", when=("pres", "PConnectIndication"), cost=1.0)
+    def accept(self, interaction):
+        self.variables["peer"] = interaction.param("calling_address")
+        self.output("pres", "PConnectResponse", accepted=True)
+
+    @transition(from_state="connected", when=("pres", "PDataIndication"), cost=1.0)
+    def receive(self, interaction):
+        self.variables["received"].append(interaction.param("data"))
+
+    @transition(from_state="connected", to_state="done", when=("pres", "PReleaseIndication"), cost=1.0)
+    def release(self, interaction):
+        self.output("pres", "PReleaseResponse")
+
+
+class IsodeSide(Module):
+    """System module pairing an application with an ISODE interface module."""
+
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("s",)
+
+    def initialise(self):
+        super().initialise()
+        app = self.create_child(self.variables["app_class"], "app")
+        interface = self.create_child(
+            IsodeInterfaceModule,
+            "isode",
+            broker=self.variables["broker"],
+            address=self.variables["address"],
+        )
+        app.ip_named("pres").connect_to(interface.ip_named("user"))
+
+
+def build_isode_spec(messages=3):
+    broker = IsodeBroker()
+    spec = Specification("isode-demo")
+    spec.add_system_module(IsodeSide, "client", app_class=ClientApp, broker=broker, address="client")
+    spec.add_system_module(IsodeSide, "server", app_class=ServerApp, broker=broker, address="server")
+    spec.find("client/app").variables["messages"] = messages
+    spec.validate()
+    return spec, broker
+
+
+class TestIsodeBroker:
+    def test_duplicate_registration_rejected(self):
+        broker = IsodeBroker()
+
+        class Dummy:
+            uid = 1
+            path = "dummy"
+
+        broker.register("addr", Dummy())  # type: ignore[arg-type]
+        with pytest.raises(IsodeError):
+            broker.register("addr", Dummy())  # type: ignore[arg-type]
+
+    def test_resolve_unknown_address(self):
+        with pytest.raises(IsodeError):
+            IsodeBroker().resolve("ghost")
+
+
+class TestIsodeEndToEnd:
+    def test_full_exchange_over_isode(self):
+        spec, broker = build_isode_spec(messages=3)
+        metrics, executor = run_specification(spec, single_machine_cluster(processors=2))
+        client = spec.find("client/app")
+        server = spec.find("server/app")
+        assert not executor.deadlocked
+        assert client.state == "done"
+        assert server.state == "done"
+        assert client.variables["accepted"] is True
+        assert server.variables["received"] == [b"msg-1", b"msg-2", b"msg-3"]
+        assert server.variables["peer"] == "client"
+        assert broker.calls >= 3 + 2  # data + connect/accept
+        assert metrics.external_steps > 0
+
+    def test_isode_cheaper_than_generated_stack(self):
+        """E6 shape: the hand-coded path needs fewer work units per exchange."""
+        from repro.osi import build_transfer_specification
+        from repro.runtime import SequentialMapping
+
+        isode_spec, _ = build_isode_spec(messages=10)
+        isode_metrics, _ = run_specification(
+            isode_spec, single_machine_cluster(1), mapping=SequentialMapping()
+        )
+        generated_spec = build_transfer_specification(connections=1, data_requests=10)
+        generated_cluster = single_machine_cluster(1, name="ksr1")
+        generated_metrics, _ = run_specification(
+            generated_spec, generated_cluster, mapping=SequentialMapping()
+        )
+        assert isode_metrics.elapsed_time < generated_metrics.elapsed_time
+
+    def test_data_before_connect_rejected(self):
+        broker = IsodeBroker()
+        spec = Specification("bad")
+        spec.add_system_module(IsodeSide, "client", app_class=ClientApp, broker=broker, address="client")
+        interface = spec.find("client/isode")
+        with pytest.raises(IsodeError):
+            broker.p_data_request(interface, data=b"x", value=None)

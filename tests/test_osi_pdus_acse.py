@@ -1,0 +1,148 @@
+"""Unit tests for session/presentation PDUs and the ACSE element."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.osi import (
+    AcseAssociation,
+    AcseError,
+    PduError,
+    PresentationContext,
+    PresentationPdu,
+    SessionPdu,
+    build_aare,
+    build_aarq,
+    build_rlre,
+    build_rlrq,
+    parse_apdu,
+)
+
+
+class TestSessionPdu:
+    def test_connect_roundtrip(self):
+        pdu = SessionPdu(
+            kind="CN",
+            connection_ref=7,
+            calling_address="client-1",
+            called_address="server",
+            user_data=b"\x01\x02",
+        )
+        decoded = SessionPdu.from_bytes(pdu.to_bytes())
+        assert decoded == pdu
+
+    @pytest.mark.parametrize("kind", ["DT", "FN", "DN", "AB"])
+    def test_data_like_roundtrip(self, kind):
+        pdu = SessionPdu(kind=kind, user_data=b"payload")
+        decoded = SessionPdu.from_bytes(pdu.to_bytes())
+        assert decoded.kind == kind
+        assert decoded.user_data == b"payload"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PduError):
+            SessionPdu(kind="XX")
+
+    def test_malformed_frame_rejected(self):
+        with pytest.raises(PduError):
+            SessionPdu.from_bytes(b"\x01")
+        with pytest.raises(PduError):
+            SessionPdu.from_bytes(b"\xff\x00\x00")
+
+    @given(st.binary(max_size=200), st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=40)
+    def test_connect_roundtrip_property(self, user_data, ref):
+        pdu = SessionPdu(
+            kind="CN", connection_ref=ref, calling_address="a", called_address="b", user_data=user_data
+        )
+        assert SessionPdu.from_bytes(pdu.to_bytes()) == pdu
+
+
+class TestPresentationPdu:
+    def test_connect_with_contexts_roundtrip(self):
+        contexts = (
+            PresentationContext(1, "mcam-pdus", "ber"),
+            PresentationContext(3, "acse", "ber"),
+        )
+        pdu = PresentationPdu(kind="CP", contexts=contexts, user_data=b"x")
+        decoded = PresentationPdu.from_bytes(pdu.to_bytes())
+        assert decoded.kind == "CP"
+        assert decoded.contexts == contexts
+        assert decoded.user_data == b"x"
+
+    def test_data_roundtrip(self):
+        pdu = PresentationPdu(kind="TD", context_id=3, user_data=b"encoded value")
+        decoded = PresentationPdu.from_bytes(pdu.to_bytes())
+        assert decoded.context_id == 3
+        assert decoded.user_data == b"encoded value"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PduError):
+            PresentationPdu(kind="ZZ")
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(PduError):
+            PresentationPdu(kind="TD", context_id=1, user_data=b"x" * 70000).to_bytes()
+
+    @given(st.integers(min_value=0, max_value=65000), st.binary(max_size=300))
+    @settings(max_examples=40)
+    def test_data_roundtrip_property(self, context_id, payload):
+        pdu = PresentationPdu(kind="TD", context_id=context_id, user_data=payload)
+        decoded = PresentationPdu.from_bytes(pdu.to_bytes())
+        assert decoded.context_id == context_id and decoded.user_data == payload
+
+
+class TestAcseApdus:
+    def test_aarq_roundtrip(self):
+        blob = build_aarq("mcam", calling="client", called="server", user_information=b"hi")
+        kind, value = parse_apdu(blob)
+        assert kind == "aarq"
+        assert value["applicationContextName"] == "mcam"
+        assert value["callingApTitle"] == "client"
+        assert value["userInformation"] == b"hi"
+
+    def test_aare_accept_and_reject(self):
+        accepted_kind, accepted = parse_apdu(build_aare("mcam", True))
+        rejected_kind, rejected = parse_apdu(build_aare("mcam", False))
+        assert accepted["result"] == "accepted"
+        assert rejected["result"] == "rejectedPermanent"
+
+    def test_release_apdus(self):
+        assert parse_apdu(build_rlrq())[0] == "rlrq"
+        assert parse_apdu(build_rlre())[0] == "rlre"
+
+
+class TestAcseAssociation:
+    def test_full_association_lifecycle(self):
+        initiator = AcseAssociation(local_title="client")
+        responder = AcseAssociation(local_title="server")
+
+        aarq = initiator.associate_request("server", b"connect-data")
+        value = responder.associate_indication(aarq)
+        assert value["calledApTitle"] == "server"
+        aare = responder.associate_response(accepted=True)
+        assert initiator.associate_confirm(aare)
+        assert initiator.is_associated and responder.is_associated
+
+        rlrq = initiator.release_request()
+        responder.release_indication(rlrq)
+        rlre = responder.release_response()
+        initiator.release_confirm(rlre)
+        assert initiator.state == "idle" and responder.state == "idle"
+
+    def test_rejected_association(self):
+        initiator = AcseAssociation()
+        responder = AcseAssociation()
+        aarq = initiator.associate_request("server")
+        responder.associate_indication(aarq)
+        aare = responder.associate_response(accepted=False)
+        assert not initiator.associate_confirm(aare)
+        assert initiator.state == "idle" and responder.state == "idle"
+
+    def test_illegal_sequences_rejected(self):
+        association = AcseAssociation()
+        with pytest.raises(AcseError):
+            association.release_request()  # not associated yet
+        association.associate_request("server")
+        with pytest.raises(AcseError):
+            association.associate_request("server")  # already associating
+        with pytest.raises(AcseError):
+            association.associate_confirm(build_rlrq())  # wrong APDU kind

@@ -1,0 +1,168 @@
+"""Integration tests: the Section 5.1 OSI test environment end to end."""
+
+import pytest
+
+from repro.osi import (
+    Initiator,
+    PresentationContext,
+    PresentationEntity,
+    Responder,
+    SessionEntity,
+    SyntaxRegistry,
+    TransportPipe,
+    build_transfer_specification,
+    transfer_progress,
+)
+from repro.asn1 import Component, IA5String, Integer, Sequence
+from repro.runtime import SequentialMapping, ThreadPerModuleMapping, run_specification
+from repro.sim import Cluster, Machine
+from tests.helpers import single_machine_cluster
+
+
+def ksr_cluster(processors=8):
+    cluster = Cluster()
+    cluster.add(Machine("ksr1", processors))
+    return cluster
+
+
+class TestTransferSpecification:
+    def test_structure(self):
+        spec = build_transfer_specification(connections=2, data_requests=5)
+        # 3 system modules + per connection: (subtree + app + pres + sess) * 2 + pipe
+        assert spec.find("initiator-stack/conn-0/app")
+        assert spec.find("responder-stack/conn-1/session")
+        assert spec.find("pipes/pipe-1")
+        assert spec.module_count() == 3 + 2 * (4 + 4 + 1)
+
+    def test_requires_at_least_one_connection(self):
+        with pytest.raises(ValueError):
+            build_transfer_specification(connections=0)
+
+    @pytest.mark.parametrize("connections,data_requests", [(1, 3), (2, 5), (3, 2)])
+    def test_end_to_end_transfer(self, connections, data_requests):
+        spec = build_transfer_specification(connections=connections, data_requests=data_requests)
+        metrics, executor = run_specification(spec, ksr_cluster(), max_rounds=5000)
+        assert not executor.deadlocked
+        sent, received = transfer_progress(spec)
+        assert sent == connections * data_requests
+        assert received == connections * data_requests
+        for index in range(connections):
+            initiator = spec.find(f"initiator-stack/conn-{index}/app")
+            responder = spec.find(f"responder-stack/conn-{index}/app")
+            assert initiator.state == "done"
+            assert responder.state == "done"
+            # both session entities returned to idle after the orderly release
+            assert spec.find(f"initiator-stack/conn-{index}/session").state == "idle"
+            assert spec.find(f"responder-stack/conn-{index}/session").state == "idle"
+        assert spec.pending_interactions() == 0
+
+    def test_parallel_execution_preserves_behaviour(self):
+        sequential_spec = build_transfer_specification(connections=2, data_requests=8)
+        parallel_spec = build_transfer_specification(connections=2, data_requests=8)
+        seq_metrics, _ = run_specification(
+            sequential_spec, ksr_cluster(1), mapping=SequentialMapping()
+        )
+        par_metrics, _ = run_specification(
+            parallel_spec, ksr_cluster(8), mapping=ThreadPerModuleMapping()
+        )
+        assert transfer_progress(sequential_spec) == transfer_progress(parallel_spec)
+        assert seq_metrics.transitions_fired == par_metrics.transitions_fired
+        assert par_metrics.elapsed_time < seq_metrics.elapsed_time
+
+    def test_speedup_band_for_two_connections(self):
+        """Paper §5.1: speedup of 1.4–2 with 2 connections (worst-case tiny PDUs)."""
+        seq_spec = build_transfer_specification(connections=2, data_requests=20, payload_size=2)
+        par_spec = build_transfer_specification(connections=2, data_requests=20, payload_size=2)
+        sequential, _ = run_specification(seq_spec, ksr_cluster(1), mapping=SequentialMapping())
+        parallel, _ = run_specification(par_spec, ksr_cluster(8), mapping=ThreadPerModuleMapping())
+        speedup = parallel.speedup_against(sequential)
+        assert 1.2 <= speedup <= 2.5
+
+
+class TestPresentationEncoding:
+    """P-DATA with a registered abstract syntax goes through ASN.1 encode/decode."""
+
+    def test_registered_syntax_is_encoded_and_decoded(self):
+        schema = Sequence(
+            "Ping", [Component("seq", Integer()), Component("text", IA5String())]
+        )
+        registry = SyntaxRegistry()
+        registry.register("ping-syntax", schema)
+
+        from repro.estelle import Module, ModuleAttribute, Specification, ip, transition
+        from repro.osi.channels import PRESENTATION_SERVICE
+
+        class Sender(Module):
+            ATTRIBUTE = ModuleAttribute.PROCESS
+            STATES = ("start", "connecting", "sending", "done")
+            INITIAL_STATE = "start"
+            pres = ip("pres", PRESENTATION_SERVICE, role="user")
+
+            @transition(from_state="start", to_state="connecting", cost=1.0)
+            def connect(self):
+                self.output(
+                    "pres",
+                    "PConnectRequest",
+                    contexts=(PresentationContext(1, "ping-syntax"),),
+                    called_address="receiver",
+                )
+
+            @transition(from_state="connecting", to_state="sending", when=("pres", "PConnectConfirm"), cost=1.0)
+            def confirmed(self, interaction):
+                self.output("pres", "PDataRequest", context_id=1, value={"seq": 1, "text": "hello"})
+                self.state = "done"
+
+        class Receiver(Module):
+            ATTRIBUTE = ModuleAttribute.PROCESS
+            STATES = ("idle", "connected")
+            INITIAL_STATE = "idle"
+            pres = ip("pres", PRESENTATION_SERVICE, role="user")
+
+            @transition(from_state="idle", to_state="connected", when=("pres", "PConnectIndication"), cost=1.0)
+            def accept(self, interaction):
+                self.output("pres", "PConnectResponse", accepted=True,
+                            contexts=tuple(interaction.param("contexts", ())))
+
+            @transition(from_state="connected", when=("pres", "PDataIndication"), cost=1.0)
+            def receive(self, interaction):
+                self.variables["value"] = interaction.param("value")
+
+        class Side(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("s",)
+
+            def initialise(self):
+                super().initialise()
+                app_class = self.variables["app_class"]
+                app = self.create_child(app_class, "app")
+                pres = self.create_child(PresentationEntity, "pres", syntaxes=registry)
+                sess = self.create_child(SessionEntity, "sess")
+                app.ip_named("pres").connect_to(pres.ip_named("user"))
+                pres.ip_named("session").connect_to(sess.ip_named("user"))
+
+        class Pipes(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("s",)
+
+            def initialise(self):
+                super().initialise()
+                self.create_child(TransportPipe, "pipe")
+
+        spec = Specification("encoded-transfer")
+        sender_side = spec.add_system_module(Side, "sender", app_class=Sender)
+        pipes = spec.add_system_module(Pipes, "pipes")
+        receiver_side = spec.add_system_module(Side, "receiver", app_class=Receiver)
+        spec.connect(
+            sender_side.children["sess"].ip_named("transport"),
+            pipes.children["pipe"].ip_named("side_a"),
+        )
+        spec.connect(
+            receiver_side.children["sess"].ip_named("transport"),
+            pipes.children["pipe"].ip_named("side_b"),
+        )
+        spec.validate()
+
+        metrics, executor = run_specification(spec, single_machine_cluster(processors=2))
+        receiver = spec.find("receiver/app")
+        assert receiver.variables["value"] == {"seq": 1, "text": "hello"}
+        assert not executor.deadlocked

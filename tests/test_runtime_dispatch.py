@@ -1,0 +1,151 @@
+"""Unit tests for the transition-dispatch strategies."""
+
+import pytest
+
+from repro.estelle import Channel, Module, ModuleAttribute, ip, transition
+from repro.runtime import HardCodedDispatch, TableDrivenDispatch, dispatch_by_name
+
+CH = Channel("C", a={"Msg"}, b={"Reply"})
+
+
+def make_module_class(num_states: int, transitions_per_state: int):
+    """Build a synthetic module class with a controllable transition count."""
+    states = tuple(f"s{i}" for i in range(num_states))
+    namespace = {
+        "ATTRIBUTE": ModuleAttribute.SYSTEMPROCESS,
+        "STATES": states,
+        "INITIAL_STATE": states[0],
+    }
+    for state_index, state in enumerate(states):
+        for t_index in range(transitions_per_state):
+            name = f"t_{state_index}_{t_index}"
+            # Only the last transition of the last state is ever enabled.
+            enabled = state_index == num_states - 1 and t_index == transitions_per_state - 1
+
+            def action(self, _enabled=enabled):
+                self.variables["fired"] = True
+
+            action.__name__ = name
+            namespace[name] = transition(
+                from_state=state,
+                provided=(lambda m, _e=enabled: _e),
+                cost=1.0,
+                name=name,
+            )(action)
+    return type("Synthetic", (Module,), namespace)
+
+
+class Receiver(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("idle", "busy")
+    INITIAL_STATE = "idle"
+    port = ip("port", CH, role="b")
+
+    @transition(from_state="idle", to_state="busy", when=("port", "Msg"), cost=1.0)
+    def on_msg(self, interaction):
+        pass
+
+    @transition(from_state="busy", provided=lambda m: False, cost=1.0)
+    def never(self):
+        pass
+
+
+class Sender(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("s",)
+    port = ip("port", CH, role="a")
+
+
+class ExternalBody(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    EXTERNAL = True
+    port = ip("port", CH, role="b")
+
+    def external_step(self):
+        self.ip_named("port").consume()
+        return 1.0
+
+
+class TestSelection:
+    @pytest.mark.parametrize("strategy_cls", [HardCodedDispatch, TableDrivenDispatch])
+    def test_selects_enabled_transition(self, strategy_cls):
+        receiver = Receiver("r")
+        sender = Sender("s")
+        sender.ip_named("port").connect_to(receiver.ip_named("port"))
+        sender.output("port", "Msg")
+        result = strategy_cls().select(receiver)
+        assert result.fires
+        assert result.transition.name == "on_msg"
+
+    @pytest.mark.parametrize("strategy_cls", [HardCodedDispatch, TableDrivenDispatch])
+    def test_returns_none_when_nothing_enabled(self, strategy_cls):
+        receiver = Receiver("r")
+        result = strategy_cls().select(receiver)
+        assert not result.fires
+        assert result.transition is None
+
+    def test_external_module_selection(self):
+        ext = ExternalBody("ext")
+        sender = Sender("s")
+        sender.ip_named("port").connect_to(ext.ip_named("port"))
+        assert not HardCodedDispatch().select(ext).fires
+        sender.output("port", "Msg")
+        result = HardCodedDispatch().select(ext)
+        assert result.fires and result.external and result.transition is None
+
+    def test_priority_order_respected_by_both(self):
+        class Prio(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+            STATES = ("s",)
+
+            @transition(from_state="s", priority=5, cost=1.0)
+            def low(self):
+                pass
+
+            @transition(from_state="s", priority=0, cost=1.0)
+            def high(self):
+                pass
+
+        module = Prio("p")
+        assert HardCodedDispatch().select(module).transition.name == "high"
+        assert TableDrivenDispatch().select(module).transition.name == "high"
+
+
+class TestCostModel:
+    def test_hardcoded_cost_grows_with_total_transitions(self):
+        small_cls = make_module_class(num_states=2, transitions_per_state=1)
+        large_cls = make_module_class(num_states=8, transitions_per_state=2)
+        small, large = small_cls("s"), large_cls("l")
+        dispatch = HardCodedDispatch(scan_cost=1.0)
+        assert dispatch.select(large).cost > dispatch.select(small).cost
+
+    def test_table_cost_depends_on_state_row_not_total(self):
+        few = make_module_class(num_states=2, transitions_per_state=2)("a")
+        many = make_module_class(num_states=10, transitions_per_state=2)("b")
+        dispatch = TableDrivenDispatch(scan_cost=1.0, table_overhead=0.0)
+        # Both modules are in their first state with 2 transitions in the row.
+        assert dispatch.select(few).cost == dispatch.select(many).cost
+
+    def test_table_beats_hardcoded_for_large_transition_lists(self):
+        cls = make_module_class(num_states=10, transitions_per_state=2)
+        module = cls("m")
+        hard = HardCodedDispatch(scan_cost=0.1).select(module).cost
+        table = TableDrivenDispatch(scan_cost=0.1, table_overhead=0.25).select(module).cost
+        assert table < hard
+
+    def test_hardcoded_beats_table_for_tiny_transition_lists(self):
+        cls = make_module_class(num_states=1, transitions_per_state=2)
+        module = cls("m")
+        hard = HardCodedDispatch(scan_cost=0.1).select(module).cost
+        table = TableDrivenDispatch(scan_cost=0.1, table_overhead=0.25).select(module).cost
+        assert hard < table
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(dispatch_by_name("hard-coded"), HardCodedDispatch)
+        assert isinstance(dispatch_by_name("table-driven"), TableDrivenDispatch)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            dispatch_by_name("mystery")

@@ -1,0 +1,182 @@
+"""Unit tests for module-to-processor mapping strategies."""
+
+import pytest
+
+from repro.estelle import Module, ModuleAttribute, Specification, transition
+from repro.runtime import (
+    ConnectionPerProcessorMapping,
+    GroupedMapping,
+    LayerPerProcessorMapping,
+    SequentialMapping,
+    SystemMapping,
+    ExecutionUnit,
+    ThreadPerModuleMapping,
+    mapping_by_name,
+)
+from repro.sim import Cluster, Machine
+from tests.helpers import build_ping_pong_spec, build_worker_spec, single_machine_cluster
+
+
+class LayeredSystem(Module):
+    """System module creating two connections, each with two layered children."""
+
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("s",)
+
+    def initialise(self):
+        super().initialise()
+        for conn in range(self.variables.get("connections", 2)):
+            handler = self.create_child(ConnectionHandler, f"conn-{conn}")
+
+
+class ConnectionHandler(Module):
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("s",)
+    LAYER = "handler"
+
+    def initialise(self):
+        super().initialise()
+        self.create_child(PresentationEntity, "presentation")
+        self.create_child(SessionEntity, "session")
+
+
+class PresentationEntity(Module):
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("s",)
+    LAYER = "presentation"
+
+
+class SessionEntity(Module):
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("s",)
+    LAYER = "session"
+
+
+def layered_spec(connections=2):
+    spec = Specification("layered")
+    spec.add_system_module(LayeredSystem, "server", location="m1", connections=connections)
+    spec.validate()
+    return spec
+
+
+class TestSystemMapping:
+    def test_unit_lookup(self):
+        unit = ExecutionUnit(uid=1, machine="m1", processor_index=0, module_paths=["a"])
+        mapping = SystemMapping([unit])
+        assert mapping.unit_of("a") is unit
+        assert mapping.knows("a")
+        assert not mapping.knows("b")
+        with pytest.raises(KeyError):
+            mapping.unit_of("b")
+
+    def test_duplicate_assignment_rejected(self):
+        a = ExecutionUnit(uid=1, machine="m1", processor_index=0, module_paths=["x"])
+        b = ExecutionUnit(uid=2, machine="m1", processor_index=1, module_paths=["x"])
+        with pytest.raises(ValueError):
+            SystemMapping([a, b])
+
+    def test_describe(self):
+        unit = ExecutionUnit(uid=1, machine="m1", processor_index=0, module_paths=["a"], label="u")
+        assert "unit#1" in SystemMapping([unit]).describe()
+
+
+class TestThreadPerModule:
+    def test_one_unit_per_module(self):
+        spec = build_worker_spec(workers=3)
+        cluster = single_machine_cluster(processors=4)
+        mapping = ThreadPerModuleMapping().compute(spec, cluster)
+        assert len(mapping.units) == spec.module_count()
+        assert all(unit.size == 1 for unit in mapping.units)
+
+    def test_units_spread_over_processors(self):
+        spec = build_worker_spec(workers=8)
+        cluster = single_machine_cluster(processors=4)
+        mapping = ThreadPerModuleMapping().compute(spec, cluster)
+        assert mapping.processors_used("m1") == 4
+
+
+class TestSequentialMapping:
+    def test_single_unit_per_machine(self):
+        spec = build_ping_pong_spec(locations=("m1", "m2"))
+        cluster = Cluster()
+        cluster.add(Machine("m1", 4))
+        cluster.add(Machine("m2", 4))
+        mapping = SequentialMapping().compute(spec, cluster)
+        assert len(mapping.units_on("m1")) == 1
+        assert len(mapping.units_on("m2")) == 1
+
+
+class TestGroupedMapping:
+    def test_unit_count_bounded_by_processors(self):
+        spec = build_worker_spec(workers=10)
+        cluster = single_machine_cluster(processors=3)
+        mapping = GroupedMapping().compute(spec, cluster)
+        assert len(mapping.units_on("m1")) <= 3
+        total_modules = sum(unit.size for unit in mapping.units)
+        assert total_modules == spec.module_count()
+
+    def test_max_units_override(self):
+        spec = build_worker_spec(workers=10)
+        cluster = single_machine_cluster(processors=8)
+        mapping = GroupedMapping(max_units=2).compute(spec, cluster)
+        assert len(mapping.units_on("m1")) <= 2
+
+    def test_subtrees_kept_together(self):
+        spec = layered_spec(connections=2)
+        cluster = single_machine_cluster(processors=2)
+        mapping = GroupedMapping().compute(spec, cluster)
+        for unit in mapping.units:
+            anchors = set()
+            for path in unit.module_paths:
+                parts = path.split("/")
+                if len(parts) >= 3:
+                    anchors.add(parts[2])
+            # All connection-handler descendants in a unit share the anchor.
+            assert len(anchors) <= max(1, len([p for p in unit.module_paths]))
+
+
+class TestConnectionAndLayerMappings:
+    def test_connection_per_processor_groups_by_subtree(self):
+        spec = layered_spec(connections=3)
+        cluster = single_machine_cluster(processors=8)
+        mapping = ConnectionPerProcessorMapping().compute(spec, cluster)
+        # one unit per connection subtree + one for the system module itself
+        assert len(mapping.units) == 4
+        for unit in mapping.units:
+            if unit.size > 1:
+                anchors = {path.split("/")[2] for path in unit.module_paths}
+                assert len(anchors) == 1
+
+    def test_layer_per_processor_groups_by_layer(self):
+        spec = layered_spec(connections=3)
+        cluster = single_machine_cluster(processors=8)
+        mapping = LayerPerProcessorMapping().compute(spec, cluster)
+        labels = {unit.label for unit in mapping.units}
+        assert {"presentation", "session", "handler"} <= labels
+        presentation_unit = next(u for u in mapping.units if u.label == "presentation")
+        assert presentation_unit.size == 3
+
+    def test_unknown_location_raises(self):
+        spec = build_ping_pong_spec(locations=("ghost", "ghost"))
+        cluster = single_machine_cluster(processors=1)
+        with pytest.raises(KeyError):
+            ThreadPerModuleMapping().compute(spec, cluster)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("thread-per-module", ThreadPerModuleMapping),
+            ("sequential", SequentialMapping),
+            ("grouped", GroupedMapping),
+            ("connection-per-processor", ConnectionPerProcessorMapping),
+            ("layer-per-processor", LayerPerProcessorMapping),
+        ],
+    )
+    def test_by_name(self, name, cls):
+        assert isinstance(mapping_by_name(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            mapping_by_name("quantum")

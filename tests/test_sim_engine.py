@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import EventScheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(5.0, lambda: order.append("b"))
+        scheduler.schedule(1.0, lambda: order.append("a"))
+        scheduler.schedule(9.0, lambda: order.append("c"))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+        assert scheduler.now == 9.0
+
+    def test_ties_run_in_scheduling_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append(1))
+        scheduler.schedule(1.0, lambda: order.append(2))
+        scheduler.run()
+        assert order == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule(-0.1, lambda: None)
+
+    def test_cancel(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        scheduler.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_schedule_at_absolute_time(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule(2.0, lambda: times.append(scheduler.now))
+        scheduler.schedule_at(5.0, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [2.0, 5.0]
+
+    def test_nested_scheduling(self):
+        scheduler = EventScheduler()
+        seen = []
+
+        def outer():
+            seen.append(("outer", scheduler.now))
+            scheduler.schedule(3.0, inner)
+
+        def inner():
+            seen.append(("inner", scheduler.now))
+
+        scheduler.schedule(1.0, outer)
+        scheduler.run()
+        assert seen == [("outer", 1.0), ("inner", 4.0)]
+
+
+class TestRunVariants:
+    def test_run_until_horizon(self):
+        scheduler = EventScheduler()
+        fired = []
+        for delay in (1.0, 2.0, 10.0):
+            scheduler.schedule(delay, lambda d=delay: fired.append(d))
+        processed = scheduler.run_until(5.0)
+        assert processed == 2
+        assert fired == [1.0, 2.0]
+        assert scheduler.now == 5.0
+        assert scheduler.pending() == 1
+
+    def test_run_max_events(self):
+        scheduler = EventScheduler()
+        for delay in (1.0, 2.0, 3.0):
+            scheduler.schedule(delay, lambda: None)
+        assert scheduler.run(max_events=2) == 2
+        assert scheduler.pending() == 1
+
+    def test_periodic_with_count(self):
+        scheduler = EventScheduler()
+        ticks = []
+        scheduler.schedule_periodic(2.0, lambda: ticks.append(scheduler.now), count=3)
+        scheduler.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_periodic_requires_positive_period(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule_periodic(0.0, lambda: None)
+
+    def test_periodic_unbounded_stops_at_horizon(self):
+        scheduler = EventScheduler()
+        ticks = []
+        scheduler.schedule_periodic(1.0, lambda: ticks.append(scheduler.now))
+        scheduler.run_until(4.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_reset(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run()
+        scheduler.reset()
+        assert scheduler.now == 0.0
+        assert scheduler.pending() == 0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0, allow_nan=False), max_size=40))
+def test_monotonic_clock_property(delays):
+    """The simulation clock never moves backwards, whatever the schedule."""
+    scheduler = EventScheduler()
+    observed = []
+    for delay in delays:
+        scheduler.schedule(delay, lambda: observed.append(scheduler.now))
+    scheduler.run()
+    assert observed == sorted(observed)
+    assert scheduler.processed_events == len(delays)

@@ -1,0 +1,138 @@
+"""Unit tests for machines, clusters, cost models and execution metrics."""
+
+import pytest
+
+from repro.sim import (
+    Cluster,
+    CostModel,
+    ExecutionMetrics,
+    LatencySeries,
+    Machine,
+    ksr1,
+    mean,
+    paper_environment,
+    percentile,
+    std_dev,
+    workstation,
+)
+
+
+class TestMachine:
+    def test_processor_count(self):
+        machine = Machine("m", 4)
+        assert machine.processor_count == 4
+
+    def test_at_least_one_processor(self):
+        with pytest.raises(ValueError):
+            Machine("m", 0)
+
+    def test_busy_time_and_utilisation(self):
+        machine = Machine("m", 2)
+        machine.processors[0].busy_time = 10.0
+        machine.processors[1].busy_time = 5.0
+        assert machine.total_busy_time() == 15.0
+        assert machine.utilisation(elapsed=10.0) == pytest.approx(0.75)
+        machine.reset()
+        assert machine.total_busy_time() == 0.0
+
+    def test_ksr1_and_workstation_factories(self):
+        server = ksr1()
+        client = workstation("sun-1")
+        assert server.name == "ksr1" and server.processor_count == 32
+        assert client.processor_count == 1
+
+    def test_cost_model_scaled(self):
+        base = CostModel()
+        tuned = base.scaled(sync_cost=2.0)
+        assert tuned.sync_cost == 2.0
+        assert tuned.transition_cost_scale == base.transition_cost_scale
+        assert base.sync_cost != 2.0  # original untouched
+
+
+class TestCluster:
+    def test_add_get_contains(self):
+        cluster = Cluster()
+        cluster.add(Machine("a", 1))
+        assert "a" in cluster
+        assert cluster.get("a").name == "a"
+        with pytest.raises(KeyError):
+            cluster.get("missing")
+
+    def test_duplicate_machine_rejected(self):
+        cluster = Cluster()
+        cluster.add(Machine("a", 1))
+        with pytest.raises(ValueError):
+            cluster.add(Machine("a", 2))
+
+    def test_paper_environment_shape(self):
+        cluster = paper_environment(client_count=2, server_processors=32)
+        names = {m.name for m in cluster.machines()}
+        assert "ksr1" in names
+        assert len(names) == 3
+
+
+class TestStatisticsHelpers:
+    def test_mean_and_std(self):
+        assert mean([]) == 0.0
+        assert mean([2.0, 4.0]) == 3.0
+        assert std_dev([5.0]) == 0.0
+        assert std_dev([2.0, 4.0]) == pytest.approx(1.0)
+
+    def test_percentile(self):
+        values = [float(v) for v in range(1, 11)]
+        assert percentile(values, 0.5) == 5.0
+        assert percentile(values, 1.0) == 10.0
+        assert percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            percentile(values, 1.5)
+
+
+class TestExecutionMetrics:
+    def test_shares(self):
+        metrics = ExecutionMetrics(
+            transition_time=6.0,
+            dispatch_time=1.0,
+            scheduler_time=2.0,
+            sync_time=0.5,
+            context_switch_time=0.5,
+        )
+        assert metrics.total_work == 10.0
+        assert metrics.scheduler_share == pytest.approx(0.2)
+        assert metrics.overhead_share == pytest.approx(0.3)
+
+    def test_empty_metrics_shares_are_zero(self):
+        metrics = ExecutionMetrics()
+        assert metrics.scheduler_share == 0.0
+        assert metrics.overhead_share == 0.0
+        assert metrics.utilisation(4) == 0.0
+
+    def test_speedup(self):
+        slow = ExecutionMetrics(elapsed_time=10.0)
+        fast = ExecutionMetrics(elapsed_time=5.0)
+        assert fast.speedup_against(slow) == pytest.approx(2.0)
+
+    def test_summary_keys(self):
+        summary = ExecutionMetrics().summary()
+        assert {"elapsed_time", "scheduler_share", "overhead_share"} <= set(summary)
+
+
+class TestLatencySeries:
+    def test_basic_statistics(self):
+        series = LatencySeries()
+        series.extend([1.0, 3.0, 2.0])
+        assert series.count == 3
+        assert series.mean == pytest.approx(2.0)
+        assert series.minimum == 1.0
+        assert series.maximum == 3.0
+        assert series.jitter == pytest.approx(1.5)
+
+    def test_negative_sample_rejected(self):
+        series = LatencySeries()
+        with pytest.raises(ValueError):
+            series.add(-1.0)
+
+    def test_empty_series(self):
+        series = LatencySeries()
+        assert series.mean == 0.0
+        assert series.jitter == 0.0
+        assert series.summary()["count"] == 0.0

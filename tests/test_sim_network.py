@@ -1,0 +1,150 @@
+"""Unit tests for the simulated datagram network and the reliable pipe."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    DatagramNetwork,
+    EventScheduler,
+    LinkProfile,
+    ReliablePipe,
+)
+
+
+def make_network(**profile_kwargs):
+    scheduler = EventScheduler()
+    profile = LinkProfile(**profile_kwargs) if profile_kwargs else None
+    return scheduler, DatagramNetwork(scheduler, profile=profile, seed=3)
+
+
+class TestLinkProfile:
+    def test_transmission_delay(self):
+        profile = LinkProfile(bandwidth=100.0, latency=1.0)
+        assert profile.transmission_delay(200) == pytest.approx(2.0)
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            LinkProfile(loss_rate=1.5).validate()
+
+    def test_negative_latency(self):
+        with pytest.raises(ValueError):
+            LinkProfile(latency=-1.0).validate()
+
+
+class TestDatagramNetwork:
+    def test_delivery_to_bound_port(self):
+        scheduler, network = make_network()
+        received = []
+        network.bind("server", 5000, received.append)
+        network.send("client", "server", b"hello", port=5000)
+        scheduler.run()
+        assert len(received) == 1
+        assert received[0].payload == b"hello"
+        assert received[0].source == "client"
+        assert network.stats.delivered == 1
+
+    def test_unbound_port_drops(self):
+        scheduler, network = make_network()
+        network.send("client", "server", b"hello", port=5000)
+        scheduler.run()
+        assert network.stats.dropped == 1
+        assert network.stats.delivered == 0
+
+    def test_double_bind_rejected(self):
+        _, network = make_network()
+        network.bind("server", 5000, lambda d: None)
+        with pytest.raises(ValueError):
+            network.bind("server", 5000, lambda d: None)
+
+    def test_unbind(self):
+        scheduler, network = make_network()
+        network.bind("server", 5000, lambda d: None)
+        network.unbind("server", 5000)
+        assert not network.is_bound("server", 5000)
+
+    def test_loss_rate_one_drops_everything(self):
+        scheduler, network = make_network(loss_rate=1.0)
+        received = []
+        network.bind("server", 1, received.append)
+        for _ in range(20):
+            network.send("client", "server", b"x", port=1)
+        scheduler.run()
+        assert received == []
+        assert network.stats.dropped == 20
+        assert network.stats.delivery_ratio == 0.0
+
+    def test_latency_applied(self):
+        scheduler, network = make_network(latency=5.0, bandwidth=0.0, jitter=0.0)
+        arrival = []
+        network.bind("server", 1, lambda d: arrival.append(scheduler.now))
+        network.send("client", "server", b"x", port=1)
+        scheduler.run()
+        assert arrival == [5.0]
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            scheduler = EventScheduler()
+            network = DatagramNetwork(
+                scheduler, profile=LinkProfile(jitter=2.0, loss_rate=0.3), seed=11
+            )
+            deliveries = []
+            network.bind("b", 1, lambda d: deliveries.append((d.uid, scheduler.now)))
+            for i in range(30):
+                network.send("a", "b", bytes([i]), port=1)
+            scheduler.run()
+            return [t for _, t in deliveries], network.stats.dropped
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_conservation_property(self, count):
+        """sent == delivered + dropped + in-flight, always."""
+        scheduler, network = make_network(loss_rate=0.2, jitter=1.0)
+        network.bind("server", 9, lambda d: None)
+        for i in range(count):
+            network.send("client", "server", b"payload", port=9)
+        scheduler.run()
+        assert network.in_flight == 0
+        assert network.stats.sent == count
+        assert network.stats.delivered + network.stats.dropped == count
+
+
+class TestReliablePipe:
+    def test_ordered_delivery(self):
+        scheduler = EventScheduler()
+        pipe = ReliablePipe(scheduler, latency=1.0)
+        received = []
+        pipe.attach("b", lambda sender, payload: received.append(payload))
+        pipe.attach("a", lambda sender, payload: None)
+        for i in range(5):
+            pipe.send("a", "b", bytes([i]))
+        scheduler.run()
+        assert received == [bytes([i]) for i in range(5)]
+        assert pipe.messages_carried == 5
+
+    def test_send_to_unknown_endpoint(self):
+        scheduler = EventScheduler()
+        pipe = ReliablePipe(scheduler)
+        with pytest.raises(ValueError):
+            pipe.send("a", "ghost", b"x")
+
+    def test_duplicate_attach_rejected(self):
+        scheduler = EventScheduler()
+        pipe = ReliablePipe(scheduler)
+        pipe.attach("a", lambda s, p: None)
+        with pytest.raises(ValueError):
+            pipe.attach("a", lambda s, p: None)
+
+    def test_in_order_even_with_size_dependent_delay(self):
+        """A large message sent first may not be overtaken by a small one."""
+        scheduler = EventScheduler()
+        pipe = ReliablePipe(scheduler, latency=1.0, per_byte_delay=0.01)
+        received = []
+        pipe.attach("b", lambda sender, payload: received.append(len(payload)))
+        pipe.send("a", "b", b"x" * 1000)
+        pipe.send("a", "b", b"y")
+        scheduler.run()
+        assert received == [1000, 1]

@@ -1,0 +1,225 @@
+"""Unit, integration and property tests for the XMovie stream service."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import DatagramNetwork, EventScheduler, LinkProfile
+from repro.stream import (
+    FORMATS,
+    JitterBuffer,
+    MovieError,
+    MovieStore,
+    MtpPacket,
+    MtpReceiver,
+    MtpSender,
+    StreamProvider,
+    compliance,
+    CONTROL_PROTOCOL_REQUIREMENTS,
+    STREAM_PROTOCOL_REQUIREMENTS,
+    QosMonitor,
+    synthesise_movie,
+)
+
+
+class TestMovieModel:
+    def test_synthesise(self):
+        movie = synthesise_movie("m", duration_seconds=2.0, frame_rate=25.0)
+        assert movie.frame_count == 50
+        assert movie.duration_seconds == pytest.approx(2.0)
+        assert movie.frame_interval_ms() == pytest.approx(40.0)
+        assert movie.total_bytes > 0
+
+    def test_formats_affect_frame_sizes(self):
+        mjpeg = synthesise_movie("a", duration_seconds=2.0, format_name="mjpeg")
+        differential = synthesise_movie("b", duration_seconds=2.0, format_name="xmovie-rl")
+        assert differential.mean_frame_size < mjpeg.format.key_frame_bytes
+        assert any(not frame.is_key for frame in differential.frames)
+        assert all(frame.is_key for frame in mjpeg.frames)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MovieError):
+            synthesise_movie("x", duration_seconds=0)
+        with pytest.raises(MovieError):
+            synthesise_movie("x", format_name="betamax")
+
+    def test_directory_attributes(self):
+        movie = synthesise_movie("m", duration_seconds=1.0)
+        attributes = movie.directory_attributes("ksr1:/movies/m")
+        assert attributes["imageFormat"] == "mjpeg"
+        assert attributes["storageLocation"] == "ksr1:/movies/m"
+
+    def test_store_lifecycle(self):
+        store = MovieStore()
+        store.create("m", duration_seconds=1.0)
+        assert store.exists("m")
+        assert store.names() == ["m"]
+        with pytest.raises(MovieError):
+            store.create("m", duration_seconds=1.0)
+        store.remove("m")
+        with pytest.raises(MovieError):
+            store.get("m")
+        with pytest.raises(MovieError):
+            store.remove("m")
+
+
+class TestJitterBuffer:
+    def test_on_time_playout(self):
+        buffer = JitterBuffer(target_delay=30.0, frame_interval=40.0)
+        first = buffer.accept(0, arrival_time=100.0)
+        assert first.playout_time == pytest.approx(130.0)
+        second = buffer.accept(1, arrival_time=145.0)
+        assert second.playout_time == pytest.approx(170.0)
+        assert not second.late
+        assert buffer.late_ratio == 0.0
+
+    def test_late_frame_detected(self):
+        buffer = JitterBuffer(target_delay=10.0, frame_interval=40.0)
+        buffer.accept(0, arrival_time=0.0)
+        late = buffer.accept(1, arrival_time=120.0)  # playout was at 50
+        assert late.late
+        assert buffer.late_frames == 1
+        assert buffer.suggest_target_delay() >= 80.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            JitterBuffer(target_delay=-1.0, frame_interval=40.0)
+        with pytest.raises(ValueError):
+            JitterBuffer(target_delay=10.0, frame_interval=0.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=15.0, allow_nan=False), min_size=2, max_size=60),
+        st.floats(min_value=20.0, max_value=80.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sufficient_target_delay_means_no_late_frames(self, jitters, target):
+        """If every arrival jitter is below the target delay, nothing is late."""
+        interval = 40.0
+        buffer = JitterBuffer(target_delay=target, frame_interval=interval)
+        for index, jitter in enumerate(jitters):
+            arrival = index * interval + min(jitter, target - 1e-6)
+            buffer.accept(index, arrival)
+        assert buffer.late_frames == 0
+
+
+class TestMtpPacket:
+    def test_header_roundtrip(self):
+        packet = MtpPacket(
+            stream_id=3, sequence=17, frame_index=5, fragment_index=1,
+            fragment_count=2, timestamp_us=123456, payload_size=100,
+        )
+        decoded = MtpPacket.from_bytes(packet.to_bytes())
+        assert decoded == packet
+
+    def test_truncated_rejected(self):
+        with pytest.raises(Exception):
+            MtpPacket.from_bytes(b"\x00" * 4)
+
+
+def stream_movie(loss_rate=0.0, jitter=0.1, duration=2.0, jitter_target=30.0, seed=3):
+    scheduler = EventScheduler()
+    network = DatagramNetwork(
+        scheduler,
+        profile=LinkProfile(bandwidth=12.5 * 1024, latency=0.5, jitter=jitter, loss_rate=loss_rate),
+        seed=seed,
+    )
+    movie = synthesise_movie("stream-test", duration_seconds=duration, frame_rate=25.0)
+    receiver = MtpReceiver(
+        scheduler, network, host="client", port=9000,
+        frame_interval_ms=movie.frame_interval_ms(), jitter_target_ms=jitter_target,
+    )
+    sender = MtpSender(scheduler, network, source="server", destination="client", port=9000)
+    sender.play(movie)
+    scheduler.run()
+    receiver.finalise()
+    return movie, sender, receiver
+
+
+class TestMtpEndToEnd:
+    def test_lossless_delivery(self):
+        movie, sender, receiver = stream_movie(loss_rate=0.0)
+        assert sender.finished
+        assert sender.stats.frames_sent == movie.frame_count
+        assert receiver.stats.frames_delivered == movie.frame_count
+        assert receiver.stats.packets_lost == 0
+        assert receiver.delivered_frames == sorted(receiver.delivered_frames)
+        report = receiver.qos.report()
+        assert report.delivery_ratio == 1.0
+        assert report.jitter_ms < 5.0
+
+    def test_isochronous_pacing(self):
+        movie, sender, receiver = stream_movie(jitter=0.0)
+        playouts = [d.playout_time for d in receiver.jitter_buffer.decisions]
+        gaps = [b - a for a, b in zip(playouts, playouts[1:])]
+        assert all(gap == pytest.approx(movie.frame_interval_ms()) for gap in gaps)
+
+    def test_lossy_path_detected_but_stream_continues(self):
+        movie, sender, receiver = stream_movie(loss_rate=0.05, seed=9)
+        assert receiver.stats.packets_lost > 0
+        assert receiver.stats.frames_delivered < movie.frame_count
+        assert receiver.stats.frames_delivered > movie.frame_count * 0.7
+        report = receiver.qos.report()
+        checks = compliance(report, STREAM_PROTOCOL_REQUIREMENTS, max_jitter_ms=25.0)
+        assert checks["jitter"]
+
+    def test_pause_resume_stop(self):
+        scheduler = EventScheduler()
+        network = DatagramNetwork(scheduler, seed=1)
+        movie = synthesise_movie("ctl", duration_seconds=2.0, frame_rate=25.0)
+        provider = StreamProvider(scheduler, network, host="server")
+        receiver = MtpReceiver(scheduler, network, host="client", port=5004,
+                               frame_interval_ms=movie.frame_interval_ms())
+        sender = provider.start_playback(movie, destination="client", port=5004)
+        assert provider.active_streams() == [sender.stream_id]
+        scheduler.run_until(200.0)
+        provider.pause(sender.stream_id)
+        delivered_at_pause = receiver.stats.frames_delivered
+        scheduler.run_until(400.0)
+        assert receiver.stats.frames_delivered <= delivered_at_pause + 1
+        provider.resume(sender.stream_id)
+        scheduler.run()
+        provider.stop(sender.stream_id)
+        receiver.finalise()
+        assert provider.active_streams() == []
+        # Every frame eventually arrives, but frames sent after the pause miss
+        # their playout deadline in the (fixed-anchor) jitter buffer and are
+        # accounted as late rather than delivered.
+        assert sender.stats.frames_sent == movie.frame_count
+        assert receiver.stats.frames_delivered + receiver.jitter_buffer.late_frames == movie.frame_count
+        assert receiver.jitter_buffer.late_frames > 0
+
+    def test_rate_factor_changes_pacing(self):
+        scheduler = EventScheduler()
+        network = DatagramNetwork(scheduler, seed=1)
+        movie = synthesise_movie("fast", duration_seconds=1.0, frame_rate=25.0)
+        sender = MtpSender(scheduler, network, source="s", destination="c", port=1)
+        receiver = MtpReceiver(scheduler, network, host="c", port=1,
+                               frame_interval_ms=movie.frame_interval_ms() / 2)
+        sender.play(movie, rate_factor=2.0)
+        scheduler.run()
+        # at double rate the whole movie is sent in ~half the nominal duration
+        assert scheduler.now < movie.duration_seconds * 1000 * 0.75
+
+    def test_invalid_rate_rejected(self):
+        scheduler = EventScheduler()
+        network = DatagramNetwork(scheduler, seed=1)
+        movie = synthesise_movie("bad", duration_seconds=1.0)
+        sender = MtpSender(scheduler, network, source="s", destination="c", port=1)
+        with pytest.raises(Exception):
+            sender.play(movie, rate_factor=0.0)
+
+
+class TestQos:
+    def test_monitor_report(self):
+        monitor = QosMonitor("x")
+        monitor.note_sent(0.0)
+        monitor.note_delivered(0.0, 5.0, 1000)
+        monitor.note_sent(10.0)
+        monitor.note_delivered(10.0, 14.0, 1000)
+        report = monitor.report()
+        assert report.mean_delay_ms == pytest.approx(4.5)
+        assert report.bytes_delivered == 2000
+        assert report.delivery_ratio == 1.0
+
+    def test_requirements_rows(self):
+        assert CONTROL_PROTOCOL_REQUIREMENTS.as_row()["data rates"] == "low"
+        assert STREAM_PROTOCOL_REQUIREMENTS.as_row()["delay and jitter control"] == "yes"
