@@ -6,7 +6,12 @@ differences between generated and hand-written code."*
 
 The benchmark runs the same MCAM workload over both stack variants and
 compares the control-plane cost (simulated work-unit time) and the functional
-results, which must be identical.
+results, which must be identical.  A second experiment keeps the generated
+stack fixed and swaps the transition-selection strategy — hard-coded scan,
+table-driven, and the code generator's specialized selection functions
+(:mod:`repro.runtime.codegen`) — which must again be functionally
+interchangeable while the generated selection spends the least time in
+dispatch.
 """
 
 from __future__ import annotations
@@ -15,12 +20,17 @@ import pytest
 
 from repro.harness import ExperimentRecord, print_experiment
 from repro.mcam import MovieSystem
-from repro.runtime import SequentialMapping
+from repro.runtime import SequentialMapping, dispatch_by_name
 
 
-def run_workload(stack: str):
+def run_workload(stack: str, dispatch_name: str = None):
+    dispatch = dispatch_by_name(dispatch_name) if dispatch_name else None
     system = MovieSystem(
-        clients=1, stack=stack, server_processors=4, mapping=SequentialMapping()
+        clients=1,
+        stack=stack,
+        server_processors=4,
+        mapping=SequentialMapping(),
+        dispatch=dispatch,
     )
     client = system.client(0)
     responses = []
@@ -55,6 +65,49 @@ def reproduce_generated_vs_handcoded():
         )
     print_experiment(record)
     return generated_system, isode_system, generated_responses, isode_responses
+
+
+DISPATCH_STRATEGIES = ("hard-coded", "table-driven", "generated")
+
+
+def reproduce_dispatch_strategies():
+    """The same MCAM workload under the three transition-selection strategies."""
+    record = ExperimentRecord(
+        experiment_id="E6b",
+        title="MCAM workload under hard-coded / table-driven / generated selection",
+        paper_claim="selection strategies are functionally interchangeable; the generated "
+        "specialized selection spends the least time choosing transitions",
+    )
+    results = {}
+    for dispatch_name in DISPATCH_STRATEGIES:
+        system, responses = run_workload("generated", dispatch_name=dispatch_name)
+        results[dispatch_name] = (system, responses)
+        metrics = system.metrics
+        record.add_row(
+            dispatch=dispatch_name,
+            elapsed_work=round(metrics.elapsed_time, 1),
+            dispatch_time=round(metrics.dispatch_time, 1),
+            transitions=metrics.transitions_fired,
+            rounds=metrics.rounds,
+        )
+    print_experiment(record)
+    return results
+
+
+class TestDispatchStrategiesOnMcam:
+    def test_functional_equivalence_and_dispatch_cost(self, benchmark):
+        results = benchmark.pedantic(reproduce_dispatch_strategies, rounds=1, iterations=1)
+        baseline = results["table-driven"][1]
+        for dispatch_name in DISPATCH_STRATEGIES:
+            assert results[dispatch_name][1] == baseline
+        table_metrics = results["table-driven"][0].metrics
+        generated_metrics = results["generated"][0].metrics
+        # Identical behaviour ...
+        assert generated_metrics.transitions_fired == table_metrics.transitions_fired
+        assert generated_metrics.rounds == table_metrics.rounds
+        # ... but the generated selection is cheaper than the interpreted table.
+        assert generated_metrics.dispatch_time <= table_metrics.dispatch_time
+        assert generated_metrics.elapsed_time <= table_metrics.elapsed_time
 
 
 class TestGeneratedVsHandcoded:

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Run every ``bench_*.py`` in smoke mode and consolidate ``BENCH_results.json``.
+
+Each benchmark file is executed through pytest with the timing machinery
+disabled (``--benchmark-disable``) — the assertions about the reproduced
+claims still run, so this is the cheap gate CI uses.  The consolidated
+results file accumulates one entry per invocation (newest first, bounded
+history), so the repository carries its own perf trajectory:
+
+* per-benchmark pass/fail status and wall-clock duration,
+* the E4 dispatch-selection cost sweep (hard-coded / table-driven /
+  generated), including the headline check that the generated strategy is
+  at least as fast as the table-driven one.
+
+Run with:  PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+REPO_ROOT = BENCH_DIR.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_results.json"
+HISTORY_LIMIT = 20
+
+
+def bench_files():
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def run_one(path: Path) -> dict:
+    """Smoke-run one benchmark file under pytest; returns a result row."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(path),
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            "--benchmark-disable",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    duration = time.perf_counter() - started
+    row = {
+        "file": path.name,
+        "status": "passed" if proc.returncode == 0 else "failed",
+        "duration_s": round(duration, 2),
+    }
+    if proc.returncode != 0:
+        tail = (proc.stdout + proc.stderr).splitlines()[-25:]
+        row["output_tail"] = tail
+    return row
+
+
+def dispatch_selection_results() -> dict:
+    """The E4 cost sweep, recorded so the perf trajectory is diffable."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    spec = importlib.util.spec_from_file_location(
+        "bench_transition_dispatch", BENCH_DIR / "bench_transition_dispatch.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    rows = [
+        {key: (round(value, 4) if isinstance(value, float) else value) for key, value in row.items()}
+        for row in module.dispatch_cost_sweep()
+    ]
+    return {
+        "sweep": rows,
+        "generated_at_most_table_driven": all(
+            row["generated"] <= row["table-driven"] for row in rows
+        ),
+    }
+
+
+def load_history(output: Path) -> list:
+    if not output.exists():
+        return []
+    try:
+        document = json.loads(output.read_text())
+    except (json.JSONDecodeError, OSError):
+        return []
+    return list(document.get("runs", []))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="results file to write"
+    )
+    args = parser.parse_args(argv)
+    if not args.output.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.output.parent}")
+
+    results = []
+    for path in bench_files():
+        print(f"== {path.name} ==", flush=True)
+        row = run_one(path)
+        print(f"   {row['status']} in {row['duration_s']}s")
+        if "output_tail" in row:
+            print("\n".join(f"   | {line}" for line in row["output_tail"]))
+        results.append(row)
+
+    run_entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "mode": "smoke",
+        "benchmarks": results,
+        "dispatch_selection": dispatch_selection_results(),
+    }
+    runs = [run_entry] + load_history(args.output)
+    args.output.write_text(json.dumps({"runs": runs[:HISTORY_LIMIT]}, indent=2) + "\n")
+
+    failed = [row["file"] for row in results if row["status"] != "passed"]
+    print(f"\n{len(results) - len(failed)}/{len(results)} benchmarks passed; "
+          f"results in {args.output}")
+    if failed:
+        print("failed:", ", ".join(failed))
+        return 1
+    if not run_entry["dispatch_selection"]["generated_at_most_table_driven"]:
+        print("regression: generated dispatch slower than table-driven")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,11 @@ package can be installed in editable mode on machines without network access
 and without the ``wheel`` package (PEP 660 editable installs need it):
 
     pip install -e . --no-build-isolation --no-use-pep517
+
+Recent pip releases refuse ``--no-use-pep517`` unless ``wheel`` is installed;
+on such machines fall back to the legacy direct path:
+
+    python setup.py develop
 """
 
 from setuptools import setup

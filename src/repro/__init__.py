@@ -7,9 +7,18 @@ Subpackages
 ``repro.estelle``
     The Estelle (ISO 9074) formal-description framework: FSM modules,
     channels, attributes and static semantics.
+``repro.estelle.frontend``
+    The Estelle *text* front-end: tokenizer, recursive-descent parser and
+    semantic lowering compiling ``.estelle`` sources (the paper's "formal
+    description") into validated specifications, with source-located
+    syntax/semantic diagnostics.
 ``repro.runtime``
     The parallel runtime the paper's code generator would emit: schedulers,
     dispatch strategies, module-to-processor mappings, and the executor.
+``repro.runtime.codegen``
+    The optimizing code generator: per-(state, interaction) flattened
+    transition tables and precompiled guard closures emitted as specialized
+    Python selection functions (the ``"generated"`` dispatch strategy).
 ``repro.sim``
     Simulated hardware: event scheduler, multiprocessor machines (the KSR1
     stand-in), datagram networks and metrics.

@@ -13,6 +13,10 @@ Public surface:
 * :func:`transition`, :class:`Transition` — transition declarations.
 * :class:`Specification` — the root of a module tree, placement and wiring.
 * :func:`validate_tree` — the static semantics.
+
+The textual front-end lives in :mod:`repro.estelle.frontend`: it compiles
+``.estelle`` source files (see the grammar documented there) into the same
+:class:`Specification` objects, reusing this package's validation.
 """
 
 from .errors import (

@@ -1,0 +1,194 @@
+"""Abstract syntax tree for the Estelle text front-end.
+
+Every node carries the :class:`~repro.estelle.frontend.errors.SourceLocation`
+of its first token so the semantic pass can attach precise positions to its
+diagnostics.  The tree mirrors the grammar documented in
+:mod:`repro.estelle.frontend`; it is deliberately plain data — all meaning is
+assigned by :mod:`repro.estelle.frontend.lower`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from .errors import SourceLocation
+
+# -- expressions ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    loc: SourceLocation
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """An integer, decimal, string or boolean literal."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A reference to a module variable."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    """``msg.<param>`` — a parameter of the interaction matched by ``when``."""
+
+    param: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """``-x`` or ``not x``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operator: arithmetic, comparison or boolean connective."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+# -- statements -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    loc: SourceLocation
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target := expr`` — writes a module variable."""
+
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class OutputStmt(Stmt):
+    """``output ip.Interaction(param := expr, ...)``."""
+
+    ip: str
+    interaction: str
+    params: Tuple[Tuple[str, Expr], ...] = ()
+
+
+@dataclass(frozen=True)
+class IfStmt(Stmt):
+    """``if expr then stmts [else stmts] end``."""
+
+    condition: Expr
+    then_branch: Tuple[Stmt, ...] = ()
+    else_branch: Tuple[Stmt, ...] = ()
+
+
+# -- declarations -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoleNode:
+    name: str
+    interactions: Tuple[str, ...]
+    loc: SourceLocation
+
+
+@dataclass(frozen=True)
+class ChannelNode:
+    name: str
+    roles: Tuple[RoleNode, RoleNode]
+    loc: SourceLocation
+
+
+@dataclass(frozen=True)
+class IPDeclNode:
+    name: str
+    channel: str
+    role: str
+    loc: SourceLocation
+
+
+@dataclass(frozen=True)
+class ModuleHeaderNode:
+    name: str
+    attribute: str  # systemprocess | systemactivity | process | activity
+    ips: Tuple[IPDeclNode, ...]
+    loc: SourceLocation
+
+
+@dataclass(frozen=True)
+class InitializeNode:
+    to_state: Optional[str]
+    statements: Tuple[Stmt, ...]
+    loc: SourceLocation
+
+
+@dataclass(frozen=True)
+class TransNode:
+    """One ``trans`` declaration with its clauses and action block."""
+
+    from_states: Tuple[str, ...]  # empty tuple means "any state"
+    to_state: Optional[str]
+    when: Optional[Tuple[str, str]]  # (ip name, interaction name)
+    provided: Optional[Expr]
+    priority: int
+    delay: float
+    cost: float
+    name: Optional[str]
+    statements: Tuple[Stmt, ...]
+    loc: SourceLocation
+    when_loc: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class BodyNode:
+    name: str
+    header: str
+    states: Tuple[Tuple[str, SourceLocation], ...]
+    initialize: Optional[InitializeNode]
+    transitions: Tuple[TransNode, ...]
+    loc: SourceLocation
+
+
+@dataclass(frozen=True)
+class InstanceNode:
+    """``modvar name : Body at "location" [with var := expr, ...];``"""
+
+    name: str
+    body: str
+    location: str
+    variables: Tuple[Tuple[str, Expr], ...]
+    loc: SourceLocation
+
+
+@dataclass(frozen=True)
+class ConnectNode:
+    """``connect a.ip to b.ip;``"""
+
+    a: Tuple[str, str]
+    b: Tuple[str, str]
+    loc: SourceLocation
+
+
+@dataclass
+class SpecificationNode:
+    """The root of a parsed ``.estelle`` source."""
+
+    name: str
+    loc: SourceLocation
+    channels: List[ChannelNode] = field(default_factory=list)
+    headers: List[ModuleHeaderNode] = field(default_factory=list)
+    bodies: List[BodyNode] = field(default_factory=list)
+    instances: List[InstanceNode] = field(default_factory=list)
+    connections: List[ConnectNode] = field(default_factory=list)

@@ -1,0 +1,71 @@
+"""Source-located diagnostics for the Estelle text front-end.
+
+An Estelle compiler reports two classes of static errors: *syntax* errors
+(the token stream does not match the grammar) and *static-semantic* errors
+(the parse tree is well-formed but violates a semantic rule — an undeclared
+state, a duplicate module name, an interaction a channel role may not send).
+Both carry a :class:`SourceLocation` so tooling and tests can point at the
+offending line and column of the ``.estelle`` source.
+
+The exceptions extend the existing :mod:`repro.estelle.errors` hierarchy so
+callers that already catch :class:`~repro.estelle.errors.EstelleError` (or
+:class:`~repro.estelle.errors.SpecificationError` for semantic problems)
+keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import EstelleError, SpecificationError
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in an Estelle source text (1-based line and column)."""
+
+    line: int
+    column: int
+    filename: Optional[str] = None
+
+    def __str__(self) -> str:
+        prefix = f"{self.filename}:" if self.filename else ""
+        return f"{prefix}line {self.line}, column {self.column}"
+
+
+class EstelleFrontendError(EstelleError):
+    """Base class for front-end diagnostics; carries the source location.
+
+    ``line`` and ``column`` are exposed directly (in addition to
+    ``location``) because that is what tests and editor integrations want to
+    assert against.
+    """
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.bare_message = message
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+    @property
+    def line(self) -> Optional[int]:
+        return self.location.line if self.location else None
+
+    @property
+    def column(self) -> Optional[int]:
+        return self.location.column if self.location else None
+
+
+class EstelleSyntaxError(EstelleFrontendError):
+    """The source text does not match the supported Estelle grammar."""
+
+
+class EstelleSemanticError(EstelleFrontendError, SpecificationError):
+    """A well-formed parse tree violates a static-semantic rule.
+
+    Also a :class:`~repro.estelle.errors.SpecificationError`, because these
+    are exactly the violations the specification-level validation reports for
+    hand-built module trees.
+    """

@@ -1,0 +1,219 @@
+"""Tokenizer for the Estelle text front-end.
+
+Produces a flat list of :class:`Token` objects with 1-based line/column
+positions.  Lexical conventions follow ISO 9074's Pascal heritage:
+
+* keywords are case-insensitive (``TRANS`` == ``trans``); identifiers keep
+  the case they were written in,
+* comments are ``{ ... }`` or ``(* ... *)`` and may span lines,
+* strings use single or double quotes with ``\\``-escapes,
+* numbers are unsigned integer or decimal literals (signs are handled by the
+  expression grammar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from .errors import EstelleSyntaxError, SourceLocation
+
+#: Reserved words of the supported subset (matched case-insensitively).
+KEYWORDS = frozenset(
+    {
+        "specification",
+        "channel",
+        "by",
+        "end",
+        "module",
+        "body",
+        "for",
+        "ip",
+        "state",
+        "initialize",
+        "to",
+        "trans",
+        "from",
+        "when",
+        "provided",
+        "priority",
+        "delay",
+        "cost",
+        "name",
+        "begin",
+        "output",
+        "if",
+        "then",
+        "else",
+        "any",
+        "modvar",
+        "at",
+        "with",
+        "connect",
+        "and",
+        "or",
+        "not",
+        "div",
+        "mod",
+        "true",
+        "false",
+        "systemprocess",
+        "systemactivity",
+        "process",
+        "activity",
+    }
+)
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = (":=", "<=", ">=", "<>", ";", ":", ",", ".", "(", ")", "=", "<", ">", "+", "-", "*", "/")
+
+_ESCAPES = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``KW`` (keyword, ``value`` lower-cased), ``IDENT``,
+    ``NUMBER`` (``value`` is int or float), ``STRING``, ``OP`` or ``EOF``.
+    """
+
+    kind: str
+    value: Any
+    location: SourceLocation
+
+    def describe(self) -> str:
+        if self.kind == "EOF":
+            return "end of input"
+        return repr(str(self.value))
+
+
+class _Scanner:
+    def __init__(self, source: str, filename: Optional[str] = None):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+
+def tokenize(source: str, filename: Optional[str] = None) -> List[Token]:
+    """Tokenize ``source``; raises :class:`EstelleSyntaxError` on bad input."""
+    scanner = _Scanner(source, filename)
+    tokens: List[Token] = []
+    while True:
+        _skip_trivia(scanner)
+        if scanner.at_end():
+            tokens.append(Token("EOF", None, scanner.location()))
+            return tokens
+        loc = scanner.location()
+        ch = scanner.peek()
+        if ch.isalpha() or ch == "_":
+            tokens.append(_lex_word(scanner, loc))
+        elif ch.isdigit():
+            tokens.append(_lex_number(scanner, loc))
+        elif ch in ("'", '"'):
+            tokens.append(_lex_string(scanner, loc))
+        else:
+            tokens.append(_lex_operator(scanner, loc))
+
+
+def _skip_trivia(scanner: _Scanner) -> None:
+    while not scanner.at_end():
+        ch = scanner.peek()
+        if ch.isspace():
+            scanner.advance()
+        elif ch == "{":
+            _skip_comment(scanner, close="}")
+        elif ch == "(" and scanner.peek(1) == "*":
+            _skip_comment(scanner, close="*)")
+        else:
+            return
+
+
+def _skip_comment(scanner: _Scanner, close: str) -> None:
+    loc = scanner.location()
+    scanner.advance()
+    if close == "*)":
+        scanner.advance()  # the '*' of '(*'
+    while not scanner.at_end():
+        if close == "}" and scanner.peek() == "}":
+            scanner.advance()
+            return
+        if close == "*)" and scanner.peek() == "*" and scanner.peek(1) == ")":
+            scanner.advance()
+            scanner.advance()
+            return
+        scanner.advance()
+    raise EstelleSyntaxError("unterminated comment", loc)
+
+
+def _lex_word(scanner: _Scanner, loc: SourceLocation) -> Token:
+    chars: List[str] = []
+    while not scanner.at_end() and (scanner.peek().isalnum() or scanner.peek() == "_"):
+        chars.append(scanner.advance())
+    word = "".join(chars)
+    if word.lower() in KEYWORDS:
+        return Token("KW", word.lower(), loc)
+    return Token("IDENT", word, loc)
+
+
+def _lex_number(scanner: _Scanner, loc: SourceLocation) -> Token:
+    chars: List[str] = []
+    while not scanner.at_end() and scanner.peek().isdigit():
+        chars.append(scanner.advance())
+    # A fraction only when the dot is followed by a digit, so that the
+    # specification terminator "end." never glues onto a preceding number.
+    if scanner.peek() == "." and scanner.peek(1).isdigit():
+        chars.append(scanner.advance())
+        while not scanner.at_end() and scanner.peek().isdigit():
+            chars.append(scanner.advance())
+        return Token("NUMBER", float("".join(chars)), loc)
+    return Token("NUMBER", int("".join(chars)), loc)
+
+
+def _lex_string(scanner: _Scanner, loc: SourceLocation) -> Token:
+    quote = scanner.advance()
+    chars: List[str] = []
+    while True:
+        if scanner.at_end() or scanner.peek() == "\n":
+            raise EstelleSyntaxError("unterminated string literal", loc)
+        ch = scanner.advance()
+        if ch == quote:
+            return Token("STRING", "".join(chars), loc)
+        if ch == "\\":
+            if scanner.at_end():
+                raise EstelleSyntaxError("unterminated string literal", loc)
+            escape = scanner.advance()
+            chars.append(_ESCAPES.get(escape, escape))
+        else:
+            chars.append(ch)
+
+
+def _lex_operator(scanner: _Scanner, loc: SourceLocation) -> Token:
+    for op in _OPERATORS:
+        if scanner.source.startswith(op, scanner.pos):
+            for _ in op:
+                scanner.advance()
+            return Token("OP", op, loc)
+    raise EstelleSyntaxError(f"unexpected character {scanner.peek()!r}", loc)

@@ -1,0 +1,579 @@
+"""Semantic pass: lower a parsed Estelle AST onto the executable classes.
+
+The pass performs the static checks an Estelle compiler runs *before* code
+generation — duplicate names, undeclared states/interaction points/roles,
+interactions a role may not send or receive, ``msg`` used outside a ``when``
+transition — raising located :class:`EstelleSemanticError` diagnostics.  It
+then builds, per ``body``, a dynamically created subclass of
+:class:`repro.estelle.module.Module` whose transitions interpret the action
+ASTs, and assembles the instances and connections into a validated
+:class:`repro.estelle.specification.Specification`.
+
+Guards additionally carry a ``_python_source`` attribute: the guard
+expression translated to a Python expression over ``_v`` (the module's
+variable dict) and ``_i`` (the matched interaction).  The optimizing code
+generator (:mod:`repro.runtime.codegen`) uses it to replace the interpreted
+guard with a compiled closure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..errors import EstelleError, SpecificationError
+from ..interaction import Channel, ChannelRole
+from ..module import Module, ModuleAttribute, ip
+from ..specification import Specification
+from ..transition import Transition, transition
+from . import astnodes as ast
+from .errors import EstelleSemanticError, SourceLocation
+
+# -- expression evaluation ---------------------------------------------------------
+
+
+def _eval(expr: ast.Expr, module: Module, interaction) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        try:
+            return module.variables[expr.ident]
+        except KeyError:
+            raise EstelleSemanticError(
+                f"undefined variable {expr.ident!r} in module {module.path}",
+                expr.loc,
+            ) from None
+    if isinstance(expr, ast.ParamRef):
+        if interaction is None:
+            raise EstelleSemanticError(
+                f"'msg.{expr.param}' evaluated outside a 'when' transition",
+                expr.loc,
+            )
+        return interaction.param(expr.param)
+    if isinstance(expr, ast.Unary):
+        if expr.op == "not":
+            return not _eval(expr.operand, module, interaction)
+        return -_eval(expr.operand, module, interaction)
+    if isinstance(expr, ast.Binary):
+        if expr.op == "and":
+            return bool(_eval(expr.left, module, interaction)) and bool(
+                _eval(expr.right, module, interaction)
+            )
+        if expr.op == "or":
+            return bool(_eval(expr.left, module, interaction)) or bool(
+                _eval(expr.right, module, interaction)
+            )
+        left = _eval(expr.left, module, interaction)
+        right = _eval(expr.right, module, interaction)
+        op = expr.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "div":
+            return left // right
+        if op == "mod":
+            return left % right
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    raise EstelleSemanticError(f"unsupported expression node {type(expr).__name__}", expr.loc)
+
+
+#: Python spellings of the binary operators for the guard-source translation.
+_PY_BINOPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "div": "//",
+    "mod": "%",
+    "=": "==",
+    "<>": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "and": "and",
+    "or": "or",
+}
+
+
+def expr_to_python(expr: ast.Expr) -> str:
+    """Translate an expression AST to Python source over ``_v`` and ``_i``.
+
+    ``_v`` is the module's variable dict, ``_i`` the matched interaction.
+    Every subexpression is parenthesised, so operator precedence is inherited
+    from the AST rather than re-encoded.
+    """
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.Name):
+        return f"_v[{expr.ident!r}]"
+    if isinstance(expr, ast.ParamRef):
+        return f"_i.params.get({expr.param!r})"
+    if isinstance(expr, ast.Unary):
+        inner = expr_to_python(expr.operand)
+        return f"(not {inner})" if expr.op == "not" else f"(-{inner})"
+    if isinstance(expr, ast.Binary):
+        left = expr_to_python(expr.left)
+        right = expr_to_python(expr.right)
+        return f"({left} {_PY_BINOPS[expr.op]} {right})"
+    raise EstelleSemanticError(f"unsupported expression node {type(expr).__name__}", expr.loc)
+
+
+# -- statement execution -----------------------------------------------------------
+
+
+def _execute(
+    statements: Tuple[ast.Stmt, ...],
+    module: Module,
+    interaction,
+    as_defaults: bool = False,
+) -> None:
+    """Run an action block.
+
+    ``as_defaults`` is used for the top level of ``initialize`` blocks:
+    assignments there only seed a value when the variable was not already set
+    by the instance's ``with`` clause (mirroring the ``setdefault`` idiom of
+    the hand-written module bodies).
+    """
+    for stmt in statements:
+        if isinstance(stmt, ast.Assign):
+            value = _eval(stmt.expr, module, interaction)
+            if as_defaults:
+                module.variables.setdefault(stmt.target, value)
+            else:
+                module.variables[stmt.target] = value
+        elif isinstance(stmt, ast.OutputStmt):
+            params = {
+                name: _eval(value, module, interaction) for name, value in stmt.params
+            }
+            module.output(stmt.ip, stmt.interaction, **params)
+        elif isinstance(stmt, ast.IfStmt):
+            if _eval(stmt.condition, module, interaction):
+                _execute(stmt.then_branch, module, interaction)
+            else:
+                _execute(stmt.else_branch, module, interaction)
+        else:  # pragma: no cover - the parser only builds the three kinds
+            raise EstelleSemanticError(
+                f"unsupported statement node {type(stmt).__name__}", stmt.loc
+            )
+
+
+# -- static walks over action blocks -----------------------------------------------
+
+
+def _walk_statements(statements: Tuple[ast.Stmt, ...]):
+    for stmt in statements:
+        yield stmt
+        if isinstance(stmt, ast.IfStmt):
+            yield from _walk_statements(stmt.then_branch)
+            yield from _walk_statements(stmt.else_branch)
+
+
+def _walk_expressions(statements: Tuple[ast.Stmt, ...]):
+    for stmt in _walk_statements(statements):
+        if isinstance(stmt, ast.Assign):
+            yield stmt.expr
+        elif isinstance(stmt, ast.OutputStmt):
+            for _, expr in stmt.params:
+                yield expr
+        elif isinstance(stmt, ast.IfStmt):
+            yield stmt.condition
+
+
+def _find_param_ref(expr: ast.Expr) -> Optional[ast.ParamRef]:
+    if isinstance(expr, ast.ParamRef):
+        return expr
+    if isinstance(expr, ast.Unary):
+        return _find_param_ref(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _find_param_ref(expr.left) or _find_param_ref(expr.right)
+    return None
+
+
+# -- the lowering pass -------------------------------------------------------------
+
+
+class _Lowering:
+    def __init__(self, node: ast.SpecificationNode):
+        self.node = node
+        self.channels: Dict[str, Channel] = {}
+        self.channel_nodes: Dict[str, ast.ChannelNode] = {}
+        self.headers: Dict[str, ast.ModuleHeaderNode] = {}
+        self.body_classes: Dict[str, Type[Module]] = {}
+        self.body_nodes: Dict[str, ast.BodyNode] = {}
+
+    def run(self) -> Specification:
+        for channel_node in self.node.channels:
+            self._lower_channel(channel_node)
+        for header in self.node.headers:
+            self._check_header(header)
+        for body in self.node.bodies:
+            self._lower_body(body)
+        return self._assemble()
+
+    # -- channels -----------------------------------------------------------------
+
+    def _lower_channel(self, node: ast.ChannelNode) -> None:
+        if node.name in self.channels:
+            raise EstelleSemanticError(
+                f"duplicate channel definition {node.name!r}", node.loc
+            )
+        roles = {role.name: role.interactions for role in node.roles}
+        self.channels[node.name] = Channel(node.name, **roles)
+        self.channel_nodes[node.name] = node
+
+    # -- module headers -----------------------------------------------------------
+
+    def _check_header(self, node: ast.ModuleHeaderNode) -> None:
+        if node.name in self.headers:
+            raise EstelleSemanticError(
+                f"duplicate module definition {node.name!r}", node.loc
+            )
+        seen_ips = set()
+        for ip_decl in node.ips:
+            if ip_decl.name in seen_ips:
+                raise EstelleSemanticError(
+                    f"module {node.name!r} declares interaction point "
+                    f"{ip_decl.name!r} twice",
+                    ip_decl.loc,
+                )
+            seen_ips.add(ip_decl.name)
+            channel = self.channels.get(ip_decl.channel)
+            if channel is None:
+                raise EstelleSemanticError(
+                    f"interaction point {ip_decl.name!r} of module {node.name!r} "
+                    f"refers to undeclared channel {ip_decl.channel!r}",
+                    ip_decl.loc,
+                )
+            role_names = {role.name for role in self.channel_nodes[ip_decl.channel].roles}
+            if ip_decl.role not in role_names:
+                raise EstelleSemanticError(
+                    f"channel {ip_decl.channel!r} has no role {ip_decl.role!r} "
+                    f"(roles: {sorted(role_names)})",
+                    ip_decl.loc,
+                )
+        self.headers[node.name] = node
+
+    # -- bodies -------------------------------------------------------------------
+
+    def _lower_body(self, node: ast.BodyNode) -> None:
+        if node.name in self.body_classes:
+            raise EstelleSemanticError(
+                f"duplicate body definition {node.name!r}", node.loc
+            )
+        header = self.headers.get(node.header)
+        if header is None:
+            raise EstelleSemanticError(
+                f"body {node.name!r} refers to undeclared module {node.header!r}",
+                node.loc,
+            )
+
+        states: List[str] = []
+        for state, loc in node.states:
+            if state in states:
+                raise EstelleSemanticError(
+                    f"body {node.name!r} declares state {state!r} twice", loc
+                )
+            states.append(state)
+        state_set = set(states)
+
+        ip_roles: Dict[str, ChannelRole] = {
+            decl.name: self.channels[decl.channel].role(decl.role)
+            for decl in header.ips
+        }
+
+        namespace: Dict[str, Any] = {
+            "ATTRIBUTE": ModuleAttribute(header.attribute),
+            "STATES": tuple(states),
+            "INITIAL_STATE": None,
+            "__doc__": f"Compiled from Estelle body {node.name!r} for module "
+            f"{header.name!r}.",
+            "__module__": __name__ + ".compiled",
+        }
+        for decl in header.ips:
+            namespace[decl.name] = ip(
+                decl.name, self.channels[decl.channel], role=decl.role
+            )
+
+        if node.initialize is not None:
+            init = node.initialize
+            if init.to_state is not None and init.to_state not in state_set:
+                raise EstelleSemanticError(
+                    f"initialize refers to undeclared state {init.to_state!r} "
+                    f"(states: {sorted(state_set)})",
+                    init.loc,
+                )
+            self._check_block(node, init.statements, ip_roles, has_when=False)
+            namespace["INITIAL_STATE"] = init.to_state or (states[0] if states else None)
+            namespace["initialise"] = _make_initialise(init)
+        elif states:
+            namespace["INITIAL_STATE"] = states[0]
+
+        for index, trans_node in enumerate(node.transitions):
+            declared = self._lower_transition(node, trans_node, index, state_set, ip_roles)
+            # The namespace already holds the reserved class attributes, the
+            # IP declarations and every earlier transition, so one membership
+            # check rejects duplicates *and* silent clobbering (a transition
+            # named like an interaction point or 'initialise').
+            if declared.name in namespace:
+                raise EstelleSemanticError(
+                    f"transition name {declared.name!r} collides with another "
+                    f"declaration of body {node.name!r} (duplicate transition, "
+                    "interaction point, or reserved module attribute)",
+                    trans_node.loc,
+                )
+            namespace[declared.name] = declared
+
+        self.body_classes[node.name] = type(node.name, (Module,), namespace)
+        self.body_nodes[node.name] = node
+
+    def _lower_transition(
+        self,
+        body: ast.BodyNode,
+        node: ast.TransNode,
+        index: int,
+        state_set: set,
+        ip_roles: Dict[str, ChannelRole],
+    ) -> Transition:
+        for state in node.from_states:
+            if state not in state_set:
+                raise EstelleSemanticError(
+                    f"transition refers to undeclared from-state {state!r} "
+                    f"(states: {sorted(state_set)})",
+                    node.loc,
+                )
+        if node.to_state is not None and node.to_state not in state_set:
+            raise EstelleSemanticError(
+                f"transition refers to undeclared to-state {node.to_state!r} "
+                f"(states: {sorted(state_set)})",
+                node.loc,
+            )
+        if node.when is not None:
+            ip_name, interaction_name = node.when
+            role = ip_roles.get(ip_name)
+            if role is None:
+                raise EstelleSemanticError(
+                    f"'when' refers to undeclared interaction point {ip_name!r} "
+                    f"of module {body.header!r} (declared: {sorted(ip_roles)})",
+                    node.when_loc or node.loc,
+                )
+            # Incoming interactions are the ones the *peer* role sends.
+            if interaction_name not in role.peer.interactions:
+                raise EstelleSemanticError(
+                    f"interaction point {ip_name!r} (role {role.name!r} of channel "
+                    f"{role.channel.name!r}) never receives {interaction_name!r}; "
+                    f"receivable: {sorted(role.peer.interactions)}",
+                    node.when_loc or node.loc,
+                )
+        self._check_block(body, node.statements, ip_roles, has_when=node.when is not None)
+        if node.provided is not None and node.when is None:
+            ref = _find_param_ref(node.provided)
+            if ref is not None:
+                raise EstelleSemanticError(
+                    "'msg' may only be used in transitions with a 'when' clause",
+                    ref.loc,
+                )
+
+        guard = _make_guard(node.provided) if node.provided is not None else None
+        action = _make_action(node)
+        name = node.name or f"trans_{index}"
+        action.__name__ = name
+        try:
+            return transition(
+                from_state=tuple(node.from_states) if node.from_states else None,
+                to_state=node.to_state,
+                when=node.when,
+                provided=guard,
+                priority=node.priority,
+                delay=node.delay,
+                cost=node.cost,
+                name=name,
+            )(action)
+        except EstelleError as exc:
+            raise EstelleSemanticError(str(exc), node.loc) from exc
+
+    def _check_block(
+        self,
+        body: ast.BodyNode,
+        statements: Tuple[ast.Stmt, ...],
+        ip_roles: Dict[str, ChannelRole],
+        has_when: bool,
+    ) -> None:
+        for stmt in _walk_statements(statements):
+            if isinstance(stmt, ast.OutputStmt):
+                role = ip_roles.get(stmt.ip)
+                if role is None:
+                    raise EstelleSemanticError(
+                        f"'output' refers to undeclared interaction point "
+                        f"{stmt.ip!r} of module {body.header!r} "
+                        f"(declared: {sorted(ip_roles)})",
+                        stmt.loc,
+                    )
+                if not role.allows(stmt.interaction):
+                    raise EstelleSemanticError(
+                        f"interaction point {stmt.ip!r} (role {role.name!r} of "
+                        f"channel {role.channel.name!r}) may not send "
+                        f"{stmt.interaction!r}; sendable: {sorted(role.interactions)}",
+                        stmt.loc,
+                    )
+        if not has_when:
+            for expr in _walk_expressions(statements):
+                ref = _find_param_ref(expr)
+                if ref is not None:
+                    raise EstelleSemanticError(
+                        "'msg' may only be used in transitions with a 'when' clause",
+                        ref.loc,
+                    )
+
+    # -- assembly -----------------------------------------------------------------
+
+    def _assemble(self) -> Specification:
+        spec = Specification(self.node.name)
+        instances: Dict[str, Module] = {}
+        for inst in self.node.instances:
+            if inst.name in instances:
+                raise EstelleSemanticError(
+                    f"duplicate instance name {inst.name!r}", inst.loc
+                )
+            body_class = self.body_classes.get(inst.body)
+            if body_class is None:
+                raise EstelleSemanticError(
+                    f"instance {inst.name!r} refers to undeclared body {inst.body!r}",
+                    inst.loc,
+                )
+            variables = {}
+            for var, expr in inst.variables:
+                value = _eval_constant(expr)
+                variables[var] = value
+            try:
+                instances[inst.name] = spec.add_system_module(
+                    body_class, inst.name, location=inst.location, **variables
+                )
+            except EstelleError as exc:
+                raise EstelleSemanticError(str(exc), inst.loc) from exc
+        for conn in self.node.connections:
+            a = self._resolve_ip(instances, conn.a, conn.loc)
+            b = self._resolve_ip(instances, conn.b, conn.loc)
+            try:
+                spec.connect(a, b)
+            except EstelleError as exc:
+                raise EstelleSemanticError(str(exc), conn.loc) from exc
+        try:
+            spec.validate()
+        except EstelleSemanticError:
+            raise
+        except SpecificationError as exc:
+            raise EstelleSemanticError(str(exc), self.node.loc) from exc
+        return spec
+
+    def _resolve_ip(
+        self,
+        instances: Dict[str, Module],
+        ref: Tuple[str, str],
+        loc: SourceLocation,
+    ):
+        instance_name, ip_name = ref
+        instance = instances.get(instance_name)
+        if instance is None:
+            raise EstelleSemanticError(
+                f"connect refers to undeclared instance {instance_name!r} "
+                f"(declared: {sorted(instances)})",
+                loc,
+            )
+        point = instance.ips.get(ip_name)
+        if point is None:
+            raise EstelleSemanticError(
+                f"instance {instance_name!r} has no interaction point {ip_name!r} "
+                f"(declared: {sorted(instance.ips)})",
+                loc,
+            )
+        return point
+
+
+def _eval_constant(expr: ast.Expr) -> Any:
+    """Evaluate an instance-variable initialiser (constants only)."""
+    if isinstance(expr, (ast.Name, ast.ParamRef)):
+        raise EstelleSemanticError(
+            "instance variable initialisers must be constant expressions", expr.loc
+        )
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Unary):
+        value = _eval_constant(expr.operand)
+        return (not value) if expr.op == "not" else -value
+    if isinstance(expr, ast.Binary):
+        probe = _find_param_ref(expr)
+        if probe is not None:
+            raise EstelleSemanticError(
+                "instance variable initialisers must be constant expressions",
+                probe.loc,
+            )
+        # Reuse the interpreter with a dummy module: Name nodes are rejected
+        # above and by the recursion, so module state is never consulted.
+        left = _eval_constant(expr.left)
+        right = _eval_constant(expr.right)
+        tmp = ast.Binary(loc=expr.loc, op=expr.op, left=ast.Literal(expr.loc, left), right=ast.Literal(expr.loc, right))
+        return _eval(tmp, None, None)  # type: ignore[arg-type]
+    raise EstelleSemanticError("instance variable initialisers must be constant expressions", expr.loc)
+
+
+# -- closure factories -------------------------------------------------------------
+
+
+def _make_guard(expr: ast.Expr) -> Callable[..., bool]:
+    def guard(module, interaction=None):
+        return bool(_eval(expr, module, interaction))
+
+    guard._estelle_expr = expr
+    guard._python_source = expr_to_python(expr)
+    return guard
+
+
+def _make_action(node: ast.TransNode) -> Callable[..., None]:
+    def action(module, interaction=None):
+        _execute(node.statements, module, interaction)
+
+    action._estelle_statements = node.statements
+    return action
+
+
+def _make_initialise(init: ast.InitializeNode) -> Callable[[Module], None]:
+    def initialise(self) -> None:
+        Module.initialise(self)
+        _execute(init.statements, self, None, as_defaults=True)
+        if init.to_state is not None:
+            self.state = init.to_state
+
+    return initialise
+
+
+def lower_specification(node: ast.SpecificationNode) -> Specification:
+    """Lower a parsed specification AST to a validated :class:`Specification`."""
+    return _Lowering(node).run()
+
+
+def lower_bodies(node: ast.SpecificationNode) -> Dict[str, Type[Module]]:
+    """Lower only the module classes (no instances); useful for tooling."""
+    lowering = _Lowering(node)
+    for channel_node in node.channels:
+        lowering._lower_channel(channel_node)
+    for header in node.headers:
+        lowering._check_header(header)
+    for body in node.bodies:
+        lowering._lower_body(body)
+    return dict(lowering.body_classes)

@@ -1,0 +1,516 @@
+"""Recursive-descent parser for the Estelle subset.
+
+One token of lookahead suffices for the whole grammar (see the EBNF in
+:mod:`repro.estelle.frontend`).  All diagnostics are
+:class:`~repro.estelle.frontend.errors.EstelleSyntaxError` with the location
+of the offending token.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import astnodes as ast
+from .errors import EstelleSyntaxError, SourceLocation
+from .lexer import Token, tokenize
+
+_ATTRIBUTES = ("systemprocess", "systemactivity", "process", "activity")
+
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+_ADDITIVE_OPS = ("+", "-")
+_MULTIPLICATIVE_OPS = ("*", "/")
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token-stream helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def check(self, kind: str, value=None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind: str, value=None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value=None, context: str = "") -> Token:
+        if self.check(kind, value):
+            return self.advance()
+        expected = value if value is not None else kind.lower()
+        suffix = f" {context}" if context else ""
+        raise EstelleSyntaxError(
+            f"expected {expected!r}{suffix}, got {self.current.describe()}",
+            self.current.location,
+        )
+
+    def expect_ident(self, context: str) -> Token:
+        if self.check("IDENT"):
+            return self.advance()
+        raise EstelleSyntaxError(
+            f"expected {context}, got {self.current.describe()}",
+            self.current.location,
+        )
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_specification(self) -> ast.SpecificationNode:
+        loc = self.expect("KW", "specification").location
+        name = self.expect_ident("a specification name").value
+        self.expect("OP", ";", context="after the specification name")
+        node = ast.SpecificationNode(name=name, loc=loc)
+        while True:
+            if self.check("KW", "channel"):
+                node.channels.append(self._parse_channel())
+            elif self.check("KW", "module"):
+                node.headers.append(self._parse_module_header())
+            elif self.check("KW", "body"):
+                node.bodies.append(self._parse_body())
+            elif self.check("KW", "modvar"):
+                node.instances.append(self._parse_instance())
+            elif self.check("KW", "connect"):
+                node.connections.append(self._parse_connect())
+            elif self.check("KW", "end"):
+                self.advance()
+                self.expect("OP", ".", context="to terminate the specification")
+                break
+            else:
+                raise EstelleSyntaxError(
+                    "expected a declaration (channel, module, body, modvar, "
+                    f"connect) or 'end.', got {self.current.describe()}",
+                    self.current.location,
+                )
+        if not self.check("EOF"):
+            raise EstelleSyntaxError(
+                f"unexpected input after 'end.': {self.current.describe()}",
+                self.current.location,
+            )
+        return node
+
+    # -- channel ------------------------------------------------------------------
+
+    def _parse_channel(self) -> ast.ChannelNode:
+        loc = self.advance().location  # 'channel'
+        name = self.expect_ident("a channel name").value
+        self.expect("OP", "(", context="before the channel's role list")
+        role_a = self.expect_ident("a role name")
+        self.expect("OP", ",", context="between the two channel roles")
+        role_b = self.expect_ident("a role name")
+        self.expect("OP", ")", context="after the channel's role list")
+        self.expect("OP", ";", context="after the channel header")
+
+        declared = {role_a.value: role_a.location, role_b.value: role_b.location}
+        if len(declared) != 2:
+            raise EstelleSyntaxError(
+                f"channel {name!r} declares role {role_a.value!r} twice",
+                role_b.location,
+            )
+        interactions = {role_a.value: [], role_b.value: []}
+        while self.check("KW", "by"):
+            by_loc = self.advance().location
+            role = self.expect_ident("a role name after 'by'")
+            if role.value not in interactions:
+                raise EstelleSyntaxError(
+                    f"channel {name!r} has no role {role.value!r} "
+                    f"(roles: {sorted(interactions)})",
+                    role.location,
+                )
+            self.expect("OP", ":", context="after the role name")
+            interactions[role.value].extend(self._parse_ident_list("an interaction name"))
+            self.expect("OP", ";", context="after the interaction list")
+            del by_loc
+        self.expect("KW", "end", context="to close the channel definition")
+        self.expect("OP", ";", context="after 'end' of the channel definition")
+        roles = tuple(
+            ast.RoleNode(role_name, tuple(interactions[role_name]), declared[role_name])
+            for role_name in (role_a.value, role_b.value)
+        )
+        return ast.ChannelNode(name=name, roles=roles, loc=loc)
+
+    def _parse_ident_list(self, what: str) -> List[str]:
+        names = [self.expect_ident(what).value]
+        while self.accept("OP", ","):
+            names.append(self.expect_ident(what).value)
+        return names
+
+    # -- module header ------------------------------------------------------------
+
+    def _parse_module_header(self) -> ast.ModuleHeaderNode:
+        loc = self.advance().location  # 'module'
+        name = self.expect_ident("a module name").value
+        if self.current.kind == "KW" and self.current.value in _ATTRIBUTES:
+            attribute = self.advance().value
+        else:
+            raise EstelleSyntaxError(
+                "expected a module attribute (systemprocess, systemactivity, "
+                f"process, activity), got {self.current.describe()}",
+                self.current.location,
+            )
+        self.expect("OP", ";", context="after the module attribute")
+        ips: List[ast.IPDeclNode] = []
+        while self.check("KW", "ip"):
+            ip_loc = self.advance().location
+            ip_name = self.expect_ident("an interaction-point name").value
+            self.expect("OP", ":", context="after the interaction-point name")
+            channel = self.expect_ident("a channel name").value
+            self.expect("OP", "(", context="before the interaction point's role")
+            role = self.expect_ident("a role name").value
+            self.expect("OP", ")", context="after the interaction point's role")
+            self.expect("OP", ";", context="after the interaction-point declaration")
+            ips.append(ast.IPDeclNode(name=ip_name, channel=channel, role=role, loc=ip_loc))
+        self.expect("KW", "end", context="to close the module header")
+        self.expect("OP", ";", context="after 'end' of the module header")
+        return ast.ModuleHeaderNode(name=name, attribute=attribute, ips=tuple(ips), loc=loc)
+
+    # -- body ---------------------------------------------------------------------
+
+    def _parse_body(self) -> ast.BodyNode:
+        loc = self.advance().location  # 'body'
+        name = self.expect_ident("a body name").value
+        self.expect("KW", "for", context="after the body name")
+        header = self.expect_ident("the name of the module header").value
+        self.expect("OP", ";", context="after the body header")
+
+        states: List[Tuple[str, SourceLocation]] = []
+        if self.check("KW", "state"):
+            self.advance()
+            token = self.expect_ident("a state name")
+            states.append((token.value, token.location))
+            while self.accept("OP", ","):
+                token = self.expect_ident("a state name")
+                states.append((token.value, token.location))
+            self.expect("OP", ";", context="after the state list")
+
+        initialize: Optional[ast.InitializeNode] = None
+        if self.check("KW", "initialize"):
+            init_loc = self.advance().location
+            to_state = None
+            if self.accept("KW", "to"):
+                to_state = self.expect_ident("the initial state name").value
+            statements = self._parse_block()
+            self.expect("OP", ";", context="after the initialize block")
+            initialize = ast.InitializeNode(
+                to_state=to_state, statements=statements, loc=init_loc
+            )
+
+        transitions: List[ast.TransNode] = []
+        while self.check("KW", "trans"):
+            transitions.append(self._parse_trans())
+        self.expect("KW", "end", context="to close the body")
+        self.expect("OP", ";", context="after 'end' of the body")
+        return ast.BodyNode(
+            name=name,
+            header=header,
+            states=tuple(states),
+            initialize=initialize,
+            transitions=tuple(transitions),
+            loc=loc,
+        )
+
+    def _parse_trans(self) -> ast.TransNode:
+        loc = self.advance().location  # 'trans'
+        from_states: Tuple[str, ...] = ()
+        to_state: Optional[str] = None
+        when: Optional[Tuple[str, str]] = None
+        when_loc: Optional[SourceLocation] = None
+        provided: Optional[ast.Expr] = None
+        priority = 0
+        delay = 0.0
+        cost = 1.0
+        name: Optional[str] = None
+        seen = set()
+
+        def once(clause: str, location: SourceLocation) -> None:
+            if clause in seen:
+                raise EstelleSyntaxError(
+                    f"duplicate {clause!r} clause in transition", location
+                )
+            seen.add(clause)
+
+        while not self.check("KW", "begin"):
+            token = self.current
+            if token.kind != "KW":
+                raise EstelleSyntaxError(
+                    "expected a transition clause (from, to, when, provided, "
+                    f"priority, delay, cost, name) or 'begin', got {token.describe()}",
+                    token.location,
+                )
+            if token.value == "from":
+                once("from", token.location)
+                self.advance()
+                if self.accept("KW", "any"):
+                    from_states = ()
+                else:
+                    from_states = tuple(self._parse_ident_list("a state name"))
+            elif token.value == "to":
+                once("to", token.location)
+                self.advance()
+                to_state = self.expect_ident("a state name after 'to'").value
+            elif token.value == "when":
+                once("when", token.location)
+                when_loc = self.advance().location
+                ip_name = self.expect_ident("an interaction-point name after 'when'").value
+                self.expect("OP", ".", context="between interaction point and interaction")
+                interaction = self.expect_ident("an interaction name").value
+                when = (ip_name, interaction)
+            elif token.value == "provided":
+                once("provided", token.location)
+                self.advance()
+                provided = self._parse_expr()
+            elif token.value == "priority":
+                once("priority", token.location)
+                self.advance()
+                negative = self.accept("OP", "-") is not None
+                number = self.expect("NUMBER", context="after 'priority'")
+                if not isinstance(number.value, int):
+                    raise EstelleSyntaxError(
+                        "priority must be an integer", number.location
+                    )
+                priority = -number.value if negative else number.value
+            elif token.value == "delay":
+                once("delay", token.location)
+                self.advance()
+                delay = float(self.expect("NUMBER", context="after 'delay'").value)
+            elif token.value == "cost":
+                once("cost", token.location)
+                self.advance()
+                cost = float(self.expect("NUMBER", context="after 'cost'").value)
+            elif token.value == "name":
+                once("name", token.location)
+                self.advance()
+                name = self.expect_ident("a transition name after 'name'").value
+            else:
+                raise EstelleSyntaxError(
+                    f"unexpected keyword {token.value!r} in transition clauses",
+                    token.location,
+                )
+        statements = self._parse_block()
+        self.expect("OP", ";", context="after the transition's action block")
+        return ast.TransNode(
+            from_states=from_states,
+            to_state=to_state,
+            when=when,
+            provided=provided,
+            priority=priority,
+            delay=delay,
+            cost=cost,
+            name=name,
+            statements=statements,
+            loc=loc,
+            when_loc=when_loc,
+        )
+
+    # -- instances and connections ---------------------------------------------------
+
+    def _parse_instance(self) -> ast.InstanceNode:
+        loc = self.advance().location  # 'modvar'
+        name = self.expect_ident("an instance name").value
+        self.expect("OP", ":", context="after the instance name")
+        body = self.expect_ident("a body name").value
+        self.expect("KW", "at", context="after the body name")
+        location = self.expect("STRING", context="a machine name after 'at'").value
+        variables: List[Tuple[str, ast.Expr]] = []
+        if self.accept("KW", "with"):
+            while True:
+                var = self.expect_ident("a variable name").value
+                self.expect("OP", ":=", context="after the variable name")
+                variables.append((var, self._parse_expr()))
+                if not self.accept("OP", ","):
+                    break
+        self.expect("OP", ";", context="after the modvar declaration")
+        return ast.InstanceNode(
+            name=name, body=body, location=location, variables=tuple(variables), loc=loc
+        )
+
+    def _parse_connect(self) -> ast.ConnectNode:
+        loc = self.advance().location  # 'connect'
+        a = self._parse_ip_ref()
+        self.expect("KW", "to", context="between the two connection endpoints")
+        b = self._parse_ip_ref()
+        self.expect("OP", ";", context="after the connect statement")
+        return ast.ConnectNode(a=a, b=b, loc=loc)
+
+    def _parse_ip_ref(self) -> Tuple[str, str]:
+        instance = self.expect_ident("an instance name").value
+        self.expect("OP", ".", context="between instance and interaction point")
+        ip_name = self.expect_ident("an interaction-point name").value
+        return (instance, ip_name)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_block(self) -> Tuple[ast.Stmt, ...]:
+        self.expect("KW", "begin", context="to open the action block")
+        statements = self._parse_statements(("end",))
+        self.expect("KW", "end", context="to close the action block")
+        return statements
+
+    def _parse_statements(self, terminators: Tuple[str, ...]) -> Tuple[ast.Stmt, ...]:
+        statements: List[ast.Stmt] = []
+        while True:
+            while self.accept("OP", ";"):
+                pass
+            if self.current.kind == "KW" and self.current.value in terminators:
+                return tuple(statements)
+            statements.append(self._parse_statement())
+            if not self.check("OP", ";"):
+                if self.current.kind == "KW" and self.current.value in terminators:
+                    return tuple(statements)
+                raise EstelleSyntaxError(
+                    f"expected ';' between statements, got {self.current.describe()}",
+                    self.current.location,
+                )
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind == "KW" and token.value == "output":
+            return self._parse_output()
+        if token.kind == "KW" and token.value == "if":
+            return self._parse_if()
+        if token.kind == "IDENT":
+            target = self.advance()
+            self.expect("OP", ":=", context="after the assignment target")
+            expr = self._parse_expr()
+            return ast.Assign(loc=target.location, target=target.value, expr=expr)
+        raise EstelleSyntaxError(
+            f"expected a statement (assignment, output, if), got {token.describe()}",
+            token.location,
+        )
+
+    def _parse_output(self) -> ast.OutputStmt:
+        loc = self.advance().location  # 'output'
+        ip_name = self.expect_ident("an interaction-point name after 'output'").value
+        self.expect("OP", ".", context="between interaction point and interaction")
+        interaction = self.expect_ident("an interaction name").value
+        params: List[Tuple[str, ast.Expr]] = []
+        if self.accept("OP", "("):
+            if not self.check("OP", ")"):
+                while True:
+                    param = self.expect_ident("a parameter name").value
+                    self.expect("OP", ":=", context="after the parameter name")
+                    params.append((param, self._parse_expr()))
+                    if not self.accept("OP", ","):
+                        break
+            self.expect("OP", ")", context="after the output parameter list")
+        return ast.OutputStmt(
+            loc=loc, ip=ip_name, interaction=interaction, params=tuple(params)
+        )
+
+    def _parse_if(self) -> ast.IfStmt:
+        loc = self.advance().location  # 'if'
+        condition = self._parse_expr()
+        self.expect("KW", "then", context="after the if condition")
+        then_branch = self._parse_statements(("else", "end"))
+        else_branch: Tuple[ast.Stmt, ...] = ()
+        if self.accept("KW", "else"):
+            else_branch = self._parse_statements(("end",))
+        self.expect("KW", "end", context="to close the if statement")
+        return ast.IfStmt(
+            loc=loc, condition=condition, then_branch=then_branch, else_branch=else_branch
+        )
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.check("KW", "or"):
+            loc = self.advance().location
+            right = self._parse_and()
+            left = ast.Binary(loc=loc, op="or", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.check("KW", "and"):
+            loc = self.advance().location
+            right = self._parse_not()
+            left = ast.Binary(loc=loc, op="and", left=left, right=right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.check("KW", "not"):
+            loc = self.advance().location
+            return ast.Unary(loc=loc, op="not", operand=self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        if self.current.kind == "OP" and self.current.value in _COMPARISON_OPS:
+            token = self.advance()
+            right = self._parse_additive()
+            return ast.Binary(loc=token.location, op=token.value, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_term()
+        while self.current.kind == "OP" and self.current.value in _ADDITIVE_OPS:
+            token = self.advance()
+            right = self._parse_term()
+            left = ast.Binary(loc=token.location, op=token.value, left=left, right=right)
+        return left
+
+    def _parse_term(self) -> ast.Expr:
+        left = self._parse_factor()
+        while (
+            self.current.kind == "OP" and self.current.value in _MULTIPLICATIVE_OPS
+        ) or (self.current.kind == "KW" and self.current.value in ("div", "mod")):
+            token = self.advance()
+            right = self._parse_factor()
+            left = ast.Binary(loc=token.location, op=token.value, left=left, right=right)
+        return left
+
+    def _parse_factor(self) -> ast.Expr:
+        if self.check("OP", "-"):
+            loc = self.advance().location
+            return ast.Unary(loc=loc, op="-", operand=self._parse_factor())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self.advance()
+            return ast.Literal(loc=token.location, value=token.value)
+        if token.kind == "KW" and token.value in ("true", "false"):
+            self.advance()
+            return ast.Literal(loc=token.location, value=token.value == "true")
+        if self.accept("OP", "("):
+            expr = self._parse_expr()
+            self.expect("OP", ")", context="to close the parenthesised expression")
+            return expr
+        if token.kind == "IDENT":
+            self.advance()
+            if self.accept("OP", "."):
+                field = self.expect_ident("a parameter name after '.'")
+                if token.value != "msg":
+                    raise EstelleSyntaxError(
+                        f"dotted access is only supported on 'msg' "
+                        f"(the matched interaction), not {token.value!r}",
+                        token.location,
+                    )
+                return ast.ParamRef(loc=token.location, param=field.value)
+            return ast.Name(loc=token.location, ident=token.value)
+        raise EstelleSyntaxError(
+            f"expected an expression, got {token.describe()}", token.location
+        )
+
+
+def parse_source(source: str, filename: Optional[str] = None) -> ast.SpecificationNode:
+    """Parse Estelle source text into a :class:`SpecificationNode`."""
+    return Parser(tokenize(source, filename)).parse_specification()

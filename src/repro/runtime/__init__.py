@@ -2,7 +2,10 @@
 
 Pieces:
 
-* dispatch strategies (hard-coded scan vs table-driven selection),
+* dispatch strategies (hard-coded scan, table-driven selection, and the
+  code generator's specialized selection functions),
+* the optimizing code generator (:mod:`repro.runtime.codegen`) emitting
+  per-(state, interaction) flattened dispatch with precompiled guards,
 * schedulers (centralised vs decentralised),
 * mapping strategies (thread-per-module, grouping, connection-per-processor,
   layer-per-processor, sequential baseline),
@@ -11,12 +14,21 @@ Pieces:
 * execution traces.
 """
 
+from .codegen import (
+    CompiledModuleDispatch,
+    GeneratedDispatchStrategy,
+    GeneratedProgram,
+    compile_module_class,
+    compile_specification,
+    generated_source,
+)
 from .dispatch import (
     DispatchResult,
     DispatchStrategy,
     HardCodedDispatch,
     TableDrivenDispatch,
     dispatch_by_name,
+    register_strategy,
 )
 from .executor import SpecificationExecutor, run_specification
 from .mapping import (
@@ -42,6 +54,7 @@ from .tracing import ExecutionTrace, FiringEvent, RoundRecord
 
 __all__ = [
     "CentralisedScheduler",
+    "CompiledModuleDispatch",
     "ConnectionPerProcessorMapping",
     "DecentralisedScheduler",
     "DispatchResult",
@@ -49,6 +62,8 @@ __all__ = [
     "ExecutionTrace",
     "ExecutionUnit",
     "FiringEvent",
+    "GeneratedDispatchStrategy",
+    "GeneratedProgram",
     "GroupedMapping",
     "HardCodedDispatch",
     "LayerPerProcessorMapping",
@@ -62,8 +77,12 @@ __all__ = [
     "SystemMapping",
     "TableDrivenDispatch",
     "ThreadPerModuleMapping",
+    "compile_module_class",
+    "compile_specification",
     "dispatch_by_name",
+    "generated_source",
     "mapping_by_name",
+    "register_strategy",
     "run_specification",
     "scheduler_by_name",
 ]

@@ -19,10 +19,51 @@ the crossover around four transitions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Type
 
 from ..estelle.module import Module
 from ..estelle.transition import ANY_STATE, Transition
+
+#: Name -> strategy class.  Extended by :func:`register_strategy`; the code
+#: generator (:mod:`repro.runtime.codegen`) registers its generated strategy
+#: here so ``dispatch_by_name("generated")`` works everywhere.
+_STRATEGY_REGISTRY: Dict[str, Type["DispatchStrategy"]] = {}
+
+
+def register_strategy(cls: Type["DispatchStrategy"]) -> Type["DispatchStrategy"]:
+    """Class decorator: make a strategy available to :func:`dispatch_by_name`."""
+    _STRATEGY_REGISTRY[cls.name] = cls
+    return cls
+
+
+def priority_ordered_transitions(module_class: type) -> Tuple[Transition, ...]:
+    """A module class's declared transitions, best priority first (stable)."""
+    return tuple(
+        sorted(module_class.declared_transitions(), key=lambda t: t.priority)
+    )
+
+
+def state_rows(module_class: type) -> Dict[Optional[str], Tuple[Transition, ...]]:
+    """The (state -> candidate transitions) table shared by the table-driven
+    strategy and the code generator.
+
+    Each state's row holds the transitions whose ``from`` clause admits it
+    (wildcard transitions appear in every row); the extra :data:`ANY_STATE`
+    row serves instances that sit in a state outside the declared set.
+    Keeping this in one place guarantees the generated strategy selects from
+    exactly the same rows as the interpreted table.
+    """
+    transitions = priority_ordered_transitions(module_class)
+    states: List[Optional[str]] = list(getattr(module_class, "STATES", ())) or [None]
+    rows: Dict[Optional[str], Tuple[Transition, ...]] = {}
+    for state in states:
+        rows[state] = tuple(
+            t
+            for t in transitions
+            if ANY_STATE in t.from_states or state in t.from_states
+        )
+    rows[ANY_STATE] = tuple(t for t in transitions if ANY_STATE in t.from_states)
+    return rows
 
 
 @dataclass(frozen=True)
@@ -60,21 +101,21 @@ class DispatchStrategy:
 
     # -- shared selection logic -----------------------------------------------------
 
-    def select(self, module: Module) -> DispatchResult:
-        """Choose the transition the module should fire next (or none).
+    def _external_result(self, module: Module) -> DispatchResult:
+        """External (hand-coded) modules bypass transition scanning entirely:
+        the hand-written body polls its interaction points itself, which the
+        paper models with the ISODE-interface loop of Section 4.3."""
+        return DispatchResult(
+            transition=None,
+            examined=0,
+            cost=self.overhead,
+            external=module.external_ready(),
+        )
 
-        External (hand-coded) modules bypass transition scanning entirely: the
-        hand-written body polls its interaction points itself, which the paper
-        models with the ISODE-interface loop of Section 4.3.
-        """
+    def select(self, module: Module) -> DispatchResult:
+        """Choose the transition the module should fire next (or none)."""
         if module.EXTERNAL:
-            ready = module.external_ready()
-            return DispatchResult(
-                transition=None,
-                examined=0,
-                cost=self.overhead,
-                external=ready,
-            )
+            return self._external_result(module)
 
         examined = 0
         chosen: Optional[Transition] = None
@@ -87,6 +128,7 @@ class DispatchStrategy:
         return DispatchResult(transition=chosen, examined=examined, cost=cost)
 
 
+@register_strategy
 class HardCodedDispatch(DispatchStrategy):
     """Linear scan over the full transition list, priorities first.
 
@@ -113,6 +155,7 @@ class HardCodedDispatch(DispatchStrategy):
         return ordered
 
 
+@register_strategy
 class TableDrivenDispatch(DispatchStrategy):
     """State-indexed transition table.
 
@@ -126,46 +169,34 @@ class TableDrivenDispatch(DispatchStrategy):
 
     def __init__(self, scan_cost: float = 0.08, table_overhead: float = 0.25):
         super().__init__(scan_cost=scan_cost, overhead=table_overhead)
-        self._tables: Dict[type, Dict[Optional[str], List[Transition]]] = {}
+        self._tables: Dict[type, Dict[Optional[str], Tuple[Transition, ...]]] = {}
 
-    def _table_for(self, module_class: type) -> Dict[Optional[str], List[Transition]]:
+    def _table_for(self, module_class: type) -> Dict[Optional[str], Tuple[Transition, ...]]:
         table = self._tables.get(module_class)
-        if table is not None:
-            return table
-        transitions = sorted(
-            module_class.declared_transitions(), key=lambda t: t.priority
-        )
-        states: List[Optional[str]] = list(getattr(module_class, "STATES", ())) or [None]
-        table = {}
-        for state in states:
-            row = [
-                t
-                for t in transitions
-                if ANY_STATE in t.from_states or state in t.from_states
-            ]
-            table[state] = row
-        # Wildcard row for modules whose instances may sit in a state that is
-        # not statically declared (external bodies refined at runtime).
-        table[ANY_STATE] = [t for t in transitions if ANY_STATE in t.from_states]
-        self._tables[module_class] = table
+        if table is None:
+            table = state_rows(module_class)
+            self._tables[module_class] = table
         return table
 
     def candidates(self, module: Module) -> List[Transition]:
         table = self._table_for(type(module))
         if module.state in table:
-            return table[module.state]
-        return table[ANY_STATE]
+            return list(table[module.state])
+        return list(table[ANY_STATE])
 
 
 def dispatch_by_name(name: str, **kwargs) -> DispatchStrategy:
-    """Factory used by the benchmark harness (`"hard-coded"` / `"table-driven"`)."""
-    strategies = {
-        HardCodedDispatch.name: HardCodedDispatch,
-        TableDrivenDispatch.name: TableDrivenDispatch,
-    }
+    """Factory used by the benchmark harness.
+
+    Built-in names: ``"hard-coded"`` and ``"table-driven"``; importing
+    :mod:`repro.runtime` (or :mod:`repro.runtime.codegen`) additionally
+    registers ``"generated"``.
+    """
     try:
-        return strategies[name](**kwargs)
+        strategy_class = _STRATEGY_REGISTRY[name]
     except KeyError as exc:
         raise ValueError(
-            f"unknown dispatch strategy {name!r}; choose from {sorted(strategies)}"
+            f"unknown dispatch strategy {name!r}; choose from "
+            f"{sorted(_STRATEGY_REGISTRY)}"
         ) from exc
+    return strategy_class(**kwargs)

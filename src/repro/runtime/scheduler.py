@@ -30,7 +30,7 @@ identical); they differ only in where the selection overhead is charged:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
 
 from ..estelle.module import Module
 from ..estelle.specification import Specification
@@ -129,8 +129,13 @@ class Scheduler:
         """Overhead that serialises the whole round (centralised scheduler)."""
         raise NotImplementedError
 
-    def unit_overhead(self, plan: RoundPlan, unit_module_paths: List[str]) -> float:
-        """Overhead charged to one execution unit (decentralised scheduler)."""
+    def unit_overhead(self, plan: RoundPlan, unit_module_paths: Iterable[str]) -> float:
+        """Overhead charged to one execution unit (decentralised scheduler).
+
+        Callers that evaluate many rounds against the same unit should pass a
+        precomputed ``frozenset`` of the unit's module paths; it is used for
+        membership tests as-is, without per-call set rebuilding.
+        """
         raise NotImplementedError
 
 
@@ -149,7 +154,7 @@ class CentralisedScheduler(Scheduler):
         scan_cost = sum(plan.examined_costs.values())
         return self.per_module_cost * plan.examined_modules + scan_cost
 
-    def unit_overhead(self, plan: RoundPlan, unit_module_paths: List[str]) -> float:
+    def unit_overhead(self, plan: RoundPlan, unit_module_paths: Iterable[str]) -> float:
         return 0.0
 
 
@@ -168,13 +173,19 @@ class DecentralisedScheduler(Scheduler):
     def serial_overhead(self, plan: RoundPlan) -> float:
         return 0.0
 
-    def unit_overhead(self, plan: RoundPlan, unit_module_paths: List[str]) -> float:
-        member = set(unit_module_paths)
-        examined_here = [
-            path for path in plan.examined_costs if path in member
-        ]
-        scan_cost = sum(plan.examined_costs[path] for path in examined_here)
-        return self.per_module_cost * len(examined_here) + scan_cost
+    def unit_overhead(self, plan: RoundPlan, unit_module_paths: Iterable[str]) -> float:
+        member = (
+            unit_module_paths
+            if isinstance(unit_module_paths, AbstractSet)
+            else frozenset(unit_module_paths)
+        )
+        examined_here = 0
+        scan_cost = 0.0
+        for path, cost in plan.examined_costs.items():
+            if path in member:
+                examined_here += 1
+                scan_cost += cost
+        return self.per_module_cost * examined_here + scan_cost
 
 
 def scheduler_by_name(name: str, **kwargs) -> Scheduler:

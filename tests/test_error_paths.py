@@ -1,0 +1,97 @@
+"""Error-path coverage: factory unknown names, transition clause validation,
+and the scheduler's precomputed-membership overhead accounting."""
+
+import pytest
+
+from repro.estelle import TransitionError, transition
+from repro.runtime import (
+    DecentralisedScheduler,
+    TableDrivenDispatch,
+    dispatch_by_name,
+    mapping_by_name,
+    scheduler_by_name,
+)
+from tests.helpers import build_worker_spec
+
+
+class TestFactoryErrors:
+    def test_scheduler_unknown_name(self):
+        with pytest.raises(ValueError) as excinfo:
+            scheduler_by_name("anarchic")
+        message = str(excinfo.value)
+        assert "unknown scheduler 'anarchic'" in message
+        assert "centralised" in message and "decentralised" in message
+
+    def test_dispatch_unknown_name(self):
+        with pytest.raises(ValueError) as excinfo:
+            dispatch_by_name("psychic")
+        message = str(excinfo.value)
+        assert "unknown dispatch strategy 'psychic'" in message
+        for known in ("hard-coded", "table-driven", "generated"):
+            assert known in message
+
+    def test_mapping_unknown_name(self):
+        with pytest.raises(ValueError) as excinfo:
+            mapping_by_name("scattered")
+        assert "unknown mapping strategy 'scattered'" in str(excinfo.value)
+
+    def test_factories_accept_known_kwargs(self):
+        scheduler = scheduler_by_name("decentralised", per_module_cost=0.5)
+        assert scheduler.per_module_cost == 0.5
+        dispatch = dispatch_by_name("table-driven", table_overhead=0.1)
+        assert dispatch.overhead == 0.1
+
+
+class TestTransitionClauseValidation:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(TransitionError, match="delay must be non-negative"):
+            transition(from_state="s", delay=-1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(TransitionError, match="cost must be non-negative"):
+            transition(from_state="s", cost=-0.1)
+
+    def test_empty_from_state_sequence_rejected(self):
+        decorator = transition(from_state=())
+        with pytest.raises(TransitionError, match="may not be an empty sequence"):
+            decorator(lambda self: None)
+
+    def test_firing_disabled_transition_rejected(self):
+        from tests.helpers import Ponger
+
+        ponger = Ponger("p")
+        stop = next(
+            t for t in Ponger.declared_transitions() if t.name == "stop"
+        )
+        with pytest.raises(TransitionError, match="is not enabled"):
+            stop.fire(ponger)
+
+
+class TestUnitOverheadMembership:
+    """The decentralised scheduler accepts precomputed frozensets (perf fix)."""
+
+    def _plan(self):
+        spec = build_worker_spec(workers=3, steps=1)
+        scheduler = DecentralisedScheduler(per_module_cost=1.0)
+        plan = scheduler.plan_round(
+            spec, TableDrivenDispatch(scan_cost=0.0, table_overhead=0.0)
+        )
+        return scheduler, plan
+
+    def test_frozenset_and_list_agree(self):
+        scheduler, plan = self._plan()
+        paths = [
+            "workers/pool",
+            "workers/pool/worker-0",
+            "workers/pool/worker-1",
+            "workers/pool/worker-2",
+        ]
+        from_list = scheduler.unit_overhead(plan, paths)
+        from_frozenset = scheduler.unit_overhead(plan, frozenset(paths))
+        assert from_list == from_frozenset == pytest.approx(4.0)
+
+    def test_partial_membership(self):
+        scheduler, plan = self._plan()
+        member = frozenset({"workers/pool/worker-1"})
+        assert scheduler.unit_overhead(plan, member) == pytest.approx(1.0)
+        assert scheduler.unit_overhead(plan, frozenset()) == 0.0
