@@ -10,7 +10,11 @@ history), so the repository carries its own perf trajectory:
 * per-benchmark pass/fail status and wall-clock duration,
 * the E4 dispatch-selection cost sweep (hard-coded / table-driven /
   generated), including the headline check that the generated strategy is
-  at least as fast as the table-driven one.
+  at least as fast as the table-driven one,
+* the E-PAR parallel-backend record: the multiprocess backend's *measured*
+  wall-clock speedup on the OSI transfer workload next to the cost model's
+  *predicted* speedup, plus the trace-equivalence verdict (see ROADMAP.md,
+  "Execution backends", for how to read the two numbers).
 
 Run with:  PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
 """
@@ -71,24 +75,42 @@ def run_one(path: Path) -> dict:
     return row
 
 
-def dispatch_selection_results() -> dict:
-    """The E4 cost sweep, recorded so the perf trajectory is diffable."""
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-    spec = importlib.util.spec_from_file_location(
-        "bench_transition_dispatch", BENCH_DIR / "bench_transition_dispatch.py"
-    )
+def _load_bench_module(name: str):
+    """Import a ``bench_*.py`` file directly (the bench dir is no package)."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    spec = importlib.util.spec_from_file_location(name, BENCH_DIR / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    rows = [
-        {key: (round(value, 4) if isinstance(value, float) else value) for key, value in row.items()}
-        for row in module.dispatch_cost_sweep()
-    ]
+    return module
+
+
+def _round_floats(mapping: dict) -> dict:
+    return {
+        key: (round(value, 4) if isinstance(value, float) else value)
+        for key, value in mapping.items()
+    }
+
+
+def dispatch_selection_results() -> dict:
+    """The E4 cost sweep, recorded so the perf trajectory is diffable."""
+    module = _load_bench_module("bench_transition_dispatch")
+    rows = [_round_floats(row) for row in module.dispatch_cost_sweep()]
     return {
         "sweep": rows,
         "generated_at_most_table_driven": all(
             row["generated"] <= row["table-driven"] for row in rows
         ),
     }
+
+
+def parallel_backend_results() -> dict:
+    """E-PAR: measured multiprocess speedup next to the model's prediction."""
+    module = _load_bench_module("bench_parallel_backend")
+    rounded = _round_floats(module.measured_vs_predicted())
+    rounded["workload"] = "examples/specs/osi_transfer.estelle"
+    return rounded
 
 
 def load_history(output: Path) -> list:
@@ -125,6 +147,7 @@ def main(argv=None) -> int:
         "mode": "smoke",
         "benchmarks": results,
         "dispatch_selection": dispatch_selection_results(),
+        "parallel_backend": parallel_backend_results(),
     }
     runs = [run_entry] + load_history(args.output)
     args.output.write_text(json.dumps({"runs": runs[:HISTORY_LIMIT]}, indent=2) + "\n")
@@ -137,6 +160,12 @@ def main(argv=None) -> int:
         return 1
     if not run_entry["dispatch_selection"]["generated_at_most_table_driven"]:
         print("regression: generated dispatch slower than table-driven")
+        return 1
+    if not run_entry["parallel_backend"]["traces_identical"]:
+        print(
+            "regression: multiprocess backend trace diverged: "
+            f"{run_entry['parallel_backend']['trace_divergence']}"
+        )
         return 1
     return 0
 

@@ -72,7 +72,9 @@ paper's protocol specifications.  Keywords are case-insensitive; comments are
     expr           = or ;  (* Pascal-style operators *)
     or             = and { "or" and } ;
     and            = not { "and" not } ;
-    not            = "not" not | comparison ;
+    not            = "not" not | quantified | comparison ;
+    quantified     = ( "exist" | "forall" ) IDENT ":" additive ".." additive
+                     "suchthat" expr ;
     comparison     = additive [ ( "=" | "<>" | "<" | "<=" | ">" | ">=" ) additive ] ;
     additive       = term { ( "+" | "-" ) term } ;
     term           = factor { ( "*" | "/" | "div" | "mod" ) factor } ;
@@ -97,6 +99,11 @@ Semantics notes
   the runtime's mapping layer.
 * ``priority`` follows Estelle: lower numbers are higher priority.  ``cost``
   is the simulated execution cost of the action block in abstract work units.
+* ``exist i : low .. high suchthat P`` / ``forall i : low .. high suchthat P``
+  quantify ``P`` over the inclusive integer interval ``low .. high`` (an empty
+  interval makes ``exist`` false and ``forall`` true).  The bound variable
+  shadows a module variable of the same name inside ``P``; the bounds must
+  evaluate to integers (a located diagnostic is raised otherwise).
 """
 
 from __future__ import annotations

@@ -60,6 +60,22 @@ class Binary(Expr):
     right: Expr
 
 
+@dataclass(frozen=True)
+class Quantified(Expr):
+    """``exist i : low .. high suchthat body`` / ``forall i : ... suchthat body``.
+
+    The bound variable ranges over the inclusive integer interval
+    ``low .. high``; inside ``body`` it shadows any module variable of the
+    same name.  An empty interval makes ``exist`` false and ``forall`` true.
+    """
+
+    kind: str  # "exist" | "forall"
+    var: str
+    low: Expr
+    high: Expr
+    body: Expr
+
+
 # -- statements -------------------------------------------------------------------
 
 

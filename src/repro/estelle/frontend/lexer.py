@@ -50,6 +50,9 @@ KEYWORDS = frozenset(
         "at",
         "with",
         "connect",
+        "exist",
+        "forall",
+        "suchthat",
         "and",
         "or",
         "not",
@@ -65,7 +68,7 @@ KEYWORDS = frozenset(
 )
 
 #: Multi-character operators first so maximal munch works.
-_OPERATORS = (":=", "<=", ">=", "<>", ";", ":", ",", ".", "(", ")", "=", "<", ">", "+", "-", "*", "/")
+_OPERATORS = (":=", "<=", ">=", "<>", "..", ";", ":", ",", ".", "(", ")", "=", "<", ">", "+", "-", "*", "/")
 
 _ESCAPES = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}
 

@@ -31,10 +31,12 @@ from .errors import EstelleSemanticError, SourceLocation
 # -- expression evaluation ---------------------------------------------------------
 
 
-def _eval(expr: ast.Expr, module: Module, interaction) -> Any:
+def _eval(expr: ast.Expr, module: Module, interaction, env: Optional[Dict[str, Any]] = None) -> Any:
     if isinstance(expr, ast.Literal):
         return expr.value
     if isinstance(expr, ast.Name):
+        if env is not None and expr.ident in env:
+            return env[expr.ident]
         try:
             return module.variables[expr.ident]
         except KeyError:
@@ -49,21 +51,23 @@ def _eval(expr: ast.Expr, module: Module, interaction) -> Any:
                 expr.loc,
             )
         return interaction.param(expr.param)
+    if isinstance(expr, ast.Quantified):
+        return _eval_quantified(expr, module, interaction, env)
     if isinstance(expr, ast.Unary):
         if expr.op == "not":
-            return not _eval(expr.operand, module, interaction)
-        return -_eval(expr.operand, module, interaction)
+            return not _eval(expr.operand, module, interaction, env)
+        return -_eval(expr.operand, module, interaction, env)
     if isinstance(expr, ast.Binary):
         if expr.op == "and":
-            return bool(_eval(expr.left, module, interaction)) and bool(
-                _eval(expr.right, module, interaction)
+            return bool(_eval(expr.left, module, interaction, env)) and bool(
+                _eval(expr.right, module, interaction, env)
             )
         if expr.op == "or":
-            return bool(_eval(expr.left, module, interaction)) or bool(
-                _eval(expr.right, module, interaction)
+            return bool(_eval(expr.left, module, interaction, env)) or bool(
+                _eval(expr.right, module, interaction, env)
             )
-        left = _eval(expr.left, module, interaction)
-        right = _eval(expr.right, module, interaction)
+        left = _eval(expr.left, module, interaction, env)
+        right = _eval(expr.right, module, interaction, env)
         op = expr.op
         if op == "+":
             return left + right
@@ -92,6 +96,50 @@ def _eval(expr: ast.Expr, module: Module, interaction) -> Any:
     raise EstelleSemanticError(f"unsupported expression node {type(expr).__name__}", expr.loc)
 
 
+def _quantifier_bound(value: Any, which: str, loc) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise EstelleSemanticError(
+            f"quantifier {which} bound must be an integer, got {value!r}", loc
+        )
+    return value
+
+
+def quantifier_range(low: Any, high: Any) -> range:
+    """The inclusive quantifier domain with the interpreter's bound checks.
+
+    Used by the *generated* guard sources (bound as ``_qrange`` by
+    :mod:`repro.runtime.codegen`): bools and non-ints raise TypeError — which
+    the generated guard's fallback turns into a re-evaluation through the
+    interpreted guard and therefore the same located diagnostic — instead of
+    ``range()`` silently accepting ``True`` as 1.
+    """
+    if (
+        isinstance(low, bool)
+        or not isinstance(low, int)
+        or isinstance(high, bool)
+        or not isinstance(high, int)
+    ):
+        raise TypeError(f"quantifier bounds must be integers, got {low!r} .. {high!r}")
+    return range(low, high + 1)
+
+
+def _eval_quantified(
+    expr: ast.Quantified, module: Module, interaction, env: Optional[Dict[str, Any]]
+) -> bool:
+    low = _quantifier_bound(
+        _eval(expr.low, module, interaction, env), "lower", expr.low.loc
+    )
+    high = _quantifier_bound(
+        _eval(expr.high, module, interaction, env), "upper", expr.high.loc
+    )
+    scope = dict(env) if env else {}
+    witnesses = (
+        bool(_eval(expr.body, module, interaction, {**scope, expr.var: value}))
+        for value in range(low, high + 1)
+    )
+    return any(witnesses) if expr.kind == "exist" else all(witnesses)
+
+
 #: Python spellings of the binary operators for the guard-source translation.
 _PY_BINOPS = {
     "+": "+",
@@ -111,25 +159,38 @@ _PY_BINOPS = {
 }
 
 
-def expr_to_python(expr: ast.Expr) -> str:
+def expr_to_python(expr: ast.Expr, bound: Optional[Dict[str, str]] = None) -> str:
     """Translate an expression AST to Python source over ``_v`` and ``_i``.
 
     ``_v`` is the module's variable dict, ``_i`` the matched interaction.
     Every subexpression is parenthesised, so operator precedence is inherited
-    from the AST rather than re-encoded.
+    from the AST rather than re-encoded.  ``bound`` maps quantifier-bound
+    Estelle variable names to the Python comprehension variables that carry
+    them (quantified bodies shadow module variables of the same name).
     """
     if isinstance(expr, ast.Literal):
         return repr(expr.value)
     if isinstance(expr, ast.Name):
+        if bound is not None and expr.ident in bound:
+            return bound[expr.ident]
         return f"_v[{expr.ident!r}]"
     if isinstance(expr, ast.ParamRef):
         return f"_i.params.get({expr.param!r})"
+    if isinstance(expr, ast.Quantified):
+        var = f"_q{len(bound) if bound else 0}_{expr.var}"
+        scope = dict(bound) if bound else {}
+        scope[expr.var] = var
+        low = expr_to_python(expr.low, bound)
+        high = expr_to_python(expr.high, bound)
+        body = expr_to_python(expr.body, scope)
+        reducer = "any" if expr.kind == "exist" else "all"
+        return f"{reducer}(({body}) for {var} in _qrange(({low}), ({high})))"
     if isinstance(expr, ast.Unary):
-        inner = expr_to_python(expr.operand)
+        inner = expr_to_python(expr.operand, bound)
         return f"(not {inner})" if expr.op == "not" else f"(-{inner})"
     if isinstance(expr, ast.Binary):
-        left = expr_to_python(expr.left)
-        right = expr_to_python(expr.right)
+        left = expr_to_python(expr.left, bound)
+        right = expr_to_python(expr.right, bound)
         return f"({left} {_PY_BINOPS[expr.op]} {right})"
     raise EstelleSemanticError(f"unsupported expression node {type(expr).__name__}", expr.loc)
 
@@ -202,6 +263,12 @@ def _find_param_ref(expr: ast.Expr) -> Optional[ast.ParamRef]:
         return _find_param_ref(expr.operand)
     if isinstance(expr, ast.Binary):
         return _find_param_ref(expr.left) or _find_param_ref(expr.right)
+    if isinstance(expr, ast.Quantified):
+        return (
+            _find_param_ref(expr.low)
+            or _find_param_ref(expr.high)
+            or _find_param_ref(expr.body)
+        )
     return None
 
 

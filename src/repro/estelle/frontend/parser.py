@@ -448,7 +448,22 @@ class Parser:
         if self.check("KW", "not"):
             loc = self.advance().location
             return ast.Unary(loc=loc, op="not", operand=self._parse_not())
+        if self.current.kind == "KW" and self.current.value in ("exist", "forall"):
+            return self._parse_quantified()
         return self._parse_comparison()
+
+    def _parse_quantified(self) -> ast.Quantified:
+        token = self.advance()  # 'exist' | 'forall'
+        var = self.expect_ident(f"a bound-variable name after {token.value!r}").value
+        self.expect("OP", ":", context="after the quantifier's bound variable")
+        low = self._parse_additive()
+        self.expect("OP", "..", context="between the quantifier's domain bounds")
+        high = self._parse_additive()
+        self.expect("KW", "suchthat", context="after the quantifier's domain")
+        body = self._parse_expr()
+        return ast.Quantified(
+            loc=token.location, kind=token.value, var=var, low=low, high=high, body=body
+        )
 
     def _parse_comparison(self) -> ast.Expr:
         left = self._parse_additive()

@@ -11,6 +11,10 @@ Pieces:
   layer-per-processor, sequential baseline),
 * the executor that runs a specification on a simulated cluster and produces
   :class:`repro.sim.metrics.ExecutionMetrics`,
+* the execution-backend abstraction: :class:`InProcessBackend` (the modelled
+  runtime) and :class:`repro.runtime.parallel.MultiprocessBackend` (real OS
+  processes per execution unit), both reachable via :func:`backend_by_name`
+  and required to produce byte-identical canonical firing traces,
 * execution traces.
 """
 
@@ -21,6 +25,7 @@ from .codegen import (
     compile_module_class,
     compile_specification,
     generated_source,
+    load_dumped_selector,
 )
 from .dispatch import (
     DispatchResult,
@@ -30,7 +35,17 @@ from .dispatch import (
     dispatch_by_name,
     register_strategy,
 )
-from .executor import SpecificationExecutor, run_specification
+from .executor import (
+    BackendResult,
+    ExecutionBackend,
+    InProcessBackend,
+    SpecSource,
+    SpecificationExecutor,
+    backend_by_name,
+    busy_work_for,
+    register_backend,
+    run_specification,
+)
 from .mapping import (
     ConnectionPerProcessorMapping,
     ExecutionUnit,
@@ -52,13 +67,19 @@ from .scheduler import (
 )
 from .tracing import ExecutionTrace, FiringEvent, RoundRecord
 
+# Importing the parallel package registers the "multiprocess" backend with
+# backend_by_name (mirroring how codegen registers the "generated" dispatch).
+from .parallel import MultiprocessBackend
+
 __all__ = [
+    "BackendResult",
     "CentralisedScheduler",
     "CompiledModuleDispatch",
     "ConnectionPerProcessorMapping",
     "DecentralisedScheduler",
     "DispatchResult",
     "DispatchStrategy",
+    "ExecutionBackend",
     "ExecutionTrace",
     "ExecutionUnit",
     "FiringEvent",
@@ -66,22 +87,29 @@ __all__ = [
     "GeneratedProgram",
     "GroupedMapping",
     "HardCodedDispatch",
+    "InProcessBackend",
     "LayerPerProcessorMapping",
     "MappingStrategy",
+    "MultiprocessBackend",
     "PlannedFiring",
     "RoundPlan",
     "RoundRecord",
     "Scheduler",
     "SequentialMapping",
+    "SpecSource",
     "SpecificationExecutor",
     "SystemMapping",
     "TableDrivenDispatch",
     "ThreadPerModuleMapping",
+    "backend_by_name",
+    "busy_work_for",
     "compile_module_class",
     "compile_specification",
     "dispatch_by_name",
     "generated_source",
+    "load_dumped_selector",
     "mapping_by_name",
+    "register_backend",
     "register_strategy",
     "run_specification",
     "scheduler_by_name",

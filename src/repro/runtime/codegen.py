@@ -28,9 +28,12 @@ never worse than the table-driven strategy's.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
+from ..estelle.frontend.lower import quantifier_range
 from ..estelle.module import Module
 from ..estelle.specification import Specification
 from ..estelle.transition import ANY_STATE, Transition
@@ -164,14 +167,15 @@ def compile_module_class(module_class: Type[Module]) -> CompiledModuleDispatch:
         guard_names[id(candidate)] = name
         python_source = getattr(guard, "_python_source", None)
         if python_source is not None:
-            # On KeyError (undefined variable) re-evaluate through the
+            # On KeyError (undefined variable) or TypeError (non-integer
+            # quantifier bound feeding range()) re-evaluate through the
             # interpreted guard, which raises the source-located diagnostic —
             # the strategies must stay interchangeable on error paths too.
             lines.append(f"def {name}(module, _i=None):  # guard of {candidate.name!r}")
             lines.append("    _v = module.variables")
             lines.append("    try:")
             lines.append(f"        return bool({python_source})")
-            lines.append("    except KeyError:")
+            lines.append("    except (KeyError, TypeError):")
             lines.append(f"        return bool(_RAW[{len(raw_guards)}](module, _i))")
             lines.append("")
             raw_guards.append(guard)
@@ -199,7 +203,14 @@ def compile_module_class(module_class: Type[Module]) -> CompiledModuleDispatch:
     lines.append("    return row(module)")
     source = "\n".join(lines)
 
-    namespace: Dict[str, Any] = {"_T": transitions, "_RAW": raw_guards}
+    # _qrange backs quantified guard sources; it raises TypeError on
+    # non-integer bounds so the fallback re-routes through the interpreted
+    # guard exactly where the interpreter itself would diagnose them.
+    namespace: Dict[str, Any] = {
+        "_T": transitions,
+        "_RAW": raw_guards,
+        "_qrange": quantifier_range,
+    }
     exec(compile(source, f"<generated dispatch {module_class.__name__}>", "exec"), namespace)
     return CompiledModuleDispatch(
         module_class=module_class,
@@ -212,6 +223,43 @@ def compile_module_class(module_class: Type[Module]) -> CompiledModuleDispatch:
 def generated_source(module_class: Type[Module]) -> str:
     """The generated selection source for a module class (for inspection)."""
     return compile_module_class(module_class).source
+
+
+def _guard_bindings(transitions: Tuple[Transition, ...]) -> List[Callable[..., bool]]:
+    """The ``_RAW`` guard list in generation order (transitions with a guard,
+    priority order) — shared by :func:`compile_module_class` and the AOT
+    loader so dumped sources rebind against identical namespaces."""
+    return [t.provided for t in transitions if t.provided is not None]
+
+
+def load_dumped_selector(
+    path: Union[str, Path], module_class: Type[Module]
+) -> CompiledModuleDispatch:
+    """AOT-import a selector source written by :meth:`GeneratedProgram.dump_sources`.
+
+    The dumped file contains only the generated functions; the transition
+    objects (``_T``) and raw guard closures (``_RAW``) are rebound here from
+    ``module_class``'s declarations, which produce the same ordering the
+    generator used.  The returned artifact is interchangeable with a freshly
+    generated one (hand it to :meth:`GeneratedDispatchStrategy.adopt`).
+    """
+    path = Path(path)
+    source = path.read_text()
+    transitions = priority_ordered_transitions(module_class)
+    namespace: Dict[str, Any] = {
+        "_T": transitions,
+        "_RAW": _guard_bindings(transitions),
+        "_qrange": quantifier_range,
+    }
+    exec(compile(source, str(path), "exec"), namespace)
+    if "_select" not in namespace:
+        raise ValueError(f"{path} does not define a generated '_select' function")
+    return CompiledModuleDispatch(
+        module_class=module_class,
+        source=source,
+        rows=state_rows(module_class),
+        select=namespace["_select"],
+    )
 
 
 @register_strategy
@@ -238,6 +286,11 @@ class GeneratedDispatchStrategy(DispatchStrategy):
             compiled = compile_module_class(module_class)
             self._compiled[module_class] = compiled
         return compiled
+
+    def adopt(self, compiled: CompiledModuleDispatch) -> None:
+        """Install a pre-built artifact (e.g. one AOT-loaded from disk by
+        :func:`load_dumped_selector`) so no generation happens at runtime."""
+        self._compiled[compiled.module_class] = compiled
 
     def candidates(self, module: Module) -> List[Transition]:
         return list(self.compiled_for(type(module)).row_for(module.state))
@@ -269,6 +322,48 @@ class GeneratedProgram:
 
     def artifact_for(self, module_class: Type[Module]) -> CompiledModuleDispatch:
         return self.artifacts[module_class.__name__]
+
+    def dump_sources(self, directory: Union[str, Path]) -> List[Path]:
+        """Write every generated selection function to ``directory``.
+
+        One ``<ClassName>_dispatch.py`` per module class plus a
+        ``MANIFEST.json`` mapping class names to files.  The dumped sources
+        serve two purposes: inspection (what exactly does the optimizer emit
+        for this specification?) and AOT import — :func:`load_dumped_selector`
+        rebinds a dumped file against its module class without re-running the
+        generator, which is how a worker-side reconstruction can be compared
+        against the sources the coordinator saw.  Returns the written paths
+        (manifest last).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        manifest: Dict[str, str] = {}
+        for class_name in sorted(self.artifacts):
+            artifact = self.artifacts[class_name]
+            file_name = f"{class_name}_dispatch.py"
+            path = directory / file_name
+            header = (
+                f'"""Generated transition-selection code for module class '
+                f'{class_name!r}\nof specification {self.specification.name!r}.\n\n'
+                "Rebind with repro.runtime.codegen.load_dumped_selector(path, "
+                "module_class);\nthe '_T' / '_RAW' namespaces are reconstructed "
+                'from the class declarations.\n"""\n\n'
+            )
+            path.write_text(header + artifact.source + "\n")
+            manifest[class_name] = file_name
+            written.append(path)
+        manifest_path = directory / "MANIFEST.json"
+        manifest_path.write_text(
+            json.dumps(
+                {"specification": self.specification.name, "artifacts": manifest},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        written.append(manifest_path)
+        return written
 
 
 def compile_specification(

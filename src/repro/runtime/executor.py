@@ -19,12 +19,30 @@ processor's work; simulated time advances by the makespan per round.  Speedup
 numbers in the benchmarks are ratios of the elapsed time of two executions of
 the same specification under different mappings/machines, exactly the
 methodology of the paper's Section 5.
+
+Backends
+--------
+
+The executor itself is one way to run a specification; the *backend
+abstraction* at the bottom of this module generalises it.  An
+:class:`ExecutionBackend` turns a :class:`SpecSource` (a picklable recipe for
+building a fresh specification — an ``.estelle`` file, inline Estelle text,
+or an importable factory) into a :class:`BackendResult` carrying the firing
+trace and measured wall-clock time.  :class:`InProcessBackend` wraps this
+module's executor; :class:`repro.runtime.parallel.MultiprocessBackend`
+registers itself here and runs each execution unit in its own OS process.
+Both must produce identical firing traces on the same specification, which
+is asserted by ``tests/test_parallel_backend.py`` and the CI smoke job.
 """
 
 from __future__ import annotations
 
+import importlib
+import time
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
 from ..estelle.errors import SchedulingError
 from ..estelle.module import Module
@@ -49,6 +67,7 @@ class SpecificationExecutor:
         dispatch: Optional[DispatchStrategy] = None,
         cost_model: Optional[CostModel] = None,
         trace: bool = False,
+        busy_work: Optional[Callable[[float], None]] = None,
     ):
         self.specification = specification
         self.cluster = cluster
@@ -56,6 +75,11 @@ class SpecificationExecutor:
         self.scheduler = scheduler or DecentralisedScheduler()
         self.dispatch = dispatch or TableDrivenDispatch()
         self.cost_model = cost_model or cluster.machines()[0].cost_model
+        #: optional hook emulating *real* per-firing processing time (the
+        #: measured-speedup harness burns CPU proportional to the firing's
+        #: modelled cost so wall-clock comparisons against the multiprocess
+        #: backend measure the same work).
+        self.busy_work = busy_work
         self.trace = ExecutionTrace(enabled=trace)
         self.metrics = ExecutionMetrics()
         self.deadlocked = False
@@ -207,6 +231,9 @@ class SpecificationExecutor:
                     record.interaction.name if record.interaction else None
                 )
 
+            if self.busy_work is not None:
+                self.busy_work(cost)
+
             module.note_fired()
             self.metrics.transitions_fired += 1
             self.metrics.transition_time += cost
@@ -320,3 +347,205 @@ def run_specification(
     )
     metrics = executor.run(max_rounds=max_rounds)
     return metrics, executor
+
+
+# ---------------------------------------------------------------------------
+# the backend abstraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpecSource:
+    """A picklable recipe for building a fresh :class:`Specification`.
+
+    Backends (notably the multiprocess one) cannot ship live specification
+    objects across process boundaries: frontend-lowered module classes are
+    created dynamically and interpret closures over their ASTs.  What *can*
+    cross is the recipe — an ``.estelle`` file path, inline Estelle text, or
+    a dotted reference to an importable factory — and every process that
+    needs the specification rebuilds it deterministically from the recipe.
+
+    ``kwargs`` is stored as a sorted tuple of pairs so sources hash and
+    compare by value.
+    """
+
+    kind: str  # "estelle-file" | "estelle-text" | "factory"
+    payload: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def from_estelle_file(cls, path: Union[str, Path]) -> "SpecSource":
+        return cls(kind="estelle-file", payload=str(path))
+
+    @classmethod
+    def from_estelle_text(cls, text: str, filename: str = "<estelle>") -> "SpecSource":
+        return cls(kind="estelle-text", payload=text, kwargs=(("filename", filename),))
+
+    @classmethod
+    def from_factory(cls, reference: str, **kwargs: Any) -> "SpecSource":
+        """``reference`` is ``"package.module:callable"``; the callable must
+        return a :class:`Specification` and its kwargs must be picklable."""
+        if ":" not in reference:
+            raise ValueError(
+                f"factory reference {reference!r} must look like 'package.module:callable'"
+            )
+        return cls(kind="factory", payload=reference, kwargs=tuple(sorted(kwargs.items())))
+
+    def build(self) -> Specification:
+        """Build (and validate) a fresh specification from the recipe."""
+        if self.kind == "estelle-file":
+            from ..estelle.frontend import compile_file
+
+            return compile_file(self.payload)
+        if self.kind == "estelle-text":
+            from ..estelle.frontend import compile_source
+
+            return compile_source(self.payload, **dict(self.kwargs))
+        if self.kind == "factory":
+            module_name, _, attribute = self.payload.partition(":")
+            factory = getattr(importlib.import_module(module_name), attribute)
+            specification = factory(**dict(self.kwargs))
+            if not isinstance(specification, Specification):
+                raise TypeError(
+                    f"factory {self.payload!r} returned "
+                    f"{type(specification).__name__}, not a Specification"
+                )
+            return specification
+        raise ValueError(f"unknown SpecSource kind {self.kind!r}")
+
+
+@dataclass
+class BackendResult:
+    """What an execution backend reports back.
+
+    ``wall_seconds`` is *measured* wall-clock time of the round loop (worker
+    start-up excluded for the multiprocess backend), as opposed to the
+    simulated ``metrics.elapsed_time`` the in-process executor models.
+    """
+
+    backend: str
+    trace: ExecutionTrace
+    rounds: int
+    transitions_fired: int
+    wall_seconds: float
+    deadlocked: bool
+    workers: int = 1
+    metrics: Optional[ExecutionMetrics] = None
+
+
+def busy_work_for(us_per_cost: float) -> Optional[Callable[[float], None]]:
+    """A CPU-burning stand-in for per-firing processing time.
+
+    Returns a callable that spins for ``cost * us_per_cost`` microseconds, or
+    ``None`` when the knob is zero.  Both backends drive it with the same
+    (scaled) firing costs, so measured wall-clock ratios reflect how the
+    backends overlap the *same* emulated work.
+    """
+    if us_per_cost <= 0:
+        return None
+
+    def work(cost: float) -> None:
+        deadline = time.perf_counter() + (cost * us_per_cost) / 1e6
+        while time.perf_counter() < deadline:
+            pass
+
+    return work
+
+
+#: Name -> backend class; extended by :func:`register_backend` (the
+#: multiprocess backend in :mod:`repro.runtime.parallel` registers itself).
+_BACKEND_REGISTRY: Dict[str, Type["ExecutionBackend"]] = {}
+
+
+def register_backend(cls: Type["ExecutionBackend"]) -> Type["ExecutionBackend"]:
+    """Class decorator: make a backend available to :func:`backend_by_name`."""
+    _BACKEND_REGISTRY[cls.name] = cls
+    return cls
+
+
+def backend_by_name(name: str, **kwargs: Any) -> "ExecutionBackend":
+    """Factory used by benchmarks, tests and the parallel smoke CLI."""
+    try:
+        backend_class = _BACKEND_REGISTRY[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown execution backend {name!r}; choose from {sorted(_BACKEND_REGISTRY)}"
+        ) from exc
+    return backend_class(**kwargs)
+
+
+class ExecutionBackend:
+    """Interface: run a specification (from a :class:`SpecSource`) to
+    quiescence and report the firing trace plus measured timings.
+
+    ``dispatch`` is passed by *name* (plus kwargs) rather than as an
+    instance because dispatch strategies hold per-class caches of compiled
+    selectors and guard closures that cannot cross process boundaries; each
+    process reconstructs its own strategy from the name.
+    """
+
+    name = "abstract"
+
+    def execute(
+        self,
+        source: SpecSource,
+        cluster: Cluster,
+        *,
+        mapping: Optional[MappingStrategy] = None,
+        scheduler: Optional[Scheduler] = None,
+        dispatch: str = "table-driven",
+        dispatch_kwargs: Optional[Dict[str, Any]] = None,
+        max_rounds: int = 10_000,
+        busy_work_us_per_cost: float = 0.0,
+    ) -> BackendResult:
+        raise NotImplementedError
+
+
+@register_backend
+class InProcessBackend(ExecutionBackend):
+    """The conventional backend: one process, the simulated-cluster executor.
+
+    Parallelism is *modelled* (per-unit cost accounting and per-round
+    makespans) rather than exercised; the returned ``metrics`` carry the
+    model's predictions while ``wall_seconds`` measures the actual serial
+    execution."""
+
+    name = "in-process"
+
+    def execute(
+        self,
+        source: SpecSource,
+        cluster: Cluster,
+        *,
+        mapping: Optional[MappingStrategy] = None,
+        scheduler: Optional[Scheduler] = None,
+        dispatch: str = "table-driven",
+        dispatch_kwargs: Optional[Dict[str, Any]] = None,
+        max_rounds: int = 10_000,
+        busy_work_us_per_cost: float = 0.0,
+    ) -> BackendResult:
+        from .dispatch import dispatch_by_name
+
+        specification = source.build()
+        executor = SpecificationExecutor(
+            specification,
+            cluster,
+            mapping=mapping,
+            scheduler=scheduler,
+            dispatch=dispatch_by_name(dispatch, **(dispatch_kwargs or {})),
+            trace=True,
+            busy_work=busy_work_for(busy_work_us_per_cost),
+        )
+        started = time.perf_counter()
+        metrics = executor.run(max_rounds=max_rounds)
+        wall = time.perf_counter() - started
+        return BackendResult(
+            backend=self.name,
+            trace=executor.trace,
+            rounds=metrics.rounds,
+            transitions_fired=metrics.transitions_fired,
+            wall_seconds=wall,
+            deadlocked=executor.deadlocked,
+            workers=1,
+            metrics=metrics,
+        )

@@ -1,0 +1,61 @@
+"""``repro.runtime.parallel`` — the real multiprocess execution backend.
+
+The in-process executor (:mod:`repro.runtime.executor`) *models* the paper's
+decentralised runtime; this package *runs* it: each execution unit of the
+mapping becomes an OS worker process executing its own scheduler shard, and
+interactions cross unit boundaries over batched, order-preserving
+multiprocessing channels with a barrier per computation step.
+
+Pieces:
+
+* :mod:`.backend` — :class:`MultiprocessBackend` (registered with
+  :func:`repro.runtime.executor.backend_by_name` under ``"multiprocess"``)
+  and the coordinator-side round planner,
+* :mod:`.worker` — the per-unit worker process (rebuilds the specification
+  from a picklable :class:`~repro.runtime.executor.SpecSource`, selects,
+  fires, routes),
+* :mod:`.channels` — the batched inter-unit channel mesh and its round
+  protocol,
+* :mod:`.trace` — the canonical byte encoding under which both backends'
+  firing traces must be identical, plus a diff helper.
+
+Smoke-check from the command line (used by CI)::
+
+    python -m repro.runtime.parallel examples/specs/mcam_core.estelle
+"""
+
+from .backend import (
+    MultiprocessBackend,
+    ParallelExecutionError,
+    PrecomputedDispatch,
+)
+from .channels import (
+    Batch,
+    BatchChannel,
+    ChannelMesh,
+    ChannelProtocolError,
+    RoutedMessage,
+    merge_batches,
+)
+from .trace import canonical_trace_bytes, firing_tuple, trace_diff, traces_equal
+from .worker import UnitDescriptor, WorkerConfig, WorkerRuntime, worker_main
+
+__all__ = [
+    "Batch",
+    "BatchChannel",
+    "ChannelMesh",
+    "ChannelProtocolError",
+    "MultiprocessBackend",
+    "ParallelExecutionError",
+    "PrecomputedDispatch",
+    "RoutedMessage",
+    "UnitDescriptor",
+    "WorkerConfig",
+    "WorkerRuntime",
+    "canonical_trace_bytes",
+    "firing_tuple",
+    "merge_batches",
+    "trace_diff",
+    "traces_equal",
+    "worker_main",
+]

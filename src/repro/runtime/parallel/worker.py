@@ -1,0 +1,306 @@
+"""The per-unit worker process of the multiprocess backend.
+
+Each worker owns one execution unit (a group of modules from the mapping
+layer) and runs the unit's share of the paper's decentralised scheduler:
+*"each part only has to check the transition of one module — this can be
+done in parallel."*  Concretely, per computation round a worker
+
+1. **delivers** the previous round's inbound interaction batches (one per
+   peer unit, merged into global order) into its modules' IP queues,
+2. **selects** — evaluates the dispatch strategy against every owned module
+   and reports the per-module results to the coordinator, which combines
+   them with the Estelle precedence rules into the global round plan,
+3. **fires** the transitions the plan assigned to this unit, capturing the
+   interactions that cross unit boundaries, and flushes exactly one batch
+   per peer unit before meeting the other workers at the round barrier.
+
+Workers never exchange module state — only interactions.  Every process
+(including the coordinator) rebuilds the *same* specification from the
+picklable :class:`~repro.runtime.executor.SpecSource`, so a worker holds a
+full replica of the module tree but treats only its own unit's modules as
+authoritative: remote modules' replicas are never fired and never read, and
+interactions a local module sends to a remote-owned IP are intercepted and
+routed through the channel mesh instead of the replica's queues.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...estelle.errors import SchedulingError
+from ...estelle.interaction import Interaction
+from ...estelle.module import Module
+from ..dispatch import dispatch_by_name
+from ..executor import SpecSource, busy_work_for
+from .channels import BatchChannel, RoutedMessage, merge_batches
+
+
+@dataclass(frozen=True)
+class UnitDescriptor:
+    """A picklable snapshot of one ExecutionUnit of the mapping."""
+
+    uid: int
+    machine: str
+    processor_index: int
+    module_paths: Tuple[str, ...]
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to rebuild its shard (all picklable)."""
+
+    source: SpecSource
+    unit_uid: int
+    units: Tuple[UnitDescriptor, ...]
+    dispatch_name: str = "table-driven"
+    dispatch_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    transition_cost_scale: float = 1.0
+    busy_work_us_per_cost: float = 0.0
+    channel_timeout_s: float = 60.0
+
+
+#: One module's selection outcome, reported to the coordinator:
+#: (path, transition name or None, external?, examined, cost, pending).
+SelectionSummary = Tuple[str, Optional[str], bool, int, float, int]
+
+#: One assigned firing: (plan index, path, transition name or None, external?).
+AssignedFiring = Tuple[int, str, Optional[str], bool]
+
+#: One executed firing, reported for the global trace: (plan index, path,
+#: transition name, state before, state after, interaction name, cost).
+FiringReport = Tuple[int, str, str, Optional[str], Optional[str], Optional[str], float]
+
+
+class WorkerRuntime:
+    """The in-process core of a worker (separated from the process entry
+    point so the round protocol is unit-testable without spawning)."""
+
+    def __init__(
+        self,
+        config: WorkerConfig,
+        inbound: Dict[int, BatchChannel],
+        outbound: Dict[int, BatchChannel],
+    ) -> None:
+        self.config = config
+        self.inbound = inbound
+        self.outbound = outbound
+        self.specification = config.source.build()
+        self.specification.validate()
+        self.modules: Dict[str, Module] = {
+            module.path: module for module in self.specification.modules()
+        }
+        self.owner_of: Dict[str, int] = {
+            path: unit.uid for unit in config.units for path in unit.module_paths
+        }
+        (self.unit,) = [u for u in config.units if u.uid == config.unit_uid]
+        missing = [p for p in self.owner_of if p not in self.modules]
+        if missing:
+            raise SchedulingError(
+                f"unit mapping names modules the rebuilt specification lacks: {missing}"
+            )
+        self.dispatch = dispatch_by_name(
+            config.dispatch_name, **dict(config.dispatch_kwargs)
+        )
+        self.busy_work = busy_work_for(config.busy_work_us_per_cost)
+        self._module_census = len(self.modules)
+        self._undelivered_round: Optional[int] = None
+
+    # -- the three phases ----------------------------------------------------------
+
+    def deliver_pending(self) -> None:
+        """Drain one batch per peer for the round whose firings precede this
+        selection, and enqueue the interactions in global order."""
+        if self._undelivered_round is None:
+            return
+        round_index = self._undelivered_round
+        self._undelivered_round = None
+        batches = [
+            self.inbound[peer].receive_batch(
+                round_index, timeout=self.config.channel_timeout_s
+            )
+            for peer in sorted(self.inbound)
+        ]
+        for message in merge_batches(batches):
+            module = self.modules[message.target_path]
+            module.ips[message.ip_name].enqueue(
+                Interaction(message.interaction_name, dict(message.params))
+            )
+
+    def select(self) -> List[SelectionSummary]:
+        """Phase 2: per-module transition selection over the owned shard."""
+        summaries: List[SelectionSummary] = []
+        for path in self.unit.module_paths:
+            module = self.modules[path]
+            result = self.dispatch.select(module)
+            summaries.append(
+                (
+                    path,
+                    result.transition.name if result.transition else None,
+                    result.external,
+                    result.examined,
+                    result.cost,
+                    module.pending_interactions(),
+                )
+            )
+        return summaries
+
+    def fire(
+        self, round_index: int, firings: Tuple[AssignedFiring, ...]
+    ) -> Tuple[List[FiringReport], Dict[int, List[RoutedMessage]]]:
+        """Phase 3: execute this unit's share of the round plan."""
+        reports: List[FiringReport] = []
+        outgoing: Dict[int, List[RoutedMessage]] = defaultdict(list)
+        scale = self.config.transition_cost_scale
+
+        for plan_index, path, transition_name, is_external in firings:
+            module = self.modules[path]
+            sent_before = {name: ip.sent_count for name, ip in module.ips.items()}
+
+            if is_external:
+                cost = module.external_step() * scale
+                fired_name = "external_step"
+                state_before = state_after = module.state
+                interaction_name = None
+            else:
+                declared = type(module)._transition_declarations[transition_name]
+                record = declared.fire(module)
+                cost = record.cost * scale
+                fired_name = record.transition.name
+                state_before = record.state_before
+                state_after = record.state_after
+                interaction_name = (
+                    record.interaction.name if record.interaction else None
+                )
+
+            if self.busy_work is not None:
+                self.busy_work(cost)
+            module.note_fired()
+            reports.append(
+                (
+                    plan_index,
+                    path,
+                    fired_name,
+                    state_before,
+                    state_after,
+                    interaction_name,
+                    cost,
+                )
+            )
+            self._capture_remote_sends(module, sent_before, plan_index, outgoing)
+
+        current_paths = [module.path for module in self.specification.modules()]
+        if len(current_paths) != self._module_census or any(
+            path not in self.modules for path in current_paths
+        ):
+            raise SchedulingError(
+                "the multiprocess backend requires a static module tree; a "
+                "transition created or released a module instance at runtime"
+            )
+        return reports, outgoing
+
+    def flush(self, round_index: int, outgoing: Dict[int, List[RoutedMessage]]) -> None:
+        """Send exactly one batch (possibly empty) to every peer unit."""
+        for peer in sorted(self.outbound):
+            self.outbound[peer].send_batch(round_index, outgoing.get(peer, ()))
+        self._undelivered_round = round_index
+
+    # -- internals -----------------------------------------------------------------
+
+    def _capture_remote_sends(
+        self,
+        module: Module,
+        sent_before: Dict[str, int],
+        plan_index: int,
+        outgoing: Dict[int, List[RoutedMessage]],
+    ) -> None:
+        """Route interactions the firing pushed into remote-owned IP queues.
+
+        A replica enqueues sends through the real connection objects, so the
+        just-sent interactions sit at the *tail* of the (stale) local copy of
+        the remote module's queue; they are removed here and forwarded so the
+        owning worker — whose copy is authoritative — enqueues them instead.
+        """
+        for name, point in module.ips.items():
+            delta = point.sent_count - sent_before.get(name, 0)
+            if delta <= 0 or point.peer is None:
+                continue
+            peer_owner = point.peer.owner
+            if not isinstance(peer_owner, Module):
+                continue
+            target_uid = self.owner_of.get(peer_owner.path)
+            if target_uid is None:
+                raise SchedulingError(
+                    f"module {peer_owner.path!r} has no execution unit; the "
+                    "multiprocess backend requires a complete static mapping"
+                )
+            if target_uid == self.unit.uid:
+                continue  # stayed inside this unit: the local enqueue stands
+            if target_uid not in self.outbound:
+                raise SchedulingError(
+                    f"{module.path} sent an interaction to unit {target_uid} "
+                    "but no channel exists for that unit pair; was the "
+                    "connection created after the mesh was derived (runtime "
+                    "connect)?"
+                )
+            newest_first = [point.peer.queue.pop() for _ in range(delta)]
+            for seq, interaction in enumerate(reversed(newest_first)):
+                outgoing[target_uid].append(
+                    RoutedMessage(
+                        plan_index=plan_index,
+                        seq=seq,
+                        target_path=peer_owner.path,
+                        ip_name=point.peer.name,
+                        interaction_name=interaction.name,
+                        params=tuple(sorted(interaction.params.items())),
+                    )
+                )
+
+
+def worker_main(
+    config: WorkerConfig,
+    command_queue,
+    result_queue,
+    inbound: Dict[int, BatchChannel],
+    outbound: Dict[int, BatchChannel],
+    barrier,
+) -> None:
+    """Process entry point: serve the coordinator's round protocol.
+
+    Commands are ``("select", round)``, ``("fire", round, firings)`` and
+    ``("stop",)``; every select/fire is answered with exactly one result
+    tuple ``(uid, kind, round, payload)``.  Any exception is reported as an
+    ``("error", traceback)`` result instead of dying silently, so the
+    coordinator can fail fast with the worker's stack trace.
+    """
+    uid = config.unit_uid
+    try:
+        runtime = WorkerRuntime(config, inbound, outbound)
+        result_queue.put((uid, "ready", 0, len(runtime.unit.module_paths)))
+        while True:
+            command = command_queue.get()
+            kind = command[0]
+            if kind == "select":
+                round_index = command[1]
+                runtime.deliver_pending()
+                result_queue.put(
+                    (uid, "summaries", round_index, tuple(runtime.select()))
+                )
+            elif kind == "fire":
+                round_index, firings = command[1], command[2]
+                reports, outgoing = runtime.fire(round_index, firings)
+                runtime.flush(round_index, outgoing)
+                # The barrier is the computation-step synchronisation point:
+                # after it, every unit's batches for this round are in flight,
+                # so the next round's delivery cannot observe a partial round.
+                barrier.wait(timeout=config.channel_timeout_s)
+                result_queue.put((uid, "fired", round_index, tuple(reports)))
+            elif kind == "stop":
+                break
+            else:  # pragma: no cover - coordinator never sends other kinds
+                raise ValueError(f"unknown worker command {kind!r}")
+    except BaseException:
+        result_queue.put((uid, "error", -1, traceback.format_exc()))

@@ -388,3 +388,149 @@ class TestLowering:
         (declared,) = type(module).declared_transitions()
         with pytest.raises(EstelleSemanticError, match="undefined variable 'nowhere'"):
             declared.fire(module)
+
+
+class TestQuantifiers:
+    """``exist``/``forall`` quantified guards (lexer, parser, lowering, codegen)."""
+
+    COUNTER_SRC = (
+        "specification q;\nmodule M systemprocess;\nend;\n"
+        "body B for M;\n  state run, halt;\n"
+        "  initialize to run begin n := 3; fired := 0 end;\n"
+        "  trans from run provided exist i : 1 .. n suchthat fired < i\n"
+        "    name tick begin fired := fired + 1 end;\n"
+        "  trans from run to halt provided forall i : 1 .. n suchthat fired >= i\n"
+        "    priority -1 name stop begin done := true end;\n"
+        "end;\nmodvar m : B at 'x';\nend."
+    )
+
+    def test_dotdot_token_does_not_break_numbers(self):
+        kinds = [(t.kind, t.value) for t in tokenize("1 .. 3 1..3 1.5 end.")][:-1]
+        assert kinds == [
+            ("NUMBER", 1), ("OP", ".."), ("NUMBER", 3),
+            ("NUMBER", 1), ("OP", ".."), ("NUMBER", 3),
+            ("NUMBER", 1.5), ("KW", "end"), ("OP", "."),
+        ]
+
+    def test_quantified_guards_drive_execution(self):
+        spec = compile_source(self.COUNTER_SRC)
+        module = spec.find("m")
+        by_name = {t.name: t for t in type(module).declared_transitions()}
+        # exist i: 1..3 suchthat fired < i  ==  fired < 3
+        for expected in (1, 2, 3):
+            assert by_name["tick"].enabled(module)
+            by_name["tick"].fire(module)
+            assert module.variables["fired"] == expected
+        assert not by_name["tick"].enabled(module)
+        # forall i: 1..3 suchthat fired >= i  ==  fired >= 3
+        assert by_name["stop"].enabled(module)
+        by_name["stop"].fire(module)
+        assert module.state == "halt" and module.variables["done"] is True
+
+    def test_empty_interval_semantics(self):
+        spec = compile_source(
+            "specification q;\nmodule M systemprocess;\nend;\n"
+            "body B for M;\n  state s, t;\n"
+            "  trans from s to t name go\n"
+            "    provided forall i : 1 .. 0 suchthat false\n"
+            "    begin a := exist j : 5 .. 4 suchthat true end;\n"
+            "end;\nmodvar m : B at 'x';\nend."
+        )
+        module = spec.find("m")
+        (declared,) = type(module).declared_transitions()
+        assert declared.enabled(module)  # forall over an empty interval holds
+        declared.fire(module)
+        assert module.variables["a"] is False  # exist over an empty interval fails
+
+    def test_bound_variable_shadows_module_variable(self):
+        spec = compile_source(
+            "specification q;\nmodule M systemprocess;\nend;\n"
+            "body B for M;\n  state s;\n"
+            "  initialize begin i := 100 end;\n"
+            "  trans from s name probe\n"
+            "    provided exist i : 1 .. 2 suchthat i = 2\n"
+            "    begin seen := i end;\n"
+            "end;\nmodvar m : B at 'x';\nend."
+        )
+        module = spec.find("m")
+        (declared,) = type(module).declared_transitions()
+        assert declared.enabled(module)  # bound i in 1..2, not the variable 100
+        declared.fire(module)
+        assert module.variables["seen"] == 100  # outside the body, i is the variable
+
+    def test_missing_suchthat_is_located_syntax_error(self):
+        with pytest.raises(EstelleSyntaxError) as excinfo:
+            parse_source(
+                "specification q;\nmodule M systemprocess;\nend;\n"
+                "body B for M;\n  state s;\n"
+                "  trans from s provided exist i : 1 .. 3 begin end;\n"
+                "end;\nend."
+            )
+        assert "suchthat" in str(excinfo.value)
+        assert excinfo.value.location.line == 6
+
+    def test_non_integer_bound_is_located_semantic_error(self):
+        spec = compile_source(
+            "specification q;\nmodule M systemprocess;\nend;\n"
+            "body B for M;\n  state s;\n"
+            "  trans from s name bad\n"
+            "    provided exist i : 1 .. 'three' suchthat true\n"
+            "    begin a := 1 end;\nend;\nmodvar m : B at 'x';\nend."
+        )
+        module = spec.find("m")
+        (declared,) = type(module).declared_transitions()
+        with pytest.raises(EstelleSemanticError, match="upper bound must be an integer"):
+            declared.enabled(module)
+
+    def test_msg_in_quantified_body_rejected_without_when(self):
+        with pytest.raises(EstelleSemanticError, match="'msg' may only be used"):
+            compile_source(
+                "specification q;\nmodule M systemprocess;\nend;\n"
+                "body B for M;\n  state s;\n"
+                "  trans from s provided exist i : 1 .. 3 suchthat msg.k = i\n"
+                "    begin a := 1 end;\nend;\nend."
+            )
+
+    def test_generated_guard_matches_interpreted(self):
+        from repro.runtime.codegen import compile_module_class
+
+        interpreted = compile_source(self.COUNTER_SRC)
+        generated = compile_source(self.COUNTER_SRC)
+        module_i = interpreted.find("m")
+        module_g = generated.find("m")
+        compiled = compile_module_class(type(module_g))
+        assert "any((" in compiled.source and "all((" in compiled.source
+        for _ in range(4):
+            enabled = module_i.enabled_transitions()
+            chosen_i = enabled[0] if enabled else None
+            chosen_g, _examined = compiled.select(module_g)
+            assert (chosen_i.name if chosen_i else None) == (
+                chosen_g.name if chosen_g else None
+            )
+            if chosen_i is None:
+                break
+            chosen_i.fire(module_i)
+            chosen_g.fire(module_g)
+            assert module_i.variables == module_g.variables
+
+    def test_bool_bound_diverges_nowhere_between_strategies(self):
+        """Regression: bool bounds (e.g. 'provided exist i : (x = 1) .. 3')
+        must raise the located diagnostic under the *generated* guard too —
+        bool is an int subclass, so a bare range() would silently accept it."""
+        from repro.runtime.codegen import compile_module_class
+
+        src = (
+            "specification q;\nmodule M systemprocess;\nend;\n"
+            "body B for M;\n  state s;\n"
+            "  initialize begin x := 1 end;\n"
+            "  trans from s name bad\n"
+            "    provided exist i : (x = 1) .. 3 suchthat i = 2\n"
+            "    begin a := 1 end;\nend;\nmodvar m : B at 'h';\nend."
+        )
+        module = compile_source(src).find("m")
+        (declared,) = type(module).declared_transitions()
+        with pytest.raises(EstelleSemanticError, match="lower bound must be an integer"):
+            declared.enabled(module)
+        compiled = compile_module_class(type(module))
+        with pytest.raises(EstelleSemanticError, match="lower bound must be an integer"):
+            compiled.select(module)

@@ -1,0 +1,315 @@
+"""The multiprocess backend's acceptance tests: byte-identical firing traces.
+
+The contract under test (ISSUE 2): ``MultiprocessBackend`` must produce
+byte-identical canonical firing traces to ``InProcessBackend`` on the same
+specification — same rounds, same firings, same order, same state changes,
+same costs, same unit placement — on both reference workloads
+(``mcam_core.estelle`` and ``osi_transfer.estelle``) and under both the
+table-driven and generated dispatch strategies.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.estelle.errors import SchedulingError
+from repro.runtime import (
+    GroupedMapping,
+    InProcessBackend,
+    MultiprocessBackend,
+    SpecSource,
+    backend_by_name,
+)
+from repro.runtime.parallel import (
+    ParallelExecutionError,
+    canonical_trace_bytes,
+    trace_diff,
+    traces_equal,
+)
+from repro.sim import Cluster, Machine
+
+SPEC_DIR = Path(__file__).parent.parent / "examples" / "specs"
+MCAM_SPEC = SPEC_DIR / "mcam_core.estelle"
+OSI_SPEC = SPEC_DIR / "osi_transfer.estelle"
+
+DEADLOCK_SRC = """
+specification stuck;
+channel C ( a , b );
+  by a : Go ;
+  by b : Never ;
+end;
+module M systemprocess;
+  ip p : C ( a );
+end;
+body MB for M;
+  state s , t ;
+  trans from s to t name push begin output p.Go end;
+  trans from t name starve when p.Never begin a := 1 end;
+end;
+module N systemprocess;
+  ip p : C ( b );
+end;
+body NB for N;
+  state idle ;
+end;
+modvar m : MB at "ksr1" ;
+modvar n : NB at "client-ws-1" ;
+connect m.p to n.p ;
+end.
+"""
+
+
+def build_dynamic_spec():
+    """A specification whose transition creates a child module at runtime
+    (importable factory: spawn-started workers rebuild it by reference)."""
+    from repro.estelle import Module, ModuleAttribute, Specification, transition
+
+    class Child(Module):
+        ATTRIBUTE = ModuleAttribute.PROCESS
+        STATES = ("s",)
+
+    class Spawner(Module):
+        ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+        STATES = ("idle", "spawned")
+
+        @transition(from_state="idle", to_state="spawned", cost=1.0)
+        def spawn(self):
+            self.create_child(Child, "late")
+
+    spec = Specification("dynamic")
+    spec.add_system_module(Spawner, "spawner", location="ksr1")
+    spec.validate()
+    return spec
+
+
+def two_machine_cluster(processors: int = 2) -> Cluster:
+    cluster = Cluster()
+    cluster.add(Machine("ksr1", processors))
+    cluster.add(Machine("client-ws-1", processors))
+    return cluster
+
+
+def run_both(source, cluster, **kwargs):
+    in_process = InProcessBackend().execute(source, cluster, **kwargs)
+    multiprocess = MultiprocessBackend().execute(source, cluster, **kwargs)
+    return in_process, multiprocess
+
+
+class TestSpecSource:
+    def test_estelle_file_source_builds(self):
+        spec = SpecSource.from_estelle_file(MCAM_SPEC).build()
+        assert spec.module_count() == 2
+
+    def test_estelle_text_source_builds(self):
+        spec = SpecSource.from_estelle_text(DEADLOCK_SRC).build()
+        assert spec.module_count() == 2
+
+    def test_factory_source_builds(self):
+        source = SpecSource.from_factory(
+            "repro.osi:build_transfer_specification", connections=1, data_requests=2
+        )
+        spec = source.build()
+        assert spec.module_count() > 2
+
+    def test_factory_reference_must_be_dotted(self):
+        with pytest.raises(ValueError, match="package.module:callable"):
+            SpecSource.from_factory("not_a_reference")
+
+    def test_sources_compare_by_value(self):
+        assert SpecSource.from_estelle_file(MCAM_SPEC) == SpecSource.from_estelle_file(
+            str(MCAM_SPEC)
+        )
+
+
+class TestBackendRegistry:
+    def test_both_backends_registered(self):
+        assert isinstance(backend_by_name("in-process"), InProcessBackend)
+        assert isinstance(backend_by_name("multiprocess"), MultiprocessBackend)
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(ValueError, match="multiprocess"):
+            backend_by_name("quantum")
+
+
+class TestInProcessBackend:
+    def test_matches_plain_executor_trace(self):
+        from repro.runtime import run_specification
+
+        source = SpecSource.from_estelle_file(MCAM_SPEC)
+        result = InProcessBackend().execute(
+            source, two_machine_cluster(), mapping=GroupedMapping()
+        )
+        _, executor = run_specification(
+            source.build(), two_machine_cluster(), mapping=GroupedMapping(), trace=True
+        )
+        assert traces_equal(result.trace, executor.trace)
+        assert result.metrics is not None
+        assert result.rounds == result.metrics.rounds
+
+
+class TestMultiprocessEquivalence:
+    def test_mcam_traces_byte_identical(self):
+        in_process, multiprocess = run_both(
+            SpecSource.from_estelle_file(MCAM_SPEC),
+            two_machine_cluster(1),
+            mapping=GroupedMapping(),
+        )
+        assert multiprocess.workers == 2
+        assert trace_diff(in_process.trace, multiprocess.trace) is None
+        assert canonical_trace_bytes(in_process.trace) == canonical_trace_bytes(
+            multiprocess.trace
+        )
+        assert multiprocess.rounds == in_process.rounds
+        assert multiprocess.transitions_fired == in_process.transitions_fired
+        assert not multiprocess.deadlocked
+
+    def test_osi_transfer_traces_byte_identical(self):
+        in_process, multiprocess = run_both(
+            SpecSource.from_estelle_file(OSI_SPEC),
+            two_machine_cluster(2),
+            mapping=GroupedMapping(),
+        )
+        assert multiprocess.workers == 4  # two units per machine
+        assert trace_diff(in_process.trace, multiprocess.trace) is None
+        assert canonical_trace_bytes(in_process.trace) == canonical_trace_bytes(
+            multiprocess.trace
+        )
+        # The workload actually transfers: 6 data units per connection, two
+        # connections, each unit through 5 hops.
+        consumed = [
+            e
+            for e in multiprocess.trace.all_firings()
+            if e.transition_name == "consume"
+        ]
+        assert len(consumed) == 12
+
+    def test_osi_transfer_generated_dispatch_byte_identical(self):
+        in_process, multiprocess = run_both(
+            SpecSource.from_estelle_file(OSI_SPEC),
+            two_machine_cluster(1),
+            mapping=GroupedMapping(),
+            dispatch="generated",
+        )
+        assert trace_diff(in_process.trace, multiprocess.trace) is None
+
+    def test_deadlock_detected_identically(self):
+        in_process, multiprocess = run_both(
+            SpecSource.from_estelle_text(DEADLOCK_SRC),
+            two_machine_cluster(1),
+            mapping=GroupedMapping(),
+        )
+        assert in_process.deadlocked and multiprocess.deadlocked
+        assert trace_diff(in_process.trace, multiprocess.trace) is None
+        assert multiprocess.rounds == 1  # the single push, then starvation
+
+    def test_max_rounds_truncates_identically(self):
+        in_process, multiprocess = run_both(
+            SpecSource.from_estelle_file(OSI_SPEC),
+            two_machine_cluster(1),
+            mapping=GroupedMapping(),
+            max_rounds=5,
+        )
+        assert in_process.rounds == multiprocess.rounds == 5
+        assert trace_diff(in_process.trace, multiprocess.trace) is None
+
+    def test_busy_work_does_not_change_the_trace(self):
+        in_process, multiprocess = run_both(
+            SpecSource.from_estelle_file(MCAM_SPEC),
+            two_machine_cluster(1),
+            mapping=GroupedMapping(),
+            busy_work_us_per_cost=50.0,
+        )
+        assert trace_diff(in_process.trace, multiprocess.trace) is None
+        assert multiprocess.wall_seconds > 0
+
+
+class TestMultiprocessDiagnostics:
+    def test_dynamic_module_creation_is_a_worker_error(self):
+        """The backend requires a static tree; a worker that observes a
+        runtime ``init`` must fail fast with its traceback, not diverge."""
+        source = SpecSource.from_factory(
+            "tests.test_parallel_backend:build_dynamic_spec"
+        )
+        with pytest.raises(ParallelExecutionError, match="static module tree"):
+            MultiprocessBackend().execute(
+                source, two_machine_cluster(1), mapping=GroupedMapping()
+            )
+
+    def test_empty_mapping_rejected(self):
+        class NullMapping(GroupedMapping):
+            def compute(self, specification, cluster):
+                from repro.runtime.mapping import SystemMapping
+
+                return SystemMapping([])
+
+        with pytest.raises(SchedulingError, match="no execution units"):
+            MultiprocessBackend().execute(
+                SpecSource.from_estelle_file(MCAM_SPEC),
+                two_machine_cluster(1),
+                mapping=NullMapping(),
+            )
+
+
+def build_external_spec():
+    """A specification with a hand-coded (EXTERNAL) body (importable factory)."""
+    from repro.estelle import Channel, Module, ModuleAttribute, Specification, ip
+
+    channel = Channel("Ext", a={"Poke"}, b={"Ack"})
+
+    class Hand(Module):
+        ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+        EXTERNAL = True
+        port = ip("port", channel, role="a")
+
+        def external_step(self):
+            return 1.0
+
+    class Plain(Module):
+        ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+        port = ip("port", channel, role="b")
+
+    spec = Specification("external")
+    hand = spec.add_system_module(Hand, "hand", location="ksr1")
+    plain = spec.add_system_module(Plain, "plain", location="client-ws-1")
+    spec.connect(hand.ip_named("port"), plain.ip_named("port"))
+    spec.validate()
+    return spec
+
+
+class TestMultiprocessPreconditions:
+    def test_external_modules_rejected_up_front(self):
+        """EXTERNAL bodies may exchange state through shared in-process
+        objects (e.g. the ISODE broker); the backend must refuse them with a
+        clear message instead of silently diverging."""
+        source = SpecSource.from_factory("tests.test_parallel_backend:build_external_spec")
+        with pytest.raises(SchedulingError, match="EXTERNAL"):
+            MultiprocessBackend().execute(
+                source, two_machine_cluster(1), mapping=GroupedMapping()
+            )
+
+    def test_mesh_restricted_to_connected_unit_pairs(self):
+        """Independent connections must not get channels between each other:
+        the mesh follows the specification's connectivity."""
+        from repro.runtime.parallel.backend import MultiprocessBackend as _MB  # noqa: F401
+        from repro.runtime.parallel import ChannelMesh
+        import multiprocessing
+
+        mesh = ChannelMesh(
+            multiprocessing.get_context("spawn"),
+            [1, 2, 3, 4],
+            pairs={(1, 2), (2, 1), (3, 4), (4, 3)},
+        )
+        inbound_1, outbound_1 = mesh.endpoints_for(1)
+        assert sorted(inbound_1) == [2] and sorted(outbound_1) == [2]
+        inbound_3, outbound_3 = mesh.endpoints_for(3)
+        assert sorted(inbound_3) == [4] and sorted(outbound_3) == [4]
+
+    def test_restricted_mesh_still_trace_identical_on_two_connections(self):
+        """End to end: the connectivity-derived mesh (c1 and c2 units never
+        linked) must not change the byte-identical equivalence."""
+        in_process, multiprocess = run_both(
+            SpecSource.from_estelle_file(OSI_SPEC),
+            two_machine_cluster(2),
+            mapping=GroupedMapping(),
+        )
+        assert trace_diff(in_process.trace, multiprocess.trace) is None

@@ -1,0 +1,94 @@
+"""Unit tests for the batched inter-unit channel layer.
+
+The channel mesh runs inside one process here — multiprocessing queues work
+within a single process, and the protocol (round tags, one batch per peer
+per round, merge order) is what these tests pin down.  Cross-process
+behaviour is covered by ``tests/test_parallel_backend.py``.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.runtime.parallel import (
+    Batch,
+    BatchChannel,
+    ChannelMesh,
+    ChannelProtocolError,
+    RoutedMessage,
+    merge_batches,
+)
+
+
+def _ctx():
+    return multiprocessing.get_context("spawn")
+
+
+def message(plan_index, seq, target="a/b", ip="port", name="Msg", **params):
+    return RoutedMessage(
+        plan_index=plan_index,
+        seq=seq,
+        target_path=target,
+        ip_name=ip,
+        interaction_name=name,
+        params=tuple(sorted(params.items())),
+    )
+
+
+class TestBatchChannel:
+    def test_round_trip_preserves_order_and_round_tag(self):
+        channel = BatchChannel(_ctx())
+        sent = (message(0, 0, x=1), message(0, 1, x=2))
+        channel.send_batch(4, sent)
+        batch = channel.receive_batch(4, timeout=5.0)
+        assert batch == Batch(round_index=4, messages=sent)
+
+    def test_empty_batches_flow(self):
+        channel = BatchChannel(_ctx())
+        channel.send_batch(1, ())
+        assert channel.receive_batch(1, timeout=5.0).messages == ()
+
+    def test_wrong_round_tag_is_a_protocol_error(self):
+        channel = BatchChannel(_ctx())
+        channel.send_batch(1, ())
+        with pytest.raises(ChannelProtocolError, match="expected the batch for round 2"):
+            channel.receive_batch(2, timeout=5.0)
+
+    def test_missing_batch_times_out_with_diagnosis(self):
+        channel = BatchChannel(_ctx())
+        with pytest.raises(ChannelProtocolError, match="no batch for round 7"):
+            channel.receive_batch(7, timeout=0.05)
+
+
+class TestChannelMesh:
+    def test_full_mesh_wiring(self):
+        mesh = ChannelMesh(_ctx(), [3, 1, 2])
+        assert mesh.unit_ids == (1, 2, 3)
+        inbound, outbound = mesh.endpoints_for(2)
+        assert sorted(inbound) == [1, 3]
+        assert sorted(outbound) == [1, 3]
+        # Directionality: what 1 sends towards 2 arrives on 2's inbound from 1.
+        _, outbound_1 = mesh.endpoints_for(1)
+        outbound_1[2].send_batch(1, (message(0, 0),))
+        assert inbound[1].receive_batch(1, timeout=5.0).messages == (message(0, 0),)
+
+    def test_duplicate_unit_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate unit ids"):
+            ChannelMesh(_ctx(), [1, 1])
+
+    def test_unknown_unit_rejected(self):
+        mesh = ChannelMesh(_ctx(), [1, 2])
+        with pytest.raises(KeyError):
+            mesh.endpoints_for(9)
+
+
+class TestMergeBatches:
+    def test_merge_restores_global_plan_order(self):
+        batch_a = Batch(1, (message(2, 0, x=1), message(2, 1, x=2)))
+        batch_b = Batch(1, (message(0, 0, x=3),))
+        batch_c = Batch(1, (message(1, 0, x=4),))
+        merged = merge_batches([batch_a, batch_b, batch_c])
+        assert [(m.plan_index, m.seq) for m in merged] == [(0, 0), (1, 0), (2, 0), (2, 1)]
+
+    def test_merge_of_empty_batches(self):
+        assert merge_batches([Batch(1, ()), Batch(1, ())]) == []
