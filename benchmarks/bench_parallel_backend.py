@@ -97,6 +97,7 @@ def measured_speedup(busy_work_us: float = BUSY_WORK_US) -> dict:
         busy_work_us_per_cost=busy_work_us,
     )
     divergence = trace_diff(in_process.trace, multiprocess.trace)
+    host_cpus = os.cpu_count() or 1
     return {
         "busy_work_us_per_cost": busy_work_us,
         "workers": multiprocess.workers,
@@ -108,6 +109,11 @@ def measured_speedup(busy_work_us: float = BUSY_WORK_US) -> dict:
         "traces_identical": divergence is None,
         "trace_divergence": divergence,
         "host_cpus": os.cpu_count(),
+        # Honesty flag: the measured number only speaks to the predicted one
+        # when the host can actually run one worker per processor.  On an
+        # undersized host (e.g. host_cpus=1, workers=4) the workers
+        # time-slice and measured_speedup < 1 is expected, not a regression.
+        "comparable": host_cpus >= multiprocess.workers,
     }
 
 
@@ -128,9 +134,68 @@ def measured_vs_predicted(busy_work_us: float = BUSY_WORK_US) -> dict:
         multiprocess_wall_ms=round(results["multiprocess_wall_s"] * 1e3, 1),
         traces_identical=results["traces_identical"],
         host_cpus=results["host_cpus"],
+        comparable=results["comparable"],
     )
     print_experiment(record)
+    if not results["comparable"]:
+        print(
+            f"   note: measured_speedup is NOT comparable to predicted_speedup "
+            f"on this host ({results['host_cpus']} CPU(s) < "
+            f"{results['workers']} workers); workers time-slice, so a ratio "
+            "below 1 is expected here and does not indicate a regression."
+        )
     return results
+
+
+#: The equivalence matrix of ISSUE 3: every backend × dispatch combination
+#: must produce byte-identical canonical firing traces on both workloads.
+MATRIX_DISPATCHES = ("table-driven", "generated", "planner")
+MATRIX_SPECS = {
+    "mcam_core.estelle": SPEC_PATH.parent / "mcam_core.estelle",
+    "osi_transfer.estelle": SPEC_PATH,
+}
+
+
+def equivalence_matrix() -> dict:
+    """{in-process, multiprocess} × {table-driven, generated, planner}.
+
+    The in-process table-driven trace of each workload is the reference; a
+    cell records whether its trace is byte-identical to that reference, so
+    ``traces_identical`` being true everywhere proves all six combinations
+    agree with each other.
+    """
+    cells = []
+    all_identical = True
+    for spec_name, spec_path in MATRIX_SPECS.items():
+        source = SpecSource.from_estelle_file(spec_path)
+        reference = None
+        for dispatch in MATRIX_DISPATCHES:
+            for backend_name, backend in (
+                ("in-process", InProcessBackend()),
+                ("multiprocess", MultiprocessBackend()),
+            ):
+                result = backend.execute(
+                    source,
+                    build_cluster(PROCESSORS_PER_MACHINE),
+                    mapping=parallel_mapping(),
+                    dispatch=dispatch,
+                )
+                if reference is None:
+                    reference = result.trace
+                divergence = trace_diff(reference, result.trace)
+                cells.append(
+                    {
+                        "workload": spec_name,
+                        "backend": backend_name,
+                        "dispatch": dispatch,
+                        "rounds": result.rounds,
+                        "transitions_fired": result.transitions_fired,
+                        "traces_identical": divergence is None,
+                        "trace_divergence": divergence,
+                    }
+                )
+                all_identical = all_identical and divergence is None
+    return {"cells": cells, "all_traces_identical": all_identical}
 
 
 class TestParallelBackendBench:
@@ -155,3 +220,10 @@ class TestParallelBackendBench:
         )
         assert light["traces_identical"]
         assert light["in_process_wall_s"] > 0
+
+    def test_equivalence_matrix_all_cells_identical(self, benchmark):
+        """Every backend × dispatch cell must match the reference trace."""
+        matrix = benchmark.pedantic(equivalence_matrix, rounds=1, iterations=1)
+        failures = [c for c in matrix["cells"] if not c["traces_identical"]]
+        assert matrix["all_traces_identical"], failures
+        assert len(matrix["cells"]) == 12  # 2 workloads × 2 backends × 3 dispatches

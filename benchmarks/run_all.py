@@ -13,8 +13,13 @@ history), so the repository carries its own perf trajectory:
   at least as fast as the table-driven one,
 * the E-PAR parallel-backend record: the multiprocess backend's *measured*
   wall-clock speedup on the OSI transfer workload next to the cost model's
-  *predicted* speedup, plus the trace-equivalence verdict (see ROADMAP.md,
-  "Execution backends", for how to read the two numbers).
+  *predicted* speedup (with a ``comparable`` honesty flag for undersized
+  hosts), the trace-equivalence verdict, and the full
+  {backend} x {table-driven, generated, planner} equivalence matrix (see
+  ROADMAP.md, "Execution backends", for how to read the numbers),
+* the E-PLAN round-planner record: the incremental fused planner's
+  planning+selection time against the interpreted full rescan over a
+  module-count sweep (ROADMAP.md, "Hot path").
 
 Run with:  PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
 """
@@ -106,11 +111,21 @@ def dispatch_selection_results() -> dict:
 
 
 def parallel_backend_results() -> dict:
-    """E-PAR: measured multiprocess speedup next to the model's prediction."""
+    """E-PAR: measured multiprocess speedup next to the model's prediction,
+    plus the full {backend} x {dispatch} trace-equivalence matrix."""
     module = _load_bench_module("bench_parallel_backend")
     rounded = _round_floats(module.measured_vs_predicted())
     rounded["workload"] = "examples/specs/osi_transfer.estelle"
+    rounded["equivalence_matrix"] = module.equivalence_matrix()
     return rounded
+
+
+def round_planner_results() -> dict:
+    """E-PLAN: the incremental fused planner vs the interpreted rescan."""
+    module = _load_bench_module("bench_round_planner")
+    results = module.planner_sweep()
+    results["sweep"] = [_round_floats(row) for row in results["sweep"]]
+    return _round_floats(results)
 
 
 def load_history(output: Path) -> list:
@@ -148,6 +163,7 @@ def main(argv=None) -> int:
         "benchmarks": results,
         "dispatch_selection": dispatch_selection_results(),
         "parallel_backend": parallel_backend_results(),
+        "round_planner": round_planner_results(),
     }
     runs = [run_entry] + load_history(args.output)
     args.output.write_text(json.dumps({"runs": runs[:HISTORY_LIMIT]}, indent=2) + "\n")
@@ -161,12 +177,47 @@ def main(argv=None) -> int:
     if not run_entry["dispatch_selection"]["generated_at_most_table_driven"]:
         print("regression: generated dispatch slower than table-driven")
         return 1
-    if not run_entry["parallel_backend"]["traces_identical"]:
+    parallel = run_entry["parallel_backend"]
+    if not parallel["traces_identical"]:
         print(
             "regression: multiprocess backend trace diverged: "
-            f"{run_entry['parallel_backend']['trace_divergence']}"
+            f"{parallel['trace_divergence']}"
         )
         return 1
+    if not parallel["equivalence_matrix"]["all_traces_identical"]:
+        bad = [
+            f"{cell['workload']}/{cell['backend']}/{cell['dispatch']}"
+            for cell in parallel["equivalence_matrix"]["cells"]
+            if not cell["traces_identical"]
+        ]
+        print(f"regression: trace divergence in equivalence matrix cells: {bad}")
+        return 1
+    if not parallel.get("comparable", True):
+        # Honesty annotation, not a regression: on an undersized host the
+        # workers time-slice, so measured_speedup < 1 is the expected shape.
+        print(
+            f"note: measured_speedup={parallel['measured_speedup']} is not "
+            f"comparable to predicted_speedup={round(parallel['predicted_speedup'], 2)} "
+            f"on this host ({parallel['host_cpus']} CPU(s) < "
+            f"{parallel['workers']} workers); recorded for the trend only."
+        )
+    planner = run_entry["round_planner"]
+    if not planner["all_plans_identical"]:
+        print("regression: incremental planner plans diverged from the rescan")
+        return 1
+    if not planner["planner_faster_than_interpreted"]:
+        print(
+            "regression: incremental planner slower than the interpreted walk "
+            f"at {planner['largest_point_modules']} modules "
+            f"(speedup {planner['largest_point_speedup']})"
+        )
+        return 1
+    print(
+        f"round planner: {planner['largest_point_speedup']}x less "
+        f"planning+selection time than the interpreted rescan at "
+        f"{planner['largest_point_modules']} modules "
+        f"(>=2x target met: {planner['planner_at_least_2x']})"
+    )
     return 0
 
 

@@ -19,6 +19,7 @@ The textual front-end lives in :mod:`repro.estelle.frontend`: it compiles
 :class:`Specification` objects, reusing this package's validation.
 """
 
+from .dirty import DirtyTracker
 from .errors import (
     ChannelError,
     EstelleError,
@@ -37,6 +38,7 @@ __all__ = [
     "ANY_STATE",
     "Channel",
     "ChannelError",
+    "DirtyTracker",
     "EstelleError",
     "FiringRecord",
     "Interaction",

@@ -1,0 +1,92 @@
+"""Dirty tracking: which modules changed since the last computation round.
+
+The incremental round planner (:mod:`repro.runtime.planner`) only re-evaluates
+transition selection for modules whose observable state may have changed since
+their last evaluation.  Estelle makes that a *local* property: a transition's
+enabling depends only on the module's own control state, its own variables and
+the heads of its own interaction-point queues (ISO 9074 transitions cannot
+read another module's variables).  The mutation points that can change any of
+those are therefore exactly:
+
+* a transition (or ``external_step``) firing on the module —
+  :meth:`repro.estelle.module.Module.note_fired` marks it;
+* an interaction arriving in, or being consumed from, one of the module's IP
+  queues — :meth:`repro.estelle.interaction.InteractionPoint.enqueue` /
+  :meth:`~repro.estelle.interaction.InteractionPoint.consume` mark the owner;
+* the module tree changing shape (``init`` / ``release``) —
+  :meth:`~repro.estelle.module.Module.create_child` /
+  :meth:`~repro.estelle.module.Module.release_child` bump the *structure
+  epoch*, which invalidates every cached selection.
+
+Code that mutates a module's variables *outside* a firing (test fixtures,
+hand-driven examples) is outside this contract; such callers must invalidate
+the planner explicitly (:meth:`repro.runtime.planner.IncrementalRoundPlanner.
+invalidate`).
+
+The hooks are two nullable callables on :class:`~repro.estelle.module.Module`
+(``_dirty_hook`` / ``_structure_hook``); when no tracker is attached they stay
+``None`` and the mutation points pay one attribute load per event.  One
+tracker owns a specification at a time — attaching a second one replaces the
+first tracker's hooks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .module import Module
+    from .specification import Specification
+
+
+class DirtyTracker:
+    """Accumulates the set of module instances with changed state or queues.
+
+    ``drain()`` hands the current dirty set to the planner and resets it; the
+    *structure epoch* counts tree-shape changes (module creation/release) so a
+    planner can detect that its flattened module arrays are stale and must be
+    rebuilt (a full re-evaluation).
+    """
+
+    def __init__(self) -> None:
+        self._dirty: Set["Module"] = set()
+        self.structure_epoch = 0
+        #: total mark events observed (hook invocations; stats/tests only).
+        self.total_marks = 0
+
+    # -- the hooks installed on modules ------------------------------------------
+
+    def mark(self, module: "Module") -> None:
+        self._dirty.add(module)
+        self.total_marks += 1
+
+    def note_structure_change(self, module: "Module") -> None:
+        self.structure_epoch += 1
+        self._dirty.add(module)
+        self.total_marks += 1
+
+    # -- consumption by the planner ------------------------------------------------
+
+    def drain(self) -> Set["Module"]:
+        """Return the modules marked since the last drain and reset the set."""
+        dirty, self._dirty = self._dirty, set()
+        return dirty
+
+    def peek(self) -> FrozenSet["Module"]:
+        return frozenset(self._dirty)
+
+    # -- installation ---------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, specification: "Specification") -> "DirtyTracker":
+        """Install a fresh tracker's hooks on every module of a specification.
+
+        Dynamically created children inherit the hooks from their parent at
+        ``create_child`` time, so the tracker keeps seeing mutations after the
+        tree grows.
+        """
+        tracker = cls()
+        for module in specification.root.walk():
+            module._dirty_hook = tracker.mark
+            module._structure_hook = tracker.note_structure_change
+        return tracker

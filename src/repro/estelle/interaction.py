@@ -214,6 +214,11 @@ class InteractionPoint:
         """Place an interaction in this IP's inbound queue (FIFO)."""
         self.queue.append(interaction)
         self.received_count += 1
+        hook = getattr(self.owner, "_dirty_hook", None)
+        if hook is not None:
+            # A new queue head (or pending count) can change the owner's
+            # enabled transitions / external readiness.
+            hook(self.owner)
 
     def head(self) -> Optional[Interaction]:
         """Peek the oldest queued interaction without removing it."""
@@ -223,7 +228,11 @@ class InteractionPoint:
         """Remove and return the oldest queued interaction."""
         if not self.queue:
             raise ChannelError(f"{self.full_name}: consume() on an empty queue")
-        return self.queue.popleft()
+        interaction = self.queue.popleft()
+        hook = getattr(self.owner, "_dirty_hook", None)
+        if hook is not None:
+            hook(self.owner)
+        return interaction
 
     def pending(self) -> int:
         """Number of interactions waiting in the inbound queue."""

@@ -137,6 +137,12 @@ class Module(metaclass=ModuleMeta):
     _ip_declarations: Dict[str, IPDeclaration] = {}
     _transition_declarations: Dict[str, Transition] = {}
 
+    # Dirty-tracking hooks (see repro.estelle.dirty): installed by a
+    # DirtyTracker, inherited by dynamically created children, None when no
+    # incremental planner observes this tree.
+    _dirty_hook = None
+    _structure_hook = None
+
     def __init__(self, name: str, parent: Optional["Module"] = None, **variables: Any):
         self.name = name
         self.parent = parent
@@ -204,7 +210,13 @@ class Module(metaclass=ModuleMeta):
                 f"with attribute {child_attr.value}"
             )
         child = module_class(name, parent=self, **variables)
+        # Hooks propagate before initialise(): the initializer may already
+        # fire outputs or create grandchildren that must be tracked.
+        child._dirty_hook = self._dirty_hook
+        child._structure_hook = self._structure_hook
         self.children[name] = child
+        if self._structure_hook is not None:
+            self._structure_hook(self)
         child.initialise()
         return child
 
@@ -220,6 +232,8 @@ class Module(metaclass=ModuleMeta):
         for descendant in child.walk():
             for point in descendant.ips.values():
                 point.disconnect()
+        if self._structure_hook is not None:
+            self._structure_hook(self)
 
     def walk(self) -> Iterator["Module"]:
         """Yield this module and every descendant, depth-first, pre-order."""
@@ -327,6 +341,9 @@ class Module(metaclass=ModuleMeta):
 
     def note_fired(self) -> None:
         self.fired_count += 1
+        if self._dirty_hook is not None:
+            # Firing may have changed state, variables and own queue heads.
+            self._dirty_hook(self)
 
 
 class SpecificationRoot(Module):

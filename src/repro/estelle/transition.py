@@ -115,6 +115,10 @@ class Transition:
             self.action(module)
         if self.to_state is not None and module.state == state_before:
             module.state = self.to_state
+        hook = getattr(module, "_dirty_hook", None)
+        if hook is not None:
+            # The firing changed the module's state, variables or queues.
+            hook(module)
         return FiringRecord(
             transition=self,
             module_path=module.path,

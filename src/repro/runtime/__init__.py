@@ -7,6 +7,9 @@ Pieces:
 * the optimizing code generator (:mod:`repro.runtime.codegen`) emitting
   per-(state, interaction) flattened dispatch with precompiled guards,
 * schedulers (centralised vs decentralised),
+* the incremental fused round planner (:mod:`repro.runtime.planner`):
+  dirty-set driven selection caching plus a generated whole-specification
+  planner function, selected through the ``"planner"`` dispatch name,
 * mapping strategies (thread-per-module, grouping, connection-per-processor,
   layer-per-processor, sequential baseline),
 * the executor that runs a specification on a simulated cluster and produces
@@ -46,6 +49,13 @@ from .executor import (
     register_backend,
     run_specification,
 )
+from .planner import (
+    FusedPlanProgram,
+    IncrementalRoundPlanner,
+    PlannerDispatch,
+    PlannerStats,
+    compile_plan_program,
+)
 from .mapping import (
     ConnectionPerProcessorMapping,
     ExecutionUnit,
@@ -83,6 +93,10 @@ __all__ = [
     "ExecutionTrace",
     "ExecutionUnit",
     "FiringEvent",
+    "FusedPlanProgram",
+    "IncrementalRoundPlanner",
+    "PlannerDispatch",
+    "PlannerStats",
     "GeneratedDispatchStrategy",
     "GeneratedProgram",
     "GroupedMapping",
@@ -104,6 +118,7 @@ __all__ = [
     "backend_by_name",
     "busy_work_for",
     "compile_module_class",
+    "compile_plan_program",
     "compile_specification",
     "dispatch_by_name",
     "generated_source",

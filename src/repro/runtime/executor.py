@@ -51,6 +51,7 @@ from ..sim.machine import Cluster, CostModel, Machine
 from ..sim.metrics import ExecutionMetrics
 from .dispatch import DispatchStrategy, TableDrivenDispatch
 from .mapping import ExecutionUnit, MappingStrategy, SystemMapping, ThreadPerModuleMapping
+from .planner import IncrementalRoundPlanner, PlannerDispatch
 from .scheduler import DecentralisedScheduler, PlannedFiring, RoundPlan, Scheduler
 from .tracing import ExecutionTrace, FiringEvent
 
@@ -74,6 +75,13 @@ class SpecificationExecutor:
         self.mapping_strategy = mapping or ThreadPerModuleMapping()
         self.scheduler = scheduler or DecentralisedScheduler()
         self.dispatch = dispatch or TableDrivenDispatch()
+        #: the incremental fused planner replaces the per-round scheduler
+        #: walk when the "planner" dispatch strategy is selected.
+        self.planner: Optional[IncrementalRoundPlanner] = (
+            IncrementalRoundPlanner(specification, dispatch=self.dispatch)
+            if isinstance(self.dispatch, PlannerDispatch)
+            else None
+        )
         self.cost_model = cost_model or cluster.machines()[0].cost_model
         #: optional hook emulating *real* per-firing processing time (the
         #: measured-speedup harness burns CPU proportional to the firing's
@@ -148,7 +156,10 @@ class SpecificationExecutor:
 
     def step_round(self) -> bool:
         """Execute one computation round; returns False when nothing fired."""
-        plan = self.scheduler.plan_round(self.specification, self.dispatch)
+        if self.planner is not None:
+            plan = self.planner.plan_round()
+        else:
+            plan = self.scheduler.plan_round(self.specification, self.dispatch)
         if plan.empty:
             self.deadlocked = self.specification.pending_interactions() > 0
             return False

@@ -49,7 +49,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--dispatch",
         default="table-driven",
-        help="dispatch strategy name (table-driven, hard-coded, generated)",
+        help="dispatch strategy name (table-driven, hard-coded, generated, "
+        "planner — the incremental fused round planner)",
     )
     parser.add_argument("--max-rounds", type=int, default=1000)
     parser.add_argument(

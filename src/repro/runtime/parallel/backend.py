@@ -40,6 +40,7 @@ from ..executor import (
     register_backend,
 )
 from ..mapping import MappingStrategy, SystemMapping, ThreadPerModuleMapping
+from ..planner import PLANNER_DISPATCH_NAME, compile_plan_program
 from ..scheduler import DecentralisedScheduler, RoundPlan, Scheduler
 from ..tracing import ExecutionTrace, FiringEvent
 from .channels import ChannelMesh
@@ -84,13 +85,40 @@ class PrecomputedDispatch(DispatchStrategy):
 
 
 class _RoundPlanner:
-    """Combines worker selection summaries into the global round plan."""
+    """Combines worker selection summaries into the global round plan.
 
-    def __init__(self, specification: Specification, scheduler: Scheduler) -> None:
+    ``incremental=True`` (the ``"planner"`` dispatch) switches both halves of
+    the fold to the fused planner architecture: workers send summary *deltas*
+    (only their dirty modules), which update a per-module result cache here,
+    and the precedence fold runs through the generated whole-specification
+    walk of :func:`repro.runtime.planner.compile_plan_program` instead of the
+    interpreted ``Scheduler.plan_round`` recursion.
+    """
+
+    def __init__(
+        self,
+        specification: Specification,
+        scheduler: Scheduler,
+        incremental: bool = False,
+    ) -> None:
         self.specification = specification
         self.scheduler = scheduler
+        self.incremental = incremental
         self.dispatch = PrecomputedDispatch()
         self._transition_cache: Dict[Tuple[type, str], Any] = {}
+        if incremental:
+            # Walk-only: the result slots are refreshed from worker
+            # summaries, so no selectors are compiled coordinator-side.
+            self._program = compile_plan_program(specification, with_evaluators=False)
+            self._index_by_path = {
+                module.path: index
+                for index, module in enumerate(self._program.modules)
+            }
+            self._results: List[Optional[DispatchResult]] = [None] * len(
+                self._program.modules
+            )
+            self._pending: List[int] = [0] * len(self._program.modules)
+            self._unfilled = len(self._program.modules)
 
     def _resolve_transition(self, module, name: str):
         key = (type(module), name)
@@ -107,6 +135,8 @@ class _RoundPlanner:
         return transition
 
     def plan(self, summaries: Dict[str, SelectionSummary]) -> RoundPlan:
+        if self.incremental:
+            return self._plan_incremental(summaries)
         results: Dict[str, DispatchResult] = {}
         for module in self.specification.modules():
             path = module.path
@@ -126,6 +156,54 @@ class _RoundPlanner:
             )
         self.dispatch.results = results
         return self.scheduler.plan_round(self.specification, self.dispatch)
+
+    def _plan_incremental(self, deltas: Dict[str, SelectionSummary]) -> RoundPlan:
+        """Apply summary deltas to the result cache, then run the fused walk."""
+        results = self._results
+        plan = RoundPlan()
+        for path, summary in deltas.items():
+            _, transition_name, external, examined, cost, pending = summary
+            try:
+                index = self._index_by_path[path]
+            except KeyError as exc:
+                raise ParallelExecutionError(
+                    f"worker reported a selection for unknown module {path!r}"
+                ) from exc
+            module = self._program.modules[index]
+            transition = (
+                self._resolve_transition(module, transition_name)
+                if transition_name is not None
+                else None
+            )
+            if results[index] is None:
+                self._unfilled -= 1
+            results[index] = DispatchResult(
+                transition=transition, examined=examined, cost=cost, external=external
+            )
+            self._pending[index] = pending
+            plan.examined_costs[path] = cost
+        plan.examined_modules = len(deltas)
+        if self._unfilled:
+            missing = [
+                module.path
+                for index, module in enumerate(self._program.modules)
+                if results[index] is None
+            ]
+            raise ParallelExecutionError(
+                f"no selection summary for module(s) {missing}; the first "
+                "planner round must cover every module"
+            )
+        self._program.walk(results, plan.firings)
+        return plan
+
+    def has_pending(self) -> bool:
+        """Whether any module reported queued interactions (deadlock check).
+
+        Only meaningful in incremental mode, where the per-module pending
+        counts are cached between rounds (a clean module's count cannot have
+        changed — queue mutations mark it dirty).
+        """
+        return any(self._pending)
 
 
 @register_backend
@@ -242,7 +320,11 @@ class MultiprocessBackend(ExecutionBackend):
             )
             processes.append(process)
 
-        planner = _RoundPlanner(specification, scheduler or DecentralisedScheduler())
+        planner = _RoundPlanner(
+            specification,
+            scheduler or DecentralisedScheduler(),
+            incremental=dispatch == PLANNER_DISPATCH_NAME,
+        )
         trace = ExecutionTrace(enabled=True)
         rounds = 0
         transitions_fired = 0
@@ -264,7 +346,11 @@ class MultiprocessBackend(ExecutionBackend):
                         summaries[summary[0]] = summary
                 plan = planner.plan(summaries)
                 if plan.empty:
-                    deadlocked = any(summary[5] > 0 for summary in summaries.values())
+                    deadlocked = (
+                        planner.has_pending()
+                        if planner.incremental
+                        else any(summary[5] > 0 for summary in summaries.values())
+                    )
                     break
 
                 assignments: Dict[int, List[AssignedFiring]] = {

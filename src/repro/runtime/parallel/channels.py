@@ -27,6 +27,7 @@ Ordering guarantees
 
 from __future__ import annotations
 
+import pickle
 from queue import Empty
 from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -74,11 +75,19 @@ class BatchChannel:
         self._queue = ctx.Queue()
 
     def send_batch(self, round_index: int, messages: Sequence[RoutedMessage]) -> None:
-        self._queue.put(Batch(round_index=round_index, messages=tuple(messages)))
+        # Serialize here with the highest pickle protocol: the queue's feeder
+        # thread would otherwise use the (older) default protocol, and a
+        # pre-pickled bytes payload also lets callers reuse their message
+        # buffers immediately — the batch is snapshotted at this point.
+        payload = pickle.dumps(
+            Batch(round_index=round_index, messages=tuple(messages)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._queue.put(payload)
 
     def receive_batch(self, round_index: int, timeout: float = 60.0) -> Batch:
         try:
-            batch = self._queue.get(timeout=timeout)
+            batch = pickle.loads(self._queue.get(timeout=timeout))
         except Empty:
             raise ChannelProtocolError(
                 f"no batch for round {round_index} arrived within {timeout:.0f}s "

@@ -26,15 +26,16 @@ routed through the channel mesh instead of the replica's queues.
 from __future__ import annotations
 
 import traceback
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ...estelle.dirty import DirtyTracker
 from ...estelle.errors import SchedulingError
 from ...estelle.interaction import Interaction
 from ...estelle.module import Module
 from ..dispatch import dispatch_by_name
 from ..executor import SpecSource, busy_work_for
+from ..planner import PLANNER_DISPATCH_NAME
 from .channels import BatchChannel, RoutedMessage, merge_batches
 
 
@@ -108,6 +109,20 @@ class WorkerRuntime:
         self.busy_work = busy_work_for(config.busy_work_us_per_cost)
         self._module_census = len(self.modules)
         self._undelivered_round: Optional[int] = None
+        # Reused per-peer send buffers: one list per outbound peer, cleared
+        # per round instead of rebuilding a dict of lists every fire().
+        self._outgoing: Dict[int, List[RoutedMessage]] = {
+            peer: [] for peer in outbound
+        }
+        # Under the incremental planner ("planner" dispatch) a worker
+        # re-evaluates only the dirty part of its shard and reports summary
+        # *deltas*; the coordinator caches the rest (ISSUE 3).
+        self.incremental = config.dispatch_name == PLANNER_DISPATCH_NAME
+        self._owned = frozenset(self.unit.module_paths)
+        self._tracker: Optional[DirtyTracker] = (
+            DirtyTracker.attach(self.specification) if self.incremental else None
+        )
+        self._selected_once = False
 
     # -- the three phases ----------------------------------------------------------
 
@@ -131,9 +146,30 @@ class WorkerRuntime:
             )
 
     def select(self) -> List[SelectionSummary]:
-        """Phase 2: per-module transition selection over the owned shard."""
+        """Phase 2: per-module transition selection over the owned shard.
+
+        With the incremental planner the evaluated set shrinks to the shard's
+        *dirty* modules (changed state or queues since the previous round)
+        and the returned summaries are a delta; otherwise the whole shard is
+        evaluated and reported, every round.
+        """
+        if self._tracker is not None:
+            if self._selected_once:
+                dirty = self._tracker.drain()
+                paths: List[str] = sorted(
+                    module.path
+                    for module in dirty
+                    if module.path in self._owned
+                )
+            else:
+                # Round 1 seeds the coordinator's cache with the full shard.
+                self._tracker.drain()
+                paths = list(self.unit.module_paths)
+                self._selected_once = True
+        else:
+            paths = list(self.unit.module_paths)
         summaries: List[SelectionSummary] = []
-        for path in self.unit.module_paths:
+        for path in paths:
             module = self.modules[path]
             result = self.dispatch.select(module)
             summaries.append(
@@ -153,7 +189,9 @@ class WorkerRuntime:
     ) -> Tuple[List[FiringReport], Dict[int, List[RoutedMessage]]]:
         """Phase 3: execute this unit's share of the round plan."""
         reports: List[FiringReport] = []
-        outgoing: Dict[int, List[RoutedMessage]] = defaultdict(list)
+        outgoing = self._outgoing
+        for bucket in outgoing.values():
+            bucket.clear()
         scale = self.config.transition_cost_scale
 
         for plan_index, path, transition_name, is_external in firings:

@@ -174,15 +174,22 @@ class DecentralisedScheduler(Scheduler):
         return 0.0
 
     def unit_overhead(self, plan: RoundPlan, unit_module_paths: Iterable[str]) -> float:
+        # Charge the unit from its own bucket: iterate the unit's (usually
+        # small) path set and look each path up in the plan's examined-cost
+        # dict, instead of scanning every examined module and membership-
+        # testing it against the unit.  Across all units of a mapping this is
+        # one pass over the module population per plan, not units × modules.
         member = (
             unit_module_paths
             if isinstance(unit_module_paths, AbstractSet)
             else frozenset(unit_module_paths)
         )
+        examined_costs = plan.examined_costs
         examined_here = 0
         scan_cost = 0.0
-        for path, cost in plan.examined_costs.items():
-            if path in member:
+        for path in member:
+            cost = examined_costs.get(path)
+            if cost is not None:
                 examined_here += 1
                 scan_cost += cost
         return self.per_module_cost * examined_here + scan_cost

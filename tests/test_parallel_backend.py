@@ -192,6 +192,27 @@ class TestMultiprocessEquivalence:
         )
         assert trace_diff(in_process.trace, multiprocess.trace) is None
 
+    @pytest.mark.parametrize("spec_path", [MCAM_SPEC, OSI_SPEC], ids=["mcam", "osi"])
+    def test_planner_dispatch_byte_identical(self, spec_path):
+        """The incremental planner path (ISSUE 3): workers re-evaluate only
+        their dirty shard and report summary deltas; the coordinator folds
+        them through the fused walk.  The traces must stay byte-identical to
+        the in-process planner's, which itself matches table-driven."""
+        in_process, multiprocess = run_both(
+            SpecSource.from_estelle_file(spec_path),
+            two_machine_cluster(2),
+            mapping=GroupedMapping(),
+            dispatch="planner",
+        )
+        assert trace_diff(in_process.trace, multiprocess.trace) is None
+        reference = InProcessBackend().execute(
+            SpecSource.from_estelle_file(spec_path),
+            two_machine_cluster(2),
+            mapping=GroupedMapping(),
+            dispatch="table-driven",
+        )
+        assert trace_diff(reference.trace, multiprocess.trace) is None
+
     def test_deadlock_detected_identically(self):
         in_process, multiprocess = run_both(
             SpecSource.from_estelle_text(DEADLOCK_SRC),

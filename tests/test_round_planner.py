@@ -1,0 +1,308 @@
+"""Unit and integration tests for the incremental fused round planner.
+
+Covers the three layers of ISSUE 3's tentpole: dirty tracking at the
+``repro.estelle`` mutation points, the generated whole-specification planner
+program (fused walk + inlined per-class selection), and the wiring through
+both execution backends under the ``"planner"`` dispatch name.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.estelle import (
+    Channel,
+    DirtyTracker,
+    Module,
+    ModuleAttribute,
+    Specification,
+    ip,
+    transition,
+)
+from repro.runtime import (
+    DecentralisedScheduler,
+    GroupedMapping,
+    InProcessBackend,
+    IncrementalRoundPlanner,
+    PlannerDispatch,
+    SpecSource,
+    TableDrivenDispatch,
+    compile_plan_program,
+    dispatch_by_name,
+)
+from repro.runtime.parallel import trace_diff
+from repro.sim import Cluster, Machine
+
+SPEC_DIR = Path(__file__).parent.parent / "examples" / "specs"
+
+PING_PONG = Channel("PingPong", left={"Ping"}, right={"Pong"})
+
+
+def _has_token(m):
+    return m.variables.get("tokens", 0) > 0
+
+
+class Ticker(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("run",)
+
+    @transition(from_state="run", provided=_has_token, cost=1.0, name="tick")
+    def tick(self):
+        self.variables["tokens"] -= 1
+
+
+class ChildTicker(Ticker):
+    ATTRIBUTE = ModuleAttribute.PROCESS
+
+
+class Pinger(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("start", "wait")
+    port = ip("port", PING_PONG, role="left")
+
+    @transition(from_state="start", to_state="wait", cost=1.0)
+    def send_ping(self):
+        self.output("port", "Ping")
+
+    @transition(from_state="wait", to_state="start", when=("port", "Pong"), cost=1.0)
+    def got_pong(self, msg):
+        self.variables["pongs"] = self.variables.get("pongs", 0) + 1
+
+
+class Ponger(Module):
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("idle",)
+    port = ip("port", PING_PONG, role="right")
+
+    @transition(from_state="idle", when=("port", "Ping"), cost=1.0)
+    def reply(self, msg):
+        self.output("port", "Pong")
+
+
+def ticker_spec(count: int = 3, tokens: int = 2) -> Specification:
+    spec = Specification("tickers")
+    for index in range(count):
+        spec.add_system_module(Ticker, f"t{index}", tokens=tokens)
+    spec.validate()
+    return spec
+
+
+def ping_pong_spec() -> Specification:
+    spec = Specification("pingpong")
+    pinger = spec.add_system_module(Pinger, "pinger", location="ksr1")
+    ponger = spec.add_system_module(Ponger, "ponger", location="client-ws-1")
+    spec.connect(pinger.ip_named("port"), ponger.ip_named("port"))
+    spec.validate()
+    return spec
+
+
+def firing_pairs(plan):
+    return [
+        (
+            f.module.path,
+            f.result.transition.name if f.result.transition else None,
+        )
+        for f in plan.firings
+    ]
+
+
+class TestDirtyTracker:
+    def test_firing_marks_the_module(self):
+        spec = ticker_spec(count=1)
+        tracker = DirtyTracker.attach(spec)
+        module = spec.find("t0")
+        assert tracker.drain() == set()
+        module.declared_transitions()[0].fire(module)
+        assert tracker.drain() == {module}
+        assert tracker.drain() == set()  # drained
+
+    def test_enqueue_and_consume_mark_the_owner(self):
+        spec = ping_pong_spec()
+        tracker = DirtyTracker.attach(spec)
+        pinger, ponger = spec.find("pinger"), spec.find("ponger")
+        pinger.output("port", "Ping")
+        assert ponger in tracker.drain()  # enqueue marks the receiver
+        ponger.ip_named("port").consume()
+        assert ponger in tracker.drain()  # consume marks the owner
+
+    def test_structure_epoch_bumps_on_create_and_release(self):
+        spec = ticker_spec(count=1)
+        tracker = DirtyTracker.attach(spec)
+        parent = spec.find("t0")
+        epoch = tracker.structure_epoch
+
+        class Leaf(Module):
+            ATTRIBUTE = ModuleAttribute.PROCESS
+            STATES = ("s",)
+
+        parent.create_child(Leaf, "leaf")
+        assert tracker.structure_epoch == epoch + 1
+        parent.release_child("leaf")
+        assert tracker.structure_epoch == epoch + 2
+
+    def test_dynamic_children_inherit_the_hooks(self):
+        spec = ticker_spec(count=1)
+        tracker = DirtyTracker.attach(spec)
+        child = spec.find("t0").create_child(ChildTicker, "late", tokens=1)
+        tracker.drain()
+        child.declared_transitions()[0].fire(child)
+        assert child in tracker.drain()
+
+    def test_no_tracker_means_no_overhead_hooks(self):
+        spec = ticker_spec(count=1)
+        assert spec.find("t0")._dirty_hook is None
+
+
+class TestFusedPlanProgram:
+    def test_source_is_inspectable_and_unrolled(self):
+        spec = ping_pong_spec()
+        program = compile_plan_program(spec)
+        assert "def _walk(R, out):" in program.source
+        assert "def _eval_0(R):" in program.source
+        assert "pingpong/pinger" in program.source  # walk comments name paths
+        # No interpreted recursion: the walk is straight-line over R slots.
+        assert "_select_subtree" not in program.source
+        assert program.modules == (spec.find("pinger"), spec.find("ponger"))
+
+    def test_walk_matches_scheduler_on_activity_exclusivity(self):
+        class System(Module):
+            ATTRIBUTE = ModuleAttribute.SYSTEMACTIVITY
+            STATES = ("s",)
+
+        class Child(Module):
+            ATTRIBUTE = ModuleAttribute.ACTIVITY
+            STATES = ("run",)
+
+            @transition(from_state="run", provided=_has_token, cost=1.0)
+            def tick(self):
+                self.variables["tokens"] -= 1
+
+        spec = Specification("activities")
+        system = spec.add_system_module(System, "sys")
+        system.create_child(Child, "a", tokens=1)
+        system.create_child(Child, "b", tokens=1)
+        spec.validate()
+
+        planner = IncrementalRoundPlanner(spec)
+        plan = planner.plan_round()
+        rescan = DecentralisedScheduler().plan_round(spec, TableDrivenDispatch())
+        # Activity exclusivity: only the first enabled child subtree fires.
+        assert (
+            firing_pairs(plan)
+            == firing_pairs(rescan)
+            == [("activities/sys/a", "tick")]
+        )
+
+
+class TestIncrementalRoundPlanner:
+    def test_reuses_clean_selections(self):
+        spec = ticker_spec(count=5, tokens=0)
+        driver = spec.find("t0")
+        driver.variables["tokens"] = 3
+        planner = IncrementalRoundPlanner(spec)
+
+        plan = planner.plan_round()  # round 1: everything evaluated
+        assert planner.stats.evaluated == 5
+        while not plan.empty:
+            for firing in plan.firings:
+                firing.result.transition.fire(firing.module)
+            plan = planner.plan_round()
+        # Subsequent rounds re-evaluated only the firing driver module.
+        assert planner.stats.reused > 0
+        assert planner.stats.evaluated == 5 + 3  # initial sweep + one per firing
+        assert driver.variables["tokens"] == 0
+
+    def test_examined_accounting_reports_only_reevaluated_modules(self):
+        spec = ticker_spec(count=4, tokens=0)
+        spec.find("t0").variables["tokens"] = 2
+        planner = IncrementalRoundPlanner(spec)
+        first = planner.plan_round()
+        assert first.examined_modules == 4
+        for firing in first.firings:
+            firing.result.transition.fire(firing.module)
+        second = planner.plan_round()
+        assert second.examined_modules == 1
+        assert list(second.examined_costs) == ["tickers/t0"]
+
+    def test_invalidate_forces_full_reevaluation(self):
+        spec = ticker_spec(count=3)
+        planner = IncrementalRoundPlanner(spec)
+        planner.plan_round()
+        planner.invalidate()
+        planner.plan_round()
+        assert planner.stats.evaluated == 6
+
+    def test_out_of_band_mutation_needs_mark_dirty(self):
+        spec = ticker_spec(count=2, tokens=0)
+        planner = IncrementalRoundPlanner(spec)
+        assert planner.plan_round().empty
+        module = spec.find("t0")
+        module.variables["tokens"] = 1  # outside the tracked mutation points
+        assert planner.plan_round().empty  # stale by contract
+        planner.mark_dirty(module)
+        assert firing_pairs(planner.plan_round()) == [("tickers/t0", "tick")]
+
+    def test_structure_change_rebuilds_the_program(self):
+        spec = ticker_spec(count=2, tokens=0)
+        planner = IncrementalRoundPlanner(spec)
+        planner.plan_round()
+        rebuilds = planner.stats.rebuilds
+        spec.find("t0").create_child(ChildTicker, "late", tokens=1)
+        plan = planner.plan_round()
+        assert planner.stats.rebuilds == rebuilds + 1
+        assert firing_pairs(plan) == [("tickers/t0/late", "tick")]
+
+    def test_quiescent_rounds_evaluate_nothing(self):
+        spec = ticker_spec(count=3, tokens=0)
+        planner = IncrementalRoundPlanner(spec)
+        assert planner.plan_round().empty
+        evaluated = planner.stats.evaluated
+        assert planner.plan_round().empty
+        assert planner.stats.evaluated == evaluated  # no dirty, no work
+
+
+class TestPlannerDispatchWiring:
+    def test_planner_dispatch_is_registered(self):
+        assert isinstance(dispatch_by_name("planner"), PlannerDispatch)
+
+    @pytest.mark.parametrize(
+        "spec_name", ["mcam_core.estelle", "osi_transfer.estelle"]
+    )
+    def test_in_process_planner_trace_equals_table_driven(self, spec_name):
+        source = SpecSource.from_estelle_file(SPEC_DIR / spec_name)
+
+        def cluster():
+            built = Cluster()
+            built.add(Machine("ksr1", 2))
+            built.add(Machine("client-ws-1", 2))
+            return built
+
+        reference = InProcessBackend().execute(
+            source, cluster(), mapping=GroupedMapping(), dispatch="table-driven"
+        )
+        planner = InProcessBackend().execute(
+            source, cluster(), mapping=GroupedMapping(), dispatch="planner"
+        )
+        assert trace_diff(reference.trace, planner.trace) is None
+        assert planner.rounds == reference.rounds
+        # The planner's incremental accounting never examines more than the
+        # full rescan would (and strictly less once any module idles).
+        assert planner.metrics.scheduler_time <= reference.metrics.scheduler_time
+
+    def test_executor_routes_planning_through_the_planner(self):
+        from repro.runtime import SpecificationExecutor
+
+        source = SpecSource.from_estelle_file(SPEC_DIR / "mcam_core.estelle")
+        cluster = Cluster()
+        cluster.add(Machine("ksr1", 1))
+        cluster.add(Machine("client-ws-1", 1))
+        executor = SpecificationExecutor(
+            source.build(), cluster, dispatch=dispatch_by_name("planner")
+        )
+        assert executor.planner is not None
+        executor.run()
+        assert executor.planner.stats.rounds >= executor.metrics.rounds
+        table = SpecificationExecutor(
+            source.build(), cluster, dispatch=dispatch_by_name("table-driven")
+        )
+        assert table.planner is None
