@@ -1,0 +1,380 @@
+"""The incremental fused round planner: the hot path of the round loop.
+
+``Scheduler.plan_round`` re-walks the whole module tree and re-evaluates
+transition selection for *every* module, every round — even for modules whose
+state and queues have not changed since the previous round.  The paper's
+decentralised scheduler wins by overlapping that per-module work across
+processors; this module removes most of it outright:
+
+* **Dirty tracking** (:mod:`repro.estelle.dirty`) — the specification's
+  mutation points report which modules changed; only those (a tiny set on
+  sparse workloads) are re-evaluated, and the previous round's per-module
+  :class:`~repro.runtime.dispatch.DispatchResult` is reused for the rest.
+  Estelle guarantees this is sound: a transition's enabling depends only on
+  the module's own state, variables and queue heads, all of which are
+  covered by the tracked mutation points.
+* **Fusion** (:func:`compile_plan_program`) — the scheduler walk and the
+  per-module dispatch are compiled into one generated function per
+  specification: the module tree is flattened into arrays, the parent/child
+  precedence walk (parent precedence, process parallelism, activity
+  exclusivity) is unrolled into straight-line code, and transition selection
+  calls the per-(state, interaction) specialized selectors that
+  :mod:`repro.runtime.codegen` emits — no interpreted ``_select_subtree``
+  recursion, no strategy dispatch, no per-class cache lookups.
+
+The planner produces :class:`~repro.runtime.scheduler.RoundPlan` objects with
+the *same firing list* (same modules, transitions and order) as a from-scratch
+``plan_round`` rescan — that is the equivalence contract, property-tested by
+``tests/test_scheduler_property.py``.  The plan's *examined* accounting
+differs by design: it reports only the modules actually re-evaluated this
+round, which is the planner's honest (and much smaller) selection cost.
+
+Both execution backends consume the planner through the dispatch name
+``"planner"``: the in-process :class:`~repro.runtime.executor.
+SpecificationExecutor` swaps its scheduler walk for
+:meth:`IncrementalRoundPlanner.plan_round`, and the multiprocess backend has
+each worker re-evaluate only the dirty part of its shard (reporting per-round
+summary *deltas*) while the coordinator folds them through the same fused
+walk (see :mod:`repro.runtime.parallel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from ..estelle.dirty import DirtyTracker
+from ..estelle.module import Module
+from ..estelle.specification import Specification
+from .codegen import GeneratedDispatchStrategy, compile_module_class
+from .dispatch import DispatchResult, DispatchStrategy, register_strategy
+from .scheduler import PlannedFiring, RoundPlan
+
+PLANNER_DISPATCH_NAME = "planner"
+
+
+@register_strategy
+class PlannerDispatch(GeneratedDispatchStrategy):
+    """The ``"planner"`` dispatch name: generated selectors + fused planning.
+
+    As a plain :class:`~repro.runtime.dispatch.DispatchStrategy` it behaves
+    exactly like ``"generated"`` (same selectors, same costs) — that is what
+    a multiprocess worker uses to re-evaluate its dirty shard.  Its *name* is
+    the switch: the executor and the multiprocess coordinator recognise it
+    and route round planning through :class:`IncrementalRoundPlanner` /
+    the fused coordinator walk instead of ``Scheduler.plan_round``.
+    """
+
+    name = PLANNER_DISPATCH_NAME
+
+
+@dataclass
+class PlannerStats:
+    """Evaluation-reuse counters (the planner's before/after story)."""
+
+    rounds: int = 0
+    #: per-module selections actually re-evaluated.
+    evaluated: int = 0
+    #: per-module selections served from the previous round's cache.
+    reused: int = 0
+    #: whole-program rebuilds forced by module tree changes.
+    rebuilds: int = 0
+
+    @property
+    def reuse_ratio(self) -> float:
+        total = self.evaluated + self.reused
+        return self.reused / total if total else 0.0
+
+
+@dataclass
+class FusedPlanProgram:
+    """The generated whole-specification planner for one (static) tree shape.
+
+    ``modules`` is the flattened pre-order module array (system modules in
+    declaration order, each followed by its subtree); ``evaluate`` refreshes
+    the results slots of the given flat indices through the inlined per-class
+    selectors; ``walk`` replays the Estelle precedence rules over the results
+    array as unrolled straight-line code, appending
+    :class:`~repro.runtime.scheduler.PlannedFiring` objects in exactly the
+    order ``Scheduler.plan_round`` would.
+    """
+
+    specification: Specification
+    source: str
+    modules: Tuple[Module, ...]
+    index_of: Dict[Module, int]
+    #: None for walk-only programs (compile_plan_program(with_evaluators=False)).
+    evaluate: Optional[Callable[[Sequence[int], List[Optional[DispatchResult]]], None]]
+    walk: Callable[[List[Optional[DispatchResult]], List[PlannedFiring]], None]
+
+
+def _flatten(specification: Specification) -> Tuple[Module, ...]:
+    """Pre-order module array: the scheduler walk's visit order, flattened."""
+    modules: List[Module] = []
+    for system in specification.system_modules():
+        modules.extend(system.walk())
+    return tuple(modules)
+
+
+def _emit_eval(
+    lines: List[str],
+    index: int,
+    module: Module,
+    selector_symbol: Optional[str],
+    scan_cost: float,
+    overhead: float,
+) -> None:
+    lines.append(f"def _eval_{index}(R):  # {module.path}")
+    lines.append(f"    _m = _M[{index}]")
+    if module.EXTERNAL:
+        # Hand-coded bodies bypass transition scanning (their readiness is
+        # their queue state), exactly like DispatchStrategy._external_result.
+        lines.append(f"    R[{index}] = _DR(None, 0, {overhead!r}, _m.external_ready())")
+    else:
+        lines.append(f"    _t, _x = {selector_symbol}(_m)")
+        lines.append(f"    R[{index}] = _DR(_t, _x, {overhead!r} + {scan_cost!r} * _x)")
+    lines.append("")
+
+
+def _emit_walk_subtree(
+    lines: List[str],
+    module: Module,
+    index_of: Dict[Module, int],
+    depth: int,
+    marker_counter: List[int],
+) -> None:
+    """Unroll one subtree of the precedence walk into straight-line code."""
+    pad = "    " * depth
+    index = index_of[module]
+    lines.append(f"{pad}r = R[{index}]  # {module.path}")
+    lines.append(f"{pad}if r.transition is not None or r.external:")
+    lines.append(f"{pad}    _a(_PF(_M[{index}], r))")
+    children = list(module.children.values())
+    if not children:
+        return
+    lines.append(f"{pad}else:")
+    if module.attribute.children_parallel:
+        for child in children:
+            _emit_walk_subtree(lines, child, index_of, depth + 1, marker_counter)
+    else:
+        # activity / systemactivity parent: the first child subtree that
+        # contributes a firing suppresses its remaining siblings.
+        marker = f"_n{marker_counter[0]}"
+        marker_counter[0] += 1
+        lines.append(f"{pad}    {marker} = len(out)")
+        _emit_walk_subtree(lines, children[0], index_of, depth + 1, marker_counter)
+        for child in children[1:]:
+            lines.append(f"{pad}    if len(out) == {marker}:")
+            _emit_walk_subtree(lines, child, index_of, depth + 2, marker_counter)
+
+
+def compile_plan_program(
+    specification: Specification,
+    scan_cost: float = 0.08,
+    overhead: float = 0.15,
+    dispatch: Optional[GeneratedDispatchStrategy] = None,
+    with_evaluators: bool = True,
+) -> FusedPlanProgram:
+    """Generate and compile the fused planner for the current tree shape.
+
+    ``scan_cost`` / ``overhead`` are baked into the generated evaluation code
+    as constants (the modelled selection cost mirrors the generated dispatch
+    strategy's).  Passing an existing ``dispatch`` strategy reuses its
+    per-class selector cache — the multiprocess worker and the in-process
+    executor then share one set of compiled selectors per process.
+
+    ``with_evaluators=False`` emits the fused walk only (``evaluate`` is
+    ``None``) and skips per-class selector compilation entirely — for
+    consumers that refresh the result slots themselves: the interpreted
+    (non-fused) planner and the multiprocess coordinator, whose results come
+    from the workers.
+    """
+    if dispatch is not None:
+        scan_cost = dispatch.scan_cost
+        overhead = dispatch.overhead
+    modules = _flatten(specification)
+    index_of = {module: i for i, module in enumerate(modules)}
+
+    # One specialized selector per module *class*, bound as _sel_<j> (classes
+    # are keyed by identity: test suites reuse class names across specs).
+    selector_symbols: Dict[Type[Module], str] = {}
+    namespace: Dict[str, object] = {
+        "_M": modules,
+        "_DR": DispatchResult,
+        "_PF": PlannedFiring,
+    }
+    if with_evaluators:
+        for module in modules:
+            cls = type(module)
+            if module.EXTERNAL or cls in selector_symbols:
+                continue
+            symbol = f"_sel_{len(selector_symbols)}"
+            selector_symbols[cls] = symbol
+            compiled = (
+                dispatch.compiled_for(cls)
+                if dispatch is not None
+                else compile_module_class(cls)
+            )
+            namespace[symbol] = compiled.select
+
+    lines: List[str] = [
+        f"# Generated whole-specification round planner for {specification.name!r}.",
+        "# _M is the flattened pre-order module array; R the per-module result",
+        "# slots.  _eval_<i> refreshes slot i through the inlined per-class",
+        "# selector; _walk unrolls the Estelle precedence rules over R.",
+        "",
+    ]
+    if with_evaluators:
+        for index, module in enumerate(modules):
+            _emit_eval(
+                lines,
+                index,
+                module,
+                selector_symbols.get(type(module)),
+                scan_cost,
+                overhead,
+            )
+        lines.append(
+            "_EVAL = ("
+            + ", ".join(f"_eval_{i}" for i in range(len(modules)))
+            + ("," if modules else "")
+            + ")"
+        )
+        lines.append("")
+        lines.append("def _evaluate(indices, R):")
+        lines.append("    for _i in indices:")
+        lines.append("        _EVAL[_i](R)")
+        lines.append("")
+    lines.append("def _walk(R, out):")
+    if modules:
+        lines.append("    _a = out.append")
+        marker_counter = [0]
+        for system in specification.system_modules():
+            _emit_walk_subtree(lines, system, index_of, 1, marker_counter)
+    else:
+        lines.append("    pass")
+    lines.append("")
+
+    source = "\n".join(lines)
+    exec(  # noqa: S102 - same trusted-codegen pattern as repro.runtime.codegen
+        compile(source, f"<generated planner {specification.name}>", "exec"),
+        namespace,
+    )
+    return FusedPlanProgram(
+        specification=specification,
+        source=source,
+        modules=modules,
+        index_of=index_of,
+        evaluate=namespace["_evaluate"] if with_evaluators else None,  # type: ignore[arg-type]
+        walk=namespace["_walk"],  # type: ignore[arg-type]
+    )
+
+
+class IncrementalRoundPlanner:
+    """Dirty-set driven round planning with cached per-module selections.
+
+    Drop-in producer of :class:`~repro.runtime.scheduler.RoundPlan` objects::
+
+        planner = IncrementalRoundPlanner(specification)
+        plan = planner.plan_round()        # instead of scheduler.plan_round()
+
+    ``fused=True`` (default) evaluates dirty modules through the generated
+    whole-spec program (:func:`compile_plan_program`); ``fused=False`` keeps
+    the walk fused but re-evaluates through the given interpreted ``dispatch``
+    strategy — useful to isolate the two optimisations and for property
+    tests.  Module tree changes (``init``/``release``) are detected through
+    the tracker's structure epoch and force a program rebuild plus a full
+    re-evaluation.
+
+    Out-of-band mutations (poking ``module.variables`` between rounds without
+    firing a transition) are outside the dirty-tracking contract — call
+    :meth:`invalidate` (everything) or :meth:`mark_dirty` (one module) first.
+    """
+
+    def __init__(
+        self,
+        specification: Specification,
+        dispatch: Optional[DispatchStrategy] = None,
+        fused: bool = True,
+    ) -> None:
+        self.specification = specification
+        self.dispatch = dispatch if dispatch is not None else PlannerDispatch()
+        self.fused = fused
+        self.tracker = DirtyTracker.attach(specification)
+        self.stats = PlannerStats()
+        self._program: Optional[FusedPlanProgram] = None
+        self._results: List[Optional[DispatchResult]] = []
+        self._built_epoch = -1
+        self._all_dirty = True
+
+    # -- cache control ---------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached selection (next round re-evaluates everything)."""
+        self._all_dirty = True
+
+    def mark_dirty(self, module: Module) -> None:
+        """Explicitly schedule one module for re-evaluation."""
+        self.tracker.mark(module)
+
+    # -- planning --------------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        generated_dispatch = (
+            self.dispatch if isinstance(self.dispatch, GeneratedDispatchStrategy) else None
+        )
+        if self.fused and generated_dispatch is not None:
+            self._program = compile_plan_program(
+                self.specification, dispatch=generated_dispatch
+            )
+        else:
+            # Interpreted re-evaluation (dispatch.select per dirty module):
+            # only the fused walk is generated, no selectors are compiled.
+            self._program = compile_plan_program(
+                self.specification, with_evaluators=False
+            )
+        self._results = [None] * len(self._program.modules)
+        self._built_epoch = self.tracker.structure_epoch
+        self._all_dirty = True
+        self.stats.rebuilds += 1
+
+    @property
+    def program(self) -> FusedPlanProgram:
+        """The generated program (built on demand; for inspection and tests)."""
+        if self._program is None or self.tracker.structure_epoch != self._built_epoch:
+            self._rebuild()
+        return self._program  # type: ignore[return-value]
+
+    def plan_round(self) -> RoundPlan:
+        """Produce the next round's plan, re-evaluating only dirty modules."""
+        program = self.program  # rebuilds on structure changes
+        results = self._results
+        if self._all_dirty:
+            self.tracker.drain()
+            indices: Sequence[int] = range(len(program.modules))
+            self._all_dirty = False
+        else:
+            index_of = program.index_of
+            dirty = self.tracker.drain()
+            indices = sorted(
+                index_of[module] for module in dirty if module in index_of
+            )
+
+        if program.evaluate is not None:
+            program.evaluate(indices, results)
+        else:
+            select = self.dispatch.select
+            for i in indices:
+                results[i] = select(program.modules[i])
+
+        plan = RoundPlan()
+        examined_costs = plan.examined_costs
+        for i in indices:
+            examined_costs[program.modules[i].path] = results[i].cost  # type: ignore[union-attr]
+        plan.examined_modules = len(indices)
+        program.walk(results, plan.firings)
+
+        self.stats.rounds += 1
+        self.stats.evaluated += len(indices)
+        self.stats.reused += len(program.modules) - len(indices)
+        return plan
