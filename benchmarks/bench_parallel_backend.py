@@ -147,12 +147,15 @@ def measured_vs_predicted(busy_work_us: float = BUSY_WORK_US) -> dict:
     return results
 
 
-#: The equivalence matrix of ISSUE 3: every backend × dispatch combination
-#: must produce byte-identical canonical firing traces on both workloads.
+#: The equivalence matrix of ISSUE 3 (+ the delay workload of ISSUE 4):
+#: every backend × dispatch combination must produce byte-identical
+#: canonical firing traces on every workload — including simulated time on
+#: the delay-paced xmovie stream.
 MATRIX_DISPATCHES = ("table-driven", "generated", "planner")
 MATRIX_SPECS = {
     "mcam_core.estelle": SPEC_PATH.parent / "mcam_core.estelle",
     "osi_transfer.estelle": SPEC_PATH,
+    "xmovie_stream.estelle": SPEC_PATH.parent / "xmovie_stream.estelle",
 }
 
 
@@ -226,4 +229,4 @@ class TestParallelBackendBench:
         matrix = benchmark.pedantic(equivalence_matrix, rounds=1, iterations=1)
         failures = [c for c in matrix["cells"] if not c["traces_identical"]]
         assert matrix["all_traces_identical"], failures
-        assert len(matrix["cells"]) == 12  # 2 workloads × 2 backends × 3 dispatches
+        assert len(matrix["cells"]) == 18  # 3 workloads × 2 backends × 3 dispatches

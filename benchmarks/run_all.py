@@ -19,7 +19,11 @@ history), so the repository carries its own perf trajectory:
   ROADMAP.md, "Execution backends", for how to read the numbers),
 * the E-PLAN round-planner record: the incremental fused planner's
   planning+selection time against the interpreted full rescan over a
-  module-count sweep (ROADMAP.md, "Hot path").
+  module-count sweep (ROADMAP.md, "Hot path"),
+* the E-DELAY record: the delay-paced xmovie stream workload — the paced
+  vs delay-stripped schedule (pinning the old silently-ignored-delay bug)
+  and the {backend} x {dispatch} equivalence matrix on the delayed spec,
+  including identical simulated-time stamps.
 
 Run with:  PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
 """
@@ -128,6 +132,18 @@ def round_planner_results() -> dict:
     return _round_floats(results)
 
 
+def delay_round_results() -> dict:
+    """E-DELAY: delay-paced xmovie schedule + backend/dispatch equivalence."""
+    module = _load_bench_module("bench_delay_round")
+    results = module.delay_round_results()
+    results["pacing"]["paced"] = _round_floats(results["pacing"]["paced"])
+    results["pacing"]["undelayed"] = _round_floats(results["pacing"]["undelayed"])
+    results["matrix"]["cells"] = [
+        _round_floats(cell) for cell in results["matrix"]["cells"]
+    ]
+    return results
+
+
 def load_history(output: Path) -> list:
     if not output.exists():
         return []
@@ -164,6 +180,7 @@ def main(argv=None) -> int:
         "dispatch_selection": dispatch_selection_results(),
         "parallel_backend": parallel_backend_results(),
         "round_planner": round_planner_results(),
+        "delay_round": delay_round_results(),
     }
     runs = [run_entry] + load_history(args.output)
     args.output.write_text(json.dumps({"runs": runs[:HISTORY_LIMIT]}, indent=2) + "\n")
@@ -212,6 +229,40 @@ def main(argv=None) -> int:
             f"(speedup {planner['largest_point_speedup']})"
         )
         return 1
+    # Delay-eligibility checks must not regress the planner's cache reuse on
+    # the (undelayed) sparse workload: timer refresh is a per-class no-op
+    # there, so the reuse ratio has no reason to fall.
+    sparse_reuse = planner["sweep"][-1]["reuse_ratio"]
+    if sparse_reuse < 0.9:
+        print(
+            "regression: planner reuse_ratio fell to "
+            f"{sparse_reuse} on the sparse workload (delay-eligibility "
+            "checks dirtying clean modules?)"
+        )
+        return 1
+    delay_round = run_entry["delay_round"]
+    if not delay_round["matrix"]["all_traces_identical"]:
+        bad = [
+            f"{cell['backend']}/{cell['dispatch']}"
+            for cell in delay_round["matrix"]["cells"]
+            if not cell["traces_identical"]
+        ]
+        print(f"regression: delayed-spec trace divergence in cells: {bad}")
+        return 1
+    if not delay_round["pacing"]["pacing_effective"]:
+        print(
+            "regression: delay clauses no longer pace the xmovie stream "
+            "(silent-ignore bug resurfaced?)"
+        )
+        return 1
+    print(
+        f"delay round: xmovie paced at >= {delay_round['pacing']['frame_delay']} "
+        f"sim units/frame (paced sim time "
+        f"{delay_round['pacing']['paced']['simulated_time']} vs undelayed "
+        f"{delay_round['pacing']['undelayed']['simulated_time']}); "
+        f"{len(delay_round['matrix']['cells'])} backend x dispatch cells "
+        "byte-identical"
+    )
     print(
         f"round planner: {planner['largest_point_speedup']}x less "
         f"planning+selection time than the interpreted rescan at "

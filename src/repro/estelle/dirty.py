@@ -32,7 +32,9 @@ first tracker's hooks.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, FrozenSet, Set
+import heapq
+import itertools
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from .module import Module
@@ -46,6 +48,19 @@ class DirtyTracker:
     *structure epoch* counts tree-shape changes (module creation/release) so a
     planner can detect that its flattened module arrays are stale and must be
     rebuilt (a full re-evaluation).
+
+    The dirty contract also has a *time* dimension: the passage of simulated
+    time can enable a ``delay``-bearing transition without any data mutation,
+    so a cached "nothing enabled" selection for an otherwise-clean module can
+    go stale.  The tracker therefore keeps a **next-deadline index** — a heap
+    of ``(deadline, module)`` entries fed by the module-level delay-timer
+    refresh (``Module._deadline_hook``) whenever a timer arms.  Before each
+    round the planner calls :meth:`wake_due` with the current simulated time,
+    which marks every module whose deadline has passed as dirty (waking the
+    sleeper for re-evaluation) instead of falling back to a full rescan.
+    Entries are not removed when a timer disarms; a stale entry merely wakes
+    a module whose re-evaluation confirms nothing changed, which is cheap and
+    keeps the index append-only.
     """
 
     def __init__(self) -> None:
@@ -53,6 +68,9 @@ class DirtyTracker:
         self.structure_epoch = 0
         #: total mark events observed (hook invocations; stats/tests only).
         self.total_marks = 0
+        #: the next-deadline index: (deadline, tiebreak, module) min-heap.
+        self._deadlines: List[Tuple[float, int, "Module"]] = []
+        self._deadline_sequence = itertools.count()
 
     # -- the hooks installed on modules ------------------------------------------
 
@@ -65,6 +83,12 @@ class DirtyTracker:
         self._dirty.add(module)
         self.total_marks += 1
 
+    def note_deadline(self, module: "Module", deadline: float) -> None:
+        """A delay timer armed on ``module``, expiring at ``deadline``."""
+        heapq.heappush(
+            self._deadlines, (deadline, next(self._deadline_sequence), module)
+        )
+
     # -- consumption by the planner ------------------------------------------------
 
     def drain(self) -> Set["Module"]:
@@ -74,6 +98,29 @@ class DirtyTracker:
 
     def peek(self) -> FrozenSet["Module"]:
         return frozenset(self._dirty)
+
+    def wake_due(self, now: float) -> int:
+        """Mark every module whose recorded deadline is at or before ``now``.
+
+        Returns the number of woken entries.  Call before :meth:`drain` so
+        modules enabled purely by time passing are re-evaluated this round.
+        """
+        woken = 0
+        deadlines = self._deadlines
+        while deadlines and deadlines[0][0] <= now:
+            _, _, module = heapq.heappop(deadlines)
+            self._dirty.add(module)
+            woken += 1
+        return woken
+
+    def next_deadline(self) -> Optional[float]:
+        """The earliest recorded future deadline (None when the index is empty).
+
+        After :meth:`wake_due` ``(now)`` every remaining entry is strictly
+        later than ``now``; the round loop jumps the simulated clock here
+        when a plan comes up empty but timers are still running.
+        """
+        return self._deadlines[0][0] if self._deadlines else None
 
     # -- installation ---------------------------------------------------------------
 
@@ -89,4 +136,5 @@ class DirtyTracker:
         for module in specification.root.walk():
             module._dirty_hook = tracker.mark
             module._structure_hook = tracker.note_structure_change
+            module._deadline_hook = tracker.note_deadline
         return tracker

@@ -55,7 +55,7 @@ paper's protocol specifications.  Keywords are case-insensitive; comments are
                    | "when" IDENT "." IDENT
                    | "provided" expr
                    | "priority" [ "-" ] INTEGER
-                   | "delay" NUMBER
+                   | "delay" ( NUMBER | "(" NUMBER "," NUMBER ")" )
                    | "cost" NUMBER
                    | "name" IDENT ;
 
@@ -99,6 +99,15 @@ Semantics notes
   the runtime's mapping layer.
 * ``priority`` follows Estelle: lower numbers are higher priority.  ``cost``
   is the simulated execution cost of the action block in abstract work units.
+* ``delay n`` / ``delay (min, max)`` makes the transition fireable only after
+  it has been continuously enabled for ``n`` (resp. ``min``) units of
+  simulated time on the runtime's shared clock
+  (:mod:`repro.runtime.clock`).  The nondeterministic window up to ``max``
+  is resolved deterministically to the lower bound — the runtime fires at
+  the earliest permitted instant — so canonical firing traces stay
+  byte-identical across backends and dispatch strategies; ``max < min`` is
+  a located semantic error.  Number literals accept a Pascal-style exponent
+  (``delay 1e-3``).
 * ``exist i : low .. high suchthat P`` / ``forall i : low .. high suchthat P``
   quantify ``P`` over the inclusive integer interval ``low .. high`` (an empty
   interval makes ``exist`` false and ``forall`` true).  The bound variable

@@ -165,6 +165,9 @@ class TransNode:
     statements: Tuple[Stmt, ...]
     loc: SourceLocation
     when_loc: Optional[SourceLocation] = None
+    #: the upper bound of a ``delay(min, max)`` pair (``delay`` holds the
+    #: lower bound); None for the scalar ``delay n`` form.
+    delay_max: Optional[float] = None
 
 
 @dataclass(frozen=True)

@@ -7,8 +7,9 @@ positions.  Lexical conventions follow ISO 9074's Pascal heritage:
   the case they were written in,
 * comments are ``{ ... }`` or ``(* ... *)`` and may span lines,
 * strings use single or double quotes with ``\\``-escapes,
-* numbers are unsigned integer or decimal literals (signs are handled by the
-  expression grammar).
+* numbers are unsigned integer or decimal literals, optionally with a
+  Pascal-style exponent (``1e-3``, ``2.5E6``); signs are handled by the
+  expression grammar.
 """
 
 from __future__ import annotations
@@ -183,14 +184,38 @@ def _lex_word(scanner: _Scanner, loc: SourceLocation) -> Token:
 
 def _lex_number(scanner: _Scanner, loc: SourceLocation) -> Token:
     chars: List[str] = []
+    is_float = False
     while not scanner.at_end() and scanner.peek().isdigit():
         chars.append(scanner.advance())
     # A fraction only when the dot is followed by a digit, so that the
     # specification terminator "end." never glues onto a preceding number.
     if scanner.peek() == "." and scanner.peek(1).isdigit():
+        is_float = True
         chars.append(scanner.advance())
         while not scanner.at_end() and scanner.peek().isdigit():
             chars.append(scanner.advance())
+    # Pascal-style exponent: 1e-3, 2.5E6.  Only entered when the 'e' is
+    # followed by a digit or a sign — an 'e' followed by a letter stays a
+    # separate word (so "2else" keeps lexing as NUMBER(2) KW(else)); a sign
+    # with no digits after it is a malformed exponent and gets a located
+    # diagnostic instead of the baffling NUMBER-then-IDENT downstream error.
+    if scanner.peek() in ("e", "E") and (
+        scanner.peek(1).isdigit() or scanner.peek(1) in ("+", "-")
+    ):
+        exponent_loc = scanner.location()
+        is_float = True
+        chars.append(scanner.advance())  # the 'e' / 'E'
+        if scanner.peek() in ("+", "-"):
+            chars.append(scanner.advance())
+        if not scanner.peek().isdigit():
+            raise EstelleSyntaxError(
+                "malformed exponent in numeric literal: expected digits after "
+                f"{''.join(chars)!r}",
+                exponent_loc,
+            )
+        while not scanner.at_end() and scanner.peek().isdigit():
+            chars.append(scanner.advance())
+    if is_float:
         return Token("NUMBER", float("".join(chars)), loc)
     return Token("NUMBER", int("".join(chars)), loc)
 

@@ -468,6 +468,7 @@ class _Lowering:
                 provided=guard,
                 priority=node.priority,
                 delay=node.delay,
+                delay_max=node.delay_max,
                 cost=node.cost,
                 name=name,
             )(action)

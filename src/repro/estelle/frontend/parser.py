@@ -231,6 +231,7 @@ class Parser:
         provided: Optional[ast.Expr] = None
         priority = 0
         delay = 0.0
+        delay_max: Optional[float] = None
         cost = 1.0
         name: Optional[str] = None
         seen = set()
@@ -285,7 +286,25 @@ class Parser:
             elif token.value == "delay":
                 once("delay", token.location)
                 self.advance()
-                delay = float(self.expect("NUMBER", context="after 'delay'").value)
+                if self.accept("OP", "("):
+                    # The paper's pair form: delay (min, max).  The
+                    # nondeterministic window is resolved deterministically
+                    # to the lower bound at lowering time (see
+                    # repro.estelle.transition.transition).
+                    delay = float(
+                        self.expect(
+                            "NUMBER", context="as the delay lower bound"
+                        ).value
+                    )
+                    self.expect("OP", ",", context="between the delay bounds")
+                    delay_max = float(
+                        self.expect(
+                            "NUMBER", context="as the delay upper bound"
+                        ).value
+                    )
+                    self.expect("OP", ")", context="after the delay bounds")
+                else:
+                    delay = float(self.expect("NUMBER", context="after 'delay'").value)
             elif token.value == "cost":
                 once("cost", token.location)
                 self.advance()
@@ -308,6 +327,7 @@ class Parser:
             provided=provided,
             priority=priority,
             delay=delay,
+            delay_max=delay_max,
             cost=cost,
             name=name,
             statements=statements,

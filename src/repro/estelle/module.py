@@ -106,6 +106,11 @@ class ModuleMeta(type):
 
         cls._ip_declarations = dict(ip_decls)
         cls._transition_declarations = dict(transitions)
+        # Precomputed per class so the delay-timer refresh is a cheap no-op
+        # for the (vast majority of) classes without timed transitions.
+        cls._delayed_transitions = tuple(
+            t for t in transitions.values() if t.delay > 0
+        )
         return cls
 
 
@@ -136,12 +141,20 @@ class Module(metaclass=ModuleMeta):
 
     _ip_declarations: Dict[str, IPDeclaration] = {}
     _transition_declarations: Dict[str, Transition] = {}
+    _delayed_transitions: Tuple[Transition, ...] = ()
 
     # Dirty-tracking hooks (see repro.estelle.dirty): installed by a
     # DirtyTracker, inherited by dynamically created children, None when no
     # incremental planner observes this tree.
     _dirty_hook = None
     _structure_hook = None
+    # Installed by DirtyTracker.attach alongside the dirty hooks: called with
+    # (module, deadline) when a delay timer arms, feeding the tracker's
+    # next-deadline index so time passing can wake a sleeping module.
+    _deadline_hook = None
+    # The shared simulated clock (repro.runtime.clock.SimulatedClock.attach);
+    # delay clauses are inert while it is None.
+    _sim_clock = None
 
     def __init__(self, name: str, parent: Optional["Module"] = None, **variables: Any):
         self.name = name
@@ -160,6 +173,10 @@ class Module(metaclass=ModuleMeta):
         self._array_counters: Dict[str, int] = {
             decl.name: 0 for decl in self._ip_declarations.values() if decl.array
         }
+        #: simulated time at which each currently-armed delay timer started
+        #: (transition name -> arming time); maintained by
+        #: :meth:`refresh_delay_timers`, cleared per transition on firing.
+        self._delay_since: Dict[str, float] = {}
         self.fired_count = 0
         self.initialised = False
 
@@ -214,6 +231,8 @@ class Module(metaclass=ModuleMeta):
         # fire outputs or create grandchildren that must be tracked.
         child._dirty_hook = self._dirty_hook
         child._structure_hook = self._structure_hook
+        child._deadline_hook = self._deadline_hook
+        child._sim_clock = self._sim_clock
         self.children[name] = child
         if self._structure_hook is not None:
             self._structure_hook(self)
@@ -301,6 +320,46 @@ class Module(metaclass=ModuleMeta):
         """All transitions declared on this module class (stable order)."""
         return list(cls._transition_declarations.values())
 
+    def refresh_delay_timers(self) -> None:
+        """Re-evaluate the arming state of every ``delay``-bearing transition.
+
+        The delay timer of a transition runs while its *untimed* enabling
+        condition holds continuously: the timer arms (recording the current
+        simulated time, and reporting the expiry to the deadline hook) the
+        first refresh that finds the condition true, and disarms the first
+        refresh that finds it false.  Every dispatch strategy runs this same
+        module-level pass before candidate scanning — timer maintenance must
+        not depend on *which* candidates a particular strategy happens to
+        examine, or the strategies would diverge behaviourally.
+
+        A no-op while no simulated clock is attached (delay clauses inert).
+        """
+        clock = self._sim_clock
+        if clock is None:
+            return
+        now = clock.now
+        since = self._delay_since
+        for t in self._delayed_transitions:
+            if t.enabled_untimed(self):
+                if t.name not in since:
+                    since[t.name] = now
+                    if self._deadline_hook is not None:
+                        self._deadline_hook(self, now + t.delay)
+            else:
+                since.pop(t.name, None)
+
+    def delay_expired(self, transition: Transition) -> bool:
+        """Whether ``transition``'s delay timer is armed and has run down.
+
+        True (inert) when no clock is attached; otherwise the transition must
+        have been continuously enabled since ``now - delay`` or earlier.
+        """
+        clock = self._sim_clock
+        if clock is None:
+            return True
+        since = self._delay_since.get(transition.name)
+        return since is not None and clock.now >= since + transition.delay
+
     def enabled_transitions(self) -> List[Transition]:
         """Transitions currently enabled on this instance, best priority first.
 
@@ -308,6 +367,8 @@ class Module(metaclass=ModuleMeta):
         :meth:`external_ready` says so; the runtime then calls
         :meth:`external_step` instead of firing a declared transition.
         """
+        if self._delayed_transitions:
+            self.refresh_delay_timers()
         enabled = [t for t in self.declared_transitions() if t.enabled(self)]
         enabled.sort(key=lambda t: t.priority)
         return enabled
@@ -315,6 +376,8 @@ class Module(metaclass=ModuleMeta):
     def has_enabled_transition(self) -> bool:
         if self.EXTERNAL and self.external_ready():
             return True
+        if self._delayed_transitions:
+            self.refresh_delay_timers()
         return any(t.enabled(self) for t in self.declared_transitions())
 
     # -- external (hand-coded) bodies -------------------------------------------

@@ -51,7 +51,15 @@ class Transition:
     when: Optional[Tuple[str, str]]  # (interaction point name, interaction name)
     provided: Optional[GuardFn]
     priority: int = 0
+    #: the delay *lower bound*: the transition becomes fireable only after
+    #: being continuously enabled for this long (simulated time).  The
+    #: Estelle ``delay(min, max)`` window is resolved deterministically to
+    #: the lower bound — the runtime fires at the earliest permitted instant
+    #: so canonical traces stay byte-identical across backends/strategies.
     delay: float = 0.0
+    #: the declared upper bound of the ``delay(min, max)`` pair (None for the
+    #: scalar form); validated >= ``delay``, kept for introspection.
+    delay_max: Optional[float] = None
     cost: float = 1.0
     name: str = ""
     spontaneous: bool = field(init=False)
@@ -69,12 +77,14 @@ class Transition:
             return True
         return state in self.from_states
 
-    def enabled(self, module: Any) -> bool:
-        """Full enabling check against a module instance.
+    def enabled_untimed(self, module: Any) -> bool:
+        """Enabling check *without* the ``delay`` clause.
 
-        A transition is enabled when the module is in one of the ``from``
-        states, the ``when`` clause (if any) matches the head of the named
-        interaction point's queue, and the ``provided`` guard (if any) holds.
+        True when the module is in one of the ``from`` states, the ``when``
+        clause (if any) matches the head of the named interaction point's
+        queue, and the ``provided`` guard (if any) holds.  This is the
+        condition whose continuous truth runs the delay timer
+        (:meth:`repro.estelle.module.Module.refresh_delay_timers`).
         """
         if not self.applies_to_state(module.state):
             return False
@@ -91,6 +101,21 @@ class Transition:
             if self.when is not None:
                 return bool(self.provided(module, interaction))
             return bool(self.provided(module))
+        return True
+
+    def enabled(self, module: Any) -> bool:
+        """Full enabling check against a module instance.
+
+        On top of :meth:`enabled_untimed`, a transition with a ``delay``
+        clause is enabled only once it has been continuously enabled for its
+        delay on the module's simulated clock.  Delay checks are inert when
+        no clock is attached to the module tree (hand-driven tests, direct
+        ``fire`` calls) — see :meth:`repro.estelle.module.Module.delay_expired`.
+        """
+        if not self.enabled_untimed(module):
+            return False
+        if self.delay > 0:
+            return module.delay_expired(self)
         return True
 
     def fire(self, module: Any) -> "FiringRecord":
@@ -115,6 +140,10 @@ class Transition:
             self.action(module)
         if self.to_state is not None and module.state == state_before:
             module.state = self.to_state
+        if self.delay > 0:
+            # The firing consumed this enabling: the delay timer restarts
+            # from the next instant the transition is (again) enabled.
+            module._delay_since.pop(self.name, None)
         hook = getattr(module, "_dirty_hook", None)
         if hook is not None:
             # The firing changed the module's state, variables or queues.
@@ -166,6 +195,7 @@ def transition(
     provided: Optional[GuardFn] = None,
     priority: int = 0,
     delay: float = 0.0,
+    delay_max: Optional[float] = None,
     cost: float = 1.0,
     name: str = "",
 ):
@@ -177,10 +207,21 @@ def transition(
     action block in abstract time units, consumed by the multiprocessor
     simulator (:mod:`repro.sim`) when the generated system runs in parallel.
     ``priority`` follows Estelle: *lower* numbers are higher priority.
+
+    ``delay`` / ``delay_max`` mirror Estelle's ``delay(min, max)``: the
+    transition becomes fireable only after being continuously enabled for
+    ``delay`` units of simulated time.  The nondeterministic firing window
+    up to ``delay_max`` is resolved deterministically to the lower bound
+    (the runtime fires at the earliest permitted instant), so the upper
+    bound is validated and recorded but does not change the schedule.
     """
 
     if delay < 0:
         raise TransitionError("delay must be non-negative")
+    if delay_max is not None and delay_max < delay:
+        raise TransitionError(
+            f"delay upper bound ({delay_max}) must be >= the lower bound ({delay})"
+        )
     if cost < 0:
         raise TransitionError("cost must be non-negative")
 
@@ -193,6 +234,7 @@ def transition(
             provided=provided,
             priority=priority,
             delay=delay,
+            delay_max=delay_max,
             cost=cost,
             name=name or func.__name__,
         )

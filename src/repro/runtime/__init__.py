@@ -10,6 +10,8 @@ Pieces:
 * the incremental fused round planner (:mod:`repro.runtime.planner`):
   dirty-set driven selection caching plus a generated whole-specification
   planner function, selected through the ``"planner"`` dispatch name,
+* the simulated clock (:mod:`repro.runtime.clock`) driving Estelle ``delay``
+  semantics identically on both execution backends,
 * mapping strategies (thread-per-module, grouping, connection-per-processor,
   layer-per-processor, sequential baseline),
 * the executor that runs a specification on a simulated cluster and produces
@@ -21,6 +23,7 @@ Pieces:
 * execution traces.
 """
 
+from .clock import SimulatedClock, firing_advance, next_delay_deadline
 from .codegen import (
     CompiledModuleDispatch,
     GeneratedDispatchStrategy,
@@ -110,6 +113,7 @@ __all__ = [
     "RoundRecord",
     "Scheduler",
     "SequentialMapping",
+    "SimulatedClock",
     "SpecSource",
     "SpecificationExecutor",
     "SystemMapping",
@@ -121,9 +125,11 @@ __all__ = [
     "compile_plan_program",
     "compile_specification",
     "dispatch_by_name",
+    "firing_advance",
     "generated_source",
     "load_dumped_selector",
     "mapping_by_name",
+    "next_delay_deadline",
     "register_backend",
     "register_strategy",
     "run_specification",

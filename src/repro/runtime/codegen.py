@@ -87,11 +87,13 @@ def _emit_row(
     lines.append("    examined = 0")
 
     # The reachable prefix ends at the first unconditionally-enabled
-    # transition (spontaneous, no guard): nothing after it can be chosen.
+    # transition (spontaneous, no guard, no delay): nothing after it can be
+    # chosen.  A delay clause makes a transition conditional — its timer may
+    # not have expired — so it never terminates the prefix.
     reachable: List[Transition] = []
     for candidate in row:
         reachable.append(candidate)
-        if candidate.when is None and candidate.provided is None:
+        if candidate.when is None and candidate.provided is None and candidate.delay <= 0:
             break
 
     # Fetch each referenced interaction point's queue head exactly once.
@@ -109,31 +111,57 @@ def _emit_row(
     for candidate in reachable:
         idx = transition_index[id(candidate)]
         guard = guard_names[id(candidate)]
+        # A delay clause adds a timer check after the guard, mirroring the
+        # order of Transition.enabled (timers are refreshed by the shared
+        # module-level pass before any row runs).
+        delay_check = (
+            f"module.delay_expired(_T[{idx}])" if candidate.delay > 0 else None
+        )
         if candidate.when is not None:
             ip_name, interaction_name = candidate.when
             head = head_vars[ip_name]
-            lines.append(
-                f"    # {candidate.name!r}: when {ip_name}.{interaction_name}"
-            )
+            note = f"when {ip_name}.{interaction_name}"
+            if candidate.delay > 0:
+                note += f", delay {candidate.delay!r}"
+            lines.append(f"    # {candidate.name!r}: {note}")
             lines.append(
                 f"    if {head} is not None and {head}.name == {interaction_name!r}:"
             )
             lines.append("        examined += 1")
-            if guard is None:
+            conditions = [
+                c
+                for c in (
+                    f"{guard}(module, {head})" if guard is not None else None,
+                    delay_check,
+                )
+                if c is not None
+            ]
+            if not conditions:
                 lines.append(f"        return _T[{idx}], examined")
             else:
-                lines.append(f"        if {guard}(module, {head}):")
+                lines.append(f"        if {' and '.join(conditions)}:")
                 lines.append(f"            return _T[{idx}], examined")
         else:
-            lines.append(f"    # {candidate.name!r}: spontaneous")
+            note = "spontaneous"
+            if candidate.delay > 0:
+                note += f", delay {candidate.delay!r}"
+            lines.append(f"    # {candidate.name!r}: {note}")
             lines.append("    examined += 1")
-            if guard is None:
+            conditions = [
+                c
+                for c in (
+                    f"{guard}(module)" if guard is not None else None,
+                    delay_check,
+                )
+                if c is not None
+            ]
+            if not conditions:
                 lines.append(f"    return _T[{idx}], examined")
             else:
-                lines.append(f"    if {guard}(module):")
+                lines.append(f"    if {' and '.join(conditions)}:")
                 lines.append(f"        return _T[{idx}], examined")
     last = reachable[-1]
-    if last.when is not None or last.provided is not None:
+    if last.when is not None or last.provided is not None or last.delay > 0:
         lines.append("    return None, examined")
     lines.append("")
 
@@ -198,6 +226,10 @@ def compile_module_class(module_class: Type[Module]) -> CompiledModuleDispatch:
     lines.append(f"_ROWS = {{{entries}}}")
     lines.append("")
     lines.append("def _select(module):")
+    if module_class._delayed_transitions:
+        # Timer maintenance is a module-level pass shared with the
+        # interpreted strategies; the rows then consult delay_expired.
+        lines.append("    module.refresh_delay_timers()")
     lines.append("    state = module.state")
     lines.append("    row = _ROWS.get(state, _row_any)")
     lines.append("    return row(module)")

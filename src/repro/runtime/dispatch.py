@@ -117,6 +117,12 @@ class DispatchStrategy:
         if module.EXTERNAL:
             return self._external_result(module)
 
+        # Delay timers are maintained by a strategy-independent module-level
+        # pass (never as a side effect of candidate scanning, which differs
+        # per strategy); `Transition.enabled` then consults the timers.
+        if module._delayed_transitions:
+            module.refresh_delay_timers()
+
         examined = 0
         chosen: Optional[Transition] = None
         for candidate in self.candidates(module):

@@ -49,6 +49,7 @@ from ..estelle.module import Module
 from ..estelle.specification import Specification
 from ..sim.machine import Cluster, CostModel, Machine
 from ..sim.metrics import ExecutionMetrics
+from .clock import SimulatedClock, firing_advance, next_delay_deadline
 from .dispatch import DispatchStrategy, TableDrivenDispatch
 from .mapping import ExecutionUnit, MappingStrategy, SystemMapping, ThreadPerModuleMapping
 from .planner import IncrementalRoundPlanner, PlannerDispatch
@@ -75,10 +76,18 @@ class SpecificationExecutor:
         self.mapping_strategy = mapping or ThreadPerModuleMapping()
         self.scheduler = scheduler or DecentralisedScheduler()
         self.dispatch = dispatch or TableDrivenDispatch()
+        #: the simulated clock driving Estelle ``delay`` semantics: advances
+        #: by the busiest unit's firing-cost sum per round, and jumps to the
+        #: next delay deadline when a round plan comes up empty with timers
+        #: still running.  Both execution backends derive identical clock
+        #: readings, which FiringEvent.time (a canonical trace field) pins.
+        self.clock = SimulatedClock.attach(specification)
         #: the incremental fused planner replaces the per-round scheduler
         #: walk when the "planner" dispatch strategy is selected.
         self.planner: Optional[IncrementalRoundPlanner] = (
-            IncrementalRoundPlanner(specification, dispatch=self.dispatch)
+            IncrementalRoundPlanner(
+                specification, dispatch=self.dispatch, clock=self.clock
+            )
             if isinstance(self.dispatch, PlannerDispatch)
             else None
         )
@@ -154,30 +163,61 @@ class SpecificationExecutor:
                 break
         return self.metrics
 
-    def step_round(self) -> bool:
-        """Execute one computation round; returns False when nothing fired."""
+    def _plan(self) -> RoundPlan:
         if self.planner is not None:
-            plan = self.planner.plan_round()
-        else:
-            plan = self.scheduler.plan_round(self.specification, self.dispatch)
-        if plan.empty:
-            self.deadlocked = self.specification.pending_interactions() > 0
-            return False
+            return self.planner.plan_round()
+        return self.scheduler.plan_round(self.specification, self.dispatch)
+
+    def _next_deadline(self) -> Optional[float]:
+        """Earliest future delay deadline, from the planner's index or a scan."""
+        if self.planner is not None:
+            return self.planner.next_deadline()
+        return next_delay_deadline(self.specification.modules(), self.clock.now)
+
+    def step_round(self) -> bool:
+        """Execute one computation round; returns False when nothing fired.
+
+        An empty plan is quiescence only when no delay timer is running:
+        otherwise simulated time is the missing enabler, so the clock jumps
+        to the earliest pending deadline and planning retries (each jump
+        strictly advances the clock and consumes at least one armed timer,
+        so the retry loop terminates).
+        """
+        plan = self._plan()
+        resume_at = self.clock.now
+        while plan.empty:
+            deadline = self._next_deadline()
+            if deadline is None or deadline <= self.clock.now:
+                # Quiescent for real.  Jumps taken on the way here chased
+                # *stale* deadline-index entries (timers disarmed before
+                # expiry) and must not outlive the round: rewind so the
+                # final clock reading stays identical to the strategies that
+                # scan live timers and never jump at quiescence.
+                self.clock.now = resume_at
+                self.deadlocked = self.specification.pending_interactions() > 0
+                return False
+            self.clock.now = deadline
+            plan = self._plan()
 
         self._round_index += 1
         self.trace.start_round(self._round_index)
 
         unit_work: Dict[int, float] = defaultdict(float)
         units_by_id: Dict[int, ExecutionUnit] = {}
+        firing_work: Dict[int, float] = defaultdict(float)
 
         serial_overhead = self._charge_selection(plan, unit_work, units_by_id)
-        self._charge_firings(plan, unit_work, units_by_id)
+        self._charge_firings(plan, unit_work, units_by_id, firing_work)
         makespan = self._account_round(serial_overhead, unit_work, units_by_id)
 
         self.metrics.rounds += 1
         self.metrics.elapsed_time += makespan
         self.metrics.round_makespans.append(makespan)
         self.trace.finish_round(makespan, serial_overhead)
+        # The delay clock advances by the dispatch-independent component of
+        # the makespan: the busiest unit's firing work (events were stamped
+        # with the round's *start* time above, before this advance).
+        self.clock.advance(firing_advance(firing_work))
         return True
 
     # -- selection overhead -----------------------------------------------------------
@@ -216,6 +256,7 @@ class SpecificationExecutor:
         plan: RoundPlan,
         unit_work: Dict[int, float],
         units_by_id: Dict[int, ExecutionUnit],
+        firing_work: Dict[int, float],
     ) -> None:
         for firing in plan.firings:
             module = firing.module
@@ -249,6 +290,7 @@ class SpecificationExecutor:
             self.metrics.transitions_fired += 1
             self.metrics.transition_time += cost
             unit_work[unit.uid] += cost
+            firing_work[unit.uid] += cost
 
             unit_work[unit.uid] += self._charge_messages(module, unit, sent_before)
 
@@ -263,6 +305,7 @@ class SpecificationExecutor:
                     cost=cost,
                     unit_id=unit.uid,
                     machine=unit.machine,
+                    time=self.clock.now,
                 )
             )
 
@@ -442,6 +485,10 @@ class BackendResult:
     deadlocked: bool
     workers: int = 1
     metrics: Optional[ExecutionMetrics] = None
+    #: final reading of the simulated delay clock (identical across backends
+    #: on the same specification — it is derived from declared costs, not
+    #: wall time; see :mod:`repro.runtime.clock`).
+    simulated_time: float = 0.0
 
 
 def busy_work_for(us_per_cost: float) -> Optional[Callable[[float], None]]:
@@ -559,4 +606,5 @@ class InProcessBackend(ExecutionBackend):
             deadlocked=executor.deadlocked,
             workers=1,
             metrics=metrics,
+            simulated_time=executor.clock.now,
         )

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ...estelle.errors import SchedulingError
 from ...estelle.specification import Specification
 from ...sim.machine import Cluster
+from ..clock import SimulatedClock, firing_advance
 from ..dispatch import DispatchResult, DispatchStrategy
 from ..executor import (
     BackendResult,
@@ -325,6 +326,11 @@ class MultiprocessBackend(ExecutionBackend):
             scheduler or DecentralisedScheduler(),
             incremental=dispatch == PLANNER_DISPATCH_NAME,
         )
+        # The delay clock's single authority: the coordinator owns the time,
+        # broadcasts it with every "select", and advances it by the busiest
+        # unit's firing-cost sum per round — the identical derivation the
+        # in-process executor uses, so FiringEvent.time stays byte-equal.
+        clock = SimulatedClock()
         trace = ExecutionTrace(enabled=True)
         rounds = 0
         transitions_fired = 0
@@ -336,16 +342,33 @@ class MultiprocessBackend(ExecutionBackend):
             loop_started = time.perf_counter()
 
             for round_index in range(1, max_rounds + 1):
-                self._broadcast(command_queues, ("select", round_index))
-                summary_sets = self._gather(
-                    result_queue, "summaries", round_index, len(units), processes
+                summaries, deadlines = self._select_round(
+                    command_queues, result_queue, processes, units, round_index, clock
                 )
-                summaries: Dict[str, SelectionSummary] = {}
-                for per_unit in summary_sets.values():
-                    for summary in per_unit:
-                        summaries[summary[0]] = summary
                 plan = planner.plan(summaries)
+                # An empty plan with delay timers still running means time is
+                # the missing enabler: jump the clock to the earliest worker-
+                # reported deadline and re-select (same round index — a jump
+                # is not a computation round).  Each jump strictly advances
+                # the clock, so the loop terminates.
+                resume_at = clock.now
+                while plan.empty and deadlines:
+                    next_deadline = min(deadlines)
+                    if next_deadline <= clock.now:
+                        break
+                    clock.now = next_deadline
+                    # Fresh summaries cover both modes: incremental workers
+                    # report deltas (the planner's cache holds the rest),
+                    # non-incremental workers re-report their full shard.
+                    summaries, deadlines = self._select_round(
+                        command_queues, result_queue, processes, units, round_index, clock
+                    )
+                    plan = planner.plan(summaries)
                 if plan.empty:
+                    # Quiescent: rewind jumps taken chasing stale deadline
+                    # entries, mirroring the in-process executor, so the
+                    # final simulated_time matches across dispatches.
+                    clock.now = resume_at
                     deadlocked = (
                         planner.has_pending()
                         if planner.incremental
@@ -390,9 +413,11 @@ class MultiprocessBackend(ExecutionBackend):
                 ordered.sort(key=lambda item: item[1][0])  # by plan index
 
                 trace.start_round(round_index)
+                unit_firing_costs: Dict[int, float] = {}
                 for uid, report in ordered:
                     _, path, name, state_before, state_after, interaction, cost = report
                     unit = unit_by_uid[uid]
+                    unit_firing_costs[uid] = unit_firing_costs.get(uid, 0.0) + cost
                     trace.record_firing(
                         FiringEvent(
                             round_index=round_index,
@@ -404,9 +429,11 @@ class MultiprocessBackend(ExecutionBackend):
                             cost=cost,
                             unit_id=unit.uid,
                             machine=unit.machine,
+                            time=clock.now,
                         )
                     )
                 trace.finish_round(makespan=round_wall, serial_overhead=0.0)
+                clock.advance(firing_advance(unit_firing_costs))
                 rounds += 1
                 transitions_fired += len(ordered)
 
@@ -423,9 +450,37 @@ class MultiprocessBackend(ExecutionBackend):
             deadlocked=deadlocked,
             workers=len(units),
             metrics=None,
+            simulated_time=clock.now,
         )
 
     # -- protocol helpers ----------------------------------------------------------
+
+    def _select_round(
+        self,
+        command_queues: Dict[int, Any],
+        result_queue,
+        processes: List[Any],
+        units,
+        round_index: int,
+        clock: SimulatedClock,
+    ) -> Tuple[Dict[str, SelectionSummary], List[float]]:
+        """Broadcast one select at the clock's current time; fold the replies.
+
+        Returns the merged per-module summaries plus every worker-reported
+        future delay deadline (empty when no timers are running anywhere).
+        """
+        self._broadcast(command_queues, ("select", round_index, clock.now))
+        summary_sets = self._gather(
+            result_queue, "summaries", round_index, len(units), processes
+        )
+        summaries: Dict[str, SelectionSummary] = {}
+        deadlines: List[float] = []
+        for per_unit, unit_deadline in summary_sets.values():
+            for summary in per_unit:
+                summaries[summary[0]] = summary
+            if unit_deadline is not None:
+                deadlines.append(unit_deadline)
+        return summaries, deadlines
 
     @staticmethod
     def _broadcast(command_queues: Dict[int, Any], command: Tuple) -> None:

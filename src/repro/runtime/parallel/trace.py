@@ -24,7 +24,12 @@ from ..tracing import ExecutionTrace, FiringEvent
 #: The FiringEvent fields that define behavioural equivalence, in canonical
 #: order.  ``cost`` is included: both backends compute it as the transition's
 #: declared cost times the same scale factor, so a mismatch means the wrong
-#: transition (or the wrong cost model) fired.
+#: transition (or the wrong cost model) fired.  ``time`` is the simulated
+#: time at the start of the firing's round: the shared clock advances by the
+#: busiest unit's firing-cost sum per round (and jumps to the next delay
+#: deadline when only timers are pending), which is derived from the same
+#: declared costs and unit placement on both backends — so a ``time``
+#: mismatch means delay semantics (or the clock derivation) diverged.
 CANONICAL_FIELDS: Tuple[str, ...] = (
     "round_index",
     "module_path",
@@ -35,6 +40,7 @@ CANONICAL_FIELDS: Tuple[str, ...] = (
     "cost",
     "unit_id",
     "machine",
+    "time",
 )
 
 

@@ -33,6 +33,7 @@ from ...estelle.dirty import DirtyTracker
 from ...estelle.errors import SchedulingError
 from ...estelle.interaction import Interaction
 from ...estelle.module import Module
+from ..clock import SimulatedClock, next_delay_deadline
 from ..dispatch import dispatch_by_name
 from ..executor import SpecSource, busy_work_for
 from ..planner import PLANNER_DISPATCH_NAME
@@ -106,6 +107,11 @@ class WorkerRuntime:
         self.dispatch = dispatch_by_name(
             config.dispatch_name, **dict(config.dispatch_kwargs)
         )
+        # The delay clock is coordinator-authoritative: every "select"
+        # command carries the current simulated time, which the worker copies
+        # onto its replica's clock before evaluating (delay timers and
+        # eligibility then read exactly the coordinator's time).
+        self.clock = SimulatedClock.attach(self.specification)
         self.busy_work = busy_work_for(config.busy_work_us_per_cost)
         self._module_census = len(self.modules)
         self._undelivered_round: Optional[int] = None
@@ -145,15 +151,24 @@ class WorkerRuntime:
                 Interaction(message.interaction_name, dict(message.params))
             )
 
-    def select(self) -> List[SelectionSummary]:
+    def select(self, now: float = 0.0) -> Tuple[List[SelectionSummary], Optional[float]]:
         """Phase 2: per-module transition selection over the owned shard.
 
+        ``now`` is the coordinator's simulated time (delay semantics); the
+        returned pair is ``(summaries, next_deadline)`` where the deadline is
+        the earliest future delay-timer expiry among the owned modules (None
+        when no timer is running) — the coordinator jumps the clock to the
+        minimum over all workers when a round plan comes up empty.
+
         With the incremental planner the evaluated set shrinks to the shard's
-        *dirty* modules (changed state or queues since the previous round)
-        and the returned summaries are a delta; otherwise the whole shard is
-        evaluated and reported, every round.
+        *dirty* modules (changed state or queues since the previous round,
+        plus modules woken by an expired delay deadline) and the returned
+        summaries are a delta; otherwise the whole shard is evaluated and
+        reported, every round.
         """
+        self.clock.now = now
         if self._tracker is not None:
+            self._tracker.wake_due(now)
             if self._selected_once:
                 dirty = self._tracker.drain()
                 paths: List[str] = sorted(
@@ -182,7 +197,13 @@ class WorkerRuntime:
                     module.pending_interactions(),
                 )
             )
-        return summaries
+        if self._tracker is not None:
+            deadline = self._tracker.next_deadline()
+        else:
+            deadline = next_delay_deadline(
+                (self.modules[path] for path in self.unit.module_paths), now
+            )
+        return summaries, deadline
 
     def fire(
         self, round_index: int, firings: Tuple[AssignedFiring, ...]
@@ -308,9 +329,11 @@ def worker_main(
 ) -> None:
     """Process entry point: serve the coordinator's round protocol.
 
-    Commands are ``("select", round)``, ``("fire", round, firings)`` and
-    ``("stop",)``; every select/fire is answered with exactly one result
-    tuple ``(uid, kind, round, payload)``.  Any exception is reported as an
+    Commands are ``("select", round, now)``, ``("fire", round, firings)``
+    and ``("stop",)``; every select/fire is answered with exactly one result
+    tuple ``(uid, kind, round, payload)``.  A ``select`` may repeat for the
+    same round with a later ``now`` when the coordinator jumps the simulated
+    clock over a delay deadline.  Any exception is reported as an
     ``("error", traceback)`` result instead of dying silently, so the
     coordinator can fail fast with the worker's stack trace.
     """
@@ -322,10 +345,11 @@ def worker_main(
             command = command_queue.get()
             kind = command[0]
             if kind == "select":
-                round_index = command[1]
+                round_index, now = command[1], command[2]
                 runtime.deliver_pending()
+                summaries, deadline = runtime.select(now)
                 result_queue.put(
-                    (uid, "summaries", round_index, tuple(runtime.select()))
+                    (uid, "summaries", round_index, (tuple(summaries), deadline))
                 )
             elif kind == "fire":
                 round_index, firings = command[1], command[2]

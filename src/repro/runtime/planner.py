@@ -46,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 from ..estelle.dirty import DirtyTracker
 from ..estelle.module import Module
 from ..estelle.specification import Specification
+from .clock import SimulatedClock
 from .codegen import GeneratedDispatchStrategy, compile_module_class
 from .dispatch import DispatchResult, DispatchStrategy, register_strategy
 from .scheduler import PlannedFiring, RoundPlan
@@ -70,7 +71,13 @@ class PlannerDispatch(GeneratedDispatchStrategy):
 
 @dataclass
 class PlannerStats:
-    """Evaluation-reuse counters (the planner's before/after story)."""
+    """Evaluation-reuse counters (the planner's before/after story).
+
+    ``rounds`` counts :meth:`IncrementalRoundPlanner.plan_round` invocations,
+    which on delay-bearing specifications includes the empty re-plans the
+    executor performs while jumping the clock over delay deadlines — so it
+    can exceed the executor's computation-round count there.
+    """
 
     rounds: int = 0
     #: per-module selections actually re-evaluated.
@@ -296,11 +303,18 @@ class IncrementalRoundPlanner:
         specification: Specification,
         dispatch: Optional[DispatchStrategy] = None,
         fused: bool = True,
+        clock: Optional[SimulatedClock] = None,
     ) -> None:
         self.specification = specification
         self.dispatch = dispatch if dispatch is not None else PlannerDispatch()
         self.fused = fused
         self.tracker = DirtyTracker.attach(specification)
+        #: the simulated clock driving delay semantics.  When set (the
+        #: executor shares its own), :meth:`plan_round` first wakes every
+        #: module whose delay deadline has passed — time passing can enable
+        #: a transition with no data mutation, which the dirty hooks alone
+        #: cannot see.  When None, delay clauses are inert (legacy paths).
+        self.clock = clock
         self.stats = PlannerStats()
         self._program: Optional[FusedPlanProgram] = None
         self._results: List[Optional[DispatchResult]] = []
@@ -345,10 +359,24 @@ class IncrementalRoundPlanner:
             self._rebuild()
         return self._program  # type: ignore[return-value]
 
+    def next_deadline(self) -> Optional[float]:
+        """Earliest future delay deadline in the tracker's index (or None).
+
+        After a :meth:`plan_round` at time ``now`` every remaining indexed
+        deadline is strictly later than ``now``; an empty plan with a pending
+        deadline means the round loop should jump the clock here and re-plan.
+        """
+        return self.tracker.next_deadline()
+
     def plan_round(self) -> RoundPlan:
         """Produce the next round's plan, re-evaluating only dirty modules."""
         program = self.program  # rebuilds on structure changes
         results = self._results
+        if self.clock is not None:
+            # The time dimension of the dirty contract: wake modules whose
+            # delay deadlines have passed, so their cached "nothing enabled"
+            # selections are re-evaluated instead of trusted.
+            self.tracker.wake_due(self.clock.now)
         if self._all_dirty:
             self.tracker.drain()
             indices: Sequence[int] = range(len(program.modules))

@@ -27,6 +27,12 @@ class FiringEvent:
     cost: float
     unit_id: int
     machine: str
+    #: simulated time at the start of the firing's round, read off the shared
+    #: :class:`repro.runtime.clock.SimulatedClock`.  Dispatch-independent and
+    #: backend-independent by construction (the clock advances by the busiest
+    #: unit's firing-cost sum per round), so it participates in the canonical
+    #: trace equivalence (:mod:`repro.runtime.parallel.trace`).
+    time: float = 0.0
 
 
 @dataclass

@@ -84,8 +84,18 @@ class EventScheduler:
     def schedule_at(
         self, time: float, callback: EventCallback, label: str = ""
     ) -> EventHandle:
-        """Schedule ``callback`` at an absolute simulation time."""
-        return self.schedule(max(0.0, time - self.now), callback, label=label)
+        """Schedule ``callback`` at an absolute simulation time.
+
+        Strictly-past times raise, consistent with :meth:`schedule`'s
+        negative-delay policy (silently clamping them to "now" would reorder
+        causality without a trace); ``time == now`` is allowed and runs the
+        callback on the next :meth:`step`.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule an event in the past (time={time}, now={self.now})"
+            )
+        return self.schedule(time - self.now, callback, label=label)
 
     def schedule_periodic(
         self,

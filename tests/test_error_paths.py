@@ -1,9 +1,15 @@
 """Error-path coverage: factory unknown names, transition clause validation,
-and the scheduler's precomputed-membership overhead accounting."""
+malformed frontend delay clauses, and the scheduler's precomputed-membership
+overhead accounting."""
 
 import pytest
 
 from repro.estelle import TransitionError, transition
+from repro.estelle.frontend import (
+    EstelleSemanticError,
+    EstelleSyntaxError,
+    compile_source,
+)
 from repro.runtime import (
     DecentralisedScheduler,
     TableDrivenDispatch,
@@ -51,6 +57,10 @@ class TestTransitionClauseValidation:
         with pytest.raises(TransitionError, match="cost must be non-negative"):
             transition(from_state="s", cost=-0.1)
 
+    def test_delay_upper_bound_below_lower_rejected(self):
+        with pytest.raises(TransitionError, match="upper bound"):
+            transition(from_state="s", delay=5.0, delay_max=2.0)
+
     def test_empty_from_state_sequence_rejected(self):
         decorator = transition(from_state=())
         with pytest.raises(TransitionError, match="may not be an empty sequence"):
@@ -95,3 +105,54 @@ class TestUnitOverheadMembership:
         member = frozenset({"workers/pool/worker-1"})
         assert scheduler.unit_overhead(plan, member) == pytest.approx(1.0)
         assert scheduler.unit_overhead(plan, frozenset()) == 0.0
+
+
+#: Minimal single-module spec with a substitutable transition-clause slot.
+_DELAY_SPEC = """
+specification d;
+module M systemprocess;
+end;
+body MB for M;
+  state s ;
+  trans from s {clauses} name t begin x := 1 end;
+end;
+modvar m : MB at "ksr1" ;
+end.
+"""
+
+
+class TestDelayClauseErrors:
+    """Malformed frontend delay clauses raise *located* diagnostics."""
+
+    def _compile(self, clauses: str):
+        return compile_source(_DELAY_SPEC.format(clauses=clauses))
+
+    def test_missing_upper_bound(self):
+        with pytest.raises(EstelleSyntaxError, match="delay upper bound") as excinfo:
+            self._compile("delay ( 1 , )")
+        assert excinfo.value.location is not None
+
+    def test_upper_bound_below_lower(self):
+        with pytest.raises(EstelleSemanticError, match="upper bound") as excinfo:
+            self._compile("delay ( 5 , 2 )")
+        assert excinfo.value.location is not None
+
+    def test_negative_delay(self):
+        with pytest.raises(EstelleSyntaxError, match="after 'delay'") as excinfo:
+            self._compile("delay -1")
+        assert excinfo.value.location is not None
+
+    def test_duplicate_delay_clause(self):
+        with pytest.raises(EstelleSyntaxError, match="duplicate 'delay'") as excinfo:
+            self._compile("delay 1 delay 2")
+        assert excinfo.value.location is not None
+
+    def test_malformed_exponent_is_located(self):
+        with pytest.raises(EstelleSyntaxError, match="malformed exponent") as excinfo:
+            self._compile("delay 1e-")
+        assert excinfo.value.location is not None
+
+    def test_exponent_delay_accepted(self):
+        spec = self._compile("delay 1e-3")
+        t = type(spec.find("m"))._transition_declarations["t"]
+        assert t.delay == 0.001

@@ -3,9 +3,10 @@
 The contract under test (ISSUE 2): ``MultiprocessBackend`` must produce
 byte-identical canonical firing traces to ``InProcessBackend`` on the same
 specification — same rounds, same firings, same order, same state changes,
-same costs, same unit placement — on both reference workloads
-(``mcam_core.estelle`` and ``osi_transfer.estelle``) and under both the
-table-driven and generated dispatch strategies.
+same costs, same unit placement, same simulated times — on the three
+reference workloads (``mcam_core.estelle``, ``osi_transfer.estelle`` and
+the delay-driven ``xmovie_stream.estelle``) and under the table-driven,
+generated and planner dispatch strategies.
 """
 
 from pathlib import Path
@@ -31,6 +32,7 @@ from repro.sim import Cluster, Machine
 SPEC_DIR = Path(__file__).parent.parent / "examples" / "specs"
 MCAM_SPEC = SPEC_DIR / "mcam_core.estelle"
 OSI_SPEC = SPEC_DIR / "osi_transfer.estelle"
+XMOVIE_SPEC = SPEC_DIR / "xmovie_stream.estelle"
 
 DEADLOCK_SRC = """
 specification stuck;
@@ -192,7 +194,47 @@ class TestMultiprocessEquivalence:
         )
         assert trace_diff(in_process.trace, multiprocess.trace) is None
 
-    @pytest.mark.parametrize("spec_path", [MCAM_SPEC, OSI_SPEC], ids=["mcam", "osi"])
+    def test_xmovie_delay_traces_byte_identical(self):
+        """The delay-driven workload (ISSUE 4): simulated time — including
+        the clock jumps over empty delay-waiting rounds — must be derived
+        identically by the coordinator and the in-process executor, down to
+        the FiringEvent.time bytes in the canonical trace."""
+        in_process, multiprocess = run_both(
+            SpecSource.from_estelle_file(XMOVIE_SPEC),
+            two_machine_cluster(1),
+            mapping=GroupedMapping(),
+        )
+        assert multiprocess.workers == 2
+        assert trace_diff(in_process.trace, multiprocess.trace) is None
+        assert in_process.simulated_time == multiprocess.simulated_time
+        assert not multiprocess.deadlocked
+        frames = [
+            e
+            for e in multiprocess.trace.all_firings()
+            if e.transition_name == "send_frame"
+        ]
+        assert len(frames) == 8
+        assert all(b.time - a.time >= 3.0 for a, b in zip(frames, frames[1:]))
+
+    @pytest.mark.parametrize("dispatch", ["generated", "planner"])
+    def test_xmovie_delay_all_dispatches_byte_identical(self, dispatch):
+        reference = InProcessBackend().execute(
+            SpecSource.from_estelle_file(XMOVIE_SPEC),
+            two_machine_cluster(1),
+            mapping=GroupedMapping(),
+            dispatch="table-driven",
+        )
+        _, multiprocess = run_both(
+            SpecSource.from_estelle_file(XMOVIE_SPEC),
+            two_machine_cluster(1),
+            mapping=GroupedMapping(),
+            dispatch=dispatch,
+        )
+        assert trace_diff(reference.trace, multiprocess.trace) is None
+
+    @pytest.mark.parametrize(
+        "spec_path", [MCAM_SPEC, OSI_SPEC, XMOVIE_SPEC], ids=["mcam", "osi", "xmovie"]
+    )
     def test_planner_dispatch_byte_identical(self, spec_path):
         """The incremental planner path (ISSUE 3): workers re-evaluate only
         their dirty shard and report summary deltas; the coordinator folds

@@ -47,6 +47,21 @@ class TestScheduling:
         scheduler.run()
         assert times == [2.0, 5.0]
 
+    def test_schedule_at_past_time_rejected(self):
+        """Regression: schedule_at used to clamp strictly-past times to "now"
+        via max(0, time - now) while schedule raised on negative delays — the
+        policies must agree (raise), and time == now must stay legal."""
+        scheduler = EventScheduler()
+        scheduler.schedule(2.0, lambda: None)
+        scheduler.run()
+        assert scheduler.now == 2.0
+        with pytest.raises(ValueError, match="past"):
+            scheduler.schedule_at(1.0, lambda: None)
+        fired = []
+        scheduler.schedule_at(2.0, lambda: fired.append(scheduler.now))
+        scheduler.run()
+        assert fired == [2.0]
+
     def test_nested_scheduling(self):
         scheduler = EventScheduler()
         seen = []
