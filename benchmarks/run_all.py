@@ -23,7 +23,11 @@ history), so the repository carries its own perf trajectory:
 * the E-DELAY record: the delay-paced xmovie stream workload — the paced
   vs delay-stripped schedule (pinning the old silently-ignored-delay bug)
   and the {backend} x {dispatch} equivalence matrix on the delayed spec,
-  including identical simulated-time stamps.
+  including identical simulated-time stamps,
+* the E-DYN record: the dynamic-topology mcam_sessions workload — session
+  handler modules spawned/released at runtime through Estelle init/release,
+  the planner's structure-epoch/rebuild accounting, and the full
+  {backend} x {dispatch} equivalence matrix on the dynamic spec.
 
 Run with:  PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
 """
@@ -144,6 +148,16 @@ def delay_round_results() -> dict:
     return results
 
 
+def dynamic_topology_results() -> dict:
+    """E-DYN: dynamic init/release equivalence + planner rebuild accounting."""
+    module = _load_bench_module("bench_dynamic_topology")
+    results = module.dynamic_topology_results()
+    results["matrix"]["cells"] = [
+        _round_floats(cell) for cell in results["matrix"]["cells"]
+    ]
+    return results
+
+
 def load_history(output: Path) -> list:
     if not output.exists():
         return []
@@ -181,6 +195,7 @@ def main(argv=None) -> int:
         "parallel_backend": parallel_backend_results(),
         "round_planner": round_planner_results(),
         "delay_round": delay_round_results(),
+        "dynamic_topology": dynamic_topology_results(),
     }
     runs = [run_entry] + load_history(args.output)
     args.output.write_text(json.dumps({"runs": runs[:HISTORY_LIMIT]}, indent=2) + "\n")
@@ -255,6 +270,30 @@ def main(argv=None) -> int:
             "(silent-ignore bug resurfaced?)"
         )
         return 1
+    dynamic = run_entry["dynamic_topology"]
+    if not dynamic["matrix"]["all_traces_identical"]:
+        bad = [
+            f"{cell['backend']}/{cell['dispatch']}"
+            for cell in dynamic["matrix"]["cells"]
+            if not cell["traces_identical"]
+        ]
+        print(f"regression: dynamic-topology trace divergence in cells: {bad}")
+        return 1
+    if not dynamic["dynamic"]["rebuilds_track_epochs"]:
+        print(
+            "regression: planner rebuild count "
+            f"({dynamic['dynamic']['planner_rebuilds']}) no longer tracks "
+            f"structure-epoch bumps ({dynamic['dynamic']['structure_epoch_bumps']})"
+        )
+        return 1
+    print(
+        f"dynamic topology: {len(dynamic['dynamic']['dynamic_module_paths'])} "
+        f"session handler(s) spawned, {dynamic['dynamic']['sessions_released']} "
+        f"released, planner rebuilt {dynamic['dynamic']['planner_rebuilds']}x "
+        f"for {dynamic['dynamic']['structure_epoch_bumps']} epoch bumps; "
+        f"{len(dynamic['matrix']['cells'])} backend x dispatch cells "
+        "byte-identical"
+    )
     print(
         f"delay round: xmovie paced at >= {delay_round['pacing']['frame_delay']} "
         f"sim units/frame (paced sim time "

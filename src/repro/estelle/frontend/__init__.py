@@ -38,7 +38,8 @@ paper's protocol specifications.  Keywords are case-insensitive; comments are
                      "end" ";" ;
 
     module         = "module" IDENT attribute ";"
-                     { "ip" IDENT ":" IDENT "(" IDENT ")" ";" }
+                     { "ip" IDENT ":" [ "array" "[" INTEGER ".." INTEGER "]"
+                                        "of" ] IDENT "(" IDENT ")" ";" }
                      "end" ";" ;
     attribute      = "systemprocess" | "systemactivity"
                    | "process" | "activity" ;
@@ -52,7 +53,7 @@ paper's protocol specifications.  Keywords are case-insensitive; comments are
     trans          = "trans" { clause } block ";" ;
     clause         = "from" ( "any" | IDENT { "," IDENT } )
                    | "to" IDENT
-                   | "when" IDENT "." IDENT
+                   | "when" ipref "." IDENT
                    | "provided" expr
                    | "priority" [ "-" ] INTEGER
                    | "delay" ( NUMBER | "(" NUMBER "," NUMBER ")" )
@@ -61,13 +62,17 @@ paper's protocol specifications.  Keywords are case-insensitive; comments are
 
     modvar         = "modvar" IDENT ":" IDENT "at" STRING
                      [ "with" IDENT ":=" expr { "," IDENT ":=" expr } ] ";" ;
-    connect        = "connect" IDENT "." IDENT "to" IDENT "." IDENT ";" ;
+    connect        = "connect" IDENT "." ipref "to" IDENT "." ipref ";" ;
+    ipref          = IDENT [ "[" INTEGER "]" ] ;
 
     block          = "begin" [ stmt { ";" [ stmt ] } ] "end" ;
     stmt           = IDENT ":=" expr
-                   | "output" IDENT "." IDENT
+                   | "output" ipref "." IDENT
                          [ "(" [ IDENT ":=" expr { "," IDENT ":=" expr } ] ")" ]
-                   | "if" expr "then" { stmt } [ "else" { stmt } ] "end" ;
+                   | "if" expr "then" { stmt } [ "else" { stmt } ] "end"
+                   | "init" IDENT "with" IDENT
+                         [ "(" [ IDENT ":=" expr { "," IDENT ":=" expr } ] ")" ]
+                   | "release" IDENT ;
 
     expr           = or ;  (* Pascal-style operators *)
     or             = and { "or" and } ;
@@ -113,6 +118,34 @@ Semantics notes
   interval makes ``exist`` false and ``forall`` true).  The bound variable
   shadows a module variable of the same name inside ``P``; the bounds must
   evaluate to integers (a located diagnostic is raised otherwise).
+* ``ip name : array [low..high] of Channel(role)`` declares an
+  *interaction-point array*: one individual interaction point per index of
+  the inclusive integer range, referenced as ``name[i]`` in ``when`` /
+  ``output`` clauses and ``connect`` statements.  The elements lower to
+  ordinary :class:`~repro.estelle.interaction.InteractionPoint` instances
+  *named with the same* ``name[i]`` *spelling* — the deterministic naming
+  rule that keeps canonical trace fields stable across backends and dispatch
+  strategies.  Out-of-range indices, indexing a scalar, and referencing an
+  array without an index are located semantic errors.
+* ``init var with Body [(v := expr, ...)]`` (Estelle dynamic module
+  creation) creates a child instance of ``Body`` under the executing module
+  at runtime (:meth:`repro.estelle.module.Module.create_child`), stores the
+  instance in module variable ``var``, and names the child
+  ``<var>#<serial>`` with a per-(instance, var) serial starting at 1 — so a
+  released-then-re-inited variable yields a fresh, distinguishable, yet
+  deterministic ``module_path``.  The optional parameter list seeds the
+  child's variables before its ``initialize`` block runs (whose top-level
+  assignments act as defaults).  Referencing an undeclared body, or a body
+  whose attribute the initing module may not contain, is a located error.
+* ``release var`` destroys the child held by ``var``
+  (:meth:`~repro.estelle.module.Module.release_child`) and unbinds the
+  variable.  Releasing a variable that is never inited anywhere in the body
+  is a compile-time located error; releasing one that does not currently
+  hold a live child (double release) is a located runtime error.  Both
+  statements are legal only inside action blocks (``init``/``release`` at
+  the specification's top level is a located syntax error) and both bump the
+  dirty tracker's *structure epoch*, forcing the incremental planner to
+  rebuild its fused program.
 """
 
 from __future__ import annotations

@@ -110,6 +110,29 @@ class IfStmt(Stmt):
     else_branch: Tuple[Stmt, ...] = ()
 
 
+@dataclass(frozen=True)
+class InitStmt(Stmt):
+    """``init var with Body [(param := expr, ...)]`` — dynamic child creation.
+
+    ``var`` is a module variable that receives the created child instance
+    (Estelle's module variable); the child's runtime name is derived
+    deterministically as ``<var>#<serial>`` with a per-(module instance, var)
+    serial starting at 1, so canonical trace ``module_path`` fields are
+    stable across backends and dispatch strategies.
+    """
+
+    var: str
+    body: str
+    params: Tuple[Tuple[str, Expr], ...] = ()
+
+
+@dataclass(frozen=True)
+class ReleaseStmt(Stmt):
+    """``release var`` — destroys the child instance held by ``var``."""
+
+    var: str
+
+
 # -- declarations -----------------------------------------------------------------
 
 
@@ -129,10 +152,27 @@ class ChannelNode:
 
 @dataclass(frozen=True)
 class IPDeclNode:
+    """``ip name : Channel(role)`` or the array form
+    ``ip name : array [low..high] of Channel(role)``.
+
+    An array declares one interaction point per index of the inclusive
+    integer range; the elements are referenced as ``name[i]`` in ``when`` /
+    ``output`` clauses and ``connect`` statements, and lower to individual
+    :class:`repro.estelle.interaction.InteractionPoint` instances named with
+    the same ``name[i]`` spelling (the trace-stability naming rule).
+    ``low``/``high`` are ``None`` for scalar declarations.
+    """
+
     name: str
     channel: str
     role: str
     loc: SourceLocation
+    low: Optional[int] = None
+    high: Optional[int] = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.low is not None
 
 
 @dataclass(frozen=True)

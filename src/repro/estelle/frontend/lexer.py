@@ -51,6 +51,10 @@ KEYWORDS = frozenset(
         "at",
         "with",
         "connect",
+        "init",
+        "release",
+        "array",
+        "of",
         "exist",
         "forall",
         "suchthat",
@@ -69,7 +73,7 @@ KEYWORDS = frozenset(
 )
 
 #: Multi-character operators first so maximal munch works.
-_OPERATORS = (":=", "<=", ">=", "<>", "..", ";", ":", ",", ".", "(", ")", "=", "<", ">", "+", "-", "*", "/")
+_OPERATORS = (":=", "<=", ">=", "<>", "..", ";", ":", ",", ".", "(", ")", "[", "]", "=", "<", ">", "+", "-", "*", "/")
 
 _ESCAPES = {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}
 

@@ -28,6 +28,19 @@ from ..transition import Transition, transition
 from . import astnodes as ast
 from .errors import EstelleSemanticError, SourceLocation
 
+
+def split_ip_reference(name: str) -> Tuple[str, Optional[int]]:
+    """Split a composed interaction-point reference into (base, index).
+
+    ``"pts[2]"`` -> ``("pts", 2)``; a scalar reference returns ``(name,
+    None)``.  Identifiers cannot contain brackets, so the composed spelling
+    the parser produces is unambiguous.
+    """
+    if name.endswith("]"):
+        base, _, index = name[:-1].partition("[")
+        return base, int(index)
+    return name, None
+
 # -- expression evaluation ---------------------------------------------------------
 
 
@@ -203,6 +216,7 @@ def _execute(
     module: Module,
     interaction,
     as_defaults: bool = False,
+    body_classes: Optional[Dict[str, Type[Module]]] = None,
 ) -> None:
     """Run an action block.
 
@@ -210,6 +224,11 @@ def _execute(
     assignments there only seed a value when the variable was not already set
     by the instance's ``with`` clause (mirroring the ``setdefault`` idiom of
     the hand-written module bodies).
+
+    ``body_classes`` is the specification's body-name -> module-class map,
+    captured by the action closures at lowering time; ``init`` statements
+    resolve their target body through it at execution time (so bodies may be
+    declared after the body whose transition inits them).
     """
     for stmt in statements:
         if isinstance(stmt, ast.Assign):
@@ -225,13 +244,70 @@ def _execute(
             module.output(stmt.ip, stmt.interaction, **params)
         elif isinstance(stmt, ast.IfStmt):
             if _eval(stmt.condition, module, interaction):
-                _execute(stmt.then_branch, module, interaction)
+                _execute(stmt.then_branch, module, interaction, body_classes=body_classes)
             else:
-                _execute(stmt.else_branch, module, interaction)
-        else:  # pragma: no cover - the parser only builds the three kinds
+                _execute(stmt.else_branch, module, interaction, body_classes=body_classes)
+        elif isinstance(stmt, ast.InitStmt):
+            _execute_init(stmt, module, interaction, body_classes)
+        elif isinstance(stmt, ast.ReleaseStmt):
+            _execute_release(stmt, module)
+        else:  # pragma: no cover - the parser only builds these kinds
             raise EstelleSemanticError(
                 f"unsupported statement node {type(stmt).__name__}", stmt.loc
             )
+
+
+def _execute_init(
+    stmt: ast.InitStmt,
+    module: Module,
+    interaction,
+    body_classes: Optional[Dict[str, Type[Module]]],
+) -> None:
+    """Estelle ``init``: create a child instance with a deterministic name.
+
+    The child is named ``<var>#<serial>`` with a per-(instance, var) serial
+    starting at 1, so re-initing a released variable yields a fresh,
+    distinguishable ``module_path`` that is nevertheless identical across
+    backends and dispatch strategies (the trace-stability rule).
+    """
+    body_class = (body_classes or {}).get(stmt.body)
+    if body_class is None:  # statically checked; guards hand-built ASTs
+        raise EstelleSemanticError(
+            f"'init' refers to unknown body {stmt.body!r}", stmt.loc
+        )
+    existing = module.variables.get(stmt.var)
+    if isinstance(existing, Module) and not existing.released:
+        raise EstelleSemanticError(
+            f"'init' into module variable {stmt.var!r} of {module.path} which "
+            f"already holds the live instance {existing.path!r}; release it "
+            "first",
+            stmt.loc,
+        )
+    serial = module._init_serial.get(stmt.var, 0) + 1
+    module._init_serial[stmt.var] = serial
+    params = {name: _eval(expr, module, interaction) for name, expr in stmt.params}
+    try:
+        child = module.create_child(body_class, f"{stmt.var}#{serial}", **params)
+    except EstelleError as exc:
+        raise EstelleSemanticError(str(exc), stmt.loc) from exc
+    module.variables[stmt.var] = child
+
+
+def _execute_release(stmt: ast.ReleaseStmt, module: Module) -> None:
+    """Estelle ``release``: destroy the child held by a module variable."""
+    child = module.variables.get(stmt.var)
+    if not isinstance(child, Module) or child.released or child.parent is not module:
+        raise EstelleSemanticError(
+            f"'release' of module variable {stmt.var!r} of {module.path} which "
+            "does not hold a live child instance (double release, or released "
+            "before any 'init'?)",
+            stmt.loc,
+        )
+    try:
+        module.release_child(child.name)
+    except EstelleError as exc:
+        raise EstelleSemanticError(str(exc), stmt.loc) from exc
+    module.variables[stmt.var] = None
 
 
 # -- static walks over action blocks -----------------------------------------------
@@ -249,7 +325,7 @@ def _walk_expressions(statements: Tuple[ast.Stmt, ...]):
     for stmt in _walk_statements(statements):
         if isinstance(stmt, ast.Assign):
             yield stmt.expr
-        elif isinstance(stmt, ast.OutputStmt):
+        elif isinstance(stmt, (ast.OutputStmt, ast.InitStmt)):
             for _, expr in stmt.params:
                 yield expr
         elif isinstance(stmt, ast.IfStmt):
@@ -283,6 +359,13 @@ class _Lowering:
         self.headers: Dict[str, ast.ModuleHeaderNode] = {}
         self.body_classes: Dict[str, Type[Module]] = {}
         self.body_nodes: Dict[str, ast.BodyNode] = {}
+        #: ``init`` statements whose body references are resolved after every
+        #: body has been lowered (forward references are legal).
+        self._deferred_inits: List[Tuple[ast.InitStmt, str, ModuleAttribute]] = []
+        #: per-header (ip_roles, array_bounds) maps, recorded while lowering
+        #: bodies so ``connect`` references get the same precise array
+        #: diagnostics as ``when``/``output`` clauses.
+        self._header_ip_info: Dict[str, Tuple[Dict[str, ChannelRole], Dict[str, Tuple[int, int]]]] = {}
 
     def run(self) -> Specification:
         for channel_node in self.node.channels:
@@ -291,7 +374,30 @@ class _Lowering:
             self._check_header(header)
         for body in self.node.bodies:
             self._lower_body(body)
+        self._check_deferred_inits()
         return self._assemble()
+
+    def _check_deferred_inits(self) -> None:
+        """Post-pass over every ``init`` statement: the target body must be
+        declared somewhere in the specification, and its module attribute
+        must be containable under the initing body's attribute (the same
+        rule ``create_child`` enforces at runtime, caught at compile time)."""
+        for stmt, body_name, parent_attribute in self._deferred_inits:
+            child_class = self.body_classes.get(stmt.body)
+            if child_class is None:
+                raise EstelleSemanticError(
+                    f"'init' in body {body_name!r} refers to undeclared body "
+                    f"{stmt.body!r} (declared bodies: {sorted(self.body_classes)})",
+                    stmt.loc,
+                )
+            child_attribute = child_class.ATTRIBUTE
+            if not parent_attribute.may_contain(child_attribute):
+                raise EstelleSemanticError(
+                    f"a {parent_attribute.value} module may not 'init' a child "
+                    f"with attribute {child_attribute.value} "
+                    f"(body {stmt.body!r})",
+                    stmt.loc,
+                )
 
     # -- channels -----------------------------------------------------------------
 
@@ -320,6 +426,13 @@ class _Lowering:
                     ip_decl.loc,
                 )
             seen_ips.add(ip_decl.name)
+            if ip_decl.is_array and ip_decl.high < ip_decl.low:  # type: ignore[operator]
+                raise EstelleSemanticError(
+                    f"interaction-point array {ip_decl.name!r} of module "
+                    f"{node.name!r} declares an empty range "
+                    f"[{ip_decl.low}..{ip_decl.high}]",
+                    ip_decl.loc,
+                )
             channel = self.channels.get(ip_decl.channel)
             if channel is None:
                 raise EstelleSemanticError(
@@ -359,10 +472,23 @@ class _Lowering:
             states.append(state)
         state_set = set(states)
 
-        ip_roles: Dict[str, ChannelRole] = {
-            decl.name: self.channels[decl.channel].role(decl.role)
-            for decl in header.ips
-        }
+        # Interaction points: scalars keep their name; an array declaration
+        # expands into one InteractionPoint per index of its declared range,
+        # named with the same "name[i]" spelling the parser composes for
+        # indexed references — the deterministic naming that keeps canonical
+        # trace fields (interaction_name is unaffected, module_path and the
+        # ips dict keys) stable across backends and dispatch strategies.
+        ip_roles: Dict[str, ChannelRole] = {}
+        array_bounds: Dict[str, Tuple[int, int]] = {}
+        for decl in header.ips:
+            role = self.channels[decl.channel].role(decl.role)
+            if decl.is_array:
+                array_bounds[decl.name] = (decl.low, decl.high)  # type: ignore[assignment]
+                for index in range(decl.low, decl.high + 1):  # type: ignore[arg-type]
+                    ip_roles[f"{decl.name}[{index}]"] = role
+            else:
+                ip_roles[decl.name] = role
+        self._header_ip_info[header.name] = (ip_roles, array_bounds)
 
         namespace: Dict[str, Any] = {
             "ATTRIBUTE": ModuleAttribute(header.attribute),
@@ -373,9 +499,39 @@ class _Lowering:
             "__module__": __name__ + ".compiled",
         }
         for decl in header.ips:
-            namespace[decl.name] = ip(
-                decl.name, self.channels[decl.channel], role=decl.role
-            )
+            if decl.is_array:
+                for index in range(decl.low, decl.high + 1):  # type: ignore[arg-type]
+                    element = f"{decl.name}[{index}]"
+                    namespace[element] = ip(
+                        element, self.channels[decl.channel], role=decl.role
+                    )
+            else:
+                namespace[decl.name] = ip(
+                    decl.name, self.channels[decl.channel], role=decl.role
+                )
+
+        # Static checks for dynamic topology statements: collect the module
+        # variables 'init'ed anywhere in this body (initialize block included)
+        # so 'release' of a never-inited variable is a compile-time error, and
+        # defer the body-name/attribute checks until every body is lowered.
+        parent_attribute = ModuleAttribute(header.attribute)
+        init_vars = set()
+        blocks: List[Tuple[ast.Stmt, ...]] = [t.statements for t in node.transitions]
+        if node.initialize is not None:
+            blocks.append(node.initialize.statements)
+        for block in blocks:
+            for stmt in _walk_statements(block):
+                if isinstance(stmt, ast.InitStmt):
+                    init_vars.add(stmt.var)
+                    self._deferred_inits.append((stmt, node.name, parent_attribute))
+        for block in blocks:
+            for stmt in _walk_statements(block):
+                if isinstance(stmt, ast.ReleaseStmt) and stmt.var not in init_vars:
+                    raise EstelleSemanticError(
+                        f"'release' of module variable {stmt.var!r} which is "
+                        f"never 'init'ed anywhere in body {node.name!r}",
+                        stmt.loc,
+                    )
 
         if node.initialize is not None:
             init = node.initialize
@@ -385,14 +541,16 @@ class _Lowering:
                     f"(states: {sorted(state_set)})",
                     init.loc,
                 )
-            self._check_block(node, init.statements, ip_roles, has_when=False)
+            self._check_block(node, init.statements, ip_roles, array_bounds, has_when=False)
             namespace["INITIAL_STATE"] = init.to_state or (states[0] if states else None)
-            namespace["initialise"] = _make_initialise(init)
+            namespace["initialise"] = _make_initialise(init, self.body_classes)
         elif states:
             namespace["INITIAL_STATE"] = states[0]
 
         for index, trans_node in enumerate(node.transitions):
-            declared = self._lower_transition(node, trans_node, index, state_set, ip_roles)
+            declared = self._lower_transition(
+                node, trans_node, index, state_set, ip_roles, array_bounds
+            )
             # The namespace already holds the reserved class attributes, the
             # IP declarations and every earlier transition, so one membership
             # check rejects duplicates *and* silent clobbering (a transition
@@ -409,6 +567,53 @@ class _Lowering:
         self.body_classes[node.name] = type(node.name, (Module,), namespace)
         self.body_nodes[node.name] = node
 
+    def _resolve_ip_role(
+        self,
+        header_name: str,
+        ip_roles: Dict[str, ChannelRole],
+        array_bounds: Dict[str, Tuple[int, int]],
+        name: str,
+        loc: SourceLocation,
+        clause: str,
+    ) -> ChannelRole:
+        """Resolve an interaction-point reference with precise diagnostics.
+
+        Distinguishes an out-of-range index on a declared array, a missing
+        index on an array, an index on a scalar, and a plainly undeclared
+        interaction point — each with the reference's source location.
+        """
+        role = ip_roles.get(name)
+        if role is not None:
+            return role
+        base, index = split_ip_reference(name)
+        bounds = array_bounds.get(base)
+        if bounds is not None:
+            low, high = bounds
+            if index is None:
+                raise EstelleSemanticError(
+                    f"{clause} refers to interaction-point array {base!r} of "
+                    f"module {header_name!r} without an index; declared range "
+                    f"is [{low}..{high}]",
+                    loc,
+                )
+            raise EstelleSemanticError(
+                f"{clause} index {index} is out of the declared range "
+                f"[{low}..{high}] of interaction-point array {base!r} of "
+                f"module {header_name!r}",
+                loc,
+            )
+        if index is not None and base in ip_roles:
+            raise EstelleSemanticError(
+                f"{clause} indexes interaction point {base!r} of module "
+                f"{header_name!r}, which is not declared as an array",
+                loc,
+            )
+        raise EstelleSemanticError(
+            f"{clause} refers to undeclared interaction point {name!r} of "
+            f"module {header_name!r} (declared: {sorted(ip_roles)})",
+            loc,
+        )
+
     def _lower_transition(
         self,
         body: ast.BodyNode,
@@ -416,6 +621,7 @@ class _Lowering:
         index: int,
         state_set: set,
         ip_roles: Dict[str, ChannelRole],
+        array_bounds: Dict[str, Tuple[int, int]],
     ) -> Transition:
         for state in node.from_states:
             if state not in state_set:
@@ -432,13 +638,14 @@ class _Lowering:
             )
         if node.when is not None:
             ip_name, interaction_name = node.when
-            role = ip_roles.get(ip_name)
-            if role is None:
-                raise EstelleSemanticError(
-                    f"'when' refers to undeclared interaction point {ip_name!r} "
-                    f"of module {body.header!r} (declared: {sorted(ip_roles)})",
-                    node.when_loc or node.loc,
-                )
+            role = self._resolve_ip_role(
+                body.header,
+                ip_roles,
+                array_bounds,
+                ip_name,
+                node.when_loc or node.loc,
+                "'when'",
+            )
             # Incoming interactions are the ones the *peer* role sends.
             if interaction_name not in role.peer.interactions:
                 raise EstelleSemanticError(
@@ -447,7 +654,9 @@ class _Lowering:
                     f"receivable: {sorted(role.peer.interactions)}",
                     node.when_loc or node.loc,
                 )
-        self._check_block(body, node.statements, ip_roles, has_when=node.when is not None)
+        self._check_block(
+            body, node.statements, ip_roles, array_bounds, has_when=node.when is not None
+        )
         if node.provided is not None and node.when is None:
             ref = _find_param_ref(node.provided)
             if ref is not None:
@@ -457,7 +666,7 @@ class _Lowering:
                 )
 
         guard = _make_guard(node.provided) if node.provided is not None else None
-        action = _make_action(node)
+        action = _make_action(node, self.body_classes)
         name = node.name or f"trans_{index}"
         action.__name__ = name
         try:
@@ -480,18 +689,14 @@ class _Lowering:
         body: ast.BodyNode,
         statements: Tuple[ast.Stmt, ...],
         ip_roles: Dict[str, ChannelRole],
+        array_bounds: Dict[str, Tuple[int, int]],
         has_when: bool,
     ) -> None:
         for stmt in _walk_statements(statements):
             if isinstance(stmt, ast.OutputStmt):
-                role = ip_roles.get(stmt.ip)
-                if role is None:
-                    raise EstelleSemanticError(
-                        f"'output' refers to undeclared interaction point "
-                        f"{stmt.ip!r} of module {body.header!r} "
-                        f"(declared: {sorted(ip_roles)})",
-                        stmt.loc,
-                    )
+                role = self._resolve_ip_role(
+                    body.header, ip_roles, array_bounds, stmt.ip, stmt.loc, "'output'"
+                )
                 if not role.allows(stmt.interaction):
                     raise EstelleSemanticError(
                         f"interaction point {stmt.ip!r} (role {role.name!r} of "
@@ -512,6 +717,10 @@ class _Lowering:
 
     def _assemble(self) -> Specification:
         spec = Specification(self.node.name)
+        # Every lowered body is replayable by name: the multiprocess
+        # coordinator resolves worker-reported dynamic 'init' events here.
+        for body_class in self.body_classes.values():
+            spec.register_body_class(body_class)
         instances: Dict[str, Module] = {}
         for inst in self.node.instances:
             if inst.name in instances:
@@ -565,6 +774,19 @@ class _Lowering:
             )
         point = instance.ips.get(ip_name)
         if point is None:
+            # Give connect the same precise array diagnostics (out-of-range
+            # index, missing index, indexing a scalar) as when/output; plain
+            # unknown names keep the instance-flavoured message below.
+            body_name = type(instance).__name__
+            header_name = self.body_nodes[body_name].header
+            info = self._header_ip_info.get(header_name)
+            if info is not None:
+                ip_roles, array_bounds = info
+                base, index = split_ip_reference(ip_name)
+                if base in array_bounds or (index is not None and base in ip_roles):
+                    self._resolve_ip_role(
+                        header_name, ip_roles, array_bounds, ip_name, loc, "'connect'"
+                    )
             raise EstelleSemanticError(
                 f"instance {instance_name!r} has no interaction point {ip_name!r} "
                 f"(declared: {sorted(instance.ips)})",
@@ -612,18 +834,22 @@ def _make_guard(expr: ast.Expr) -> Callable[..., bool]:
     return guard
 
 
-def _make_action(node: ast.TransNode) -> Callable[..., None]:
+def _make_action(
+    node: ast.TransNode, body_classes: Optional[Dict[str, Type[Module]]] = None
+) -> Callable[..., None]:
     def action(module, interaction=None):
-        _execute(node.statements, module, interaction)
+        _execute(node.statements, module, interaction, body_classes=body_classes)
 
     action._estelle_statements = node.statements
     return action
 
 
-def _make_initialise(init: ast.InitializeNode) -> Callable[[Module], None]:
+def _make_initialise(
+    init: ast.InitializeNode, body_classes: Optional[Dict[str, Type[Module]]] = None
+) -> Callable[[Module], None]:
     def initialise(self) -> None:
         Module.initialise(self)
-        _execute(init.statements, self, None, as_defaults=True)
+        _execute(init.statements, self, None, as_defaults=True, body_classes=body_classes)
         if init.to_state is not None:
             self.state = init.to_state
 
@@ -644,4 +870,5 @@ def lower_bodies(node: ast.SpecificationNode) -> Dict[str, Type[Module]]:
         lowering._check_header(header)
     for body in node.bodies:
         lowering._lower_body(body)
+    lowering._check_deferred_inits()
     return dict(lowering.body_classes)

@@ -89,6 +89,14 @@ class Parser:
                 self.advance()
                 self.expect("OP", ".", context="to terminate the specification")
                 break
+            elif self.check("KW", "init") or self.check("KW", "release"):
+                keyword = self.current
+                raise EstelleSyntaxError(
+                    f"{keyword.value!r} is a statement and is only allowed inside "
+                    "a transition (or initialize) action block, not at the "
+                    "specification's top level",
+                    keyword.location,
+                )
             else:
                 raise EstelleSyntaxError(
                     "expected a declaration (channel, module, body, modvar, "
@@ -167,15 +175,66 @@ class Parser:
             ip_loc = self.advance().location
             ip_name = self.expect_ident("an interaction-point name").value
             self.expect("OP", ":", context="after the interaction-point name")
+            low: Optional[int] = None
+            high: Optional[int] = None
+            if self.check("KW", "array"):
+                # ip name : array [ low .. high ] of Channel ( role ) ;
+                self.advance()
+                self.expect("OP", "[", context="after 'array'")
+                low = self._parse_array_bound("lower")
+                self.expect("OP", "..", context="between the array bounds")
+                high = self._parse_array_bound("upper")
+                self.expect("OP", "]", context="after the array bounds")
+                self.expect("KW", "of", context="after the array bounds")
             channel = self.expect_ident("a channel name").value
             self.expect("OP", "(", context="before the interaction point's role")
             role = self.expect_ident("a role name").value
             self.expect("OP", ")", context="after the interaction point's role")
             self.expect("OP", ";", context="after the interaction-point declaration")
-            ips.append(ast.IPDeclNode(name=ip_name, channel=channel, role=role, loc=ip_loc))
+            ips.append(
+                ast.IPDeclNode(
+                    name=ip_name,
+                    channel=channel,
+                    role=role,
+                    loc=ip_loc,
+                    low=low,
+                    high=high,
+                )
+            )
         self.expect("KW", "end", context="to close the module header")
         self.expect("OP", ";", context="after 'end' of the module header")
         return ast.ModuleHeaderNode(name=name, attribute=attribute, ips=tuple(ips), loc=loc)
+
+    def _parse_array_bound(self, which: str) -> int:
+        token = self.expect("NUMBER", context=f"as the array's {which} bound")
+        if not isinstance(token.value, int):
+            raise EstelleSyntaxError(
+                f"interaction-point array bounds must be integers, "
+                f"got {token.value!r}",
+                token.location,
+            )
+        return token.value
+
+    def _parse_indexed_ip_name(self, context: str) -> str:
+        """An interaction-point reference: ``name`` or ``name [ index ]``.
+
+        Returns the composed spelling (``pts[2]``) used throughout the
+        lowered runtime — identifiers cannot contain brackets, so the base
+        name and index stay recoverable (see ``lower.split_ip_reference``).
+        """
+        name_token = self.expect_ident(context)
+        if not self.check("OP", "["):
+            return name_token.value
+        self.advance()
+        index = self.expect("NUMBER", context="as the interaction-point index")
+        if not isinstance(index.value, int):
+            raise EstelleSyntaxError(
+                f"interaction-point indices must be integer literals, "
+                f"got {index.value!r}",
+                index.location,
+            )
+        self.expect("OP", "]", context="after the interaction-point index")
+        return f"{name_token.value}[{index.value}]"
 
     # -- body ---------------------------------------------------------------------
 
@@ -265,7 +324,9 @@ class Parser:
             elif token.value == "when":
                 once("when", token.location)
                 when_loc = self.advance().location
-                ip_name = self.expect_ident("an interaction-point name after 'when'").value
+                ip_name = self._parse_indexed_ip_name(
+                    "an interaction-point name after 'when'"
+                )
                 self.expect("OP", ".", context="between interaction point and interaction")
                 interaction = self.expect_ident("an interaction name").value
                 when = (ip_name, interaction)
@@ -368,7 +429,7 @@ class Parser:
     def _parse_ip_ref(self) -> Tuple[str, str]:
         instance = self.expect_ident("an instance name").value
         self.expect("OP", ".", context="between instance and interaction point")
-        ip_name = self.expect_ident("an interaction-point name").value
+        ip_name = self._parse_indexed_ip_name("an interaction-point name")
         return (instance, ip_name)
 
     # -- statements ----------------------------------------------------------------
@@ -401,19 +462,48 @@ class Parser:
             return self._parse_output()
         if token.kind == "KW" and token.value == "if":
             return self._parse_if()
+        if token.kind == "KW" and token.value == "init":
+            return self._parse_init()
+        if token.kind == "KW" and token.value == "release":
+            return self._parse_release()
         if token.kind == "IDENT":
             target = self.advance()
             self.expect("OP", ":=", context="after the assignment target")
             expr = self._parse_expr()
             return ast.Assign(loc=target.location, target=target.value, expr=expr)
         raise EstelleSyntaxError(
-            f"expected a statement (assignment, output, if), got {token.describe()}",
+            "expected a statement (assignment, output, if, init, release), "
+            f"got {token.describe()}",
             token.location,
         )
 
+    def _parse_init(self) -> ast.InitStmt:
+        loc = self.advance().location  # 'init'
+        var = self.expect_ident("a module-variable name after 'init'").value
+        self.expect("KW", "with", context="after the init variable")
+        body = self.expect_ident("a body name after 'with'").value
+        params: List[Tuple[str, ast.Expr]] = []
+        if self.accept("OP", "("):
+            if not self.check("OP", ")"):
+                while True:
+                    param = self.expect_ident("a variable name").value
+                    self.expect("OP", ":=", context="after the variable name")
+                    params.append((param, self._parse_expr()))
+                    if not self.accept("OP", ","):
+                        break
+            self.expect("OP", ")", context="after the init parameter list")
+        return ast.InitStmt(loc=loc, var=var, body=body, params=tuple(params))
+
+    def _parse_release(self) -> ast.ReleaseStmt:
+        loc = self.advance().location  # 'release'
+        var = self.expect_ident("a module-variable name after 'release'").value
+        return ast.ReleaseStmt(loc=loc, var=var)
+
     def _parse_output(self) -> ast.OutputStmt:
         loc = self.advance().location  # 'output'
-        ip_name = self.expect_ident("an interaction-point name after 'output'").value
+        ip_name = self._parse_indexed_ip_name(
+            "an interaction-point name after 'output'"
+        )
         self.expect("OP", ".", context="between interaction point and interaction")
         interaction = self.expect_ident("an interaction name").value
         params: List[Tuple[str, ast.Expr]] = []

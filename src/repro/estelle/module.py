@@ -152,6 +152,18 @@ class Module(metaclass=ModuleMeta):
     # (module, deadline) when a delay timer arms, feeding the tracker's
     # next-deadline index so time passing can wake a sleeping module.
     _deadline_hook = None
+    # Observer of tree-shape changes with full detail: called with
+    # ("init", parent_path, child_name, child_class_name, variables) after a
+    # child is created (before its initialise runs) and ("release",
+    # parent_path, child_name) after one is released.  Unlike
+    # ``_structure_hook`` (which only bumps the dirty tracker's epoch) this
+    # carries enough information to *replay* the change on another replica
+    # of the tree — the multiprocess coordinator uses it to mirror
+    # worker-side ``init`` / ``release`` onto its own module tree, resolving
+    # the class name through ``Specification.body_classes``.  The variables
+    # are shipped as a sorted tuple of pairs so the whole event is picklable
+    # and value-comparable.
+    _topology_hook = None
     # The shared simulated clock (repro.runtime.clock.SimulatedClock.attach);
     # delay clauses are inert while it is None.
     _sim_clock = None
@@ -177,8 +189,17 @@ class Module(metaclass=ModuleMeta):
         #: (transition name -> arming time); maintained by
         #: :meth:`refresh_delay_timers`, cleared per transition on firing.
         self._delay_since: Dict[str, float] = {}
+        #: per-variable serial counters behind the Estelle ``init`` statement's
+        #: deterministic child naming (``<var>#<serial>``); see
+        #: :mod:`repro.estelle.frontend.lower`.
+        self._init_serial: Dict[str, int] = {}
         self.fired_count = 0
         self.initialised = False
+        #: set (for the whole subtree) by :meth:`release_child`.  A released
+        #: module must never fire again — the round executors check this flag
+        #: so a module released mid-round while present in the already-built
+        #: plan is skipped instead of fired.
+        self.released = False
 
     # -- identity ---------------------------------------------------------------
 
@@ -232,10 +253,23 @@ class Module(metaclass=ModuleMeta):
         child._dirty_hook = self._dirty_hook
         child._structure_hook = self._structure_hook
         child._deadline_hook = self._deadline_hook
+        child._topology_hook = self._topology_hook
         child._sim_clock = self._sim_clock
         self.children[name] = child
         if self._structure_hook is not None:
             self._structure_hook(self)
+        if self._topology_hook is not None:
+            # Reported before initialise so a grandchild created inside the
+            # initializer appears *after* its parent in the event stream.
+            self._topology_hook(
+                (
+                    "init",
+                    self.path,
+                    name,
+                    module_class.__name__,
+                    tuple(sorted(variables.items())),
+                )
+            )
         child.initialise()
         return child
 
@@ -249,10 +283,13 @@ class Module(metaclass=ModuleMeta):
         if child is None:
             raise ModuleError(f"{self.path}: no child named {name!r} to release")
         for descendant in child.walk():
+            descendant.released = True
             for point in descendant.ips.values():
                 point.disconnect()
         if self._structure_hook is not None:
             self._structure_hook(self)
+        if self._topology_hook is not None:
+            self._topology_hook(("release", self.path, name))
 
     def walk(self) -> Iterator["Module"]:
         """Yield this module and every descendant, depth-first, pre-order."""

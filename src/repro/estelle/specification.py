@@ -53,8 +53,20 @@ class Specification:
         self.root = SpecificationRoot(name)
         self.placements: List[Placement] = []
         self._connections: List[Tuple[InteractionPoint, InteractionPoint]] = []
+        #: body-class registry for dynamic topology: class name -> module
+        #: class.  The Estelle front-end registers every lowered body here;
+        #: hand-built specifications whose transitions ``create_child`` at
+        #: runtime must register those classes too
+        #: (:meth:`register_body_class`) so the multiprocess coordinator can
+        #: replay worker-reported ``init`` events on its own replica.
+        self.body_classes: Dict[str, Type[Module]] = {}
 
     # -- construction -----------------------------------------------------------
+
+    def register_body_class(self, module_class: Type[Module]) -> Type[Module]:
+        """Make a module class replayable by name (dynamic ``init`` support)."""
+        self.body_classes[module_class.__name__] = module_class
+        return module_class
 
     def add_system_module(
         self,
@@ -76,6 +88,7 @@ class Specification:
             )
         instance = self.root.create_child(module_class, name, **variables)
         self.placements.append(Placement(module_path=instance.path, location=location))
+        self.register_body_class(module_class)
         return instance
 
     def connect(self, a: InteractionPoint, b: InteractionPoint) -> None:

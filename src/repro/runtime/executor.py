@@ -91,6 +91,17 @@ class SpecificationExecutor:
             if isinstance(self.dispatch, PlannerDispatch)
             else None
         )
+        #: cached delay-bearing modules for the interpreted strategy-
+        #: independent timer pass (None = recompute).  Invalidated through
+        #: the structure hook, so the per-round cost of the pass on a
+        #: delay-free specification is one attribute load + an empty loop
+        #: instead of an O(modules) tree walk.  Only installed when no
+        #: planner owns the hooks (the planner's dirty tracking already
+        #: covers timer refresh through dirty re-evaluation).
+        self._delayed_modules: Optional[Tuple[Module, ...]] = None
+        if self.planner is None:
+            for module in specification.root.walk():
+                module._structure_hook = self._note_structure_change
         self.cost_model = cost_model or cluster.machines()[0].cost_model
         #: optional hook emulating *real* per-firing processing time (the
         #: measured-speedup harness burns CPU proportional to the firing's
@@ -163,9 +174,37 @@ class SpecificationExecutor:
                 break
         return self.metrics
 
+    def _note_structure_change(self, module: Module) -> None:
+        """Structure hook (interpreted path): a child was created or
+        released, so the cached delay-bearing module list is stale."""
+        self._delayed_modules = None
+
+    def _delay_bearing_modules(self) -> Tuple[Module, ...]:
+        cached = self._delayed_modules
+        if cached is None:
+            cached = tuple(
+                module
+                for module in self.specification.modules()
+                if module._delayed_transitions
+            )
+            self._delayed_modules = cached
+        return cached
+
     def _plan(self) -> RoundPlan:
         if self.planner is not None:
             return self.planner.plan_round()
+        # Strategy-independent delay-timer pass over every delay-bearing
+        # module.  The interpreted precedence walk prunes the subtree under
+        # a firing parent, so select()-time refreshes alone would arm a
+        # pruned child's timers later than the planner (which re-evaluates
+        # every dirty module) and the multiprocess workers (which select
+        # their full shard) — observable as diverging delay schedules once
+        # dynamically created children carry delay clauses.  Refreshing is
+        # idempotent for modules whose enabling did not change, and the
+        # cached (structure-hook invalidated) module list makes the pass
+        # free for delay-free specifications.
+        for module in self._delay_bearing_modules():
+            module.refresh_delay_timers()
         return self.scheduler.plan_round(self.specification, self.dispatch)
 
     def _next_deadline(self) -> Optional[float]:
@@ -260,6 +299,11 @@ class SpecificationExecutor:
     ) -> None:
         for firing in plan.firings:
             module = firing.module
+            if module.released:
+                # Released by an earlier firing of this same round: the plan
+                # was built before the release, but a released module must
+                # never fire (Estelle semantics) — skip it without tracing.
+                continue
             unit = self.unit_of(module)
             units_by_id.setdefault(unit.uid, unit)
 

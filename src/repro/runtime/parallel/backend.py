@@ -107,6 +107,7 @@ class _RoundPlanner:
         self.incremental = incremental
         self.dispatch = PrecomputedDispatch()
         self._transition_cache: Dict[Tuple[type, str], Any] = {}
+        self._shape_changed = False
         if incremental:
             # Walk-only: the result slots are refreshed from worker
             # summaries, so no selectors are compiled coordinator-side.
@@ -120,6 +121,39 @@ class _RoundPlanner:
             )
             self._pending: List[int] = [0] * len(self._program.modules)
             self._unfilled = len(self._program.modules)
+
+    def note_structure_change(self) -> None:
+        """A replayed init/release changed the coordinator replica's tree.
+
+        The interpreted (non-incremental) fold walks the live tree every
+        round, so only the incremental mode has cached shape to invalidate:
+        the fused walk program and the flat result arrays are rebuilt lazily
+        at the next :meth:`plan` call, carrying cached per-module results
+        over by path (the structure epoch's coordinator-side counterpart).
+        """
+        if self.incremental:
+            self._shape_changed = True
+
+    def _rebuild_program(self) -> None:
+        cached = {
+            module.path: (self._results[index], self._pending[index])
+            for index, module in enumerate(self._program.modules)
+        }
+        self._program = compile_plan_program(self.specification, with_evaluators=False)
+        self._index_by_path = {
+            module.path: index for index, module in enumerate(self._program.modules)
+        }
+        self._results = []
+        self._pending = []
+        for module in self._program.modules:
+            result, pending = cached.get(module.path, (None, 0))
+            self._results.append(result)
+            self._pending.append(pending)
+        # Slots for newly created modules start unfilled; the worker owning
+        # them observed the same structure-epoch bump and re-reports its
+        # full shard, so they are filled by this round's deltas.
+        self._unfilled = sum(1 for result in self._results if result is None)
+        self._shape_changed = False
 
     def _resolve_transition(self, module, name: str):
         key = (type(module), name)
@@ -160,6 +194,8 @@ class _RoundPlanner:
 
     def _plan_incremental(self, deltas: Dict[str, SelectionSummary]) -> RoundPlan:
         """Apply summary deltas to the result cache, then run the fused walk."""
+        if self._shape_changed:
+            self._rebuild_program()
         results = self._results
         plan = RoundPlan()
         for path, summary in deltas.items():
@@ -192,7 +228,8 @@ class _RoundPlanner:
             ]
             raise ParallelExecutionError(
                 f"no selection summary for module(s) {missing}; the first "
-                "planner round must cover every module"
+                "planner round (and the first round after a topology change) "
+                "must cover every module of the owning worker's shard"
             )
         self._program.walk(results, plan.firings)
         return plan
@@ -385,8 +422,10 @@ class MultiprocessBackend(ExecutionBackend):
                         target_uid = owner_of[path]
                     except KeyError as exc:
                         raise SchedulingError(
-                            f"module {path!r} has no execution unit; the "
-                            "multiprocess backend requires a complete static mapping"
+                            f"module {path!r} has no execution unit; statically "
+                            "mapped modules must be covered by the mapping, and "
+                            "dynamically created ones inherit their parent's "
+                            "unit through the topology replay"
                         ) from exc
                     assignments[target_uid].append(
                         (
@@ -415,7 +454,16 @@ class MultiprocessBackend(ExecutionBackend):
                 trace.start_round(round_index)
                 unit_firing_costs: Dict[int, float] = {}
                 for uid, report in ordered:
-                    _, path, name, state_before, state_after, interaction, cost = report
+                    (
+                        _,
+                        path,
+                        name,
+                        state_before,
+                        state_after,
+                        interaction,
+                        cost,
+                        topology,
+                    ) = report
                     unit = unit_by_uid[uid]
                     unit_firing_costs[uid] = unit_firing_costs.get(uid, 0.0) + cost
                     trace.record_firing(
@@ -432,6 +480,13 @@ class MultiprocessBackend(ExecutionBackend):
                             time=clock.now,
                         )
                     )
+                    if topology:
+                        # Replay worker-side init/release on the coordinator
+                        # replica, in global plan order, so the precedence
+                        # fold sees the same tree as the in-process executor.
+                        self._replay_topology(
+                            specification, owner_of, planner, topology
+                        )
                 trace.finish_round(makespan=round_wall, serial_overhead=0.0)
                 clock.advance(firing_advance(unit_firing_costs))
                 rounds += 1
@@ -454,6 +509,59 @@ class MultiprocessBackend(ExecutionBackend):
         )
 
     # -- protocol helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _replay_topology(
+        specification: Specification,
+        owner_of: Dict[str, int],
+        planner: _RoundPlanner,
+        events,
+    ) -> None:
+        """Mirror worker-reported tree-shape changes on the coordinator.
+
+        A dynamically created child is placed on its parent's execution unit
+        (``owner_of`` inherits the parent's uid for the whole new subtree);
+        a released child's subtree is retired from the ownership map so it
+        can never be assigned a firing again.  ``init`` replays are
+        idempotent: a child already present (created by a replica-side
+        ``initialise`` cascade of an earlier event this round) is kept.
+        """
+        for event in events:
+            if event[0] == "init":
+                _, parent_path, child_name, class_name, variables = event
+                parent = specification.find(parent_path)
+                child = parent.children.get(child_name)
+                if child is None:
+                    module_class = specification.body_classes.get(class_name)
+                    if module_class is None:
+                        raise SchedulingError(
+                            f"cannot replay dynamic init of "
+                            f"{parent_path}/{child_name}: module class "
+                            f"{class_name!r} is not registered on the "
+                            "specification; register it with "
+                            "Specification.register_body_class"
+                        )
+                    child = parent.create_child(
+                        module_class, child_name, **dict(variables)
+                    )
+                try:
+                    unit_uid = owner_of[parent_path]
+                except KeyError as exc:
+                    raise SchedulingError(
+                        f"dynamic init under {parent_path!r}, which has no "
+                        "execution unit"
+                    ) from exc
+                for descendant in child.walk():
+                    owner_of[descendant.path] = unit_uid
+            else:  # release
+                _, parent_path, child_name = event
+                parent = specification.find(parent_path)
+                child = parent.children.get(child_name)
+                if child is not None:
+                    for descendant in child.walk():
+                        owner_of.pop(descendant.path, None)
+                    parent.release_child(child_name)
+            planner.note_structure_change()
 
     def _select_round(
         self,

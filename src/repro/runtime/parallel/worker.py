@@ -72,9 +72,24 @@ SelectionSummary = Tuple[str, Optional[str], bool, int, float, int]
 #: One assigned firing: (plan index, path, transition name or None, external?).
 AssignedFiring = Tuple[int, str, Optional[str], bool]
 
+#: A tree-shape change caused by a firing, replayable on another replica:
+#: ("init", parent path, child name, class name, ((var, value), ...)) or
+#: ("release", parent path, child name).
+TopologyEvent = Tuple
+
 #: One executed firing, reported for the global trace: (plan index, path,
-#: transition name, state before, state after, interaction name, cost).
-FiringReport = Tuple[int, str, str, Optional[str], Optional[str], Optional[str], float]
+#: transition name, state before, state after, interaction name, cost,
+#: topology events the firing caused — in execution order).
+FiringReport = Tuple[
+    int,
+    str,
+    str,
+    Optional[str],
+    Optional[str],
+    Optional[str],
+    float,
+    Tuple[TopologyEvent, ...],
+]
 
 
 class WorkerRuntime:
@@ -113,7 +128,6 @@ class WorkerRuntime:
         # eligibility then read exactly the coordinator's time).
         self.clock = SimulatedClock.attach(self.specification)
         self.busy_work = busy_work_for(config.busy_work_us_per_cost)
-        self._module_census = len(self.modules)
         self._undelivered_round: Optional[int] = None
         # Reused per-peer send buffers: one list per outbound peer, cleared
         # per round instead of rebuilding a dict of lists every fire().
@@ -124,11 +138,26 @@ class WorkerRuntime:
         # re-evaluates only the dirty part of its shard and reports summary
         # *deltas*; the coordinator caches the rest (ISSUE 3).
         self.incremental = config.dispatch_name == PLANNER_DISPATCH_NAME
-        self._owned = frozenset(self.unit.module_paths)
+        # The *dynamic* shard: seeded with the mapping's static assignment,
+        # grown when a local firing creates a child (dynamic children run on
+        # their parent's execution unit) and shrunk when one is released
+        # (retired from dispatch).  Kept as a dict for deterministic
+        # insertion order.
+        self._owned: Dict[str, None] = {
+            path: None for path in self.unit.module_paths
+        }
         self._tracker: Optional[DirtyTracker] = (
             DirtyTracker.attach(self.specification) if self.incremental else None
         )
         self._selected_once = False
+        self._last_epoch = self._tracker.structure_epoch if self._tracker else 0
+        # Tree-shape changes caused by local firings, captured through the
+        # module-level topology hook and reported to the coordinator with
+        # the firing that caused them (ISSUE 5).  Installing the hook after
+        # DirtyTracker.attach is safe: the hooks are independent attributes.
+        self._topology_events: List[TopologyEvent] = []
+        for module in self.specification.root.walk():
+            module._topology_hook = self._topology_events.append
 
     # -- the three phases ----------------------------------------------------------
 
@@ -146,7 +175,18 @@ class WorkerRuntime:
             for peer in sorted(self.inbound)
         ]
         for message in merge_batches(batches):
-            module = self.modules[message.target_path]
+            module = self.modules.get(message.target_path)
+            if module is None:
+                # A remote firing's replica-side send raced a local release:
+                # the in-process executor would have raised a ChannelError at
+                # output time (release disconnects the subtree's IPs), so a
+                # silent drop here would diverge silently — fail loud instead.
+                raise SchedulingError(
+                    f"interaction {message.interaction_name!r} arrived for "
+                    f"module {message.target_path!r}, which was released; "
+                    "cross-unit sends to releasable modules are not "
+                    "supported (a released module's IPs are disconnected)"
+                )
             module.ips[message.ip_name].enqueue(
                 Interaction(message.interaction_name, dict(message.params))
             )
@@ -169,7 +209,8 @@ class WorkerRuntime:
         self.clock.now = now
         if self._tracker is not None:
             self._tracker.wake_due(now)
-            if self._selected_once:
+            epoch = self._tracker.structure_epoch
+            if self._selected_once and epoch == self._last_epoch:
                 dirty = self._tracker.drain()
                 paths: List[str] = sorted(
                     module.path
@@ -177,12 +218,16 @@ class WorkerRuntime:
                     if module.path in self._owned
                 )
             else:
-                # Round 1 seeds the coordinator's cache with the full shard.
+                # Round 1 seeds the coordinator's cache with the full shard;
+                # a structure-epoch bump (a local init/release last round)
+                # re-reports the full — possibly re-shaped — shard so the
+                # coordinator's rebuilt program has every slot filled.
                 self._tracker.drain()
-                paths = list(self.unit.module_paths)
+                paths = list(self._owned)
                 self._selected_once = True
+                self._last_epoch = epoch
         else:
-            paths = list(self.unit.module_paths)
+            paths = list(self._owned)
         summaries: List[SelectionSummary] = []
         for path in paths:
             module = self.modules[path]
@@ -201,7 +246,7 @@ class WorkerRuntime:
             deadline = self._tracker.next_deadline()
         else:
             deadline = next_delay_deadline(
-                (self.modules[path] for path in self.unit.module_paths), now
+                (self.modules[path] for path in self._owned), now
             )
         return summaries, deadline
 
@@ -216,8 +261,14 @@ class WorkerRuntime:
         scale = self.config.transition_cost_scale
 
         for plan_index, path, transition_name, is_external in firings:
-            module = self.modules[path]
+            module = self.modules.get(path)
+            if module is None or module.released:
+                # Released by an earlier firing of this same round: the plan
+                # was built before the release, but a released module must
+                # never fire — skip it, exactly like the in-process executor.
+                continue
             sent_before = {name: ip.sent_count for name, ip in module.ips.items()}
+            events_before = len(self._topology_events)
 
             if is_external:
                 cost = module.external_step() * scale
@@ -238,6 +289,9 @@ class WorkerRuntime:
             if self.busy_work is not None:
                 self.busy_work(cost)
             module.note_fired()
+            topology = tuple(self._topology_events[events_before:])
+            if topology:
+                self._apply_topology_locally(topology)
             reports.append(
                 (
                     plan_index,
@@ -247,18 +301,12 @@ class WorkerRuntime:
                     state_after,
                     interaction_name,
                     cost,
+                    topology,
                 )
             )
             self._capture_remote_sends(module, sent_before, plan_index, outgoing)
 
-        current_paths = [module.path for module in self.specification.modules()]
-        if len(current_paths) != self._module_census or any(
-            path not in self.modules for path in current_paths
-        ):
-            raise SchedulingError(
-                "the multiprocess backend requires a static module tree; a "
-                "transition created or released a module instance at runtime"
-            )
+        self._topology_events.clear()
         return reports, outgoing
 
     def flush(self, round_index: int, outgoing: Dict[int, List[RoutedMessage]]) -> None:
@@ -268,6 +316,36 @@ class WorkerRuntime:
         self._undelivered_round = round_index
 
     # -- internals -----------------------------------------------------------------
+
+    def _apply_topology_locally(self, events: Tuple[TopologyEvent, ...]) -> None:
+        """Register/retire dynamic modules in this worker's shard.
+
+        Only *local* firings cause events here (a worker never fires remote
+        replicas), and a dynamically created child always runs on its
+        parent's execution unit — so every event extends or shrinks this
+        unit's own shard.
+        """
+        for event in events:
+            if event[0] == "init":
+                parent_path, child_name = event[1], event[2]
+                parent = self.modules[parent_path]
+                child = parent.children[child_name]
+                for descendant in child.walk():
+                    self.modules[descendant.path] = descendant
+                    self._owned[descendant.path] = None
+                    self.owner_of[descendant.path] = self.unit.uid
+            else:  # release: retire the whole subtree by path prefix
+                _, parent_path, child_name = event
+                root_path = f"{parent_path}/{child_name}"
+                prefix = root_path + "/"
+                for path in [
+                    p
+                    for p in self.modules
+                    if p == root_path or p.startswith(prefix)
+                ]:
+                    self.modules.pop(path, None)
+                    self._owned.pop(path, None)
+                    self.owner_of.pop(path, None)
 
     def _capture_remote_sends(
         self,

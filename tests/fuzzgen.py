@@ -1,0 +1,307 @@
+"""Seeded generator of valid Estelle specifications for differential fuzzing.
+
+Every generated specification is *valid* (it compiles through the front-end's
+static checks) and *bounded* (every spontaneous transition carries a budget
+guard ``b<k> < B`` whose action increments ``b<k>``, and every when-transition
+is budgeted the same way, so the total number of firings is finite — a run
+either quiesces or deadlocks on blocked queues, both of which the equivalence
+harness compares byte-for-byte).
+
+The generator deliberately samples the whole supported surface:
+
+* random state machines (2-3 states, ``from any`` wildcards, priorities),
+* ``provided`` guards over integer module variables, including quantified
+  ``exist``/``forall`` guards and ``msg.<param>`` reads,
+* ``delay`` clauses (scalar and ``(min, max)`` pair form) on spontaneous and
+  when-transitions,
+* interaction-point arrays on the manager module with indexed ``when`` /
+  ``output`` references,
+* dynamic topology: ``init``/``release`` pairs guarded by liveness flags, so
+  child handler modules are created, run bounded work (sometimes delayed),
+  and are released mid-run.
+
+Determinism across dispatch strategies and backends is inherited from the
+round semantics: candidates are examined in priority order (stable by
+declaration), so every strategy selects the same transition per module per
+round — which is exactly the property the differential harness checks.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: interactions the manager role may send / the peer role may send.
+MGR_SENDS = ("MA0", "MA1")
+PEER_SENDS = ("MB0", "MB1")
+
+#: firing budget per transition (keeps every generated run finite).
+BUDGET = 3
+
+
+class SpecFuzzer:
+    """One seeded specification generator (same seed -> same text)."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._budget_counter = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fresh_budget(self) -> str:
+        name = f"b{self._budget_counter}"
+        self._budget_counter += 1
+        return name
+
+    def _delay_clause(self) -> str:
+        """Sometimes a delay clause (scalar or pair form), usually nothing."""
+        roll = self.rng.random()
+        if roll < 0.70:
+            return ""
+        lower = self.rng.choice((0.5, 1.0, 1.5, 2.0))
+        if roll < 0.85:
+            return f"    delay {lower}\n"
+        upper = lower + self.rng.choice((0.5, 1.0, 2.0))
+        return f"    delay ( {lower} , {upper} )\n"
+
+    def _priority_clause(self) -> str:
+        if self.rng.random() < 0.3:
+            return f"    priority {self.rng.randint(0, 3)}\n"
+        return ""
+
+    def _cost_clause(self) -> str:
+        return f"    cost {self.rng.choice((0.2, 0.5, 1.0, 1.5))}\n"
+
+    def _extra_guard(self, variables, with_msg: bool = False) -> str:
+        """An additional guard conjunct (may be vacuous or never-true)."""
+        roll = self.rng.random()
+        var = self.rng.choice(variables)
+        if with_msg and roll < 0.25:
+            return f" and msg.p >= {self.rng.randint(0, 2)}"
+        if roll < 0.45:
+            op = self.rng.choice(("<", "<=", ">=", ">", "=", "<>"))
+            return f" and {var} {op} {self.rng.randint(0, 4)}"
+        if roll < 0.60:
+            kind = self.rng.choice(("exist", "forall"))
+            return (
+                f" and {kind} q : 0 .. 2 suchthat "
+                f"{var} + q {self.rng.choice(('>=', '<>'))} {self.rng.randint(1, 4)}"
+            )
+        return ""
+
+    def _mutations(self, variables, indent: str = "      ") -> str:
+        """0-2 extra statements mutating the general-purpose variables."""
+        lines = []
+        for _ in range(self.rng.randint(0, 2)):
+            var = self.rng.choice(variables)
+            roll = self.rng.random()
+            if roll < 0.5:
+                lines.append(f"{indent}{var} := {var} + 1;\n")
+            elif roll < 0.75:
+                other = self.rng.choice(variables)
+                lines.append(
+                    f"{indent}if {var} > {self.rng.randint(0, 3)} then "
+                    f"{other} := {other} + 2 else {other} := {other} + 1 end;\n"
+                )
+            else:
+                lines.append(
+                    f"{indent}{var} := ( {var} * 2 ) mod {self.rng.randint(3, 7)};\n"
+                )
+        return "".join(lines)
+
+    # -- body generators -------------------------------------------------------
+
+    def _child_body(self) -> str:
+        variables = ["w0", "w1"]
+        budgets = []
+        transitions = []
+        for index in range(self.rng.randint(1, 3)):
+            budget = self._fresh_budget()
+            budgets.append(budget)
+            from_state = self.rng.choice(("grind", "rest", "any"))
+            to_state = self.rng.choice(("", "grind", "rest"))
+            lines = [f"  trans from {from_state}\n"]
+            if to_state:
+                lines.append(f"    to {to_state}\n")
+            lines.append(
+                f"    provided {budget} < lim{self._extra_guard(variables)}\n"
+            )
+            lines.append(self._delay_clause())
+            lines.append(self._priority_clause())
+            lines.append(self._cost_clause())
+            lines.append(f"    name churn_{index}\n")
+            lines.append("    begin\n")
+            lines.append(f"      {budget} := {budget} + 1;\n")
+            lines.append(self._mutations(variables))
+            lines.append("      touched := 1\n")
+            lines.append("    end;\n\n")
+            transitions.append("".join(lines))
+        init_lines = ["    lim := 1;\n", "    w0 := 0;\n"]
+        init_lines.extend(f"    {budget} := 0;\n" for budget in budgets)
+        init_lines.append(f"    w1 := {self.rng.randint(0, 2)}\n")
+        return (
+            "body ChildBody for Child;\n"
+            "  state grind , rest ;\n"
+            "  initialize to grind\n  begin\n"
+            + "".join(init_lines)
+            + "  end;\n\n"
+            + "".join(transitions)
+            + "end;\n\n"
+        )
+
+    def _manager_body(self, handlers: int) -> str:
+        variables = ["v0", "v1"]
+        init_lines = ["    v0 := 0;\n", f"    v1 := {self.rng.randint(0, 3)};\n"]
+        body: list = []
+        transitions: list = []
+
+        for slot in (1, 2):
+            # A when-transition per array slot, consuming a peer message.
+            budget = self._fresh_budget()
+            init_lines.append(f"    {budget} := 0;\n")
+            interaction = self.rng.choice(PEER_SENDS)
+            with_msg = self.rng.random() < 0.5
+            transitions.append(
+                f"  trans from hub\n"
+                f"    when pts[{slot}].{interaction}\n"
+                f"    provided {budget} < {BUDGET}"
+                f"{self._extra_guard(variables, with_msg=with_msg)}\n"
+                + self._delay_clause()
+                + self._priority_clause()
+                + self._cost_clause()
+                + f"    name take_{slot}\n"
+                + "    begin\n"
+                + f"      {budget} := {budget} + 1;\n"
+                + self._mutations(variables)
+                + (
+                    f"      output pts[{slot}].{self.rng.choice(MGR_SENDS)} "
+                    f"( p := v0 + {self.rng.randint(0, 2)} );\n"
+                    if self.rng.random() < 0.8
+                    else ""
+                )
+                + "      v0 := v0 + 1\n"
+                + "    end;\n\n"
+            )
+
+        for handler in range(handlers):
+            # An init/release pair guarded by a liveness flag: the handler
+            # child is created, runs (manager quiet while the release delay
+            # runs), and is released mid-run.
+            flag = f"f{handler}"
+            hvar = f"h{handler}"
+            spawn_budget = self._fresh_budget()
+            init_lines.append(f"    {flag} := 0;\n")
+            init_lines.append(f"    {spawn_budget} := 0;\n")
+            transitions.append(
+                f"  trans from hub\n"
+                f"    provided {flag} = 0 and {spawn_budget} < 2\n"
+                + self._priority_clause()
+                + self._cost_clause()
+                + f"    name spawn_{handler}\n"
+                + "    begin\n"
+                + f"      {spawn_budget} := {spawn_budget} + 1;\n"
+                + f"      init {hvar} with ChildBody "
+                f"( lim := {self.rng.randint(1, 3)} );\n"
+                + f"      {flag} := 1\n"
+                + "    end;\n\n"
+            )
+            release_delay = self.rng.choice((1.5, 2.0, 3.0, 4.5))
+            transitions.append(
+                f"  trans from hub\n"
+                f"    provided {flag} = 1\n"
+                f"    delay {release_delay}\n"
+                + self._cost_clause()
+                + f"    name retire_{handler}\n"
+                + "    begin\n"
+                + f"      release {hvar};\n"
+                + f"      {flag} := 0\n"
+                + "    end;\n\n"
+            )
+
+        body.append("body MgrBody for Mgr;\n")
+        body.append("  state hub ;\n")
+        body.append("  initialize to hub\n  begin\n")
+        body.append("".join(init_lines).rstrip(";\n") + "\n")
+        body.append("  end;\n\n")
+        body.extend(transitions)
+        body.append("end;\n\n")
+        return "".join(body)
+
+    def _peer_body(self) -> str:
+        variables = ["u0"]
+        init_lines = [f"    u0 := {self.rng.randint(0, 2)};\n"]
+        transitions = []
+        for index in range(self.rng.randint(1, 2)):
+            budget = self._fresh_budget()
+            init_lines.append(f"    {budget} := 0;\n")
+            transitions.append(
+                f"  trans from talk\n"
+                f"    provided {budget} < {BUDGET}{self._extra_guard(variables)}\n"
+                + self._delay_clause()
+                + self._priority_clause()
+                + self._cost_clause()
+                + f"    name emit_{index}\n"
+                + "    begin\n"
+                + f"      {budget} := {budget} + 1;\n"
+                + f"      output ctl.{self.rng.choice(PEER_SENDS)} "
+                f"( p := u0 + {self.rng.randint(0, 2)} )\n"
+                + "    end;\n\n"
+            )
+        for index, interaction in enumerate(MGR_SENDS):
+            budget = self._fresh_budget()
+            init_lines.append(f"    {budget} := 0;\n")
+            transitions.append(
+                f"  trans from talk\n"
+                f"    when ctl.{interaction}\n"
+                f"    provided {budget} < {BUDGET}\n"
+                + self._cost_clause()
+                + f"    name soak_{index}\n"
+                + "    begin\n"
+                + f"      {budget} := {budget} + 1;\n"
+                + "      u0 := u0 + msg.p\n"
+                + "    end;\n\n"
+            )
+        return (
+            "body PeerBody for Peer;\n"
+            "  state talk ;\n"
+            "  initialize to talk\n  begin\n"
+            + "".join(init_lines).rstrip(";\n")
+            + "\n  end;\n\n"
+            + "".join(transitions)
+            + "end;\n\n"
+        )
+
+    # -- the whole specification ----------------------------------------------
+
+    def generate(self) -> str:
+        handlers = self.rng.randint(1, 2)
+        parts = [
+            f"specification fuzz_{self.seed};\n\n",
+            "channel Fz ( a , b );\n",
+            f"  by a : {' , '.join(MGR_SENDS)} ;\n",
+            f"  by b : {' , '.join(PEER_SENDS)} ;\n",
+            "end;\n\n",
+            "module Mgr systemprocess;\n",
+            "  ip pts : array [ 1 .. 2 ] of Fz ( a );\n",
+            "end;\n\n",
+            "module Peer systemprocess;\n",
+            "  ip ctl : Fz ( b );\n",
+            "end;\n\n",
+            "module Child process;\n",
+            "end;\n\n",
+            self._child_body(),
+            self._manager_body(handlers),
+            self._peer_body(),
+            'modvar mgr : MgrBody at "m0" ;\n',
+            'modvar p1 : PeerBody at "m1" ;\n',
+            f'modvar p2 : PeerBody at "{self.rng.choice(("m1", "m2"))}" ;\n\n',
+            "connect mgr.pts[1] to p1.ctl ;\n",
+            "connect mgr.pts[2] to p2.ctl ;\n\n",
+            "end.\n",
+        ]
+        return "".join(parts)
+
+
+def generate_spec_text(seed: int) -> str:
+    """The differential harness's entry point: seed -> Estelle source text."""
+    return SpecFuzzer(seed).generate()

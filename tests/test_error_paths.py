@@ -156,3 +156,206 @@ class TestDelayClauseErrors:
         spec = self._compile("delay 1e-3")
         t = type(spec.find("m"))._transition_declarations["t"]
         assert t.delay == 0.001
+
+
+#: Dynamic-topology spec skeleton with substitutable slots (ISSUE 5).
+_DYNAMIC_SPEC = """
+specification dyn;
+channel C ( a , b );
+  by a : Go ;
+  by b : Done ;
+end;
+module M systemprocess;
+  ip pts : array [ 1 .. 2 ] of C ( a );
+end;
+module W process;
+end;
+body WB for W;
+  state s ;
+  trans from s provided steps > 0 name step begin steps := steps - 1 end;
+end;
+body MB for M;
+  state idle ;
+  trans from idle
+    when {when_ref}.Done
+    name t
+    begin
+      {action}
+    end;
+end;
+modvar m : MB at "ksr1" ;
+end.
+"""
+
+
+class TestDynamicTopologyDiagnostics:
+    """The new init/release and IP-array diagnostics are source-located."""
+
+    def _compile(self, action: str = "x := 1", when_ref: str = "pts[1]"):
+        return compile_source(
+            _DYNAMIC_SPEC.format(action=action, when_ref=when_ref)
+        )
+
+    def test_unknown_body_name_located(self):
+        with pytest.raises(
+            EstelleSemanticError, match="undeclared body 'Ghost'"
+        ) as excinfo:
+            self._compile(action="init h with Ghost")
+        assert excinfo.value.line == 22 and excinfo.value.column == 7
+
+    def test_release_of_never_inited_variable_located(self):
+        with pytest.raises(
+            EstelleSemanticError, match="never 'init'ed"
+        ) as excinfo:
+            self._compile(action="release h")
+        assert excinfo.value.line == 22 and excinfo.value.column == 7
+
+    def test_ip_array_index_out_of_range_in_when_located(self):
+        with pytest.raises(
+            EstelleSemanticError, match=r"out of the declared range \[1\.\.2\]"
+        ) as excinfo:
+            self._compile(when_ref="pts[3]")
+        assert excinfo.value.line == 19 and excinfo.value.column == 5
+
+    def test_ip_array_index_out_of_range_in_output_located(self):
+        with pytest.raises(
+            EstelleSemanticError, match=r"out of the declared range \[1\.\.2\]"
+        ) as excinfo:
+            self._compile(action="output pts[0].Go")
+        assert excinfo.value.line == 22 and excinfo.value.column == 7
+
+    def test_ip_array_reference_without_index_located(self):
+        with pytest.raises(
+            EstelleSemanticError, match="without an index"
+        ) as excinfo:
+            self._compile(action="output pts.Go")
+        assert excinfo.value.location is not None
+
+    def test_init_outside_an_action_block_located(self):
+        source = (
+            "specification s;\n"
+            "module M systemprocess;\nend;\n"
+            "body MB for M;\n  state a ;\nend;\n"
+            "modvar m : MB at \"ksr1\" ;\n"
+            "init h with MB;\n"
+            "end.\n"
+        )
+        with pytest.raises(
+            EstelleSyntaxError, match="only allowed inside"
+        ) as excinfo:
+            compile_source(source)
+        assert excinfo.value.line == 8 and excinfo.value.column == 1
+
+    def test_double_release_is_a_located_runtime_error(self):
+        """Releasing an already-released variable raises the located
+        diagnostic when the transition fires, not a bare KeyError."""
+        source = _DYNAMIC_SPEC.format(
+            action="init h with WB ( steps := 1 ); release h; release h",
+            when_ref="pts[1]",
+        )
+        spec = compile_source(source)
+        manager = spec.find("m")
+        manager.ips["pts[1]"].enqueue(
+            __import__("repro.estelle", fromlist=["Interaction"]).Interaction("Done")
+        )
+        fire = type(manager)._transition_declarations["t"].fire
+        with pytest.raises(
+            EstelleSemanticError, match="double release"
+        ) as excinfo:
+            fire(manager)
+        assert excinfo.value.line == 22 and excinfo.value.column == 49
+
+    def test_init_into_live_variable_is_a_located_runtime_error(self):
+        source = _DYNAMIC_SPEC.format(
+            action="init h with WB; init h with WB",
+            when_ref="pts[1]",
+        )
+        spec = compile_source(source)
+        manager = spec.find("m")
+        manager.ips["pts[1]"].enqueue(
+            __import__("repro.estelle", fromlist=["Interaction"]).Interaction("Done")
+        )
+        fire = type(manager)._transition_declarations["t"].fire
+        with pytest.raises(
+            EstelleSemanticError, match="already holds the live instance"
+        ) as excinfo:
+            fire(manager)
+        assert excinfo.value.location is not None
+
+    def test_empty_array_range_located(self):
+        source = (
+            "specification s;\n"
+            "channel C ( a , b );\n  by a : Go ;\n  by b : Done ;\nend;\n"
+            "module M systemprocess;\n"
+            "  ip pts : array [ 3 .. 1 ] of C ( a );\n"
+            "end;\n"
+            "body MB for M;\n  state x ;\nend;\n"
+            "modvar m : MB at \"ksr1\" ;\n"
+            "end.\n"
+        )
+        with pytest.raises(EstelleSemanticError, match="empty range") as excinfo:
+            compile_source(source)
+        assert excinfo.value.line == 7 and excinfo.value.column == 3
+
+    def test_indexing_a_scalar_ip_located(self):
+        source = (
+            "specification s;\n"
+            "channel C ( a , b );\n  by a : Go ;\n  by b : Done ;\nend;\n"
+            "module M systemprocess;\n"
+            "  ip one : C ( a );\n"
+            "end;\n"
+            "body MB for M;\n"
+            "  state x ;\n"
+            "  trans from x name t begin output one[1].Go end;\n"
+            "end;\n"
+            "modvar m : MB at \"ksr1\" ;\n"
+            "end.\n"
+        )
+        with pytest.raises(
+            EstelleSemanticError, match="not declared as an array"
+        ) as excinfo:
+            compile_source(source)
+        assert excinfo.value.location is not None
+
+    def test_init_attribute_containment_located(self):
+        """A systemprocess body cannot be init'ed as a child (system modules
+        may not nest); the attribute rule is caught at compile time."""
+        source = (
+            "specification s;\n"
+            "channel C ( a , b );\n  by a : Go ;\n  by b : Done ;\nend;\n"
+            "module M systemprocess;\n  ip p : C ( a );\nend;\n"
+            "body MB for M;\n"
+            "  state x ;\n"
+            "  trans from x name t begin init h with MB end;\n"
+            "end;\n"
+            "modvar m : MB at \"ksr1\" ;\n"
+            "end.\n"
+        )
+        with pytest.raises(
+            EstelleSemanticError, match="may not 'init' a child"
+        ) as excinfo:
+            compile_source(source)
+        assert excinfo.value.location is not None
+
+    def test_connect_array_index_out_of_range_located(self):
+        source = (
+            "specification s;\n"
+            "channel C ( a , b );\n  by a : Go ;\n  by b : Done ;\nend;\n"
+            "module M systemprocess;\n"
+            "  ip pts : array [ 1 .. 2 ] of C ( a );\n"
+            "end;\n"
+            "module N systemprocess;\n"
+            "  ip ctl : C ( b );\n"
+            "end;\n"
+            "body MB for M;\n  state x ;\nend;\n"
+            "body NB for N;\n  state y ;\nend;\n"
+            "modvar m : MB at \"ksr1\" ;\n"
+            "modvar n : NB at \"ksr1\" ;\n"
+            "connect m.pts[7] to n.ctl ;\n"
+            "end.\n"
+        )
+        with pytest.raises(
+            EstelleSemanticError, match=r"out of the declared range \[1\.\.2\]"
+        ) as excinfo:
+            compile_source(source)
+        assert excinfo.value.line == 20 and excinfo.value.column == 1

@@ -22,7 +22,6 @@ from repro.runtime import (
     backend_by_name,
 )
 from repro.runtime.parallel import (
-    ParallelExecutionError,
     canonical_trace_bytes,
     trace_diff,
     traces_equal,
@@ -62,25 +61,53 @@ end.
 
 
 def build_dynamic_spec():
-    """A specification whose transition creates a child module at runtime
-    (importable factory: spawn-started workers rebuild it by reference)."""
+    """A specification whose transition creates (and later releases) a child
+    module at runtime (importable factory: spawn-started workers rebuild it
+    by reference).  ``Child`` is registered on the specification so the
+    multiprocess coordinator can replay the worker-reported init event."""
     from repro.estelle import Module, ModuleAttribute, Specification, transition
 
     class Child(Module):
         ATTRIBUTE = ModuleAttribute.PROCESS
         STATES = ("s",)
 
+        @transition(
+            from_state="s",
+            provided=lambda self: self.variables.get("worked", 0) < 2,
+            cost=0.5,
+            name="work",
+        )
+        def work(self):
+            self.variables["worked"] = self.variables.get("worked", 0) + 1
+
     class Spawner(Module):
         ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
-        STATES = ("idle", "spawned")
+        STATES = ("idle", "spawned", "cleaned")
 
         @transition(from_state="idle", to_state="spawned", cost=1.0)
         def spawn(self):
-            self.create_child(Child, "late")
+            self.create_child(Child, "late", worked=0)
+
+        # Supervised release after 5.0 units of simulated time (the child's
+        # bounded work fits inside the window; parent precedence keeps this
+        # module quiet while the timer runs, so the child gets its rounds).
+        @transition(
+            from_state="spawned", to_state="cleaned", delay=5.0, cost=1.0
+        )
+        def cleanup(self):
+            self.release_child("late")
 
     spec = Specification("dynamic")
     spec.add_system_module(Spawner, "spawner", location="ksr1")
+    spec.register_body_class(Child)
     spec.validate()
+    return spec
+
+
+def build_unregistered_dynamic_spec():
+    """Like :func:`build_dynamic_spec` but without registering ``Child``."""
+    spec = build_dynamic_spec()
+    spec.body_classes.pop("Child", None)
     return spec
 
 
@@ -287,13 +314,36 @@ class TestMultiprocessEquivalence:
 
 
 class TestMultiprocessDiagnostics:
-    def test_dynamic_module_creation_is_a_worker_error(self):
-        """The backend requires a static tree; a worker that observes a
-        runtime ``init`` must fail fast with its traceback, not diverge."""
+    @pytest.mark.parametrize("dispatch", ["table-driven", "planner"])
+    def test_dynamic_module_creation_is_trace_identical(self, dispatch):
+        """Dynamic topology (ISSUE 5): a runtime ``init`` places the child
+        on its parent's execution unit and registers it in the worker's
+        shard; the later ``release`` retires it — with traces byte-identical
+        to the in-process backend, under the full-rescan dispatch and the
+        incremental planner alike."""
         source = SpecSource.from_factory(
             "tests.test_parallel_backend:build_dynamic_spec"
         )
-        with pytest.raises(ParallelExecutionError, match="static module tree"):
+        in_process, multiprocess = run_both(
+            source,
+            two_machine_cluster(1),
+            mapping=GroupedMapping(),
+            dispatch=dispatch,
+        )
+        assert trace_diff(in_process.trace, multiprocess.trace) is None
+        fired = [e.module_path for e in multiprocess.trace.all_firings()]
+        assert fired.count("dynamic/spawner/late") == 2  # the child really ran
+        assert "dynamic/spawner" in fired
+        assert not multiprocess.deadlocked
+
+    def test_unregistered_dynamic_class_is_a_clear_error(self):
+        """A hand-built spec whose runtime ``init`` uses a class that was
+        never registered must fail with a pointer to register_body_class,
+        not diverge silently."""
+        source = SpecSource.from_factory(
+            "tests.test_parallel_backend:build_unregistered_dynamic_spec"
+        )
+        with pytest.raises(SchedulingError, match="register_body_class"):
             MultiprocessBackend().execute(
                 source, two_machine_cluster(1), mapping=GroupedMapping()
             )

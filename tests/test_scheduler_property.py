@@ -314,6 +314,106 @@ class TestSchedulerSelectionProperty:
         assert total_reused > 0
         assert structure_mutations > 0
 
+    def test_planner_rebuilds_equal_structure_epoch_bumps_under_init_release(self):
+        """ISSUE 5: randomized *release* sequences join the creates.  After
+        every topology change (init or release) the incremental planner must
+        (a) produce a plan identical to a from-scratch rescan, and (b) have
+        rebuilt its fused program exactly once per observed structure-epoch
+        bump — ``stats.rebuilds == structure_epoch + 1`` (the +1 is the
+        initial program build), which holds because this sweep performs at
+        most one topology change between consecutive plans."""
+        total_creates = 0
+        total_releases = 0
+        for seed in range(8):
+            spec_rescan = build_random_tree(seed)
+            spec_fused = build_random_tree(seed)
+            fused = IncrementalRoundPlanner(spec_fused)
+            scheduler = DecentralisedScheduler()
+            dispatch = TableDrivenDispatch()
+            rng = random.Random(77_000 + seed)
+            dynamic: list = []  # (parent path, child name) of live dynamic kids
+            child_counter = 0
+            topology_changes = 0
+
+            for round_index in range(120):
+                rescan = scheduler.plan_round(spec_rescan, dispatch)
+                plan = fused.plan_round()
+                reference = [
+                    (f.module.path, f.result.transition.name)
+                    for f in rescan.firings
+                ]
+                pairs = [
+                    (f.module.path, f.result.transition.name)
+                    for f in plan.firings
+                ]
+                assert pairs == reference, (
+                    f"seed {seed}, round {round_index}: planner {pairs} "
+                    f"!= rescan {reference} after {topology_changes} changes"
+                )
+                # The planner-stats assertion: one rebuild per epoch bump.
+                assert fused.tracker.structure_epoch == topology_changes
+                assert fused.stats.rebuilds == topology_changes + 1
+
+                if not reference and not dynamic:
+                    break
+                # Fire a random non-empty subset of the plan on both replicas.
+                if reference:
+                    subset = [p for p in reference if rng.random() < 0.5] or [
+                        rng.choice(reference)
+                    ]
+                    for spec in (spec_rescan, spec_fused):
+                        for path, transition_name in subset:
+                            module = spec.find(path)
+                            type(module)._transition_declarations[
+                                transition_name
+                            ].fire(module)
+                # Exactly one topology change between plans: create or
+                # release, identically on both replicas.
+                roll = rng.random()
+                if roll < 0.25:
+                    parent_path = rng.choice(
+                        [m.path for m in spec_rescan.modules()]
+                    )
+                    child_class = rng.choice(
+                        _child_classes(spec_rescan.find(parent_path).attribute)
+                    )
+                    tokens, bonus = rng.randint(0, 2), rng.randint(0, 1)
+                    name = f"dyn{child_counter}"
+                    child_counter += 1
+                    topology_changes += 1
+                    for spec in (spec_rescan, spec_fused):
+                        spec.find(parent_path).create_child(
+                            child_class, name, tokens=tokens, bonus=bonus
+                        )
+                    dynamic.append((parent_path, name))
+                    total_creates += 1
+                elif roll < 0.45 and dynamic:
+                    parent_path, name = dynamic.pop(
+                        rng.randrange(len(dynamic))
+                    )
+                    released_root = f"{parent_path}/{name}"
+                    # Entries nested under the released subtree disappear
+                    # with it (so later picks always name attached children).
+                    dynamic = [
+                        (p, n)
+                        for p, n in dynamic
+                        if p != released_root
+                        and not p.startswith(released_root + "/")
+                    ]
+                    topology_changes += 1
+                    total_releases += 1
+                    for spec in (spec_rescan, spec_fused):
+                        spec.find(parent_path).release_child(name)
+
+            assert topology_changes > 0, f"seed {seed} never changed topology"
+
+        # Self-check: the sweep must actually have exercised both kinds of
+        # topology change, or the property is hollow.
+        assert total_creates > 0 and total_releases > 0, (
+            total_creates,
+            total_releases,
+        )
+
     def test_priority_order_respected_within_a_module(self):
         """While bonus tokens remain, bonus_tick (priority -1) must win."""
         spec = Specification("priorities")
