@@ -1,0 +1,26 @@
+# repro.serve deployment image (docs/SERVE.md).
+#
+# Stdlib-only by design: the engine, the HTTP front and the example specs
+# need nothing beyond CPython, so the image is slim and there is no pip
+# install step to drift.
+FROM python:3.12-slim
+
+WORKDIR /app
+
+COPY src/ src/
+COPY examples/ examples/
+COPY docs/SERVE.md docs/SERVE.md
+
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1
+
+# Self-check at build time: 20 interleaved sessions must stay byte-identical
+# to a sequential reference with one front-end compile and a clean shutdown.
+RUN python -m repro.serve --smoke 20
+
+EXPOSE 8070
+
+HEALTHCHECK --interval=30s --timeout=5s --start-period=5s \
+    CMD python -c "import urllib.request; urllib.request.urlopen('http://127.0.0.1:8070/healthz', timeout=4)"
+
+CMD ["python", "-m", "repro.serve", "--host", "0.0.0.0", "--port", "8070"]

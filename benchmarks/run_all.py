@@ -27,7 +27,12 @@ history), so the repository carries its own perf trajectory:
 * the E-DYN record: the dynamic-topology mcam_sessions workload — session
   handler modules spawned/released at runtime through Estelle init/release,
   the planner's structure-epoch/rebuild accounting, and the full
-  {backend} x {dispatch} equivalence matrix on the dynamic spec.
+  {backend} x {dispatch} equivalence matrix on the dynamic spec,
+* the E-SERVE record: the multi-session service under load — 1000
+  concurrent mcam_sessions instances through ``repro.serve``, with
+  sessions/sec, p50/p99 step latency, the registry's compile-once count
+  and the sampled interleaved-vs-sequential trace identity (ROADMAP.md
+  item 1).
 
 Run with:  PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
 """
@@ -158,6 +163,12 @@ def dynamic_topology_results() -> dict:
     return results
 
 
+def serve_load_results() -> dict:
+    """E-SERVE: the session service under a 1000-instance load."""
+    module = _load_bench_module("bench_serve_load")
+    return _round_floats(module.serve_load_results())
+
+
 def load_history(output: Path) -> list:
     if not output.exists():
         return []
@@ -196,6 +207,7 @@ def main(argv=None) -> int:
         "round_planner": round_planner_results(),
         "delay_round": delay_round_results(),
         "dynamic_topology": dynamic_topology_results(),
+        "serve_load": serve_load_results(),
     }
     runs = [run_entry] + load_history(args.output)
     args.output.write_text(json.dumps({"runs": runs[:HISTORY_LIMIT]}, indent=2) + "\n")
@@ -286,6 +298,35 @@ def main(argv=None) -> int:
             f"structure-epoch bumps ({dynamic['dynamic']['structure_epoch_bumps']})"
         )
         return 1
+    serve = run_entry["serve_load"]
+    if not serve["compile_once"]:
+        print(
+            "regression: serve registry compiled the spec "
+            f"{serve['registry_compile_count']}x for "
+            f"{serve['registry_instantiations']} session spawns"
+        )
+        return 1
+    if serve["sessions_per_sec"] < serve["sessions_per_sec_floor"]:
+        print(
+            f"regression: serve throughput {serve['sessions_per_sec']}/s "
+            f"below the {serve['sessions_per_sec_floor']}/s floor"
+        )
+        return 1
+    if not serve["sampled_traces_identical"]:
+        print(
+            "regression: serve session trace diverged from the sequential "
+            f"reference: {serve['trace_divergence']}"
+        )
+        return 1
+    print(
+        f"serve load: {serve['sessions']} sessions "
+        f"(peak {serve['peak_sessions']}) at {serve['sessions_per_sec']}/s, "
+        f"step p50 {serve['p50_latency_ms']} ms / p99 "
+        f"{serve['p99_latency_ms']} ms; registry compiled "
+        f"{serve['registry_compile_count']}x for "
+        f"{serve['registry_instantiations']} spawns; "
+        f"{serve['equivalence_sample']} sampled traces byte-identical"
+    )
     print(
         f"dynamic topology: {len(dynamic['dynamic']['dynamic_module_paths'])} "
         f"session handler(s) spawned, {dynamic['dynamic']['sessions_released']} "

@@ -163,13 +163,31 @@ from .errors import (
     SourceLocation,
 )
 from .lexer import Token, tokenize
-from .lower import expr_to_python, lower_bodies, lower_specification
+from .lower import (
+    SpecificationTemplate,
+    expr_to_python,
+    lower_bodies,
+    lower_specification,
+)
 from .parser import Parser, parse_source
 
 
 def compile_source(source: str, filename: str = "<estelle>") -> Specification:
     """Parse and lower Estelle source text to a validated specification."""
     return lower_specification(parse_source(source, filename))
+
+
+def compile_template(
+    source: str, filename: str = "<estelle>"
+) -> SpecificationTemplate:
+    """Parse and lower once into a reusable :class:`SpecificationTemplate`.
+
+    The template's :meth:`~SpecificationTemplate.instantiate` builds fresh,
+    mutually independent specifications that share the lowered module
+    classes (and therefore all per-class compiled dispatch artefacts) —
+    the cheap-session-spawn path used by :mod:`repro.serve`.
+    """
+    return SpecificationTemplate(parse_source(source, filename))
 
 
 def compile_file(path: Union[str, Path]) -> Specification:
@@ -191,10 +209,12 @@ __all__ = [
     "Parser",
     "SourceLocation",
     "SpecificationNode",
+    "SpecificationTemplate",
     "Token",
     "astnodes",
     "compile_file",
     "compile_source",
+    "compile_template",
     "expr_to_python",
     "lower_bodies",
     "lower_specification",

@@ -861,6 +861,56 @@ def lower_specification(node: ast.SpecificationNode) -> Specification:
     return _Lowering(node).run()
 
 
+class SpecificationTemplate:
+    """A lowered-once specification that can instantiate many times.
+
+    Lowering is the expensive half of compilation: every ``body`` becomes a
+    dynamically created :class:`~repro.estelle.module.Module` subclass whose
+    transitions close over their action ASTs.  Those classes carry no
+    per-instance state (module state, variables, queues and timers all live
+    on the instances), so one lowering can back any number of independent
+    :class:`~repro.estelle.specification.Specification` trees —
+    :meth:`instantiate` only re-runs the assembly step (fresh instances,
+    connections, validation), which is O(instance state).
+
+    Because all instances share the module *classes*, they also share every
+    per-class compiled artefact downstream: the code generator's dispatch
+    selectors (cached per class) and the fused planner's code objects (cached
+    by generated source).  This is the compile-once contract the
+    :mod:`repro.serve` registry builds on.
+
+    ``instantiate`` is safe to call concurrently from multiple threads: it
+    only reads the lowered template and builds fresh objects.
+    """
+
+    def __init__(self, node: ast.SpecificationNode):
+        self._lowering = _Lowering(node)
+        for channel_node in node.channels:
+            self._lowering._lower_channel(channel_node)
+        for header in node.headers:
+            self._lowering._check_header(header)
+        for body in node.bodies:
+            self._lowering._lower_body(body)
+        self._lowering._check_deferred_inits()
+        # Fail at template-compile time, not on the first instantiate: the
+        # assembly step performs the instance-level semantic checks
+        # (duplicate instances, unknown bodies, connect diagnostics).
+        self._lowering._assemble()
+
+    @property
+    def name(self) -> str:
+        return self._lowering.node.name
+
+    @property
+    def body_classes(self) -> Dict[str, Type[Module]]:
+        """The shared lowered module classes, by body name."""
+        return dict(self._lowering.body_classes)
+
+    def instantiate(self) -> Specification:
+        """Build a fresh validated specification from the lowered template."""
+        return self._lowering._assemble()
+
+
 def lower_bodies(node: ast.SpecificationNode) -> Dict[str, Type[Module]]:
     """Lower only the module classes (no instances); useful for tooling."""
     lowering = _Lowering(node)

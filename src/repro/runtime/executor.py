@@ -119,8 +119,16 @@ class SpecificationExecutor:
         )
         # Modules created dynamically after the mapping was computed inherit
         # their parent's unit (the paper's runtime attaches a new connection
-        # handler to the thread that created it unless remapped).
+        # handler to the thread that created it unless remapped).  Entries of
+        # released modules are evicted at the end of any round whose firings
+        # changed the tree (see :meth:`_evict_released_units`), so the map is
+        # bounded by the *live* dynamic population even when a long-running
+        # service churns init/release indefinitely.
         self._dynamic_unit: Dict[str, ExecutionUnit] = {}
+        #: set by the structure hook (interpreted path) when a child was
+        #: created or released; the planner path reads the tracker's
+        #: structure epoch instead.
+        self._topology_changed = False
 
     # -- mapping helpers ----------------------------------------------------------
 
@@ -166,11 +174,26 @@ class SpecificationExecutor:
         self,
         max_rounds: int = 10_000,
         stop_when_quiescent: bool = True,
+        deadline: Optional[float] = None,
     ) -> ExecutionMetrics:
-        """Run rounds until quiescence (no enabled transition) or ``max_rounds``."""
+        """Run rounds until quiescence, ``max_rounds``, or a clock deadline.
+
+        ``metrics.stop_reason`` records which of the three actually ended the
+        loop — ``"quiescent"`` (nothing enabled, no timer pending),
+        ``"budget"`` (``max_rounds`` exhausted with work still possible) or
+        ``"deadline"`` (the simulated clock reached ``deadline`` before the
+        next round started).  ``deadline`` is simulated time: no round begins
+        at or after it, so a timeslicing caller can resume later and obtain
+        the same rounds a single uninterrupted run would have produced.
+        """
+        self.metrics.stop_reason = "budget"
         for _ in range(max_rounds):
+            if deadline is not None and self.clock.now >= deadline:
+                self.metrics.stop_reason = "deadline"
+                break
             progressed = self.step_round()
             if not progressed and stop_when_quiescent:
+                self.metrics.stop_reason = "quiescent"
                 break
         return self.metrics
 
@@ -178,6 +201,20 @@ class SpecificationExecutor:
         """Structure hook (interpreted path): a child was created or
         released, so the cached delay-bearing module list is stale."""
         self._delayed_modules = None
+        self._topology_changed = True
+
+    def _evict_released_units(self) -> None:
+        """Drop ``_dynamic_unit`` entries whose modules left the tree.
+
+        Called only after a round whose firings changed the module tree
+        (structure changes already force an O(tree) planner rebuild, so the
+        walk here adds no new asymptotic cost).  Without this, a
+        long-running process that churns ``init``/``release`` grows the map
+        without bound — one stale entry per released dynamic module.
+        """
+        live = {module.path for module in self.specification.root.walk()}
+        for path in [p for p in self._dynamic_unit if p not in live]:
+            del self._dynamic_unit[path]
 
     def _delay_bearing_modules(self) -> Tuple[Module, ...]:
         cached = self._delayed_modules
@@ -245,8 +282,19 @@ class SpecificationExecutor:
         units_by_id: Dict[int, ExecutionUnit] = {}
         firing_work: Dict[int, float] = defaultdict(float)
 
+        epoch_before = (
+            self.planner.tracker.structure_epoch if self.planner is not None else 0
+        )
+        self._topology_changed = False
         serial_overhead = self._charge_selection(plan, unit_work, units_by_id)
         self._charge_firings(plan, unit_work, units_by_id, firing_work)
+        structure_changed = (
+            self.planner.tracker.structure_epoch != epoch_before
+            if self.planner is not None
+            else self._topology_changed
+        )
+        if structure_changed and self._dynamic_unit:
+            self._evict_released_units()
         makespan = self._account_round(serial_overhead, unit_work, units_by_id)
 
         self.metrics.rounds += 1
@@ -533,6 +581,9 @@ class BackendResult:
     #: on the same specification — it is derived from declared costs, not
     #: wall time; see :mod:`repro.runtime.clock`).
     simulated_time: float = 0.0
+    #: why the round loop stopped: ``"quiescent"`` or ``"budget"`` (see
+    #: :data:`repro.sim.metrics.STOP_REASONS`; backends take no deadline).
+    stop_reason: Optional[str] = None
 
 
 def busy_work_for(us_per_cost: float) -> Optional[Callable[[float], None]]:
@@ -651,4 +702,5 @@ class InProcessBackend(ExecutionBackend):
             workers=1,
             metrics=metrics,
             simulated_time=executor.clock.now,
+            stop_reason=metrics.stop_reason,
         )

@@ -372,6 +372,7 @@ class MultiprocessBackend(ExecutionBackend):
         rounds = 0
         transitions_fired = 0
         deadlocked = False
+        stop_reason = "budget"
         try:
             for process in processes:
                 process.start()
@@ -411,6 +412,7 @@ class MultiprocessBackend(ExecutionBackend):
                         if planner.incremental
                         else any(summary[5] > 0 for summary in summaries.values())
                     )
+                    stop_reason = "quiescent"
                     break
 
                 assignments: Dict[int, List[AssignedFiring]] = {
@@ -506,6 +508,7 @@ class MultiprocessBackend(ExecutionBackend):
             workers=len(units),
             metrics=None,
             simulated_time=clock.now,
+            stop_reason=stop_reason,
         )
 
     # -- protocol helpers ----------------------------------------------------------

@@ -40,6 +40,7 @@ walk (see :mod:`repro.runtime.parallel`).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
@@ -175,6 +176,34 @@ def _emit_walk_subtree(
             _emit_walk_subtree(lines, child, index_of, depth + 2, marker_counter)
 
 
+#: Generated-source -> compiled code object, shared process-wide.  Two
+#: instances of the same specification source have identical tree shapes, so
+#: they generate byte-identical planner source; caching the ``compile()``
+#: step makes the N-th instance's program build O(exec) instead of
+#: O(compile) — the property a multi-session service
+#: (:mod:`repro.serve`) relies on for cheap session spawn.  The cache is a
+#: bounded FIFO: dynamic topology embeds child serial numbers in the source
+#: (``s1#1`` vs ``s1#2`` walk different module paths), so an immortal
+#: churning session would otherwise grow it without bound.
+_PLAN_CODE_CACHE: "OrderedDict[str, object]" = OrderedDict()
+_PLAN_CODE_CACHE_LIMIT = 256
+
+
+def _compiled_code_for(source: str, spec_name: str):
+    code = _PLAN_CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, f"<generated planner {spec_name}>", "exec")
+        _PLAN_CODE_CACHE[source] = code
+        while len(_PLAN_CODE_CACHE) > _PLAN_CODE_CACHE_LIMIT:
+            _PLAN_CODE_CACHE.popitem(last=False)
+    return code
+
+
+def plan_code_cache_info() -> Dict[str, int]:
+    """Size of the shared compile cache (inspection hook for tests/stats)."""
+    return {"entries": len(_PLAN_CODE_CACHE), "limit": _PLAN_CODE_CACHE_LIMIT}
+
+
 def compile_plan_program(
     specification: Specification,
     scan_cost: float = 0.08,
@@ -264,7 +293,7 @@ def compile_plan_program(
 
     source = "\n".join(lines)
     exec(  # noqa: S102 - same trusted-codegen pattern as repro.runtime.codegen
-        compile(source, f"<generated planner {specification.name}>", "exec"),
+        _compiled_code_for(source, specification.name),
         namespace,
     )
     return FusedPlanProgram(

@@ -1,0 +1,252 @@
+"""Ingress for the session engine: in-process dict API + HTTP/JSON front.
+
+Two layers share one request vocabulary:
+
+* :class:`ServeAPI` — a dict-in/dict-out facade over
+  :class:`~repro.serve.engine.SessionEngine`.  Everything it accepts and
+  returns is JSON-serialisable, so in-process callers, the HTTP handler
+  and the CLI all speak the same protocol.
+* :func:`make_http_server` / :class:`ServeHTTPServer` — a minimal
+  stdlib-only (:mod:`http.server`) threading HTTP server exposing the API:
+
+  ========  ============================== =================================
+  method    path                           body / query
+  ========  ============================== =================================
+  GET       /healthz                       —
+  GET       /stats                         —
+  POST      /sessions                      {"spec_text" | "spec_path",
+                                            "dispatch"?, "session_id"?}
+  GET       /sessions                      —
+  GET       /sessions/{id}                 —
+  POST      /sessions/{id}/step            {"rounds"?, "deadline"?}
+  POST      /sessions/{id}/interactions    {"module", "ip", "interaction",
+                                            "params"?}
+  GET       /sessions/{id}/firings         ?since=N
+  DELETE    /sessions/{id}                 —
+  ========  ============================== =================================
+
+Errors map to JSON bodies ``{"error": ...}`` with 404 for unknown sessions
+and 400 for invalid requests.  The server binds 127.0.0.1 by default — it
+is a deployment artefact for the compose file, not an authenticated public
+endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..runtime.executor import SpecSource
+from .engine import ServeError, SessionEngine, SessionUnknown
+
+
+class ServeAPI:
+    """JSON-friendly facade over a :class:`SessionEngine`."""
+
+    def __init__(self, engine: Optional[SessionEngine] = None):
+        self.engine = engine if engine is not None else SessionEngine()
+
+    # -- requests ----------------------------------------------------------------
+
+    def create_session(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        spec_text = payload.get("spec_text")
+        spec_path = payload.get("spec_path")
+        if (spec_text is None) == (spec_path is None):
+            raise ServeError(
+                "provide exactly one of 'spec_text' or 'spec_path'"
+            )
+        if spec_text is not None:
+            source = SpecSource.from_estelle_text(
+                spec_text, filename=payload.get("filename", "<http>")
+            )
+        else:
+            source = SpecSource.from_estelle_file(spec_path)
+        session_id = self.engine.create_session(
+            source,
+            dispatch=payload.get("dispatch"),
+            session_id=payload.get("session_id"),
+        )
+        return {"session_id": session_id}
+
+    def step(self, session_id: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        rounds = payload.get("rounds", 1)
+        deadline = payload.get("deadline")
+        if not isinstance(rounds, int):
+            raise ServeError(f"'rounds' must be an integer, got {rounds!r}")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            raise ServeError(f"'deadline' must be a number, got {deadline!r}")
+        return self.engine.step(session_id, rounds=rounds, deadline=deadline)
+
+    def inject(self, session_id: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            module = payload["module"]
+            ip_name = payload["ip"]
+            interaction = payload["interaction"]
+        except KeyError as exc:
+            raise ServeError(f"missing required field {exc.args[0]!r}") from None
+        params = payload.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServeError(f"'params' must be an object, got {params!r}")
+        return self.engine.inject(session_id, module, ip_name, interaction, params)
+
+    def firings(self, session_id: str, since: int) -> Dict[str, Any]:
+        events, cursor = self.engine.stream_firings(session_id, since=since)
+        return {"events": events, "cursor": cursor}
+
+    def health(self, session_id: str) -> Dict[str, Any]:
+        return self.engine.health(session_id)
+
+    def close_session(self, session_id: str) -> Dict[str, Any]:
+        return self.engine.close_session(session_id)
+
+    def sessions(self) -> Dict[str, Any]:
+        return {"sessions": self.engine.session_ids()}
+
+    def stats(self) -> Dict[str, Any]:
+        return self.engine.stats()
+
+    def healthz(self) -> Dict[str, Any]:
+        stats = self.engine.stats()
+        return {
+            "status": "ok",
+            "active_sessions": stats["active_sessions"],
+            "uptime_seconds": stats["uptime_seconds"],
+        }
+
+
+_SESSION_ROUTE = re.compile(
+    r"^/sessions/(?P<sid>[^/]+)(?:/(?P<verb>step|interactions|firings))?$"
+)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route HTTP verbs onto the :class:`ServeAPI` attached to the server."""
+
+    server: "ServeHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, document: Dict[str, Any]) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _payload(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        try:
+            document = json.loads(self.rfile.read(length).decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"invalid JSON body: {exc}") from None
+        if not isinstance(document, dict):
+            raise ServeError("request body must be a JSON object")
+        return document
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, document = handler()
+        except SessionUnknown as exc:
+            status, document = 404, {"error": str(exc)}
+        except ServeError as exc:
+            status, document = 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive 500
+            status, document = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._reply(status, document)
+
+    # -- verbs -------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        parsed = urlparse(self.path)
+        api = self.server.api
+
+        def handle() -> Tuple[int, Dict[str, Any]]:
+            if parsed.path == "/healthz":
+                return 200, api.healthz()
+            if parsed.path == "/stats":
+                return 200, api.stats()
+            if parsed.path == "/sessions":
+                return 200, api.sessions()
+            match = _SESSION_ROUTE.match(parsed.path)
+            if match and match.group("verb") == "firings":
+                query = parse_qs(parsed.query)
+                since = int(query.get("since", ["0"])[0])
+                return 200, api.firings(match.group("sid"), since)
+            if match and match.group("verb") is None:
+                return 200, api.health(match.group("sid"))
+            return 404, {"error": f"no route for GET {parsed.path}"}
+
+        self._dispatch(handle)
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        api = self.server.api
+
+        def handle() -> Tuple[int, Dict[str, Any]]:
+            payload = self._payload()
+            if parsed.path == "/sessions":
+                return 201, api.create_session(payload)
+            match = _SESSION_ROUTE.match(parsed.path)
+            if match and match.group("verb") == "step":
+                return 200, api.step(match.group("sid"), payload)
+            if match and match.group("verb") == "interactions":
+                return 200, api.inject(match.group("sid"), payload)
+            return 404, {"error": f"no route for POST {parsed.path}"}
+
+        self._dispatch(handle)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        api = self.server.api
+
+        def handle() -> Tuple[int, Dict[str, Any]]:
+            match = _SESSION_ROUTE.match(parsed.path)
+            if match and match.group("verb") is None:
+                return 200, api.close_session(match.group("sid"))
+            return 404, {"error": f"no route for DELETE {parsed.path}"}
+
+        self._dispatch(handle)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """The service's HTTP front (threading, daemonic handler threads)."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], api: ServeAPI, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.api = api
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_in_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def make_http_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    engine: Optional[SessionEngine] = None,
+    verbose: bool = False,
+) -> ServeHTTPServer:
+    """Build (but do not start) the HTTP front; ``port=0`` picks a free one."""
+    return ServeHTTPServer((host, port), ServeAPI(engine), verbose=verbose)

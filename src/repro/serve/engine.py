@@ -1,0 +1,388 @@
+"""The session engine: N independent spec instances behind one service.
+
+Each :class:`Session` owns a full, private execution stack — specification
+instance, :class:`~repro.runtime.executor.SpecificationExecutor`, simulated
+clock, dirty tracker, trace — built from the compile-once registry
+(:mod:`repro.serve.registry`), so spawning a session never re-runs the
+front-end.  Sessions are mutually invisible: the only shared objects are
+immutable-after-build per-class artefacts (module classes, compiled
+selectors, planner code objects), which is what makes the isolation
+contract hold — stepping sessions interleaved yields, per session, the
+byte-identical canonical trace a sequential run yields.
+
+Concurrency model
+-----------------
+
+Operations on one session are serialized by the session's lock; different
+sessions proceed independently.  :meth:`SessionEngine.step_all` fans a
+step over the engine's thread pool (one task per session) — the idiom for
+driving thousands of sessions a timeslice at a time.  Threads (not
+processes) are the right pool here: sessions share the per-class compiled
+artefacts, and a session step is dominated by the Python round loop which
+interleaves fairly under the GIL; the multiprocess axis is ROADMAP item 3.
+
+Lifecycle
+---------
+
+::
+
+    engine = SessionEngine()
+    sid = engine.create_session(SpecSource.from_estelle_file(path))
+    engine.inject(sid, "alice", "ctl", "CallAccept")      # optional ingress
+    engine.step(sid, rounds=50)                           # -> health dict
+    events, cursor = engine.stream_firings(sid, since=0)  # firing stream
+    engine.close_session(sid)                             # -> final stats
+    engine.shutdown()
+
+``step`` reports the executor's honest ``stop_reason`` ("quiescent" |
+"budget" | "deadline"), so a supervisor can distinguish a finished call
+from one that merely exhausted its timeslice.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..estelle.interaction import Interaction
+from ..estelle.specification import Specification
+from ..runtime.executor import SpecSource, SpecificationExecutor
+from ..runtime.mapping import MappingStrategy
+from ..sim.machine import Cluster, Machine
+from .registry import CompiledSpec, SpecRegistry
+
+
+class ServeError(Exception):
+    """An invalid service request (unknown names, bad payloads)."""
+
+
+class SessionUnknown(ServeError):
+    """The referenced session does not exist (or was already closed)."""
+
+
+def default_cluster_for(specification: Specification) -> Cluster:
+    """A cluster with one 2-processor machine per placement location.
+
+    Mirrors the clusters the benchmarks build by hand: every location named
+    in the spec's placement comments becomes a machine, so any ``.estelle``
+    source runs without the caller having to know its topology.
+    """
+    cluster = Cluster()
+    locations = {placement.location for placement in specification.placements}
+    for location in sorted(locations) or ["local"]:
+        cluster.add(Machine(location, 2))
+    return cluster
+
+
+class Session:
+    """One hosted specification instance with its private executor."""
+
+    def __init__(
+        self,
+        session_id: str,
+        entry: CompiledSpec,
+        executor: SpecificationExecutor,
+        dispatch_name: str,
+    ):
+        self.id = session_id
+        self.entry = entry
+        self.executor = executor
+        self.dispatch_name = dispatch_name
+        self.created_at = time.time()
+        self.closed = False
+        #: serialize operations on this session (sessions are independent,
+        #: one session's ops are not).
+        self.lock = threading.Lock()
+        self._stream_cursor = 0
+
+    # All methods below are called with ``self.lock`` held by the engine.
+
+    def step(
+        self,
+        rounds: int,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        metrics = self.executor.run(max_rounds=rounds, deadline=deadline)
+        return self.health(stop_reason=metrics.stop_reason)
+
+    def inject(
+        self,
+        module_path: str,
+        ip_name: str,
+        interaction_name: str,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        module = self.executor.specification.find(module_path)
+        point = module.ips.get(ip_name)
+        if point is None:
+            raise ServeError(
+                f"module {module_path!r} has no interaction point {ip_name!r} "
+                f"(declared: {sorted(module.ips)})"
+            )
+        # Ingress plays the *peer* role: only interactions the peer may send
+        # can arrive in this queue, the same check output() applies.
+        peer_role = point.role.peer
+        if not peer_role.allows(interaction_name):
+            raise ServeError(
+                f"{point.full_name} (role {point.role.name!r} of channel "
+                f"{point.role.channel.name!r}) cannot receive "
+                f"{interaction_name!r}; receivable: {sorted(peer_role.interactions)}"
+            )
+        point.enqueue(Interaction(interaction_name, params or {}))
+        return {"queued": point.pending()}
+
+    def stream_firings(self, since: int) -> Tuple[List[Dict[str, Any]], int]:
+        events = self.executor.trace.all_firings()
+        if since < 0 or since > len(events):
+            raise ServeError(
+                f"firing cursor {since} out of range (0..{len(events)})"
+            )
+        new = [
+            {
+                "round_index": e.round_index,
+                "module_path": e.module_path,
+                "transition_name": e.transition_name,
+                "state_before": e.state_before,
+                "state_after": e.state_after,
+                "interaction_name": e.interaction_name,
+                "cost": e.cost,
+                "unit_id": e.unit_id,
+                "machine": e.machine,
+                "time": e.time,
+            }
+            for e in events[since:]
+        ]
+        return new, len(events)
+
+    def health(self, stop_reason: Optional[str] = None) -> Dict[str, Any]:
+        metrics = self.executor.metrics
+        return {
+            "session_id": self.id,
+            "spec": self.entry.name,
+            "dispatch": self.dispatch_name,
+            "rounds": metrics.rounds,
+            "transitions_fired": metrics.transitions_fired,
+            "simulated_time": self.executor.clock.now,
+            "stop_reason": stop_reason
+            if stop_reason is not None
+            else metrics.stop_reason,
+            "quiescent": (stop_reason or metrics.stop_reason) == "quiescent",
+            "deadlocked": self.executor.deadlocked,
+        }
+
+
+class SessionEngine:
+    """Hosts and multiplexes independent protocol sessions.
+
+    All state is per-engine (registry, sessions, pool, counters) — no
+    module-level globals — so several engines can coexist in one process
+    (each test gets a private one) and the whole engine is garbage once
+    :meth:`shutdown` returns.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SpecRegistry] = None,
+        workers: int = 8,
+        default_dispatch: str = "planner",
+        cluster_factory: Optional[Callable[[Specification], Cluster]] = None,
+        mapping_factory: Optional[Callable[[], MappingStrategy]] = None,
+        max_sessions: Optional[int] = None,
+    ):
+        self.registry = registry if registry is not None else SpecRegistry()
+        self.default_dispatch = default_dispatch
+        self.cluster_factory = cluster_factory or default_cluster_for
+        self.mapping_factory = mapping_factory
+        self.max_sessions = max_sessions
+        self._sessions: Dict[str, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._serial = itertools.count(1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+        self.started_at = time.time()
+        #: lifetime counters for the service's own story.
+        self.sessions_created = 0
+        self.sessions_closed = 0
+        self.peak_sessions = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def create_session(
+        self,
+        source: SpecSource,
+        dispatch: Optional[str] = None,
+        session_id: Optional[str] = None,
+    ) -> str:
+        """Spawn one session; returns its id.
+
+        The spawn path never recompiles a previously seen Estelle source:
+        the registry entry's template instantiates the module tree (O(its
+        size)), and the executor reuses the entry's shared dispatch
+        strategy, so per-class selector compilation also happens at most
+        once per spec.
+        """
+        if self._closed:
+            raise ServeError("engine is shut down")
+        entry = self.registry.get(source)
+        dispatch_name = dispatch or self.default_dispatch
+        specification = entry.instantiate()
+        executor = SpecificationExecutor(
+            specification,
+            self.cluster_factory(specification),
+            mapping=self.mapping_factory() if self.mapping_factory else None,
+            dispatch=entry.dispatch_for(dispatch_name),
+            trace=True,
+        )
+        with self._sessions_lock:
+            if self.max_sessions is not None and len(self._sessions) >= self.max_sessions:
+                raise ServeError(
+                    f"session limit reached ({self.max_sessions}); close one first"
+                )
+            sid = session_id or f"s-{next(self._serial)}"
+            if sid in self._sessions:
+                raise ServeError(f"session id {sid!r} already in use")
+            self._sessions[sid] = Session(sid, entry, executor, dispatch_name)
+            self.sessions_created += 1
+            self.peak_sessions = max(self.peak_sessions, len(self._sessions))
+        return sid
+
+    def _session(self, session_id: str) -> Session:
+        with self._sessions_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionUnknown(f"unknown session {session_id!r}")
+        return session
+
+    def close_session(self, session_id: str) -> Dict[str, Any]:
+        """Retire a session; returns its final health record."""
+        with self._sessions_lock:
+            session = self._sessions.pop(session_id, None)
+            if session is not None:
+                self.sessions_closed += 1
+        if session is None:
+            raise SessionUnknown(f"unknown session {session_id!r}")
+        with session.lock:
+            session.closed = True
+            return session.health()
+
+    # -- per-session operations --------------------------------------------------
+
+    def step(
+        self,
+        session_id: str,
+        rounds: int = 1,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run up to ``rounds`` rounds (optionally until a simulated-time
+        deadline); returns the session's health including ``stop_reason``."""
+        if rounds < 0:
+            raise ServeError(f"rounds must be >= 0, got {rounds}")
+        session = self._session(session_id)
+        with session.lock:
+            return session.step(rounds, deadline=deadline)
+
+    def run_to_quiescence(
+        self, session_id: str, max_rounds: int = 10_000
+    ) -> Dict[str, Any]:
+        return self.step(session_id, rounds=max_rounds)
+
+    def inject(
+        self,
+        session_id: str,
+        module_path: str,
+        ip_name: str,
+        interaction_name: str,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Enqueue an interaction at a module's interaction point (ingress)."""
+        session = self._session(session_id)
+        with session.lock:
+            return session.inject(module_path, ip_name, interaction_name, params)
+
+    def stream_firings(
+        self, session_id: str, since: int = 0
+    ) -> Tuple[List[Dict[str, Any]], int]:
+        """Firing events after cursor ``since``; returns (events, new cursor)."""
+        session = self._session(session_id)
+        with session.lock:
+            return session.stream_firings(since)
+
+    def health(self, session_id: str) -> Dict[str, Any]:
+        session = self._session(session_id)
+        with session.lock:
+            return session.health()
+
+    # -- fan-out -----------------------------------------------------------------
+
+    def step_all(
+        self,
+        session_ids: Optional[Sequence[str]] = None,
+        rounds: int = 1,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Step many sessions concurrently over the worker pool.
+
+        Returns {session_id: health}.  Sessions closed mid-flight by another
+        caller are skipped rather than failed: a supervisor sweeping all
+        sessions should not race session teardown.
+        """
+        if session_ids is None:
+            with self._sessions_lock:
+                session_ids = list(self._sessions)
+
+        def _one(sid: str) -> Optional[Dict[str, Any]]:
+            try:
+                return self.step(sid, rounds=rounds, deadline=deadline)
+            except SessionUnknown:
+                return None
+
+        results = list(self._pool.map(_one, session_ids))
+        return {
+            sid: health
+            for sid, health in zip(session_ids, results)
+            if health is not None
+        }
+
+    def session_ids(self) -> List[str]:
+        with self._sessions_lock:
+            return list(self._sessions)
+
+    # -- service-level introspection ---------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._sessions_lock:
+            active = len(self._sessions)
+        return {
+            "active_sessions": active,
+            "peak_sessions": self.peak_sessions,
+            "sessions_created": self.sessions_created,
+            "sessions_closed": self.sessions_closed,
+            "uptime_seconds": time.time() - self.started_at,
+            "registry": self.registry.stats(),
+        }
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Close every session and stop the pool; returns final stats."""
+        with self._sessions_lock:
+            remaining = list(self._sessions)
+        for sid in remaining:
+            try:
+                self.close_session(sid)
+            except SessionUnknown:
+                pass
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        return self.stats()
+
+    # -- context manager ----------------------------------------------------------
+
+    def __enter__(self) -> "SessionEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

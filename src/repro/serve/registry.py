@@ -1,0 +1,171 @@
+"""The compile-once specification registry.
+
+A service hosting thousands of sessions of the same protocol must not pay
+the Estelle front-end (tokenize, parse, lower — dynamic class creation with
+AST-closing transitions) once per session.  The registry parses and lowers
+each distinct source exactly once and hands out :class:`CompiledSpec`
+entries whose :meth:`~CompiledSpec.instantiate` builds fresh, mutually
+independent specification trees from the shared
+:class:`~repro.estelle.frontend.SpecificationTemplate`.
+
+Sharing cascades through every per-class compiled artefact:
+
+* the lowered module classes themselves (one set per source, not per
+  session),
+* the code generator's specialized dispatch selectors —
+  :meth:`CompiledSpec.dispatch_for` hands out one strategy instance per
+  dispatch name whose per-class cache is shared by every session,
+* the fused planner's compiled code objects
+  (:data:`repro.runtime.planner._PLAN_CODE_CACHE` keys by generated
+  source, which is identical across instances of one tree shape).
+
+Keys are SHA-256 hashes of the *source text* (files are read and keyed by
+content, so the same protocol reached through a path and through inline
+text still shares one entry).  ``factory`` sources cannot share a lowering
+— the factory is an opaque callable — so each instantiation rebuilds, and
+``compile_count`` honestly counts every rebuild.
+
+Thread safety: ``get`` may be called concurrently (one lock around the
+entry map); ``instantiate`` only reads the template and builds fresh
+objects, so sessions may spawn in parallel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Dict, Optional
+
+from ..estelle.frontend import SpecificationTemplate, compile_template
+from ..estelle.specification import Specification
+from ..runtime.dispatch import DispatchStrategy, dispatch_by_name
+from ..runtime.executor import SpecSource
+
+
+def source_key(source: SpecSource) -> str:
+    """Stable content hash identifying a spec source.
+
+    ``estelle-file`` sources are keyed by *file content*, so a path and the
+    equivalent inline text resolve to the same registry entry.
+    """
+    if source.kind == "estelle-file":
+        from pathlib import Path
+
+        text = Path(source.payload).read_text()
+        material = f"estelle\x00{text}"
+    elif source.kind == "estelle-text":
+        material = f"estelle\x00{source.payload}"
+    else:
+        material = f"{source.kind}\x00{source.payload}\x00{source.kwargs!r}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class CompiledSpec:
+    """One registry entry: a compiled source plus its shared artefacts."""
+
+    def __init__(self, key: str, source: SpecSource):
+        self.key = key
+        self.source = source
+        #: how many times the front-end actually ran for this entry.  The
+        #: service's contract — asserted by the load benchmark and the
+        #: ``serve-smoke`` CI job — is that this stays 1 for Estelle sources
+        #: no matter how many sessions spawn.
+        self.compile_count = 0
+        #: how many fresh specification instances this entry produced.
+        self.instantiations = 0
+        self._template: Optional[SpecificationTemplate] = None
+        self._dispatches: Dict[str, DispatchStrategy] = {}
+        self._lock = threading.Lock()
+        if source.kind in ("estelle-file", "estelle-text"):
+            self._template = self._compile_template()
+
+    def _compile_template(self) -> SpecificationTemplate:
+        if self.source.kind == "estelle-file":
+            from pathlib import Path
+
+            text = Path(self.source.payload).read_text()
+            filename = self.source.payload
+        else:
+            text = self.source.payload
+            filename = dict(self.source.kwargs).get("filename", "<estelle>")
+        self.compile_count += 1
+        return compile_template(text, filename)
+
+    @property
+    def name(self) -> str:
+        if self._template is not None:
+            return self._template.name
+        return self.source.payload
+
+    @property
+    def shares_compilation(self) -> bool:
+        """Whether instances share one lowering (False for factory sources)."""
+        return self._template is not None
+
+    def instantiate(self) -> Specification:
+        """A fresh, independent specification instance of this source."""
+        with self._lock:
+            self.instantiations += 1
+        if self._template is not None:
+            return self._template.instantiate()
+        # Factory recipes are opaque: rebuild (and recount) every time.
+        self.compile_count += 1
+        return self.source.build()
+
+    def dispatch_for(self, name: str) -> DispatchStrategy:
+        """The shared dispatch strategy instance for ``name``.
+
+        Dispatch strategies hold only per-module-class caches (compiled
+        selectors, flattened tables) plus cost constants — no per-run
+        state — so one instance can serve every session of this spec, and
+        selector compilation happens once per (entry, dispatch name).
+        """
+        with self._lock:
+            strategy = self._dispatches.get(name)
+            if strategy is None:
+                strategy = dispatch_by_name(name)
+                self._dispatches[name] = strategy
+            return strategy
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.source.kind,
+            "compile_count": self.compile_count,
+            "instantiations": self.instantiations,
+            "shares_compilation": self.shares_compilation,
+        }
+
+
+class SpecRegistry:
+    """Source-hash keyed map of :class:`CompiledSpec` entries."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CompiledSpec] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, source: SpecSource) -> CompiledSpec:
+        """The entry for ``source``, compiling it on first sight only."""
+        key = source_key(source)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry
+            entry = CompiledSpec(key, source)
+            self._entries[key] = entry
+            self.misses += 1
+            return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "specs": [entry.stats() for entry in self._entries.values()],
+        }

@@ -43,6 +43,13 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     return ordered[rank]
 
 
+#: the ways a round loop can stop (``ExecutionMetrics.stop_reason``):
+#: ``"quiescent"`` — no transition enabled and no delay timer pending;
+#: ``"budget"`` — the ``max_rounds`` budget ran out with work still enabled;
+#: ``"deadline"`` — the simulated clock reached the caller's deadline.
+STOP_REASONS = ("quiescent", "budget", "deadline")
+
+
 @dataclass
 class ExecutionMetrics:
     """Accumulated cost breakdown of one execution of a specification."""
@@ -61,6 +68,12 @@ class ExecutionMetrics:
     messages_cross_machine: int = 0
     per_processor_busy: Dict[str, float] = field(default_factory=dict)
     round_makespans: List[float] = field(default_factory=list)
+    #: why the most recent ``run()`` stopped (one of :data:`STOP_REASONS`,
+    #: or ``None`` before the first run).  ``"quiescent"`` is the only value
+    #: that means the specification has nothing left to do; a long-running
+    #: service uses the distinction to report session health honestly
+    #: instead of conflating "done" with "ran out of budget".
+    stop_reason: Optional[str] = None
 
     # -- derived quantities -------------------------------------------------------
 

@@ -274,3 +274,152 @@ class TestDynamicModules:
         pool.create_child(Worker, "extra", steps=1)
         executor.remap()
         assert executor.mapping.knows("workers/pool/extra")
+
+
+# -- ISSUE 6 satellites: stop_reason + the _dynamic_unit leak fix ---------------------
+
+
+class Ephemeral(Module):
+    """A short-lived dynamic child: fires exactly once, then is reapable."""
+
+    ATTRIBUTE = ModuleAttribute.PROCESS
+    STATES = ("idle", "done")
+
+    @transition(from_state="idle", to_state="done", cost=1.0)
+    def tick(self):
+        pass
+
+
+class Churner(Module):
+    """Spawns a uniquely-named child, lets it fire once, releases it.
+
+    The spawn/wait/reap cycle is guard-free (each transition depends only on
+    the churner's own state), so it stays inside the dirty-tracking contract
+    and the planner drives it as well as the interpreted dispatches do.  The
+    child shares the churner's execution unit (one firing per unit per
+    round), so ``wait`` carries a delay clause: the round it spends pending
+    is the round the child's ``tick`` gets the unit — which is what pulls
+    the child into the executor's dynamic-unit map in the first place.
+    """
+
+    ATTRIBUTE = ModuleAttribute.SYSTEMPROCESS
+    STATES = ("empty", "holding", "reaping")
+
+    def initialise(self):
+        super().initialise()
+        self.variables["serial"] = 0
+        self.variables["current"] = ""
+
+    @transition(from_state="empty", to_state="holding", cost=1.0)
+    def spawn(self):
+        self.variables["serial"] += 1
+        name = f"w{self.variables['serial']}"
+        self.variables["current"] = name
+        self.create_child(Ephemeral, name)
+
+    @transition(from_state="holding", to_state="reaping", delay=1.0, cost=1.0)
+    def wait(self):
+        pass
+
+    @transition(from_state="reaping", to_state="empty", cost=1.0)
+    def reap(self):
+        self.release_child(self.variables["current"])
+
+
+def build_churn_spec() -> Specification:
+    spec = Specification("churn")
+    spec.add_system_module(Churner, "mgr", location="m1")
+    spec.validate()
+    return spec
+
+
+class TestStopReason:
+    def test_quiescent_run_reports_quiescent(self):
+        spec = build_ping_pong_spec(count=2)
+        metrics, executor = run_specification(spec, single_machine_cluster(2))
+        assert metrics.stop_reason == "quiescent"
+        assert not executor.deadlocked
+
+    def test_exhausted_budget_reports_budget(self):
+        spec = build_worker_spec(workers=1, steps=100)
+        executor = SpecificationExecutor(spec, single_machine_cluster())
+        metrics = executor.run(max_rounds=5)
+        assert metrics.rounds == 5
+        assert metrics.stop_reason == "budget"
+
+    def test_zero_round_budget_reports_budget(self):
+        spec = build_worker_spec(workers=1, steps=1)
+        executor = SpecificationExecutor(spec, single_machine_cluster())
+        assert executor.run(max_rounds=0).stop_reason == "budget"
+
+    def test_simulated_deadline_reports_deadline(self):
+        spec = build_worker_spec(workers=1, steps=100)
+        executor = SpecificationExecutor(spec, single_machine_cluster())
+        metrics = executor.run(max_rounds=1_000, deadline=3.0)
+        assert metrics.stop_reason == "deadline"
+        assert executor.clock.now >= 3.0
+        # The deadline cut the run short, the budget did not.
+        assert metrics.rounds < 100
+
+    def test_deadline_already_passed_runs_nothing(self):
+        spec = build_worker_spec(workers=1, steps=5)
+        executor = SpecificationExecutor(spec, single_machine_cluster())
+        executor.run(max_rounds=100)  # to quiescence; clock > 0
+        metrics = executor.run(max_rounds=100, deadline=0.0)
+        assert metrics.stop_reason == "deadline"
+
+    def test_quiescence_wins_over_later_deadline(self):
+        spec = build_worker_spec(workers=1, steps=2)
+        executor = SpecificationExecutor(spec, single_machine_cluster())
+        metrics = executor.run(max_rounds=1_000, deadline=1e9)
+        assert metrics.stop_reason == "quiescent"
+
+    def test_backend_result_carries_stop_reason(self):
+        from repro.runtime import GroupedMapping, InProcessBackend, SpecSource
+
+        cluster = Cluster()
+        cluster.add(Machine("m1", 2))
+        source = SpecSource.from_factory("tests.helpers:build_ping_pong_spec", count=2)
+        exhausted = InProcessBackend().execute(
+            source, cluster, mapping=GroupedMapping(), max_rounds=0
+        )
+        assert exhausted.stop_reason == "budget"
+        finished = InProcessBackend().execute(
+            source, cluster, mapping=GroupedMapping(), max_rounds=200
+        )
+        assert finished.stop_reason == "quiescent"
+
+
+class TestDynamicUnitLeak:
+    """The ISSUE 6 leak regression: 10k churn rounds, bounded unit map."""
+
+    CHURN_ROUNDS = 10_000
+
+    @pytest.mark.parametrize("dispatch", ["table-driven", "planner"])
+    def test_dynamic_unit_map_stays_bounded_under_churn(self, dispatch):
+        from repro.runtime import dispatch_by_name
+
+        spec = build_churn_spec()
+        executor = SpecificationExecutor(
+            spec,
+            single_machine_cluster(processors=2),
+            dispatch=dispatch_by_name(dispatch),
+        )
+        metrics = executor.run(max_rounds=self.CHURN_ROUNDS, stop_when_quiescent=False)
+        assert metrics.stop_reason == "budget"
+        assert metrics.rounds == self.CHURN_ROUNDS
+        mgr = spec.find("mgr")
+        # The workload really churned: thousands of init/release cycles
+        # (the 4-round cycle is spawn, tick, wait, reap)...
+        assert mgr.variables["serial"] >= self.CHURN_ROUNDS // 5
+        # ...yet the dynamic-unit map holds at most the one live child (and
+        # never the thousands of released ones it accumulated before the fix).
+        assert len(executor._dynamic_unit) <= 1, sorted(executor._dynamic_unit)
+
+    def test_eviction_drops_released_child_keeps_live_one(self):
+        spec = build_churn_spec()
+        executor = SpecificationExecutor(spec, single_machine_cluster(processors=2))
+        executor.run(max_rounds=2, stop_when_quiescent=False)  # spawn w1; w1 ticks
+        assert "churn/mgr/w1" in executor._dynamic_unit  # child really tracked
+        executor.run(max_rounds=2, stop_when_quiescent=False)  # wait; reap w1
+        assert "churn/mgr/w1" not in executor._dynamic_unit

@@ -1,0 +1,200 @@
+"""The service ingress (ISSUE 6): dict facade + stdlib HTTP front.
+
+The HTTP tests boot a real :class:`~repro.serve.api.ServeHTTPServer` on an
+ephemeral loopback port and talk to it with :mod:`urllib` — no extra
+dependencies, same wire format the compose deployment serves.
+"""
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServeError, SessionEngine
+from repro.serve.api import ServeAPI, make_http_server
+from tests.test_serve_engine import ECHO_SPEC
+
+MCAM_SPEC = Path(__file__).parent.parent / "examples" / "specs" / "mcam_sessions.estelle"
+
+
+class TestServeAPI:
+    def setup_method(self):
+        self.api = ServeAPI(SessionEngine())
+
+    def teardown_method(self):
+        self.api.engine.shutdown()
+
+    def test_create_requires_exactly_one_source_field(self):
+        with pytest.raises(ServeError, match="exactly one"):
+            self.api.create_session({})
+        with pytest.raises(ServeError, match="exactly one"):
+            self.api.create_session(
+                {"spec_text": ECHO_SPEC, "spec_path": str(MCAM_SPEC)}
+            )
+
+    def test_create_step_close_round_trip(self):
+        sid = self.api.create_session({"spec_path": str(MCAM_SPEC)})["session_id"]
+        health = self.api.step(sid, {"rounds": 10_000})
+        assert health["stop_reason"] == "quiescent"
+        assert self.api.sessions() == {"sessions": [sid]}
+        self.api.close_session(sid)
+        assert self.api.sessions() == {"sessions": []}
+
+    def test_step_payload_validation(self):
+        sid = self.api.create_session({"spec_text": ECHO_SPEC})["session_id"]
+        with pytest.raises(ServeError, match="'rounds' must be an integer"):
+            self.api.step(sid, {"rounds": "many"})
+        with pytest.raises(ServeError, match="'deadline' must be a number"):
+            self.api.step(sid, {"deadline": "noon"})
+
+    def test_inject_payload_validation(self):
+        sid = self.api.create_session({"spec_text": ECHO_SPEC})["session_id"]
+        with pytest.raises(ServeError, match="missing required field 'interaction'"):
+            self.api.inject(sid, {"module": "srv", "ip": "ctl"})
+        with pytest.raises(ServeError, match="'params' must be an object"):
+            self.api.inject(
+                sid,
+                {"module": "srv", "ip": "ctl", "interaction": "Ping", "params": [1]},
+            )
+
+    def test_everything_returned_is_json_serialisable(self):
+        sid = self.api.create_session({"spec_text": ECHO_SPEC})["session_id"]
+        self.api.inject(sid, {"module": "srv", "ip": "ctl", "interaction": "Ping"})
+        for document in (
+            self.api.step(sid, {"rounds": 50}),
+            self.api.firings(sid, 0),
+            self.api.health(sid),
+            self.api.stats(),
+            self.api.healthz(),
+            self.api.close_session(sid),
+        ):
+            json.dumps(document)  # raises on anything non-serialisable
+
+
+@pytest.fixture()
+def http_server():
+    server = make_http_server(port=0)
+    server.serve_in_background()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.api.engine.shutdown()
+        server.server_close()
+
+
+def request(server, method: str, path: str, payload=None):
+    """One JSON round trip; returns (status, decoded body)."""
+    body = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=body,
+        method=method,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHTTPFront:
+    def test_healthz(self, http_server):
+        status, body = request(http_server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["active_sessions"] == 0
+
+    def test_full_session_round_trip(self, http_server):
+        status, created = request(
+            http_server, "POST", "/sessions", {"spec_path": str(MCAM_SPEC)}
+        )
+        assert status == 201
+        sid = created["session_id"]
+
+        status, health = request(
+            http_server, "POST", f"/sessions/{sid}/step", {"rounds": 10000}
+        )
+        assert status == 200
+        assert health["stop_reason"] == "quiescent"
+        assert health["transitions_fired"] > 0
+
+        status, firings = request(http_server, "GET", f"/sessions/{sid}/firings")
+        assert status == 200
+        assert firings["cursor"] == len(firings["events"]) > 0
+
+        status, tail = request(
+            http_server,
+            "GET",
+            f"/sessions/{sid}/firings?since={firings['cursor'] - 1}",
+        )
+        assert status == 200
+        assert tail["events"] == firings["events"][-1:]
+
+        status, stats = request(http_server, "GET", "/stats")
+        assert status == 200
+        assert stats["registry"]["specs"][0]["compile_count"] == 1
+
+        status, _ = request(http_server, "DELETE", f"/sessions/{sid}")
+        assert status == 200
+        status, listing = request(http_server, "GET", "/sessions")
+        assert status == 200 and listing["sessions"] == []
+
+    def test_inject_over_http(self, http_server):
+        _, created = request(
+            http_server, "POST", "/sessions", {"spec_text": ECHO_SPEC}
+        )
+        sid = created["session_id"]
+        status, body = request(
+            http_server,
+            "POST",
+            f"/sessions/{sid}/interactions",
+            {"module": "srv", "ip": "ctl", "interaction": "Ping"},
+        )
+        assert status == 200 and body["queued"] == 1
+        _, health = request(
+            http_server, "POST", f"/sessions/{sid}/step", {"rounds": 50}
+        )
+        assert health["transitions_fired"] == 1
+
+    def test_unknown_session_is_404(self, http_server):
+        for method, path in (
+            ("GET", "/sessions/ghost"),
+            ("POST", "/sessions/ghost/step"),
+            ("DELETE", "/sessions/ghost"),
+        ):
+            status, body = request(http_server, method, path, {} if method == "POST" else None)
+            assert status == 404, (method, path)
+            assert "unknown session" in body["error"]
+
+    def test_bad_requests_are_400(self, http_server):
+        status, body = request(http_server, "POST", "/sessions", {})
+        assert status == 400
+        assert "exactly one" in body["error"]
+
+        _, created = request(http_server, "POST", "/sessions", {"spec_text": ECHO_SPEC})
+        status, body = request(
+            http_server,
+            "POST",
+            f"/sessions/{created['session_id']}/step",
+            {"rounds": "many"},
+        )
+        assert status == 400
+        assert "'rounds'" in body["error"]
+
+    def test_unroutable_path_is_404(self, http_server):
+        status, _ = request(http_server, "GET", "/nope")
+        assert status == 404
+
+    def test_invalid_json_body_is_400(self, http_server):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{http_server.port}/sessions",
+            data=b"{not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
