@@ -10,6 +10,7 @@ WORKDIR /app
 COPY src/ src/
 COPY examples/ examples/
 COPY docs/SERVE.md docs/SERVE.md
+COPY docs/OBSERVABILITY.md docs/OBSERVABILITY.md
 
 ENV PYTHONPATH=/app/src \
     PYTHONUNBUFFERED=1
@@ -20,6 +21,10 @@ RUN python -m repro.serve --smoke 20
 
 EXPOSE 8070
 
+# Liveness probes /healthz; Prometheus scrapes GET /metrics on the same
+# port (text exposition 0.0.4, see docs/OBSERVABILITY.md) — the
+# healthcheck deliberately does not hit /metrics, a scrape is not a
+# liveness signal.
 HEALTHCHECK --interval=30s --timeout=5s --start-period=5s \
     CMD python -c "import urllib.request; urllib.request.urlopen('http://127.0.0.1:8070/healthz', timeout=4)"
 

@@ -32,7 +32,12 @@ history), so the repository carries its own perf trajectory:
   concurrent mcam_sessions instances through ``repro.serve``, with
   sessions/sec, p50/p99 step latency, the registry's compile-once count
   and the sampled interleaved-vs-sequential trace identity (ROADMAP.md
-  item 1).
+  item 1),
+* the E-OBS record: the observability layer's cost on the planner hot
+  path — best-of-N enabled vs disabled planning time on the sparse
+  workload, gated at an enabled/disabled ratio of <= 1.05 (the
+  "near-no-op" half of the obs subsystem's contract; the other half,
+  zero trace perturbation, is gated by ``tests/test_obs_equivalence.py``).
 
 Run with:  PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
 """
@@ -169,6 +174,12 @@ def serve_load_results() -> dict:
     return _round_floats(module.serve_load_results())
 
 
+def obs_overhead_results() -> dict:
+    """E-OBS: metrics/events cost on the planner hot path, on vs off."""
+    module = _load_bench_module("bench_obs_overhead")
+    return _round_floats(module.obs_overhead_results())
+
+
 def load_history(output: Path) -> list:
     if not output.exists():
         return []
@@ -208,6 +219,7 @@ def main(argv=None) -> int:
         "delay_round": delay_round_results(),
         "dynamic_topology": dynamic_topology_results(),
         "serve_load": serve_load_results(),
+        "obs_overhead": obs_overhead_results(),
     }
     runs = [run_entry] + load_history(args.output)
     args.output.write_text(json.dumps({"runs": runs[:HISTORY_LIMIT]}, indent=2) + "\n")
@@ -318,6 +330,18 @@ def main(argv=None) -> int:
             f"reference: {serve['trace_divergence']}"
         )
         return 1
+    obs = run_entry["obs_overhead"]
+    if not obs["within_ceiling"]:
+        print(
+            f"regression: observability overhead ratio {obs['overhead_ratio']} "
+            f"exceeds the {obs['overhead_ceiling']} ceiling on the planner sweep"
+        )
+        return 1
+    print(
+        f"obs overhead: enabled/disabled planning-time ratio "
+        f"{obs['overhead_ratio']} on {obs['workload']} "
+        f"(ceiling {obs['overhead_ceiling']})"
+    )
     print(
         f"serve load: {serve['sessions']} sessions "
         f"(peak {serve['peak_sessions']}) at {serve['sessions_per_sec']}/s, "

@@ -48,7 +48,10 @@ def main() -> None:
 
     print("== control-plane summary (simulated work units) ==")
     for key, value in system.control_plane_summary().items():
-        print(f"  {key:>22}: {value:10.2f}")
+        # All values are floats except stop_reason ("quiescent"/"budget"/...,
+        # or "" when the control plane was stepped rather than run()).
+        rendered = f"{value:10.2f}" if isinstance(value, float) else f"{value or '-':>10}"
+        print(f"  {key:>22}: {rendered}")
     print("== module tree ==")
     print(system.specification.describe())
 

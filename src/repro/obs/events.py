@@ -1,0 +1,222 @@
+"""Structured lifecycle events: one bus, pluggable sinks.
+
+Metrics aggregate; events narrate.  The runtime emits a small vocabulary
+of lifecycle events — round start/end, structure-epoch bumps, deadline
+jumps, session create/close, worker spawn — and this bus fans each one to
+whatever sinks are attached:
+
+* :class:`RingBufferSink` — the last N events in memory, for ``/stats``
+  style introspection and tests;
+* :class:`JsonlSink` — one JSON object per line to a file, the durable
+  form an operator tails;
+* :class:`CallbackSink` — arbitrary code (the adaptive-mapping work of
+  ROADMAP item 5 will hang its re-balancer feedback here).
+
+Contract with the round loop: **a sink may never break execution.**
+Every sink call is isolated — an exception is swallowed, counted in
+``sink_errors`` and charged to that sink; after :data:`MAX_SINK_FAILURES`
+consecutive failures the sink is detached so a permanently broken sink
+cannot tax the hot path forever.  And like the metrics layer, events
+carry wall-clock timestamps only — the simulated clock is never read, so
+an attached sink cannot perturb canonical traces (the zero-perturbation
+gate of ``tests/test_obs_equivalence.py`` runs with a JSONL sink
+attached).
+
+A bus with no sinks is disabled: ``emit`` returns after one length check,
+which is why the executor can emit unconditionally.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Union
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "RingBufferSink",
+    "JsonlSink",
+    "CallbackSink",
+    "MAX_SINK_FAILURES",
+]
+
+#: Consecutive failures after which a sink is detached from the bus.
+MAX_SINK_FAILURES = 8
+
+
+class Event(Dict[str, Any]):
+    """One emitted event: a plain dict with ``kind``, ``seq``, ``ts`` plus
+    the emitter's fields.  Being a dict keeps sinks trivial (JSONL is one
+    ``json.dumps`` away) and avoids a per-event class allocation dance."""
+
+
+class Sink:
+    """Interface: receive one event.  Raising is tolerated (and counted)."""
+
+    def write(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def write(self, event: Event) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, kind: Optional[str] = None) -> List[Event]:
+        with self._lock:
+            events = list(self._events)
+        if kind is None:
+            return events
+        return [event for event in events if event["kind"] == kind]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class JsonlSink(Sink):
+    """Append events as JSON lines to a path or an open text stream.
+
+    Values that are not JSON-serialisable are stringified rather than
+    raised on — an event sink must degrade, not veto, whatever the
+    runtime chose to report.
+    """
+
+    def __init__(self, target: Union[str, "io.TextIOBase"]) -> None:
+        if isinstance(target, (str, bytes)):
+            self._stream: Any = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._lock = threading.Lock()
+
+    def write(self, event: Event) -> None:
+        line = json.dumps(event, separators=(",", ":"), default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            self._stream.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream:
+                self._stream.close()
+            else:
+                self._stream.flush()
+
+
+class CallbackSink(Sink):
+    """Call ``fn(event)`` per event."""
+
+    def __init__(self, fn: Callable[[Event], None]) -> None:
+        self._fn = fn
+
+    def write(self, event: Event) -> None:
+        self._fn(event)
+
+
+class EventBus:
+    """Fan structured events out to the attached sinks.
+
+    ``emit("round_end", round_index=7, makespan=3.5)`` builds the event
+    dict (kind + monotonic ``seq`` + wall ``ts``) and hands it to every
+    sink under the failure-isolation contract above.  With no sinks
+    attached the call is a single length check — the always-on emit sites
+    in the executor cost nothing in the common (unobserved) case.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: List[Sink] = []
+        self._failures: Dict[int, int] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.emitted = 0
+        self.sink_errors = 0
+        self.sinks_detached = 0
+
+    # -- sink management -------------------------------------------------------
+
+    def attach(self, sink: Sink) -> Sink:
+        with self._lock:
+            self._sinks.append(sink)
+            self._failures[id(sink)] = 0
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+                self._failures.pop(id(sink), None)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._sinks)
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if not self._sinks:
+            return
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            sinks = list(self._sinks)
+        event = Event(kind=kind, seq=seq, ts=time.time(), **fields)
+        self.emitted += 1
+        for sink in sinks:
+            try:
+                sink.write(event)
+            except Exception:
+                self._note_failure(sink)
+            else:
+                self._failures[id(sink)] = 0
+
+    def _note_failure(self, sink: Sink) -> None:
+        """Count a sink failure; detach the sink once it fails persistently."""
+        with self._lock:
+            self.sink_errors += 1
+            failures = self._failures.get(id(sink), 0) + 1
+            self._failures[id(sink)] = failures
+            if failures >= MAX_SINK_FAILURES and sink in self._sinks:
+                self._sinks.remove(sink)
+                self._failures.pop(id(sink), None)
+                self.sinks_detached += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "sinks": len(self._sinks),
+                "emitted": self.emitted,
+                "sink_errors": self.sink_errors,
+                "sinks_detached": self.sinks_detached,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            sinks, self._sinks = self._sinks, []
+            self._failures.clear()
+        for sink in sinks:
+            try:
+                sink.close()
+            except Exception:
+                pass

@@ -1,0 +1,103 @@
+"""Prometheus text exposition (format 0.0.4) for a :class:`MetricsRegistry`.
+
+Stdlib-only rendering of the registry's families::
+
+    # HELP repro_serve_sessions_active Sessions currently hosted.
+    # TYPE repro_serve_sessions_active gauge
+    repro_serve_sessions_active 42
+    # TYPE repro_serve_step_seconds histogram
+    repro_serve_step_seconds_bucket{le="0.005"} 1201
+    repro_serve_step_seconds_bucket{le="+Inf"} 1288
+    repro_serve_step_seconds_sum 4.52
+    repro_serve_step_seconds_count 1288
+
+Counters and gauges render one sample per labelled child; histograms
+render cumulative ``_bucket`` samples (always including ``+Inf``), plus
+``_sum`` and ``_count``.  Label values are escaped per the exposition
+format (backslash, double-quote, newline); floats use ``repr`` so no
+precision is invented or lost.
+
+The HTTP front serves this under ``GET /metrics`` with content type
+:data:`CONTENT_TYPE` (see :mod:`repro.serve.api`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from .registry import MetricFamily, MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "format_value"]
+
+#: The content type Prometheus scrapers expect for text format 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def format_value(value: float) -> str:
+    """One sample value: integers render bare, floats via repr, inf/nan named."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(
+    labelnames: Tuple[str, ...],
+    labelvalues: Tuple[str, ...],
+    extra: Tuple[Tuple[str, str], ...] = (),
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_family(family: MetricFamily, lines: List[str]) -> None:
+    if family.help:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for labelvalues, child in family.children():
+        labels = _labels_text(family.labelnames, labelvalues)
+        if family.kind in ("counter", "gauge"):
+            lines.append(f"{family.name}{labels} {format_value(child.value)}")
+        else:  # histogram
+            snap = child.snapshot()
+            for bound, cumulative in snap["buckets"]:
+                bucket_labels = _labels_text(
+                    family.labelnames,
+                    labelvalues,
+                    extra=(("le", format_value(float(bound))),),
+                )
+                lines.append(f"{family.name}_bucket{bucket_labels} {cumulative}")
+            inf_labels = _labels_text(
+                family.labelnames, labelvalues, extra=(("le", "+Inf"),)
+            )
+            lines.append(f"{family.name}_bucket{inf_labels} {snap['inf']}")
+            lines.append(f"{family.name}_sum{labels} {format_value(snap['sum'])}")
+            lines.append(f"{family.name}_count{labels} {snap['count']}")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as one text-format document (trailing newline included)."""
+    lines: List[str] = []
+    for family in registry.families():
+        _render_family(family, lines)
+    return "\n".join(lines) + "\n" if lines else ""

@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 from ..estelle.errors import SchedulingError
 from ..estelle.module import Module
 from ..estelle.specification import Specification
+from ..obs import NULL_OBS, Observability
 from ..sim.machine import Cluster, CostModel, Machine
 from ..sim.metrics import ExecutionMetrics
 from .clock import SimulatedClock, firing_advance, next_delay_deadline
@@ -70,12 +71,19 @@ class SpecificationExecutor:
         cost_model: Optional[CostModel] = None,
         trace: bool = False,
         busy_work: Optional[Callable[[float], None]] = None,
+        obs: Optional[Observability] = None,
     ):
         self.specification = specification
         self.cluster = cluster
         self.mapping_strategy = mapping or ThreadPerModuleMapping()
         self.scheduler = scheduler or DecentralisedScheduler()
         self.dispatch = dispatch or TableDrivenDispatch()
+        #: observability handle: wall-clock metrics and lifecycle events
+        #: only — it never reads or writes :attr:`clock` and never inspects
+        #: module state, so canonical traces are identical with or without
+        #: it (``tests/test_obs_equivalence.py``).  Defaults to the shared
+        #: do-nothing bundle.
+        self.obs = obs if obs is not None else NULL_OBS
         #: the simulated clock driving Estelle ``delay`` semantics: advances
         #: by the busiest unit's firing-cost sum per round, and jumps to the
         #: next delay deadline when a round plan comes up empty with timers
@@ -86,7 +94,10 @@ class SpecificationExecutor:
         #: walk when the "planner" dispatch strategy is selected.
         self.planner: Optional[IncrementalRoundPlanner] = (
             IncrementalRoundPlanner(
-                specification, dispatch=self.dispatch, clock=self.clock
+                specification,
+                dispatch=self.dispatch,
+                clock=self.clock,
+                obs=self.obs,
             )
             if isinstance(self.dispatch, PlannerDispatch)
             else None
@@ -112,6 +123,32 @@ class SpecificationExecutor:
         self.metrics = ExecutionMetrics()
         self.deadlocked = False
         self._round_index = 0
+
+        registry = self.obs.registry
+        self._m_rounds = registry.counter(
+            "repro_executor_rounds_total", "Computation rounds executed."
+        )
+        self._m_firings = registry.counter(
+            "repro_executor_firings_total",
+            "Transition firings (external steps included).",
+        )
+        self._m_stops = registry.counter(
+            "repro_executor_stops_total",
+            "Run loop terminations by stop reason.",
+            labelnames=("reason",),
+        )
+        self._m_deadline_jumps = registry.counter(
+            "repro_executor_deadline_jumps_total",
+            "Simulated-clock jumps to the next delay deadline.",
+        )
+        self._h_plan = registry.histogram(
+            "repro_executor_plan_seconds",
+            "Wall-clock seconds spent planning each round.",
+        )
+        self._h_fire = registry.histogram(
+            "repro_executor_fire_seconds",
+            "Wall-clock seconds spent firing each round's plan.",
+        )
 
         specification.validate()
         self._mapping: SystemMapping = self.mapping_strategy.compute(
@@ -195,6 +232,16 @@ class SpecificationExecutor:
             if not progressed and stop_when_quiescent:
                 self.metrics.stop_reason = "quiescent"
                 break
+        if self.planner is not None:
+            self.planner.flush_metrics()
+        self._m_stops.labels(reason=self.metrics.stop_reason).inc()
+        self.obs.events.emit(
+            "run_stop",
+            specification=self.specification.name,
+            stop_reason=self.metrics.stop_reason,
+            rounds=self.metrics.rounds,
+            transitions_fired=self.metrics.transitions_fired,
+        )
         return self.metrics
 
     def _note_structure_change(self, module: Module) -> None:
@@ -259,24 +306,30 @@ class SpecificationExecutor:
         strictly advances the clock and consumes at least one armed timer,
         so the retry loop terminates).
         """
-        plan = self._plan()
-        resume_at = self.clock.now
-        while plan.empty:
-            deadline = self._next_deadline()
-            if deadline is None or deadline <= self.clock.now:
-                # Quiescent for real.  Jumps taken on the way here chased
-                # *stale* deadline-index entries (timers disarmed before
-                # expiry) and must not outlive the round: rewind so the
-                # final clock reading stays identical to the strategies that
-                # scan live timers and never jump at quiescence.
-                self.clock.now = resume_at
-                self.deadlocked = self.specification.pending_interactions() > 0
-                return False
-            self.clock.now = deadline
+        with self._h_plan.time():
             plan = self._plan()
+            resume_at = self.clock.now
+            while plan.empty:
+                deadline = self._next_deadline()
+                if deadline is None or deadline <= self.clock.now:
+                    # Quiescent for real.  Jumps taken on the way here chased
+                    # *stale* deadline-index entries (timers disarmed before
+                    # expiry) and must not outlive the round: rewind so the
+                    # final clock reading stays identical to the strategies
+                    # that scan live timers and never jump at quiescence.
+                    self.clock.now = resume_at
+                    self.deadlocked = self.specification.pending_interactions() > 0
+                    return False
+                self._m_deadline_jumps.inc()
+                self.obs.events.emit(
+                    "deadline_jump", from_time=self.clock.now, to_time=deadline
+                )
+                self.clock.now = deadline
+                plan = self._plan()
 
         self._round_index += 1
         self.trace.start_round(self._round_index)
+        self.obs.events.emit("round_start", round_index=self._round_index)
 
         unit_work: Dict[int, float] = defaultdict(float)
         units_by_id: Dict[int, ExecutionUnit] = {}
@@ -286,8 +339,10 @@ class SpecificationExecutor:
             self.planner.tracker.structure_epoch if self.planner is not None else 0
         )
         self._topology_changed = False
-        serial_overhead = self._charge_selection(plan, unit_work, units_by_id)
-        self._charge_firings(plan, unit_work, units_by_id, firing_work)
+        fired_before = self.metrics.transitions_fired
+        with self._h_fire.time():
+            serial_overhead = self._charge_selection(plan, unit_work, units_by_id)
+            self._charge_firings(plan, unit_work, units_by_id, firing_work)
         structure_changed = (
             self.planner.tracker.structure_epoch != epoch_before
             if self.planner is not None
@@ -300,6 +355,14 @@ class SpecificationExecutor:
         self.metrics.rounds += 1
         self.metrics.elapsed_time += makespan
         self.metrics.round_makespans.append(makespan)
+        self._m_rounds.inc()
+        self._m_firings.inc(self.metrics.transitions_fired - fired_before)
+        self.obs.events.emit(
+            "round_end",
+            round_index=self._round_index,
+            fired=self.metrics.transitions_fired - fired_before,
+            makespan=makespan,
+        )
         self.trace.finish_round(makespan, serial_overhead)
         # The delay clock advances by the dispatch-independent component of
         # the makespan: the busiest unit's firing work (events were stamped
@@ -480,6 +543,7 @@ def run_specification(
     cost_model: Optional[CostModel] = None,
     max_rounds: int = 10_000,
     trace: bool = False,
+    obs: Optional[Observability] = None,
 ) -> Tuple[ExecutionMetrics, SpecificationExecutor]:
     """Convenience wrapper: build an executor, run to quiescence, return both."""
     executor = SpecificationExecutor(
@@ -490,6 +554,7 @@ def run_specification(
         dispatch=dispatch,
         cost_model=cost_model,
         trace=trace,
+        obs=obs,
     )
     metrics = executor.run(max_rounds=max_rounds)
     return metrics, executor
@@ -650,6 +715,7 @@ class ExecutionBackend:
         dispatch_kwargs: Optional[Dict[str, Any]] = None,
         max_rounds: int = 10_000,
         busy_work_us_per_cost: float = 0.0,
+        obs: Optional[Observability] = None,
     ) -> BackendResult:
         raise NotImplementedError
 
@@ -676,6 +742,7 @@ class InProcessBackend(ExecutionBackend):
         dispatch_kwargs: Optional[Dict[str, Any]] = None,
         max_rounds: int = 10_000,
         busy_work_us_per_cost: float = 0.0,
+        obs: Optional[Observability] = None,
     ) -> BackendResult:
         from .dispatch import dispatch_by_name
 
@@ -688,6 +755,7 @@ class InProcessBackend(ExecutionBackend):
             dispatch=dispatch_by_name(dispatch, **(dispatch_kwargs or {})),
             trace=True,
             busy_work=busy_work_for(busy_work_us_per_cost),
+            obs=obs,
         )
         started = time.perf_counter()
         metrics = executor.run(max_rounds=max_rounds)

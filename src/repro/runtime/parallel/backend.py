@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ...estelle.errors import SchedulingError
 from ...estelle.specification import Specification
+from ...obs import NULL_OBS, Observability
 from ...sim.machine import Cluster
 from ..clock import SimulatedClock, firing_advance
 from ..dispatch import DispatchResult, DispatchStrategy
@@ -280,7 +281,9 @@ class MultiprocessBackend(ExecutionBackend):
         dispatch_kwargs: Optional[Dict[str, Any]] = None,
         max_rounds: int = 10_000,
         busy_work_us_per_cost: float = 0.0,
+        obs: Optional[Observability] = None,
     ) -> BackendResult:
+        obs = obs if obs is not None else NULL_OBS
         specification = source.build()
         specification.validate()
         external = [m.path for m in specification.modules() if m.EXTERNAL]
@@ -373,10 +376,49 @@ class MultiprocessBackend(ExecutionBackend):
         transitions_fired = 0
         deadlocked = False
         stop_reason = "budget"
+
+        # Coordinator-side folds of the workers' per-round obs deltas.  All
+        # pure wall-clock measurement: the deltas never touch the plan, the
+        # costs or the simulated clock.
+        registry = obs.registry
+        m_rounds = registry.counter(
+            "repro_parallel_rounds_total",
+            "Computation rounds completed by the multiprocess backend.",
+        )
+        m_busy = registry.counter(
+            "repro_parallel_unit_busy_seconds_total",
+            "Wall-clock seconds each unit's worker spent firing + flushing.",
+            labelnames=("unit",),
+        )
+        m_sync = registry.counter(
+            "repro_parallel_unit_sync_seconds_total",
+            "Wall-clock seconds each unit's worker waited at the round barrier.",
+            labelnames=("unit",),
+        )
+        m_messages = registry.counter(
+            "repro_parallel_messages_total",
+            "Cross-unit interactions routed through the channel mesh.",
+        )
+        h_batch = registry.histogram(
+            "repro_parallel_batch_size",
+            "Messages per per-peer channel batch (one batch per peer per round).",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        registry.gauge(
+            "repro_parallel_workers", "Worker processes of the last run."
+        ).set(len(units))
+
         try:
             for process in processes:
                 process.start()
             self._gather(result_queue, "ready", 0, len(units), processes)
+            for unit in units:
+                obs.events.emit(
+                    "worker_spawn",
+                    unit=unit.uid,
+                    machine=unit.machine,
+                    modules=len(unit.module_paths),
+                )
             loop_started = time.perf_counter()
 
             for round_index in range(1, max_rounds + 1):
@@ -449,7 +491,14 @@ class MultiprocessBackend(ExecutionBackend):
                 round_wall = time.perf_counter() - round_started
 
                 ordered: List[Tuple[int, FiringReport]] = []
-                for uid, reports in report_sets.items():
+                for uid, (reports, delta) in report_sets.items():
+                    busy_seconds, sync_seconds, messages, batch_sizes = delta
+                    m_busy.labels(unit=str(uid)).inc(busy_seconds)
+                    m_sync.labels(unit=str(uid)).inc(sync_seconds)
+                    if messages:
+                        m_messages.inc(messages)
+                    for size in batch_sizes:
+                        h_batch.observe(size)
                     ordered.extend((uid, report) for report in reports)
                 ordered.sort(key=lambda item: item[1][0])  # by plan index
 
@@ -493,6 +542,7 @@ class MultiprocessBackend(ExecutionBackend):
                 clock.advance(firing_advance(unit_firing_costs))
                 rounds += 1
                 transitions_fired += len(ordered)
+                m_rounds.inc()
 
             wall = time.perf_counter() - loop_started
         finally:

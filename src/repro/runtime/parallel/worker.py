@@ -25,6 +25,7 @@ routed through the channel mesh instead of the replica's queues.
 
 from __future__ import annotations
 
+import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -90,6 +91,13 @@ FiringReport = Tuple[
     float,
     Tuple[TopologyEvent, ...],
 ]
+
+#: Per-round observability delta a worker ships with its firing reports:
+#: (busy wall seconds of fire+flush, wall seconds spent at the round
+#: barrier, cross-unit messages routed, per-peer batch sizes).  Pure
+#: measurement — deltas never feed back into scheduling, costs or the
+#: simulated clock, so shipping them cannot perturb canonical traces.
+ObsDelta = Tuple[float, float, int, Tuple[int, ...]]
 
 
 class WorkerRuntime:
@@ -431,13 +439,27 @@ def worker_main(
                 )
             elif kind == "fire":
                 round_index, firings = command[1], command[2]
+                phase_started = time.perf_counter()
                 reports, outgoing = runtime.fire(round_index, firings)
                 runtime.flush(round_index, outgoing)
+                busy_seconds = time.perf_counter() - phase_started
                 # The barrier is the computation-step synchronisation point:
                 # after it, every unit's batches for this round are in flight,
                 # so the next round's delivery cannot observe a partial round.
                 barrier.wait(timeout=config.channel_timeout_s)
-                result_queue.put((uid, "fired", round_index, tuple(reports)))
+                sync_seconds = time.perf_counter() - phase_started - busy_seconds
+                batch_sizes = tuple(
+                    len(outgoing.get(peer, ())) for peer in sorted(outbound)
+                )
+                delta: ObsDelta = (
+                    busy_seconds,
+                    sync_seconds,
+                    sum(batch_sizes),
+                    batch_sizes,
+                )
+                result_queue.put(
+                    (uid, "fired", round_index, (tuple(reports), delta))
+                )
             elif kind == "stop":
                 break
             else:  # pragma: no cover - coordinator never sends other kinds

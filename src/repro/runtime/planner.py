@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 from ..estelle.dirty import DirtyTracker
 from ..estelle.module import Module
 from ..estelle.specification import Specification
+from ..obs import NULL_OBS, Observability
 from .clock import SimulatedClock
 from .codegen import GeneratedDispatchStrategy, compile_module_class
 from .dispatch import DispatchResult, DispatchStrategy, register_strategy
@@ -187,21 +188,37 @@ def _emit_walk_subtree(
 #: churning session would otherwise grow it without bound.
 _PLAN_CODE_CACHE: "OrderedDict[str, object]" = OrderedDict()
 _PLAN_CODE_CACHE_LIMIT = 256
+_PLAN_CODE_CACHE_HITS = 0
+_PLAN_CODE_CACHE_MISSES = 0
 
 
 def _compiled_code_for(source: str, spec_name: str):
+    global _PLAN_CODE_CACHE_HITS, _PLAN_CODE_CACHE_MISSES
     code = _PLAN_CODE_CACHE.get(source)
     if code is None:
+        _PLAN_CODE_CACHE_MISSES += 1
         code = compile(source, f"<generated planner {spec_name}>", "exec")
         _PLAN_CODE_CACHE[source] = code
         while len(_PLAN_CODE_CACHE) > _PLAN_CODE_CACHE_LIMIT:
             _PLAN_CODE_CACHE.popitem(last=False)
+    else:
+        _PLAN_CODE_CACHE_HITS += 1
     return code
 
 
 def plan_code_cache_info() -> Dict[str, int]:
-    """Size of the shared compile cache (inspection hook for tests/stats)."""
-    return {"entries": len(_PLAN_CODE_CACHE), "limit": _PLAN_CODE_CACHE_LIMIT}
+    """Size and hit/miss history of the shared compile cache.
+
+    ``hits``/``misses`` are process-lifetime totals (the cache itself is
+    process-wide); ``repro.serve`` surfaces them via ``/stats`` and the
+    ``repro_planner_code_cache_*`` gauges on ``/metrics``.
+    """
+    return {
+        "entries": len(_PLAN_CODE_CACHE),
+        "limit": _PLAN_CODE_CACHE_LIMIT,
+        "hits": _PLAN_CODE_CACHE_HITS,
+        "misses": _PLAN_CODE_CACHE_MISSES,
+    }
 
 
 def compile_plan_program(
@@ -306,6 +323,62 @@ def compile_plan_program(
     )
 
 
+#: Rounds between registry syncs of the planner's tallies.  The batch keeps
+#: counter locks off the planning hot path; an empty plan or the executor's
+#: end-of-run flush closes the gap, so at-rest scrapes are always exact.
+_METRICS_FLUSH_INTERVAL = 64
+
+
+def _register_planner_metrics(obs: Observability) -> None:
+    """Register the planner's derived/live gauges on ``obs``'s registry.
+
+    The counters themselves are get-or-create (N planners sharing one
+    registry aggregate into one series); the gauges here are scrape-time
+    callbacks over that shared state — ``reuse_ratio`` derives from the
+    registry's own evaluated/reused totals so it stays correct when many
+    sessions share one registry, and the code-cache gauges read the
+    process-wide compile cache.
+    """
+    registry = obs.registry
+    if not registry.enabled:
+        return
+    evaluated = registry.counter(
+        "repro_planner_evaluated_total",
+        "Per-module selections re-evaluated (dirty set).",
+    )
+    reused = registry.counter(
+        "repro_planner_reused_total",
+        "Per-module selections served from the previous round's cache.",
+    )
+
+    def _reuse_ratio() -> float:
+        evaluated_total = evaluated.value
+        reused_total = reused.value
+        total = evaluated_total + reused_total
+        return reused_total / total if total else 0.0
+
+    registry.gauge(
+        "repro_planner_reuse_ratio",
+        "Fraction of per-module selections served from cache (live).",
+        callback=_reuse_ratio,
+    )
+    registry.gauge(
+        "repro_planner_code_cache_entries",
+        "Entries in the process-wide generated-planner compile cache.",
+        callback=lambda: plan_code_cache_info()["entries"],
+    )
+    registry.gauge(
+        "repro_planner_code_cache_hits",
+        "Process-lifetime hits in the generated-planner compile cache.",
+        callback=lambda: plan_code_cache_info()["hits"],
+    )
+    registry.gauge(
+        "repro_planner_code_cache_misses",
+        "Process-lifetime misses in the generated-planner compile cache.",
+        callback=lambda: plan_code_cache_info()["misses"],
+    )
+
+
 class IncrementalRoundPlanner:
     """Dirty-set driven round planning with cached per-module selections.
 
@@ -333,6 +406,7 @@ class IncrementalRoundPlanner:
         dispatch: Optional[DispatchStrategy] = None,
         fused: bool = True,
         clock: Optional[SimulatedClock] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.specification = specification
         self.dispatch = dispatch if dispatch is not None else PlannerDispatch()
@@ -349,6 +423,31 @@ class IncrementalRoundPlanner:
         self._results: List[Optional[DispatchResult]] = []
         self._built_epoch = -1
         self._all_dirty = True
+        self.obs = obs if obs is not None else NULL_OBS
+        _register_planner_metrics(self.obs)
+        registry = self.obs.registry
+        self._m_rounds = registry.counter(
+            "repro_planner_rounds_total", "plan_round invocations."
+        )
+        self._m_evaluated = registry.counter(
+            "repro_planner_evaluated_total",
+            "Per-module selections re-evaluated (dirty set).",
+        )
+        self._m_reused = registry.counter(
+            "repro_planner_reused_total",
+            "Per-module selections served from the previous round's cache.",
+        )
+        self._m_rebuilds = registry.counter(
+            "repro_planner_rebuilds_total",
+            "Whole-program rebuilds forced by module tree changes.",
+        )
+        # The per-round tallies already live in ``self.stats`` (plain ints,
+        # no locks); the registry is synced from them in batches so the hot
+        # path never pays counter locks (the obs_overhead gate).  High-water
+        # marks of what has been flushed so far:
+        self._flushed_rounds = 0
+        self._flushed_evaluated = 0
+        self._flushed_reused = 0
 
     # -- cache control ---------------------------------------------------------------
 
@@ -380,6 +479,13 @@ class IncrementalRoundPlanner:
         self._built_epoch = self.tracker.structure_epoch
         self._all_dirty = True
         self.stats.rebuilds += 1
+        self._m_rebuilds.inc()
+        self.obs.events.emit(
+            "structure_epoch",
+            specification=self.specification.name,
+            epoch=self._built_epoch,
+            modules=len(self._program.modules),
+        )
 
     @property
     def program(self) -> FusedPlanProgram:
@@ -434,4 +540,29 @@ class IncrementalRoundPlanner:
         self.stats.rounds += 1
         self.stats.evaluated += len(indices)
         self.stats.reused += len(program.modules) - len(indices)
+        # Flush on an empty plan (end of run / delay-waiting round) or when
+        # the interval fills — one int compare per round, nothing else.
+        if (
+            not plan.firings
+            or self.stats.rounds - self._flushed_rounds >= _METRICS_FLUSH_INTERVAL
+        ):
+            self.flush_metrics()
         return plan
+
+    def flush_metrics(self) -> None:
+        """Sync the registry counters from :attr:`stats`.
+
+        Counters may lag the stats by up to :data:`_METRICS_FLUSH_INTERVAL`
+        rounds mid-run; the executor flushes at the end of every ``run()``,
+        so scraped values are exact whenever the planner is at rest.
+        """
+        stats = self.stats
+        if stats.rounds > self._flushed_rounds:
+            self._m_rounds.inc(stats.rounds - self._flushed_rounds)
+            self._flushed_rounds = stats.rounds
+        if stats.evaluated > self._flushed_evaluated:
+            self._m_evaluated.inc(stats.evaluated - self._flushed_evaluated)
+            self._flushed_evaluated = stats.evaluated
+        if stats.reused > self._flushed_reused:
+            self._m_reused.inc(stats.reused - self._flushed_reused)
+            self._flushed_reused = stats.reused

@@ -116,7 +116,8 @@ class ExecutionTrace:
                     what += f" <- {event.interaction_name}"
                 lines.append(
                     f"    {event.module_path}: {what} "
-                    f"[{event.state_before} -> {event.state_after}] on "
+                    f"[{event.state_before} -> {event.state_after}] "
+                    f"t={event.time:g} on "
                     f"{event.machine}/unit{event.unit_id}"
                 )
         return "\n".join(lines)

@@ -14,6 +14,7 @@ Two layers share one request vocabulary:
   ========  ============================== =================================
   GET       /healthz                       —
   GET       /stats                         —
+  GET       /metrics                       — (Prometheus text exposition)
   POST      /sessions                      {"spec_text" | "spec_path",
                                             "dispatch"?, "session_id"?}
   GET       /sessions                      —
@@ -40,6 +41,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..obs import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from ..runtime.executor import SpecSource
 from .engine import ServeError, SessionEngine, SessionUnknown
 
@@ -49,6 +51,16 @@ class ServeAPI:
 
     def __init__(self, engine: Optional[SessionEngine] = None):
         self.engine = engine if engine is not None else SessionEngine()
+        self._m_http = self.engine.obs.registry.counter(
+            "repro_serve_http_requests_total",
+            "HTTP requests by method, route template and status.",
+            labelnames=("method", "route", "status"),
+        )
+
+    def note_request(self, method: str, route: str, status: int) -> None:
+        """Count one HTTP request (route is the template, not the raw path,
+        so series cardinality stays bounded by the route table)."""
+        self._m_http.labels(method=method, route=route, status=str(status)).inc()
 
     # -- requests ----------------------------------------------------------------
 
@@ -109,6 +121,10 @@ class ServeAPI:
     def stats(self) -> Dict[str, Any]:
         return self.engine.stats()
 
+    def metrics(self) -> str:
+        """The engine's registry as Prometheus text exposition."""
+        return self.engine.obs.render()
+
     def healthz(self) -> Dict[str, Any]:
         stats = self.engine.stats()
         return {
@@ -121,6 +137,17 @@ class ServeAPI:
 _SESSION_ROUTE = re.compile(
     r"^/sessions/(?P<sid>[^/]+)(?:/(?P<verb>step|interactions|firings))?$"
 )
+
+
+def _route_template(path: str) -> str:
+    """Collapse a request path onto its route template (bounded label set)."""
+    if path in ("/healthz", "/stats", "/metrics", "/sessions"):
+        return path
+    match = _SESSION_ROUTE.match(path)
+    if match:
+        verb = match.group("verb")
+        return f"/sessions/{{id}}/{verb}" if verb else "/sessions/{id}"
+    return "<unmatched>"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -136,9 +163,16 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _reply(self, status: int, document: Dict[str, Any]) -> None:
-        body = json.dumps(document).encode("utf-8")
+        self._reply_bytes(
+            status, json.dumps(document).encode("utf-8"), "application/json"
+        )
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        self._reply_bytes(status, text.encode("utf-8"), content_type)
+
+    def _reply_bytes(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -164,13 +198,27 @@ class _Handler(BaseHTTPRequestHandler):
             status, document = 400, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive 500
             status, document = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        self._note(status)
         self._reply(status, document)
+
+    def _note(self, status: int) -> None:
+        self.server.api.note_request(
+            self.command, _route_template(urlparse(self.path).path), status
+        )
 
     # -- verbs -------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         parsed = urlparse(self.path)
         api = self.server.api
+
+        if parsed.path == "/metrics":
+            # Prometheus exposition is text, not JSON — served outside the
+            # JSON dispatch path, with the scraper's expected content type.
+            text = api.metrics()
+            self._note(200)
+            self._reply_text(200, text, METRICS_CONTENT_TYPE)
+            return
 
         def handle() -> Tuple[int, Dict[str, Any]]:
             if parsed.path == "/healthz":

@@ -49,8 +49,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..estelle.interaction import Interaction
 from ..estelle.specification import Specification
+from ..obs import Observability
 from ..runtime.executor import SpecSource, SpecificationExecutor
 from ..runtime.mapping import MappingStrategy
+from ..runtime.planner import plan_code_cache_info
 from ..sim.machine import Cluster, Machine
 from .registry import CompiledSpec, SpecRegistry
 
@@ -191,6 +193,7 @@ class SessionEngine:
         cluster_factory: Optional[Callable[[Specification], Cluster]] = None,
         mapping_factory: Optional[Callable[[], MappingStrategy]] = None,
         max_sessions: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ):
         self.registry = registry if registry is not None else SpecRegistry()
         self.default_dispatch = default_dispatch
@@ -205,10 +208,67 @@ class SessionEngine:
         )
         self._closed = False
         self.started_at = time.time()
-        #: lifetime counters for the service's own story.
+        #: lifetime counters for the service's own story.  These plain ints
+        #: stay the single source of truth; the metric families below read
+        #: them through scrape-time callbacks, so ``/stats`` and
+        #: ``/metrics`` cannot drift apart.
         self.sessions_created = 0
         self.sessions_closed = 0
         self.peak_sessions = 0
+        #: per-engine observability — *live* by default: the engine is the
+        #: long-running service layer, exactly what wants watching.  Shared
+        #: with every session's executor/planner, so executor and planner
+        #: series aggregate across the whole session population.
+        self.obs = obs if obs is not None else Observability()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        registry = self.obs.registry
+        self._h_spawn = registry.histogram(
+            "repro_serve_spawn_seconds",
+            "Wall-clock seconds to create one session (compile-once path).",
+        )
+        self._h_step = registry.histogram(
+            "repro_serve_step_seconds",
+            "Wall-clock seconds of one per-session step call.",
+        )
+        if not registry.enabled:
+            return
+        registry.counter(
+            "repro_serve_sessions_created_total",
+            "Sessions created over the engine's lifetime.",
+            callback=lambda: self.sessions_created,
+        )
+        registry.counter(
+            "repro_serve_sessions_closed_total",
+            "Sessions closed over the engine's lifetime.",
+            callback=lambda: self.sessions_closed,
+        )
+        registry.gauge(
+            "repro_serve_sessions_active",
+            "Sessions currently hosted.",
+            callback=lambda: len(self.session_ids()),
+        )
+        registry.gauge(
+            "repro_serve_sessions_peak",
+            "Highest concurrent session population seen.",
+            callback=lambda: self.peak_sessions,
+        )
+        registry.counter(
+            "repro_serve_registry_hits_total",
+            "Spec registry lookups served without recompiling.",
+            callback=lambda: self.registry.hits,
+        )
+        registry.counter(
+            "repro_serve_registry_misses_total",
+            "Spec registry lookups that compiled a new entry.",
+            callback=lambda: self.registry.misses,
+        )
+        registry.gauge(
+            "repro_serve_registry_entries",
+            "Distinct compiled specifications in the registry.",
+            callback=lambda: len(self.registry),
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -228,27 +288,32 @@ class SessionEngine:
         """
         if self._closed:
             raise ServeError("engine is shut down")
-        entry = self.registry.get(source)
-        dispatch_name = dispatch or self.default_dispatch
-        specification = entry.instantiate()
-        executor = SpecificationExecutor(
-            specification,
-            self.cluster_factory(specification),
-            mapping=self.mapping_factory() if self.mapping_factory else None,
-            dispatch=entry.dispatch_for(dispatch_name),
-            trace=True,
+        with self._h_spawn.time():
+            entry = self.registry.get(source)
+            dispatch_name = dispatch or self.default_dispatch
+            specification = entry.instantiate()
+            executor = SpecificationExecutor(
+                specification,
+                self.cluster_factory(specification),
+                mapping=self.mapping_factory() if self.mapping_factory else None,
+                dispatch=entry.dispatch_for(dispatch_name),
+                trace=True,
+                obs=self.obs,
+            )
+            with self._sessions_lock:
+                if self.max_sessions is not None and len(self._sessions) >= self.max_sessions:
+                    raise ServeError(
+                        f"session limit reached ({self.max_sessions}); close one first"
+                    )
+                sid = session_id or f"s-{next(self._serial)}"
+                if sid in self._sessions:
+                    raise ServeError(f"session id {sid!r} already in use")
+                self._sessions[sid] = Session(sid, entry, executor, dispatch_name)
+                self.sessions_created += 1
+                self.peak_sessions = max(self.peak_sessions, len(self._sessions))
+        self.obs.events.emit(
+            "session_create", session_id=sid, spec=entry.name, dispatch=dispatch_name
         )
-        with self._sessions_lock:
-            if self.max_sessions is not None and len(self._sessions) >= self.max_sessions:
-                raise ServeError(
-                    f"session limit reached ({self.max_sessions}); close one first"
-                )
-            sid = session_id or f"s-{next(self._serial)}"
-            if sid in self._sessions:
-                raise ServeError(f"session id {sid!r} already in use")
-            self._sessions[sid] = Session(sid, entry, executor, dispatch_name)
-            self.sessions_created += 1
-            self.peak_sessions = max(self.peak_sessions, len(self._sessions))
         return sid
 
     def _session(self, session_id: str) -> Session:
@@ -268,7 +333,15 @@ class SessionEngine:
             raise SessionUnknown(f"unknown session {session_id!r}")
         with session.lock:
             session.closed = True
-            return session.health()
+            final = session.health()
+        self.obs.events.emit(
+            "session_close",
+            session_id=session_id,
+            spec=session.entry.name,
+            rounds=final["rounds"],
+            stop_reason=final["stop_reason"],
+        )
+        return final
 
     # -- per-session operations --------------------------------------------------
 
@@ -283,7 +356,7 @@ class SessionEngine:
         if rounds < 0:
             raise ServeError(f"rounds must be >= 0, got {rounds}")
         session = self._session(session_id)
-        with session.lock:
+        with session.lock, self._h_step.time():
             return session.step(rounds, deadline=deadline)
 
     def run_to_quiescence(
@@ -355,6 +428,12 @@ class SessionEngine:
     # -- service-level introspection ---------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
+        """The service's stats document (shape pinned by ``test_serve_api``).
+
+        Every number here is a *view* over the same state the metric
+        families scrape — the counters read these attributes through
+        callbacks, so this dict and ``/metrics`` cannot disagree.
+        """
         with self._sessions_lock:
             active = len(self._sessions)
         return {
@@ -364,6 +443,8 @@ class SessionEngine:
             "sessions_closed": self.sessions_closed,
             "uptime_seconds": time.time() - self.started_at,
             "registry": self.registry.stats(),
+            "plan_code_cache": plan_code_cache_info(),
+            "obs": self.obs.stats(),
         }
 
     def shutdown(self) -> Dict[str, Any]:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 
 def mean(values: Sequence[float]) -> float:
@@ -114,8 +114,27 @@ class ExecutionMetrics:
             return float("inf")
         return baseline.elapsed_time / self.elapsed_time
 
-    def summary(self) -> Dict[str, float]:
-        """A flat dictionary used by the benchmark harness's report tables."""
+    @property
+    def work_utilisation(self) -> float:
+        """Accounted work per unit of elapsed simulated time.
+
+        ``utilisation(n)`` divided by the processor count — reportable
+        without knowing the cluster shape, which is all ``summary()`` has.
+        A value near the processor count means the cluster was saturated;
+        near zero means rounds were mostly idle waiting on one busy unit.
+        """
+        if self.elapsed_time <= 0:
+            return 0.0
+        return self.total_work / self.elapsed_time
+
+    def summary(self) -> Dict[str, Any]:
+        """A flat dictionary used by the benchmark harness's report tables.
+
+        All values are floats except ``stop_reason`` (one of
+        :data:`STOP_REASONS`, or ``""`` before the first run) — reports
+        that aggregate runs must not conflate "quiescent" (the protocol
+        finished) with "budget" (the loop was cut off mid-flight).
+        """
         return {
             "elapsed_time": self.elapsed_time,
             "rounds": float(self.rounds),
@@ -128,6 +147,8 @@ class ExecutionMetrics:
             "context_switch_time": self.context_switch_time,
             "scheduler_share": self.scheduler_share,
             "overhead_share": self.overhead_share,
+            "work_utilisation": self.work_utilisation,
+            "stop_reason": self.stop_reason or "",
         }
 
 

@@ -1,0 +1,400 @@
+"""Unit tests for the ``repro.obs`` building blocks.
+
+Registry semantics (get-or-create, type checking, thread safety), histogram
+bucket edges, the null instruments, Prometheus text rendering, and the event
+bus's sink failure-isolation contract — everything below the instrumented
+layers, tested in isolation.
+"""
+
+import io
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    CONTENT_TYPE,
+    MAX_SINK_FAILURES,
+    CallbackSink,
+    EventBus,
+    JsonlSink,
+    MetricsRegistry,
+    NullRegistry,
+    Observability,
+    RingBufferSink,
+    default_registry,
+    render_prometheus,
+    set_default_registry,
+)
+from repro.obs.prom import format_value
+from repro.obs.registry import _NULL_INSTRUMENT, _NULL_TIMER
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1.0)
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_labelled_children_are_distinct_series(self):
+        family = MetricsRegistry().counter("stops_total", labelnames=("reason",))
+        family.labels(reason="budget").inc()
+        family.labels(reason="budget").inc()
+        family.labels(reason="quiescent").inc()
+        assert family.labels(reason="budget").value == 2.0
+        assert family.labels(reason="quiescent").value == 1.0
+
+    def test_wrong_label_schema_rejected(self):
+        family = MetricsRegistry().counter("stops_total", labelnames=("reason",))
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(cause="budget")
+
+    def test_unlabelled_proxy_on_labelled_family_rejected(self):
+        family = MetricsRegistry().counter("stops_total", labelnames=("reason",))
+        with pytest.raises(ValueError, match="call .labels"):
+            family.inc()
+
+    def test_callback_counter_reads_live_state(self):
+        state = {"hits": 0}
+        counter = MetricsRegistry().counter(
+            "hits_total", callback=lambda: state["hits"]
+        )
+        assert counter.value == 0.0
+        state["hits"] = 7
+        assert counter.value == 7.0
+
+    def test_callback_counter_cannot_be_labelled(self):
+        with pytest.raises(ValueError, match="cannot be labelled"):
+            MetricsRegistry().counter(
+                "hits_total", labelnames=("kind",), callback=lambda: 0
+            )
+
+    def test_kind_mismatch_on_reregistration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("series")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("series")
+
+    def test_label_schema_mismatch_on_reregistration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("series", labelnames=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("series", labelnames=("b",))
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        """The serve engine increments from step_all's thread pool; every
+        inc() must land."""
+        counter = MetricsRegistry().counter("c_total")
+        per_thread, threads = 2_000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert counter.value == float(per_thread * threads)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+    def test_callback_gauge_reads_at_scrape_time(self):
+        sessions = ["a", "b"]
+        gauge = MetricsRegistry().gauge("active", callback=lambda: len(sessions))
+        assert gauge.value == 2.0
+        sessions.pop()
+        assert gauge.value == 1.0
+
+    def test_reregistering_rebinds_callback(self):
+        registry = MetricsRegistry()
+        registry.gauge("active", callback=lambda: 1)
+        fresh = registry.gauge("active", callback=lambda: 99)
+        assert fresh.value == 99.0
+
+
+class TestHistogramBuckets:
+    def test_value_on_bucket_boundary_lands_in_that_bucket(self):
+        """``le`` semantics: observe(0.5) belongs to the le="0.5" bucket."""
+        hist = MetricsRegistry().histogram("h", buckets=(0.25, 0.5, 1.0))
+        hist.observe(0.5)
+        snap = hist.snapshot()
+        assert snap["buckets"] == [(0.25, 0), (0.5, 1), (1.0, 1)]
+        assert snap["inf"] == 1
+
+    def test_value_above_all_bounds_lands_in_inf_only(self):
+        hist = MetricsRegistry().histogram("h", buckets=(0.25, 0.5, 1.0))
+        hist.observe(42.0)
+        snap = hist.snapshot()
+        assert snap["buckets"] == [(0.25, 0), (0.5, 0), (1.0, 0)]
+        assert snap["inf"] == 1
+        assert snap["count"] == 1
+        assert snap["sum"] == 42.0
+
+    def test_cumulative_counts(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == [(1.0, 1), (2.0, 2), (4.0, 3)]
+        assert snap["inf"] == 4
+
+    def test_empty_histogram_renders_zero_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_seconds", "help text", buckets=(0.5, 1.0))
+        text = render_prometheus(registry)
+        assert '# TYPE h_seconds histogram' in text
+        assert 'h_seconds_bucket{le="0.5"} 0' in text
+        assert 'h_seconds_bucket{le="+Inf"} 0' in text
+        assert "h_seconds_sum 0" in text
+        assert "h_seconds_count 0" in text
+
+    def test_bounds_are_sorted_and_deduplicated(self):
+        hist = MetricsRegistry().histogram("h", buckets=(2.0, 1.0, 2.0))
+        hist.observe(1.5)
+        assert hist.snapshot()["buckets"] == [(1.0, 0), (2.0, 1)]
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_timer_observes_on_exception_exit(self):
+        hist = MetricsRegistry().histogram("h", buckets=(10.0,))
+        with pytest.raises(RuntimeError):
+            with hist.time():
+                raise RuntimeError("boom")
+        assert hist.count == 1
+
+
+class TestNullRegistry:
+    def test_all_instruments_are_the_shared_null_singleton(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is _NULL_INSTRUMENT
+        assert registry.gauge("b") is _NULL_INSTRUMENT
+        assert registry.histogram("c") is _NULL_INSTRUMENT
+        assert registry.counter("a").labels(x="y") is _NULL_INSTRUMENT
+
+    def test_null_instrument_absorbs_everything(self):
+        null = NullRegistry().counter("a")
+        null.inc()
+        null.dec()
+        null.set(5)
+        null.observe(1.0)
+        assert null.value == 0.0
+        assert null.count == 0
+        assert null.time() is _NULL_TIMER
+        with null.time():
+            pass
+
+    def test_renders_empty_and_reports_disabled(self):
+        registry = NullRegistry()
+        registry.counter("a")
+        assert not registry.enabled
+        assert registry.families() == []
+        assert render_prometheus(registry) == ""
+
+    def test_default_registry_is_null_until_opt_in(self):
+        assert not default_registry().enabled
+        previous = set_default_registry(MetricsRegistry())
+        try:
+            assert default_registry().enabled
+        finally:
+            set_default_registry(previous)
+        assert not default_registry().enabled
+
+
+class TestPrometheusRendering:
+    def test_format_value_edge_cases(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert math.isclose(float(format_value(0.1)), 0.1)
+
+    def test_help_type_and_sample_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests served.").inc(3)
+        text = render_prometheus(registry)
+        assert "# HELP req_total Requests served." in text
+        assert "# TYPE req_total counter" in text
+        assert "req_total 3" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("path",))
+        family.labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert r'c_total{path="a\"b\\c\nd"} 1' in text
+
+    def test_histogram_renders_cumulative_with_inf_sum_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.5, 1.0))
+        hist.observe(0.4)
+        hist.observe(0.6)
+        hist.observe(9.0)
+        text = render_prometheus(registry)
+        assert 'lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 10" in text
+        assert "lat_seconds_count 3" in text
+
+    def test_content_type_is_prometheus_004(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_empty_registry_renders_empty_document(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class _AlwaysRaises:
+    """A sink that fails on every write."""
+
+    def write(self, event):
+        raise RuntimeError("sink is broken")
+
+    def close(self):
+        pass
+
+
+class TestEventBus:
+    def test_emit_without_sinks_is_a_no_op(self):
+        bus = EventBus()
+        bus.emit("round_end", round_index=1)
+        assert bus.stats() == {
+            "sinks": 0,
+            "emitted": 0,
+            "sink_errors": 0,
+            "sinks_detached": 0,
+        }
+
+    def test_ring_buffer_keeps_most_recent_and_filters_by_kind(self):
+        bus = EventBus()
+        ring = bus.attach(RingBufferSink(capacity=3))
+        for index in range(5):
+            bus.emit("round_end", round_index=index)
+        bus.emit("run_stop", stop_reason="quiescent")
+        assert len(ring) == 3
+        assert [e["round_index"] for e in ring.events("round_end")] == [3, 4]
+        assert ring.events("run_stop")[0]["stop_reason"] == "quiescent"
+
+    def test_events_carry_kind_seq_and_timestamp(self):
+        bus = EventBus()
+        ring = bus.attach(RingBufferSink())
+        bus.emit("a")
+        bus.emit("b")
+        first, second = ring.events()
+        assert first["kind"] == "a" and second["kind"] == "b"
+        assert second["seq"] == first["seq"] + 1
+        assert first["ts"] > 0
+
+    def test_jsonl_sink_writes_parseable_lines(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        bus.attach(JsonlSink(stream))
+        bus.emit("session_create", session_id="s1", unjsonable=object())
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        event = json.loads(lines[0])
+        assert event["kind"] == "session_create"
+        assert event["session_id"] == "s1"
+        # Non-JSON values are stringified, never raised on.
+        assert isinstance(event["unjsonable"], str)
+
+    def test_callback_sink_receives_events(self):
+        seen = []
+        bus = EventBus()
+        bus.attach(CallbackSink(seen.append))
+        bus.emit("worker_spawn", unit=3)
+        assert seen[0]["unit"] == 3
+
+    def test_raising_sink_does_not_break_emit_or_other_sinks(self):
+        bus = EventBus()
+        ring = bus.attach(RingBufferSink())
+        bus.attach(_AlwaysRaises())
+        bus.emit("round_end", round_index=0)  # must not raise
+        assert len(ring) == 1
+        assert bus.stats()["sink_errors"] == 1
+
+    def test_persistently_failing_sink_is_detached(self):
+        bus = EventBus()
+        bus.attach(_AlwaysRaises())
+        for index in range(MAX_SINK_FAILURES + 3):
+            bus.emit("round_end", round_index=index)
+        stats = bus.stats()
+        assert stats["sinks_detached"] == 1
+        assert stats["sinks"] == 0
+        # Errors stop accumulating once the sink is gone.
+        assert stats["sink_errors"] == MAX_SINK_FAILURES
+
+    def test_success_resets_the_consecutive_failure_count(self):
+        class FlakySink:
+            def __init__(self):
+                self.calls = 0
+
+            def write(self, event):
+                self.calls += 1
+                if self.calls % 2:
+                    raise RuntimeError("every other write fails")
+
+            def close(self):
+                pass
+
+        bus = EventBus()
+        bus.attach(FlakySink())
+        for index in range(MAX_SINK_FAILURES * 4):
+            bus.emit("tick", index=index)
+        stats = bus.stats()
+        assert stats["sinks"] == 1  # never detached: failures are not consecutive
+        assert stats["sink_errors"] == MAX_SINK_FAILURES * 2
+
+    def test_close_detaches_and_closes_sinks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        bus.attach(JsonlSink(str(path)))
+        bus.emit("a")
+        bus.close()
+        assert bus.stats()["sinks"] == 0
+        assert json.loads(path.read_text().strip())["kind"] == "a"
+
+
+class TestObservabilityBundle:
+    def test_default_bundle_is_live(self):
+        obs = Observability()
+        assert obs.enabled
+        obs.registry.counter("c").inc()
+        assert "c 1" in obs.render()
+
+    def test_disabled_bundle_is_null(self):
+        obs = Observability.disabled()
+        assert not obs.enabled
+        assert obs.render() == ""
+
+    def test_stats_block_shape(self):
+        obs = Observability()
+        obs.registry.counter("c")
+        stats = obs.stats()
+        assert stats["enabled"] is True
+        assert stats["metrics"] == 1
+        assert {"sinks", "emitted", "sink_errors", "sinks_detached"} <= set(stats)
