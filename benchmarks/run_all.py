@@ -37,7 +37,12 @@ history), so the repository carries its own perf trajectory:
   path — best-of-N enabled vs disabled planning time on the sparse
   workload, gated at an enabled/disabled ratio of <= 1.05 (the
   "near-no-op" half of the obs subsystem's contract; the other half,
-  zero trace perturbation, is gated by ``tests/test_obs_equivalence.py``).
+  zero trace perturbation, is gated by ``tests/test_obs_equivalence.py``),
+* the E-RESIL record: the resilience machinery — wall-clock cost of a
+  supervised worker-crash recovery next to the fault-free run (gated on
+  byte-identical recovered traces), plus session checkpoint/restore
+  latency and the restart-resumes-with-identical-suffix verdict
+  (``docs/RESILIENCE.md``).
 
 Run with:  PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
 """
@@ -180,6 +185,15 @@ def obs_overhead_results() -> dict:
     return _round_floats(module.obs_overhead_results())
 
 
+def resilience_results() -> dict:
+    """E-RESIL: crash-recovery fidelity/cost + checkpoint/restore latency."""
+    module = _load_bench_module("bench_resilience")
+    results = module.resilience_results()
+    results["recovery"] = _round_floats(results["recovery"])
+    results["persistence"] = _round_floats(results["persistence"])
+    return results
+
+
 def load_history(output: Path) -> list:
     if not output.exists():
         return []
@@ -220,6 +234,7 @@ def main(argv=None) -> int:
         "dynamic_topology": dynamic_topology_results(),
         "serve_load": serve_load_results(),
         "obs_overhead": obs_overhead_results(),
+        "resilience": resilience_results(),
     }
     runs = [run_entry] + load_history(args.output)
     args.output.write_text(json.dumps({"runs": runs[:HISTORY_LIMIT]}, indent=2) + "\n")
@@ -335,6 +350,26 @@ def main(argv=None) -> int:
         print(
             f"regression: observability overhead ratio {obs['overhead_ratio']} "
             f"exceeds the {obs['overhead_ceiling']} ceiling on the planner sweep"
+        )
+        return 1
+    resilience = run_entry["resilience"]
+    if not resilience["recovery"]["recovered_trace_identical"]:
+        print(
+            "regression: crash-recovered trace diverged from the fault-free "
+            f"reference: {resilience['recovery']['trace_divergence']}"
+        )
+        return 1
+    if not resilience["persistence"]["restored_suffix_identical"]:
+        print(
+            "regression: session restored from state_dir no longer resumes "
+            "with the reference trace suffix"
+        )
+        return 1
+    if not resilience["persistence"]["all_sessions_restored"]:
+        print(
+            "regression: engine restart restored "
+            f"{resilience['persistence']['sessions_restored']}/"
+            f"{resilience['persistence']['sessions']} persisted sessions"
         )
         return 1
     print(

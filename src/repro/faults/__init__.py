@@ -1,0 +1,173 @@
+"""``repro.faults`` — deterministic, seedable fault injection.
+
+The resilience contract (docs/RESILIENCE.md) is differential: every
+recovery path must reproduce the *fault-free* canonical trace byte for
+byte.  That is only testable if the faults themselves are deterministic
+inputs, so this module models them as plain frozen data — a
+:class:`FaultPlan` names exactly which execution unit crashes at which
+round, which channel batch is delayed by how much, which serve session
+throws on which call, and how many event-sink writes fail.  The plan is
+picklable (it crosses the ``spawn`` boundary into workers) and is threaded
+through the stack as an *optional* argument: with no plan configured the
+instrumented code paths reduce to a ``None`` check.
+
+``FaultPlan.seeded(seed, ...)`` derives a schedule from a PRNG seed, which
+is how the chaos differential suite (``tests/test_resilience.py``) and the
+``chaos-smoke`` CI job enumerate crash schedules across fuzzgen specs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Sequence, Tuple
+
+__all__ = [
+    "ChannelDelay",
+    "FailingSink",
+    "FaultPlan",
+    "InjectedFault",
+    "SessionFault",
+    "WorkerCrash",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or reported) by a fault-injection point when its trigger fires.
+
+    Deliberately a distinct type so tests and supervisors can tell an
+    injected failure from an organic one.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Kill the worker for ``unit`` when it receives the round-``round_index``
+    select command (i.e. after round ``round_index - 1`` fully committed)."""
+
+    unit: int
+    round_index: int
+
+
+@dataclass(frozen=True)
+class ChannelDelay:
+    """Delay ``source_unit``'s round-``round_index`` batch to ``target_unit``
+    by ``seconds`` of wall time before it is sent.
+
+    Wall-clock only: the simulated clock never sees it, so a delay changes
+    latency (and can trip a :class:`~repro.runtime.parallel.channels.ChannelTimeout`)
+    but never the canonical trace.
+    """
+
+    source_unit: int
+    target_unit: int
+    round_index: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class SessionFault:
+    """Raise :class:`InjectedFault` from the ``call_index``-th invocation of
+    ``op`` (``"step"`` or ``"inject"``) on serve session ``session_id``."""
+
+    session_id: str
+    op: str = "step"
+    call_index: int = 1
+    message: str = "injected session fault"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic failure schedule for one run.
+
+    ``sink_failures`` asks the serve engine to attach a :class:`FailingSink`
+    whose first N writes raise — exercising the event bus's sink-isolation
+    path (misbehaving sinks are detached, never propagated).
+    """
+
+    worker_crashes: Tuple[WorkerCrash, ...] = ()
+    channel_delays: Tuple[ChannelDelay, ...] = ()
+    session_faults: Tuple[SessionFault, ...] = ()
+    sink_failures: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.worker_crashes
+            or self.channel_delays
+            or self.session_faults
+            or self.sink_failures
+        )
+
+    def crash_rounds_for(self, unit: int) -> FrozenSet[int]:
+        return frozenset(
+            crash.round_index
+            for crash in self.worker_crashes
+            if crash.unit == unit
+        )
+
+    def send_delays_for(self, unit: int) -> Tuple[Tuple[int, int, float], ...]:
+        """``(target_unit, round_index, seconds)`` rows for ``unit``'s flushes."""
+        return tuple(
+            (delay.target_unit, delay.round_index, delay.seconds)
+            for delay in self.channel_delays
+            if delay.source_unit == unit
+        )
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        units: Sequence[int],
+        max_round: int,
+        crashes: int = 1,
+    ) -> "FaultPlan":
+        """Derive a crash schedule from ``seed``: ``crashes`` worker crashes
+        spread over ``units`` at rounds in ``[2, max_round]``.
+
+        Round 1 is excluded on purpose — a crash at the very first select
+        recovers from an empty checkpoint (a plain respawn), which is a
+        separate, less interesting path the suite covers explicitly.
+        """
+        if max_round < 2 or not units:
+            return cls()
+        rng = random.Random(seed)
+        schedule: Dict[int, int] = {}
+        for _ in range(crashes):
+            unit = rng.choice(list(units))
+            # One crash per unit per plan: a second crash for the same unit
+            # just moves its round, keeping the schedule well-formed.
+            schedule[unit] = rng.randint(2, max_round)
+        return cls(
+            worker_crashes=tuple(
+                WorkerCrash(unit=unit, round_index=round_index)
+                for unit, round_index in sorted(schedule.items())
+            )
+        )
+
+
+class FailingSink:
+    """An event sink whose first ``failures`` writes raise :class:`InjectedFault`.
+
+    With ``failures < 0`` every write fails, which (after
+    ``MAX_SINK_FAILURES`` consecutive errors) exercises the bus's
+    auto-detach path.
+    """
+
+    def __init__(self, failures: int = 1) -> None:
+        self.failures = failures
+        self.writes = 0
+        self.failed = 0
+
+    def write(self, event) -> None:
+        self.writes += 1
+        if self.failures < 0 or self.failed < self.failures:
+            self.failed += 1
+            raise InjectedFault(
+                f"injected sink failure {self.failed}"
+                + ("" if self.failures < 0 else f"/{self.failures}")
+            )
+
+    def close(self) -> None:  # pragma: no cover - interface completeness
+        pass

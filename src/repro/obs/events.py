@@ -211,6 +211,24 @@ class EventBus:
                 "sinks_detached": self.sinks_detached,
             }
 
+    def flush(self) -> None:
+        """Flush every attached sink that supports flushing.
+
+        Same isolation contract as ``emit``: a sink whose flush raises is
+        charged a failure (and eventually detached) instead of breaking
+        the caller — shutdown paths call this to make JSONL sinks durable.
+        """
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            flush = getattr(sink, "flush", None)
+            if flush is None:
+                continue
+            try:
+                flush()
+            except Exception:
+                self._note_failure(sink)
+
     def close(self) -> None:
         with self._lock:
             sinks, self._sinks = self._sinks, []

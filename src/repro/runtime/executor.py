@@ -244,6 +244,33 @@ class SpecificationExecutor:
         )
         return self.metrics
 
+    # -- checkpoint/restore -------------------------------------------------------
+
+    def snapshot(self) -> "ExecutorSnapshot":
+        """Capture a picklable cut of the full executor state.
+
+        The snapshot holds exactly what resumption needs for a
+        byte-identical canonical trace suffix — module control states,
+        variables, IP queues, armed delay timers, dynamic topology,
+        ``<var>#<serial>`` counters, the simulated clock and the round
+        cursor (see :mod:`repro.runtime.checkpoint`).  EXTERNAL bodies are
+        rejected: their hand-coded Python state is outside the inventory.
+        """
+        from .checkpoint import capture_executor
+
+        return capture_executor(self)
+
+    def restore(self, snapshot: "ExecutorSnapshot") -> None:
+        """Impose a :meth:`snapshot` onto this executor.
+
+        The trace restarts empty, so running on restores yields the
+        uninterrupted run's trace *suffix*; planner caches are rebuilt via
+        the dirty-tracking contract's explicit invalidation.
+        """
+        from .checkpoint import restore_executor
+
+        restore_executor(self, snapshot)
+
     def _note_structure_change(self, module: Module) -> None:
         """Structure hook (interpreted path): a child was created or
         released, so the cached delay-bearing module list is stale."""

@@ -34,6 +34,7 @@ from .channels import (
     BatchChannel,
     ChannelMesh,
     ChannelProtocolError,
+    ChannelTimeout,
     RoutedMessage,
     merge_batches,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "BatchChannel",
     "ChannelMesh",
     "ChannelProtocolError",
+    "ChannelTimeout",
     "MultiprocessBackend",
     "ParallelExecutionError",
     "PrecomputedDispatch",

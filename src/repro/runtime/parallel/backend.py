@@ -24,6 +24,7 @@ firings, same order, same state changes, same costs, same unit placement.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import time
 from queue import Empty
@@ -58,6 +59,119 @@ from .worker import (
 
 class ParallelExecutionError(SchedulingError):
     """A worker died, timed out, or violated the round protocol."""
+
+
+class _Supervisor:
+    """Crash-recovery state for one supervised run.
+
+    Workers ship a round-boundary checkpoint of their owned shard with
+    every fired reply; when the liveness check finds a worker dead during
+    a *select* gather, :meth:`respawn` starts a replacement process seeded
+    with the last checkpoint (``WorkerConfig.restore``) and re-issues the
+    select it consumed — the round then completes as if the crash never
+    happened, which the chaos suite pins with byte-identical traces.
+
+    A death during the *fire* phase is not recoverable: the crashed worker
+    may have flushed some batches and breaks the round barrier, so the run
+    still fails fast with :class:`ParallelExecutionError`.
+    """
+
+    #: give up after this many respawns of the same unit in one run — a
+    #: worker that keeps dying without a scheduled crash is a real bug.
+    MAX_RESPAWNS_PER_UNIT = 8
+
+    def __init__(
+        self,
+        ctx,
+        mesh: ChannelMesh,
+        barrier,
+        result_queue,
+        command_queues: Dict[int, Any],
+        processes: Dict[int, Any],
+        configs: Dict[int, WorkerConfig],
+        obs: Observability,
+    ) -> None:
+        self.ctx = ctx
+        self.mesh = mesh
+        self.barrier = barrier
+        self.result_queue = result_queue
+        self.command_queues = command_queues
+        self.processes = processes
+        self.configs = configs
+        self.obs = obs
+        self.checkpoints: Dict[int, Any] = {}
+        self.recoveries = 0
+        self._respawns: Dict[int, int] = {}
+        registry = obs.registry
+        self._m_crashes = registry.counter(
+            "repro_resil_worker_crashes_total",
+            "Worker processes found dead by the supervising coordinator.",
+        )
+        self._m_recoveries = registry.counter(
+            "repro_resil_recoveries_total",
+            "Crashed workers respawned from a shard checkpoint.",
+        )
+        self._m_checkpoints = registry.counter(
+            "repro_resil_checkpoints_total",
+            "Round-boundary shard checkpoints received from workers.",
+        )
+
+    def store_checkpoint(self, uid: int, checkpoint) -> None:
+        self.checkpoints[uid] = checkpoint
+        self._m_checkpoints.inc()
+
+    def respawn(self, uid: int, round_index: int, now: float) -> None:
+        count = self._respawns.get(uid, 0) + 1
+        if count > self.MAX_RESPAWNS_PER_UNIT:
+            raise ParallelExecutionError(
+                f"worker for unit {uid} died {count} times in one run; "
+                "giving up on recovery"
+            )
+        self._respawns[uid] = count
+        exitcode = self.processes[uid].exitcode
+        self._m_crashes.inc()
+        self.obs.events.emit(
+            "worker_crash", unit=uid, round_index=round_index, exitcode=exitcode
+        )
+        checkpoint = self.checkpoints.get(uid)
+        config = dataclasses.replace(
+            self.configs[uid],
+            # The scheduled crash (if any) already happened; keep only
+            # strictly later ones so a multi-crash schedule still plays out.
+            crash_rounds=tuple(
+                r for r in self.configs[uid].crash_rounds if r > round_index
+            ),
+            restore=checkpoint,
+        )
+        self.configs[uid] = config
+        inbound, outbound = self.mesh.endpoints_for(uid)
+        process = self.ctx.Process(
+            target=worker_main,
+            args=(
+                config,
+                self.command_queues[uid],
+                self.result_queue,
+                inbound,
+                outbound,
+                self.barrier,
+            ),
+            daemon=True,
+            name=f"estelle-unit-{uid}-respawn{count}",
+        )
+        self.processes[uid] = process
+        process.start()
+        # Re-issue the select the dead worker consumed; the replacement
+        # answers it right after rebuilding + restoring its shard (its
+        # "ready" is tolerated and skipped by the supervised gather).
+        self.command_queues[uid].put(("select", round_index, now))
+        self.recoveries += 1
+        self._m_recoveries.inc()
+        self.obs.events.emit(
+            "worker_recovered",
+            unit=uid,
+            round_index=round_index,
+            from_round=checkpoint.round_index if checkpoint is not None else 0,
+        )
 
 
 class PrecomputedDispatch(DispatchStrategy):
@@ -282,8 +396,21 @@ class MultiprocessBackend(ExecutionBackend):
         max_rounds: int = 10_000,
         busy_work_us_per_cost: float = 0.0,
         obs: Optional[Observability] = None,
+        fault_plan: Optional[Any] = None,
+        supervise: Optional[bool] = None,
     ) -> BackendResult:
+        """Run ``source`` across one worker process per execution unit.
+
+        ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects
+        deterministic failures — worker crashes at round boundaries and
+        wall-clock channel delays.  ``supervise`` enables round-boundary
+        shard checkpointing plus crash recovery (respawn-from-checkpoint);
+        it defaults to on exactly when a fault plan is present, and to off
+        otherwise, so the unsupervised fast path is byte-for-byte the
+        pre-resilience protocol.
+        """
         obs = obs if obs is not None else NULL_OBS
+        supervised = supervise if supervise is not None else fault_plan is not None
         specification = source.build()
         specification.validate()
         external = [m.path for m in specification.modules() if m.EXTERNAL]
@@ -338,7 +465,8 @@ class MultiprocessBackend(ExecutionBackend):
         barrier = ctx.Barrier(len(units))
         result_queue = ctx.Queue()
         command_queues: Dict[int, Any] = {}
-        processes: List[Any] = []
+        processes: Dict[int, Any] = {}
+        configs: Dict[int, WorkerConfig] = {}
         for unit in units:
             inbound, outbound = mesh.endpoints_for(unit.uid)
             command_queue = ctx.Queue()
@@ -352,14 +480,40 @@ class MultiprocessBackend(ExecutionBackend):
                 transition_cost_scale=cost_scale,
                 busy_work_us_per_cost=busy_work_us_per_cost,
                 channel_timeout_s=self.round_timeout_s,
+                crash_rounds=(
+                    tuple(sorted(fault_plan.crash_rounds_for(unit.uid)))
+                    if fault_plan is not None
+                    else ()
+                ),
+                send_delays=(
+                    fault_plan.send_delays_for(unit.uid)
+                    if fault_plan is not None
+                    else ()
+                ),
+                checkpoint=supervised,
             )
+            configs[unit.uid] = config
             process = ctx.Process(
                 target=worker_main,
                 args=(config, command_queue, result_queue, inbound, outbound, barrier),
                 daemon=True,
                 name=f"estelle-unit-{unit.uid}",
             )
-            processes.append(process)
+            processes[unit.uid] = process
+        supervisor = (
+            _Supervisor(
+                ctx,
+                mesh,
+                barrier,
+                result_queue,
+                command_queues,
+                processes,
+                configs,
+                obs,
+            )
+            if supervised
+            else None
+        )
 
         planner = _RoundPlanner(
             specification,
@@ -409,7 +563,7 @@ class MultiprocessBackend(ExecutionBackend):
         ).set(len(units))
 
         try:
-            for process in processes:
+            for process in processes.values():
                 process.start()
             self._gather(result_queue, "ready", 0, len(units), processes)
             for unit in units:
@@ -423,7 +577,13 @@ class MultiprocessBackend(ExecutionBackend):
 
             for round_index in range(1, max_rounds + 1):
                 summaries, deadlines = self._select_round(
-                    command_queues, result_queue, processes, units, round_index, clock
+                    command_queues,
+                    result_queue,
+                    processes,
+                    units,
+                    round_index,
+                    clock,
+                    supervisor=supervisor,
                 )
                 plan = planner.plan(summaries)
                 # An empty plan with delay timers still running means time is
@@ -441,7 +601,13 @@ class MultiprocessBackend(ExecutionBackend):
                     # report deltas (the planner's cache holds the rest),
                     # non-incremental workers re-report their full shard.
                     summaries, deadlines = self._select_round(
-                        command_queues, result_queue, processes, units, round_index, clock
+                        command_queues,
+                        result_queue,
+                        processes,
+                        units,
+                        round_index,
+                        clock,
+                        supervisor=supervisor,
                     )
                     plan = planner.plan(summaries)
                 if plan.empty:
@@ -491,7 +657,10 @@ class MultiprocessBackend(ExecutionBackend):
                 round_wall = time.perf_counter() - round_started
 
                 ordered: List[Tuple[int, FiringReport]] = []
-                for uid, (reports, delta) in report_sets.items():
+                for uid, payload in report_sets.items():
+                    reports, delta = payload[0], payload[1]
+                    if supervisor is not None and len(payload) > 2:
+                        supervisor.store_checkpoint(uid, payload[2])
                     busy_seconds, sync_seconds, messages, batch_sizes = delta
                     m_busy.labels(unit=str(uid)).inc(busy_seconds)
                     m_sync.labels(unit=str(uid)).inc(sync_seconds)
@@ -620,20 +789,28 @@ class MultiprocessBackend(ExecutionBackend):
         self,
         command_queues: Dict[int, Any],
         result_queue,
-        processes: List[Any],
+        processes: Dict[int, Any],
         units,
         round_index: int,
         clock: SimulatedClock,
+        supervisor: Optional[_Supervisor] = None,
     ) -> Tuple[Dict[str, SelectionSummary], List[float]]:
         """Broadcast one select at the clock's current time; fold the replies.
 
         Returns the merged per-module summaries plus every worker-reported
         future delay deadline (empty when no timers are running anywhere).
+        With a supervisor, a worker found dead mid-gather is respawned from
+        its last shard checkpoint and its select re-issued, transparently.
         """
         self._broadcast(command_queues, ("select", round_index, clock.now))
-        summary_sets = self._gather(
-            result_queue, "summaries", round_index, len(units), processes
-        )
+        if supervisor is None:
+            summary_sets = self._gather(
+                result_queue, "summaries", round_index, len(units), processes
+            )
+        else:
+            summary_sets = self._gather_supervised(
+                result_queue, round_index, len(units), processes, supervisor, clock
+            )
         summaries: Dict[str, SelectionSummary] = {}
         deadlines: List[float] = []
         for per_unit, unit_deadline in summary_sets.values():
@@ -648,13 +825,71 @@ class MultiprocessBackend(ExecutionBackend):
         for command_queue in command_queues.values():
             command_queue.put(command)
 
+    def _gather_supervised(
+        self,
+        result_queue,
+        round_index: int,
+        expected: int,
+        processes: Dict[int, Any],
+        supervisor: _Supervisor,
+        clock: SimulatedClock,
+    ) -> Dict[int, Any]:
+        """The select gather with crash recovery.
+
+        Differences from :meth:`_gather`: a dead worker triggers a respawn
+        (restore-from-checkpoint + re-issued select) instead of an abort,
+        the gather deadline restarts after each recovery, and stray
+        ``"ready"`` boot messages from replacements are skipped (each
+        replacement's ready always precedes its summaries on the queue, so
+        none can leak past this gather).
+        """
+        collected: Dict[int, Any] = {}
+        deadline = time.perf_counter() + self.round_timeout_s
+        while len(collected) < expected:
+            try:
+                uid, got_kind, got_round, payload = result_queue.get(timeout=1.0)
+            except Empty:
+                dead = [
+                    uid
+                    for uid, process in processes.items()
+                    if not process.is_alive() and process.exitcode not in (0, None)
+                ]
+                if dead:
+                    for dead_uid in sorted(dead):
+                        supervisor.respawn(dead_uid, round_index, clock.now)
+                    deadline = time.perf_counter() + self.round_timeout_s
+                    continue
+                if time.perf_counter() >= deadline:
+                    raise ParallelExecutionError(
+                        f"timed out waiting for 'summaries' results of round "
+                        f"{round_index} ({len(collected)}/{expected} workers reported)"
+                    ) from None
+                continue
+            if got_kind == "ready":
+                continue  # a respawned replacement booting
+            if got_kind == "error":
+                raise ParallelExecutionError(
+                    f"worker for unit {uid} failed:\n{payload}"
+                )
+            if got_kind != "summaries" or got_round != round_index:
+                raise ParallelExecutionError(
+                    f"protocol violation: expected 'summaries' for round "
+                    f"{round_index}, unit {uid} sent {got_kind!r} for round {got_round}"
+                )
+            if uid in collected:
+                raise ParallelExecutionError(
+                    f"unit {uid} reported 'summaries' twice for round {round_index}"
+                )
+            collected[uid] = payload
+        return collected
+
     def _gather(
         self,
         result_queue,
         kind: str,
         round_index: int,
         expected: int,
-        processes: List[Any],
+        processes: Dict[int, Any],
     ) -> Dict[int, Any]:
         """Collect exactly one ``kind`` result per worker for ``round_index``.
 
@@ -672,7 +907,7 @@ class MultiprocessBackend(ExecutionBackend):
             except Empty:
                 dead = [
                     process.name
-                    for process in processes
+                    for process in processes.values()
                     if not process.is_alive() and process.exitcode not in (0, None)
                 ]
                 if dead:
@@ -706,18 +941,25 @@ class MultiprocessBackend(ExecutionBackend):
         return collected
 
     @staticmethod
-    def _shutdown(command_queues: Dict[int, Any], processes: List[Any], mesh) -> None:
+    def _shutdown(command_queues: Dict[int, Any], processes: Dict[int, Any], mesh) -> None:
         for command_queue in command_queues.values():
             try:
                 command_queue.put(("stop",))
             except (ValueError, OSError):  # queue already closed
                 pass
-        for process in processes:
+        for process in processes.values():
             if process.is_alive():
                 process.join(timeout=5.0)
-        for process in processes:
+        for process in processes.values():
             if process.is_alive():
                 process.terminate()
+                process.join(timeout=5.0)
+        # Escalate: a worker wedged in uninterruptible I/O can shrug off
+        # SIGTERM; SIGKILL cannot be ignored, so teardown can never hang on
+        # a stuck worker.
+        for process in processes.values():
+            if process.is_alive():
+                process.kill()
                 process.join(timeout=5.0)
         try:
             mesh.close()

@@ -20,15 +20,20 @@ Ordering guarantees
   position of the firing that produced them and the send position within the
   firing — so a receiver merging several peers' batches can re-establish the
   exact global order the in-process executor would have produced.
-* The round tag turns protocol bugs (a worker flushing twice, or delivering
-  a stale batch) into immediate :class:`ChannelProtocolError` diagnostics
-  rather than silent trace divergence.
+* The round tag turns protocol bugs (a batch from a *future* round, i.e. a
+  worker flushing twice) into immediate :class:`ChannelProtocolError`
+  diagnostics rather than silent trace divergence.  A batch tagged with a
+  *past* round is not an error but a duplicate: a crashed-and-respawned
+  sender re-sends its last checkpointed round's batches (the original flush
+  may have died in the queue's feeder thread), and since round tags strictly
+  increase per link the receiver can discard them safely.
 """
 
 from __future__ import annotations
 
 import pickle
 from queue import Empty
+from time import monotonic
 from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from ...estelle.errors import EstelleError
@@ -36,6 +41,31 @@ from ...estelle.errors import EstelleError
 
 class ChannelProtocolError(EstelleError):
     """The batch protocol was violated (wrong round tag, missing batch)."""
+
+
+class ChannelTimeout(ChannelProtocolError):
+    """No batch arrived within the receive window.
+
+    Carries the peer unit id and round index as structured attributes so
+    the worker loop and the coordinator can render an exact diagnostic
+    (which unit was waiting on whom, for which round) instead of a bare
+    message string.
+    """
+
+    def __init__(
+        self,
+        round_index: int,
+        timeout_s: float,
+        peer: Optional[int] = None,
+    ) -> None:
+        self.peer = peer
+        self.round_index = round_index
+        self.timeout_s = timeout_s
+        source = f"from unit {peer} " if peer is not None else ""
+        super().__init__(
+            f"no batch {source}for round {round_index} arrived within "
+            f"{timeout_s:.0f}s (peer worker dead or deadlocked?)"
+        )
 
 
 class RoutedMessage(NamedTuple):
@@ -85,20 +115,32 @@ class BatchChannel:
         )
         self._queue.put(payload)
 
-    def receive_batch(self, round_index: int, timeout: float = 60.0) -> Batch:
-        try:
-            batch = pickle.loads(self._queue.get(timeout=timeout))
-        except Empty:
-            raise ChannelProtocolError(
-                f"no batch for round {round_index} arrived within {timeout:.0f}s "
-                "(peer worker dead or deadlocked?)"
-            ) from None
-        if batch.round_index != round_index:
-            raise ChannelProtocolError(
-                f"expected the batch for round {round_index}, "
-                f"got round {batch.round_index}"
-            )
-        return batch
+    def receive_batch(
+        self,
+        round_index: int,
+        timeout: float = 60.0,
+        peer: Optional[int] = None,
+    ) -> Batch:
+        deadline = monotonic() + timeout
+        while True:
+            remaining = max(deadline - monotonic(), 0.001)
+            try:
+                batch = pickle.loads(self._queue.get(timeout=remaining))
+            except Empty:
+                raise ChannelTimeout(round_index, timeout, peer=peer) from None
+            if batch.round_index < round_index:
+                # A stale duplicate: a crashed-and-respawned sender re-sends
+                # its last checkpointed round's batches because its original
+                # flush may have died in the queue's feeder thread.  Round
+                # tags are strictly increasing per link, so anything older
+                # than the expected round was already delivered — drop it.
+                continue
+            if batch.round_index != round_index:
+                raise ChannelProtocolError(
+                    f"expected the batch for round {round_index}, "
+                    f"got round {batch.round_index}"
+                )
+            return batch
 
     def close(self) -> None:
         self._queue.close()

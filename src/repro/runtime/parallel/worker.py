@@ -25,6 +25,7 @@ routed through the channel mesh instead of the replica's queues.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from dataclasses import dataclass
@@ -34,11 +35,22 @@ from ...estelle.dirty import DirtyTracker
 from ...estelle.errors import SchedulingError
 from ...estelle.interaction import Interaction
 from ...estelle.module import Module
+from ..checkpoint import (
+    WorkerCheckpoint,
+    capture_modules,
+    feed_deadline_hooks,
+    restore_modules,
+)
 from ..clock import SimulatedClock, next_delay_deadline
 from ..dispatch import dispatch_by_name
 from ..executor import SpecSource, busy_work_for
 from ..planner import PLANNER_DISPATCH_NAME
-from .channels import BatchChannel, RoutedMessage, merge_batches
+from .channels import BatchChannel, ChannelTimeout, RoutedMessage, merge_batches
+
+#: Exit code of a deterministically injected worker crash (repro.faults).
+#: Distinct from 0/None so the coordinator's liveness check classifies the
+#: process as dead-abnormally, exactly like a SIGKILL'd worker.
+CRASH_EXIT_CODE = 17
 
 
 @dataclass(frozen=True)
@@ -64,6 +76,19 @@ class WorkerConfig:
     transition_cost_scale: float = 1.0
     busy_work_us_per_cost: float = 0.0
     channel_timeout_s: float = 60.0
+    #: rounds at whose select command this worker hard-exits
+    #: (deterministic fault injection; see repro.faults.FaultPlan).
+    crash_rounds: Tuple[int, ...] = ()
+    #: ``(target unit, round, seconds)`` wall-clock delays applied before
+    #: flushing the matching outgoing batch (trace-neutral by construction:
+    #: the simulated clock never observes them).
+    send_delays: Tuple[Tuple[int, int, float], ...] = ()
+    #: ship a WorkerCheckpoint of the owned shard with every fired reply,
+    #: enabling the coordinator's supervised crash recovery.
+    checkpoint: bool = False
+    #: shard checkpoint to resume from instead of the fresh initial state
+    #: (set by the coordinator when respawning a crashed worker).
+    restore: Optional[WorkerCheckpoint] = None
 
 
 #: One module's selection outcome, reported to the coordinator:
@@ -142,6 +167,10 @@ class WorkerRuntime:
         self._outgoing: Dict[int, List[RoutedMessage]] = {
             peer: [] for peer in outbound
         }
+        self._send_delays: Dict[Tuple[int, int], float] = {
+            (target, round_index): seconds
+            for target, round_index, seconds in config.send_delays
+        }
         # Under the incremental planner ("planner" dispatch) a worker
         # re-evaluates only the dirty part of its shard and reports summary
         # *deltas*; the coordinator caches the rest (ISSUE 3).
@@ -178,7 +207,7 @@ class WorkerRuntime:
         self._undelivered_round = None
         batches = [
             self.inbound[peer].receive_batch(
-                round_index, timeout=self.config.channel_timeout_s
+                round_index, timeout=self.config.channel_timeout_s, peer=peer
             )
             for peer in sorted(self.inbound)
         ]
@@ -320,8 +349,78 @@ class WorkerRuntime:
     def flush(self, round_index: int, outgoing: Dict[int, List[RoutedMessage]]) -> None:
         """Send exactly one batch (possibly empty) to every peer unit."""
         for peer in sorted(self.outbound):
+            if self._send_delays:
+                delay = self._send_delays.get((peer, round_index))
+                if delay:
+                    time.sleep(delay)
             self.outbound[peer].send_batch(round_index, outgoing.get(peer, ()))
         self._undelivered_round = round_index
+
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot_shard(
+        self,
+        round_index: int,
+        outgoing: Dict[int, List[RoutedMessage]],
+    ) -> WorkerCheckpoint:
+        """Capture the owned shard at the end of ``round_index`` (after this
+        round's outgoing batches were flushed)."""
+        return WorkerCheckpoint(
+            round_index=round_index,
+            owned_paths=tuple(self._owned),
+            modules=capture_modules(
+                self.specification, self._owned.__contains__
+            ),
+            outgoing=tuple(
+                (peer, tuple(outgoing.get(peer, ())))
+                for peer in sorted(self.outbound)
+            ),
+        )
+
+    def restore_shard(self, checkpoint: WorkerCheckpoint) -> None:
+        """Resume a freshly rebuilt worker from a shard checkpoint.
+
+        Only the statically owned scope is pruned/overwritten — replicas of
+        remote units' modules keep their fresh-build state, exactly as they
+        would in a worker that never crashed (workers never apply remote
+        topology events to their replicas).  The next select re-reports the
+        full shard, so the coordinator's planner cache refills.
+        """
+        static_owned = frozenset(self.unit.module_paths)
+        restore_modules(
+            self.specification,
+            checkpoint.modules,
+            static_owned.__contains__,
+        )
+        self.modules = {
+            module.path: module for module in self.specification.modules()
+        }
+        self._owned = {path: None for path in checkpoint.owned_paths}
+        for path in [
+            p
+            for p, owner in self.owner_of.items()
+            if owner == self.unit.uid and p not in self._owned
+        ]:
+            del self.owner_of[path]
+        for path in checkpoint.owned_paths:
+            self.owner_of[path] = self.unit.uid
+        if self._tracker is not None:
+            feed_deadline_hooks(self.specification, checkpoint.modules)
+            self._tracker.note_structure_change(self.specification.root)
+            self._last_epoch = self._tracker.structure_epoch
+        self._selected_once = False
+        self._topology_events.clear()
+        # The crash happened at a select, i.e. *before* the previous round's
+        # batches were consumed — they are still queued in the (surviving)
+        # inbound channels, so deliver them on the next select.
+        self._undelivered_round = checkpoint.round_index
+        # The crashed process's queue feeder thread may have died before
+        # writing some of the checkpointed round's outbound batches to the
+        # pipe (os._exit gives it no chance to drain).  Re-send them all:
+        # a receiver that already consumed the original discards the
+        # duplicate by its stale round tag.
+        for peer, messages in checkpoint.outgoing:
+            self.outbound[peer].send_batch(checkpoint.round_index, messages)
 
     # -- internals -----------------------------------------------------------------
 
@@ -424,14 +523,32 @@ def worker_main(
     coordinator can fail fast with the worker's stack trace.
     """
     uid = config.unit_uid
+    crash_rounds = frozenset(config.crash_rounds)
     try:
         runtime = WorkerRuntime(config, inbound, outbound)
+        if config.restore is not None:
+            runtime.restore_shard(config.restore)
         result_queue.put((uid, "ready", 0, len(runtime.unit.module_paths)))
         while True:
             command = command_queue.get()
             kind = command[0]
             if kind == "select":
                 round_index, now = command[1], command[2]
+                if round_index in crash_rounds:
+                    # Deterministic fault injection (repro.faults): hard exit
+                    # with no error report and the previous round's inbound
+                    # batches left unconsumed (the supervisor's respawn picks
+                    # them up).  The transport feeders are quiesced first:
+                    # result_queue and the outbound channels share write
+                    # locks with live processes, and dying inside a feeder's
+                    # lock window would wedge every other worker — the model
+                    # here is "death at a round boundary", not a torn write
+                    # mid-pipe (which no respawn could repair).
+                    for channel in outbound.values():
+                        channel.close()
+                    result_queue.close()
+                    result_queue.join_thread()
+                    os._exit(CRASH_EXIT_CODE)
                 runtime.deliver_pending()
                 summaries, deadline = runtime.select(now)
                 result_queue.put(
@@ -457,12 +574,30 @@ def worker_main(
                     sum(batch_sizes),
                     batch_sizes,
                 )
-                result_queue.put(
-                    (uid, "fired", round_index, (tuple(reports), delta))
-                )
+                payload: Tuple[Any, ...] = (tuple(reports), delta)
+                if config.checkpoint:
+                    # Round-boundary checkpoint, piggybacked on the reply so
+                    # supervision costs no extra protocol round trip.
+                    payload = payload + (
+                        runtime.snapshot_shard(round_index, outgoing),
+                    )
+                result_queue.put((uid, "fired", round_index, payload))
             elif kind == "stop":
                 break
             else:  # pragma: no cover - coordinator never sends other kinds
                 raise ValueError(f"unknown worker command {kind!r}")
+    except ChannelTimeout as exc:
+        peer = "?" if exc.peer is None else exc.peer
+        result_queue.put(
+            (
+                uid,
+                "error",
+                -1,
+                f"channel timeout: unit {uid} waited {exc.timeout_s:.0f}s for "
+                f"the round-{exc.round_index} batch from unit {peer}; that "
+                "peer worker is dead or deadlocked\n"
+                + traceback.format_exc(),
+            )
+        )
     except BaseException:
         result_queue.put((uid, "error", -1, traceback.format_exc()))

@@ -17,7 +17,12 @@ single-run executor into a long-running service:
   tracker, multiplexed over a thread worker pool.  No module-level globals:
   every piece of state lives on the engine or its sessions.
 * :mod:`repro.serve.api` — ingress: a dict-in/dict-out in-process API plus
-  a minimal HTTP/JSON front on :mod:`http.server`.
+  a minimal HTTP/JSON front on :mod:`http.server`, with graceful
+  degradation: an in-flight admission gate (429 + ``Retry-After``), a
+  request-body cap (413) and per-step wall-clock budgets (503).
+* Durability: with a ``state_dir`` the engine checkpoints sessions
+  (atomically, one pickle per session) and restores them on the next
+  start with byte-identical trace suffixes — see ``docs/RESILIENCE.md``.
 * ``python -m repro.serve`` — the CLI: serve over HTTP, or run the
   ``--smoke`` self-check CI uses (N interleaved sessions, byte-identical
   traces, clean shutdown).
@@ -30,7 +35,13 @@ joins the repo's equivalence matrix and is gated by tests, the
 ``serve-smoke`` CI job and ``benchmarks/bench_serve_load.py``.
 """
 
-from .engine import ServeError, Session, SessionEngine, SessionUnknown
+from .engine import (
+    ServeError,
+    Session,
+    SessionEngine,
+    SessionUnknown,
+    StepTimeout,
+)
 from .registry import CompiledSpec, SpecRegistry
 
 __all__ = [
@@ -40,4 +51,5 @@ __all__ = [
     "SessionEngine",
     "SessionUnknown",
     "SpecRegistry",
+    "StepTimeout",
 ]

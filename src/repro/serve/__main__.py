@@ -104,10 +104,32 @@ def smoke(spec_path: str, sessions: int, dispatch: str, rounds_per_slice: int) -
     return 1 if failures else 0
 
 
-def serve(host: str, port: int, verbose: bool) -> int:
-    from .api import make_http_server
+def serve(
+    host: str,
+    port: int,
+    verbose: bool,
+    state_dir=None,
+    max_inflight=None,
+    max_body_bytes=None,
+    step_timeout_s=None,
+) -> int:
+    from .api import DEFAULT_MAX_BODY_BYTES, make_http_server
+    from .engine import SessionEngine
 
-    server = make_http_server(host=host, port=port, verbose=verbose)
+    engine = SessionEngine(state_dir=state_dir, step_timeout_s=step_timeout_s)
+    restored = engine.session_ids()
+    server = make_http_server(
+        host=host,
+        port=port,
+        engine=engine,
+        verbose=verbose,
+        max_inflight=max_inflight,
+        max_body_bytes=(
+            max_body_bytes if max_body_bytes is not None else DEFAULT_MAX_BODY_BYTES
+        ),
+    )
+    if restored:
+        print(f"repro.serve restored {len(restored)} session(s) from {state_dir}")
     print(f"repro.serve listening on http://{host}:{server.port} (Ctrl-C to stop)")
     try:
         server.serve_forever()
@@ -146,11 +168,47 @@ def main(argv=None) -> int:
         default=7,
         help="rounds per interleaving timeslice in --smoke",
     )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for session checkpoints (persist on shutdown, "
+        "restore on start)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed POST requests beyond N in flight with HTTP 429",
+    )
+    parser.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="refuse request bodies larger than BYTES with HTTP 413 "
+        "(default 1 MiB)",
+    )
+    parser.add_argument(
+        "--step-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per step call (exceeding it returns HTTP 503)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke is not None:
         return smoke(args.spec, args.smoke, args.dispatch, args.rounds_per_slice)
-    return serve(args.host, args.port, args.verbose)
+    return serve(
+        args.host,
+        args.port,
+        args.verbose,
+        state_dir=args.state_dir,
+        max_inflight=args.max_inflight,
+        max_body_bytes=args.max_body_bytes,
+        step_timeout_s=args.step_timeout,
+    )
 
 
 if __name__ == "__main__":

@@ -26,10 +26,12 @@ Two layers share one request vocabulary:
   DELETE    /sessions/{id}                 —
   ========  ============================== =================================
 
-Errors map to JSON bodies ``{"error": ...}`` with 404 for unknown sessions
-and 400 for invalid requests.  The server binds 127.0.0.1 by default — it
-is a deployment artefact for the compose file, not an authenticated public
-endpoint.
+Errors map to JSON bodies ``{"error": ...}``: 404 for unknown sessions,
+400 for invalid requests, 413 when a declared body exceeds the cap, 429
+(+ ``Retry-After``) when the in-flight admission gate sheds a request,
+and 503 (+ ``Retry-After``) when a step exhausts its wall-clock budget.
+The server binds 127.0.0.1 by default — it is a deployment artefact for
+the compose file, not an authenticated public endpoint.
 """
 
 from __future__ import annotations
@@ -43,7 +45,25 @@ from urllib.parse import parse_qs, urlparse
 
 from ..obs import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from ..runtime.executor import SpecSource
-from .engine import ServeError, SessionEngine, SessionUnknown
+from .engine import ServeError, SessionEngine, SessionUnknown, StepTimeout
+
+#: default request-body cap for the HTTP front (1 MiB).
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+
+class PayloadTooLarge(ServeError):
+    """The request body exceeds the configured cap (HTTP 413)."""
+
+
+class Overloaded(ServeError):
+    """Too many requests already in flight — shed, retry later (HTTP 429)."""
+
+    def __init__(self, retry_after_s: float = 1.0) -> None:
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            "service is at its in-flight request limit; "
+            f"retry after {retry_after_s:g}s"
+        )
 
 
 class ServeAPI:
@@ -56,11 +76,19 @@ class ServeAPI:
             "HTTP requests by method, route template and status.",
             labelnames=("method", "route", "status"),
         )
+        self._m_shed = self.engine.obs.registry.counter(
+            "repro_serve_requests_shed_total",
+            "Requests rejected by the in-flight admission gate (HTTP 429).",
+        )
 
     def note_request(self, method: str, route: str, status: int) -> None:
         """Count one HTTP request (route is the template, not the raw path,
         so series cardinality stays bounded by the route table)."""
         self._m_http.labels(method=method, route=route, status=str(status)).inc()
+
+    def note_shed(self) -> None:
+        """Count one request rejected by the admission gate."""
+        self._m_shed.inc()
 
     # -- requests ----------------------------------------------------------------
 
@@ -162,25 +190,59 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, document: Dict[str, Any]) -> None:
+    def _reply(
+        self,
+        status: int,
+        document: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._reply_bytes(
-            status, json.dumps(document).encode("utf-8"), "application/json"
+            status,
+            json.dumps(document).encode("utf-8"),
+            "application/json",
+            headers=headers,
         )
 
     def _reply_text(self, status: int, text: str, content_type: str) -> None:
         self._reply_bytes(status, text.encode("utf-8"), content_type)
 
-    def _reply_bytes(self, status: int, body: bytes, content_type: str) -> None:
+    def _reply_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _payload(self) -> Dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            return {}
+        try:
+            length = int(raw)
+        except ValueError:
+            raise ServeError(f"invalid Content-Length header {raw!r}") from None
+        if length < 0:
+            raise ServeError(f"invalid Content-Length header {raw!r}")
         if length == 0:
             return {}
+        limit = self.server.max_body_bytes
+        if limit is not None and length > limit:
+            # The body is deliberately left unread: with the cap declared up
+            # front we refuse before buffering, and close the connection so
+            # HTTP/1.1 framing cannot desynchronise on the unread bytes.
+            self.close_connection = True
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit"
+            )
         try:
             document = json.loads(self.rfile.read(length).decode("utf-8"))
         except json.JSONDecodeError as exc:
@@ -189,17 +251,58 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServeError("request body must be a JSON object")
         return document
 
-    def _dispatch(self, handler) -> None:
+    def _dispatch(self, handler, gated: bool = False) -> None:
+        """Run one routed request under the error → status-code mapping.
+
+        ``gated`` routes (the work-creating POSTs) pass the server's
+        admission gate first: if the in-flight limit is reached the request
+        is shed immediately with 429 + ``Retry-After`` — bounded queueing
+        beats unbounded thread pile-up when callers outpace the engine.
+        """
+        gate = self.server.gate if gated else None
+        admitted = True
+        if gate is not None:
+            admitted = gate.acquire(blocking=False)
+        if not admitted:
+            self.server.api.note_shed()
+            exc = Overloaded(self.server.retry_after_s)
+            self._note(429)
+            self._reply(
+                429,
+                {"error": str(exc)},
+                headers={"Retry-After": f"{exc.retry_after_s:g}"},
+            )
+            return
+        headers: Optional[Dict[str, str]] = None
         try:
-            status, document = handler()
-        except SessionUnknown as exc:
-            status, document = 404, {"error": str(exc)}
-        except ServeError as exc:
-            status, document = 400, {"error": str(exc)}
-        except Exception as exc:  # pragma: no cover - defensive 500
-            status, document = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            try:
+                status, document = handler()
+            except SessionUnknown as exc:
+                status, document = 404, {"error": str(exc)}
+            except StepTimeout as exc:
+                # The session is intact at a round boundary — the honest
+                # signal is "try again", not a 500.
+                status = 503
+                document = {
+                    "error": str(exc),
+                    "session_id": exc.session_id,
+                    "rounds_completed": exc.rounds_completed,
+                }
+                headers = {"Retry-After": f"{self.server.retry_after_s:g}"}
+            except PayloadTooLarge as exc:
+                status, document = 413, {"error": str(exc)}
+            except Overloaded as exc:
+                status, document = 429, {"error": str(exc)}
+                headers = {"Retry-After": f"{exc.retry_after_s:g}"}
+            except ServeError as exc:
+                status, document = 400, {"error": str(exc)}
+            except Exception as exc:  # pragma: no cover - defensive 500
+                status, document = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            if gate is not None:
+                gate.release()
         self._note(status)
-        self._reply(status, document)
+        self._reply(status, document, headers=headers)
 
     def _note(self, status: int) -> None:
         self.server.api.note_request(
@@ -253,7 +356,7 @@ class _Handler(BaseHTTPRequestHandler):
                 return 200, api.inject(match.group("sid"), payload)
             return 404, {"error": f"no route for POST {parsed.path}"}
 
-        self._dispatch(handle)
+        self._dispatch(handle, gated=True)
 
     def do_DELETE(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
@@ -269,14 +372,39 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
-    """The service's HTTP front (threading, daemonic handler threads)."""
+    """The service's HTTP front (threading, daemonic handler threads).
+
+    Back-pressure knobs:
+
+    * ``max_inflight`` — at most this many work-creating (POST) requests
+      run concurrently; excess requests get an immediate 429 with
+      ``Retry-After`` instead of queueing unboundedly.  ``None`` (default)
+      disables the gate; ``0`` sheds every POST (useful in tests).
+    * ``max_body_bytes`` — requests declaring a larger body are refused
+      with 413 before the body is read.  ``None`` disables the cap.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], api: ServeAPI, verbose: bool = False):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        api: ServeAPI,
+        verbose: bool = False,
+        max_inflight: Optional[int] = None,
+        max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES,
+        retry_after_s: float = 1.0,
+    ):
         super().__init__(address, _Handler)
         self.api = api
         self.verbose = verbose
+        if max_inflight is not None and max_inflight < 0:
+            raise ValueError(f"max_inflight must be >= 0, got {max_inflight}")
+        self.gate = (
+            threading.Semaphore(max_inflight) if max_inflight is not None else None
+        )
+        self.max_body_bytes = max_body_bytes
+        self.retry_after_s = retry_after_s
 
     @property
     def port(self) -> int:
@@ -295,6 +423,16 @@ def make_http_server(
     port: int = 0,
     engine: Optional[SessionEngine] = None,
     verbose: bool = False,
+    max_inflight: Optional[int] = None,
+    max_body_bytes: Optional[int] = DEFAULT_MAX_BODY_BYTES,
+    retry_after_s: float = 1.0,
 ) -> ServeHTTPServer:
     """Build (but do not start) the HTTP front; ``port=0`` picks a free one."""
-    return ServeHTTPServer((host, port), ServeAPI(engine), verbose=verbose)
+    return ServeHTTPServer(
+        (host, port),
+        ServeAPI(engine),
+        verbose=verbose,
+        max_inflight=max_inflight,
+        max_body_bytes=max_body_bytes,
+        retry_after_s=retry_after_s,
+    )

@@ -41,20 +41,35 @@ from one that merely exhausted its timeslice.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import os
+import pickle
+import re
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..estelle.interaction import Interaction
 from ..estelle.specification import Specification
+from ..faults import FailingSink, FaultPlan, InjectedFault
 from ..obs import Observability
 from ..runtime.executor import SpecSource, SpecificationExecutor
 from ..runtime.mapping import MappingStrategy
 from ..runtime.planner import plan_code_cache_info
 from ..sim.machine import Cluster, Machine
 from .registry import CompiledSpec, SpecRegistry
+
+#: rounds per executor.run() slice when a step carries a wall-clock budget;
+#: run() is timeslicing-safe, so slicing cannot change the trace.
+STEP_SLICE_ROUNDS = 32
+
+#: on-disk session checkpoint format version.
+CHECKPOINT_VERSION = 1
+
+_SERIAL_SID = re.compile(r"^s-(\d+)$")
 
 
 class ServeError(Exception):
@@ -63,6 +78,27 @@ class ServeError(Exception):
 
 class SessionUnknown(ServeError):
     """The referenced session does not exist (or was already closed)."""
+
+
+class StepTimeout(ServeError):
+    """A step exhausted its wall-clock budget before its round budget.
+
+    The session is left healthy at a round boundary (``rounds_completed``
+    rounds were run); the caller can simply step again.  Mapped to HTTP
+    503 + ``Retry-After`` by the ingress layer.
+    """
+
+    def __init__(
+        self, session_id: str, rounds_completed: int, budget_s: float
+    ) -> None:
+        self.session_id = session_id
+        self.rounds_completed = rounds_completed
+        self.budget_s = budget_s
+        super().__init__(
+            f"session {session_id!r}: step exceeded its {budget_s:.3f}s "
+            f"wall-clock budget after {rounds_completed} rounds "
+            "(state is intact at a round boundary; step again to continue)"
+        )
 
 
 def default_cluster_for(specification: Specification) -> Cluster:
@@ -106,9 +142,25 @@ class Session:
         self,
         rounds: int,
         deadline: Optional[float] = None,
+        budget_s: Optional[float] = None,
     ) -> Dict[str, Any]:
-        metrics = self.executor.run(max_rounds=rounds, deadline=deadline)
-        return self.health(stop_reason=metrics.stop_reason)
+        if budget_s is None or rounds <= 0:
+            metrics = self.executor.run(max_rounds=rounds, deadline=deadline)
+            return self.health(stop_reason=metrics.stop_reason)
+        # With a wall-clock budget, run in round slices and check the clock
+        # between them.  run() is documented timeslicing-safe, so slicing
+        # cannot change the trace; a timeout always leaves the session at a
+        # round boundary with at least one slice of progress made.
+        started = time.monotonic()
+        remaining = rounds
+        while True:
+            chunk = min(remaining, STEP_SLICE_ROUNDS)
+            metrics = self.executor.run(max_rounds=chunk, deadline=deadline)
+            remaining -= chunk
+            if metrics.stop_reason != "budget" or remaining <= 0:
+                return self.health(stop_reason=metrics.stop_reason)
+            if time.monotonic() - started >= budget_s:
+                raise StepTimeout(self.id, rounds - remaining, budget_s)
 
     def inject(
         self,
@@ -194,6 +246,10 @@ class SessionEngine:
         mapping_factory: Optional[Callable[[], MappingStrategy]] = None,
         max_sessions: Optional[int] = None,
         obs: Optional[Observability] = None,
+        state_dir: Optional[str] = None,
+        step_timeout_s: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        autopersist: bool = False,
     ):
         self.registry = registry if registry is not None else SpecRegistry()
         self.default_dispatch = default_dispatch
@@ -207,6 +263,20 @@ class SessionEngine:
             max_workers=workers, thread_name_prefix="repro-serve"
         )
         self._closed = False
+        self._shutting_down = False
+        #: durability: a directory of per-session checkpoints.  Sessions are
+        #: persisted on shutdown (and via persist_session/persist_all, or
+        #: after every step with ``autopersist``) and restored on the next
+        #: engine start with byte-identical trace suffixes.
+        self._state_dir = Path(state_dir) if state_dir is not None else None
+        self._step_timeout_s = step_timeout_s
+        self._autopersist = autopersist
+        #: deterministic fault injection (repro.faults): per-session typed
+        #: exceptions and sink failures.  None (the default) is the
+        #: zero-overhead path — nothing below ever checks it per-round.
+        self._fault_plan = fault_plan if fault_plan is not None and not fault_plan.empty else None
+        self._fault_calls: Dict[Tuple[str, str], int] = {}
+        self._faults_lock = threading.Lock()
         self.started_at = time.time()
         #: lifetime counters for the service's own story.  These plain ints
         #: stay the single source of truth; the metric families below read
@@ -219,8 +289,14 @@ class SessionEngine:
         #: long-running service layer, exactly what wants watching.  Shared
         #: with every session's executor/planner, so executor and planner
         #: series aggregate across the whole session population.
+        self._owns_obs = obs is None
         self.obs = obs if obs is not None else Observability()
         self._register_metrics()
+        if self._fault_plan is not None and self._fault_plan.sink_failures:
+            self.obs.events.attach(FailingSink(self._fault_plan.sink_failures))
+        if self._state_dir is not None:
+            self._state_dir.mkdir(parents=True, exist_ok=True)
+            self._restore_sessions()
 
     def _register_metrics(self) -> None:
         registry = self.obs.registry
@@ -231,6 +307,23 @@ class SessionEngine:
         self._h_step = registry.histogram(
             "repro_serve_step_seconds",
             "Wall-clock seconds of one per-session step call.",
+        )
+        self._m_faults = registry.counter(
+            "repro_resil_faults_injected_total",
+            "Faults injected by the engine's FaultPlan, by kind.",
+            labelnames=("kind",),
+        )
+        self._m_ckpt_written = registry.counter(
+            "repro_resil_checkpoints_written_total",
+            "Session checkpoints written to the engine's state directory.",
+        )
+        self._m_restored = registry.counter(
+            "repro_resil_sessions_restored_total",
+            "Sessions restored from the state directory at engine start.",
+        )
+        self._m_step_timeouts = registry.counter(
+            "repro_serve_step_timeouts_total",
+            "Step calls that exhausted their wall-clock budget.",
         )
         if not registry.enabled:
             return
@@ -323,6 +416,143 @@ class SessionEngine:
             raise SessionUnknown(f"unknown session {session_id!r}")
         return session
 
+    # -- durability (state_dir checkpoints) ---------------------------------------
+
+    def _checkpoint_path(self, session_id: str) -> Path:
+        assert self._state_dir is not None
+        digest = hashlib.sha256(session_id.encode("utf-8")).hexdigest()[:24]
+        return self._state_dir / f"{digest}.ckpt"
+
+    def persist_session(self, session_id: str) -> str:
+        """Write one session's checkpoint; returns the file path.
+
+        The checkpoint pairs the session's :class:`SpecSource` recipe with
+        an :class:`ExecutorSnapshot`, so a fresh engine can rebuild the
+        compiled artefacts and resume the executor with byte-identical
+        trace suffixes.  Written atomically (tmp file + rename), so a
+        crash mid-write leaves the previous checkpoint intact.
+        """
+        if self._state_dir is None:
+            raise ServeError("engine has no state directory (state_dir=None)")
+        session = self._session(session_id)
+        with session.lock:
+            document = {
+                "version": CHECKPOINT_VERSION,
+                "session_id": session.id,
+                "source": session.entry.source,
+                "dispatch": session.dispatch_name,
+                "created_at": session.created_at,
+                "snapshot": session.executor.snapshot(),
+            }
+        path = self._checkpoint_path(session_id)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as stream:
+            pickle.dump(document, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self._m_ckpt_written.inc()
+        self.obs.events.emit(
+            "session_checkpoint", session_id=session_id, path=str(path)
+        )
+        return str(path)
+
+    def persist_all(self) -> List[str]:
+        """Checkpoint every live session; returns the written paths."""
+        paths: List[str] = []
+        for sid in self.session_ids():
+            try:
+                paths.append(self.persist_session(sid))
+            except SessionUnknown:
+                pass  # closed concurrently — nothing to persist
+        return paths
+
+    def _restore_sessions(self) -> None:
+        """Rehydrate sessions from the state directory (engine start).
+
+        Per-file failure isolation: an unreadable or stale checkpoint is
+        reported as a ``session_restore_failed`` event and skipped — one
+        corrupt file must not take the whole service down.
+        """
+        assert self._state_dir is not None
+        restored_serials: List[int] = []
+        for path in sorted(self._state_dir.glob("*.ckpt")):
+            try:
+                with open(path, "rb") as stream:
+                    document = pickle.load(stream)
+                version = document.get("version")
+                if version != CHECKPOINT_VERSION:
+                    raise ServeError(
+                        f"unsupported checkpoint version {version!r}"
+                    )
+                sid = document["session_id"]
+                dispatch_name = document["dispatch"]
+                entry = self.registry.get(document["source"])
+                specification = entry.instantiate()
+                executor = SpecificationExecutor(
+                    specification,
+                    self.cluster_factory(specification),
+                    mapping=self.mapping_factory() if self.mapping_factory else None,
+                    dispatch=entry.dispatch_for(dispatch_name),
+                    trace=True,
+                    obs=self.obs,
+                )
+                executor.restore(document["snapshot"])
+            except Exception as exc:
+                self.obs.events.emit(
+                    "session_restore_failed",
+                    path=str(path),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            session = Session(sid, entry, executor, dispatch_name)
+            session.created_at = document["created_at"]
+            with self._sessions_lock:
+                if sid in self._sessions:
+                    continue  # duplicate checkpoint — first one wins
+                self._sessions[sid] = session
+                self.sessions_created += 1
+                self.peak_sessions = max(self.peak_sessions, len(self._sessions))
+            match = _SERIAL_SID.match(sid)
+            if match:
+                restored_serials.append(int(match.group(1)))
+            self._m_restored.inc()
+            self.obs.events.emit(
+                "session_restore",
+                session_id=sid,
+                spec=entry.name,
+                dispatch=dispatch_name,
+            )
+        if restored_serials:
+            # Never hand out an id a restored session already holds.
+            self._serial = itertools.count(max(restored_serials) + 1)
+
+    # -- fault injection (repro.faults) -------------------------------------------
+
+    def _maybe_inject(self, session_id: str, op: str) -> None:
+        """Raise the scheduled :class:`InjectedFault` for (session, op), if any.
+
+        Counts calls per (session, op) so ``call_index`` selects exactly one
+        occurrence; with no fault plan this method is never called.
+        """
+        assert self._fault_plan is not None
+        with self._faults_lock:
+            count = self._fault_calls.get((session_id, op), 0) + 1
+            self._fault_calls[(session_id, op)] = count
+        for fault in self._fault_plan.session_faults:
+            if (
+                fault.session_id == session_id
+                and fault.op == op
+                and fault.call_index == count
+            ):
+                self._m_faults.labels(kind="session").inc()
+                self.obs.events.emit(
+                    "fault_injected",
+                    fault_kind="session",
+                    session_id=session_id,
+                    op=op,
+                    call_index=count,
+                )
+                raise InjectedFault(fault.message)
+
     def close_session(self, session_id: str) -> Dict[str, Any]:
         """Retire a session; returns its final health record."""
         with self._sessions_lock:
@@ -331,6 +561,14 @@ class SessionEngine:
                 self.sessions_closed += 1
         if session is None:
             raise SessionUnknown(f"unknown session {session_id!r}")
+        if self._state_dir is not None and not self._shutting_down:
+            # An explicitly closed session is finished — its checkpoint must
+            # not resurrect it on the next start.  (Shutdown-time closes keep
+            # theirs: that's the durability path.)
+            try:
+                self._checkpoint_path(session_id).unlink(missing_ok=True)
+            except OSError:
+                pass
         with session.lock:
             session.closed = True
             final = session.health()
@@ -350,14 +588,36 @@ class SessionEngine:
         session_id: str,
         rounds: int = 1,
         deadline: Optional[float] = None,
+        timeout_s: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Run up to ``rounds`` rounds (optionally until a simulated-time
-        deadline); returns the session's health including ``stop_reason``."""
+        deadline); returns the session's health including ``stop_reason``.
+
+        ``timeout_s`` (or the engine-wide ``step_timeout_s``) bounds the
+        call's wall-clock time: on expiry :class:`StepTimeout` is raised
+        with the session intact at a round boundary.
+        """
         if rounds < 0:
             raise ServeError(f"rounds must be >= 0, got {rounds}")
+        if self._fault_plan is not None:
+            self._maybe_inject(session_id, "step")
         session = self._session(session_id)
-        with session.lock, self._h_step.time():
-            return session.step(rounds, deadline=deadline)
+        budget = timeout_s if timeout_s is not None else self._step_timeout_s
+        try:
+            with session.lock, self._h_step.time():
+                health = session.step(rounds, deadline=deadline, budget_s=budget)
+        except StepTimeout as exc:
+            self._m_step_timeouts.inc()
+            self.obs.events.emit(
+                "step_timeout",
+                session_id=session_id,
+                rounds_completed=exc.rounds_completed,
+                budget_s=exc.budget_s,
+            )
+            raise
+        if self._autopersist and self._state_dir is not None:
+            self.persist_session(session_id)
+        return health
 
     def run_to_quiescence(
         self, session_id: str, max_rounds: int = 10_000
@@ -373,6 +633,8 @@ class SessionEngine:
         params: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Enqueue an interaction at a module's interaction point (ingress)."""
+        if self._fault_plan is not None:
+            self._maybe_inject(session_id, "inject")
         session = self._session(session_id)
         with session.lock:
             return session.inject(module_path, ip_name, interaction_name, params)
@@ -402,7 +664,10 @@ class SessionEngine:
 
         Returns {session_id: health}.  Sessions closed mid-flight by another
         caller are skipped rather than failed: a supervisor sweeping all
-        sessions should not race session teardown.
+        sessions should not race session teardown.  A session whose step
+        *raises* yields an ``{"session_id": ..., "error": ...}`` record
+        instead — one failing session neither hides the others' results
+        nor poisons the pool.
         """
         if session_ids is None:
             with self._sessions_lock:
@@ -413,6 +678,11 @@ class SessionEngine:
                 return self.step(sid, rounds=rounds, deadline=deadline)
             except SessionUnknown:
                 return None
+            except Exception as exc:
+                return {
+                    "session_id": sid,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
 
         results = list(self._pool.map(_one, session_ids))
         return {
@@ -448,7 +718,17 @@ class SessionEngine:
         }
 
     def shutdown(self) -> Dict[str, Any]:
-        """Close every session and stop the pool; returns final stats."""
+        """Close every session and stop the pool; returns final stats.
+
+        Order matters: sessions are checkpointed *before* being closed (so
+        a state_dir engine restarts where it left off), and the event bus
+        is flushed — and closed, when the engine owns its observability —
+        *after* the pool drains, so a tailing JSONL sink holds every
+        lifecycle event up to and including the closes.
+        """
+        if self._state_dir is not None and not self._closed:
+            self.persist_all()
+        self._shutting_down = True
         with self._sessions_lock:
             remaining = list(self._sessions)
         for sid in remaining:
@@ -458,7 +738,11 @@ class SessionEngine:
                 pass
         self._closed = True
         self._pool.shutdown(wait=True)
-        return self.stats()
+        self.obs.events.flush()
+        stats = self.stats()
+        if self._owns_obs:
+            self.obs.events.close()
+        return stats
 
     # -- context manager ----------------------------------------------------------
 

@@ -48,11 +48,20 @@ class TestBatchChannel:
         channel.send_batch(1, ())
         assert channel.receive_batch(1, timeout=5.0).messages == ()
 
-    def test_wrong_round_tag_is_a_protocol_error(self):
+    def test_future_round_tag_is_a_protocol_error(self):
         channel = BatchChannel(_ctx())
-        channel.send_batch(1, ())
+        channel.send_batch(3, ())
         with pytest.raises(ChannelProtocolError, match="expected the batch for round 2"):
             channel.receive_batch(2, timeout=5.0)
+
+    def test_stale_round_tag_is_skipped_as_duplicate(self):
+        # A crashed-and-respawned sender re-sends its checkpointed round's
+        # batches; round tags strictly increase per link, so the receiver
+        # drops anything older than the round it is waiting for.
+        channel = BatchChannel(_ctx())
+        channel.send_batch(1, ())
+        channel.send_batch(2, ())
+        assert channel.receive_batch(2, timeout=5.0).round_index == 2
 
     def test_missing_batch_times_out_with_diagnosis(self):
         channel = BatchChannel(_ctx())
