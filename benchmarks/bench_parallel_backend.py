@@ -32,6 +32,7 @@ from repro.runtime import (
     MultiprocessBackend,
     SequentialMapping,
     SpecSource,
+    ThreadPerModuleMapping,
     run_specification,
 )
 from repro.runtime.parallel import trace_diff
@@ -80,7 +81,9 @@ def predicted_speedup() -> dict:
     }
 
 
-def measured_speedup(busy_work_us: float = BUSY_WORK_US) -> dict:
+def measured_speedup(
+    busy_work_us: float = BUSY_WORK_US, transport: str = "mp-queue"
+) -> dict:
     """Measured wall-clock: in-process serial vs multiprocess workers."""
     source = SpecSource.from_estelle_file(SPEC_PATH)
     cluster = build_cluster(PROCESSORS_PER_MACHINE)
@@ -90,7 +93,7 @@ def measured_speedup(busy_work_us: float = BUSY_WORK_US) -> dict:
         mapping=parallel_mapping(),
         busy_work_us_per_cost=busy_work_us,
     )
-    multiprocess = MultiprocessBackend().execute(
+    multiprocess = MultiprocessBackend(transport=transport).execute(
         source,
         cluster,
         mapping=parallel_mapping(),
@@ -100,6 +103,7 @@ def measured_speedup(busy_work_us: float = BUSY_WORK_US) -> dict:
     host_cpus = os.cpu_count() or 1
     return {
         "busy_work_us_per_cost": busy_work_us,
+        "transport": multiprocess.transport,
         "workers": multiprocess.workers,
         "rounds": multiprocess.rounds,
         "transitions_fired": multiprocess.transitions_fired,
@@ -117,6 +121,43 @@ def measured_speedup(busy_work_us: float = BUSY_WORK_US) -> dict:
     }
 
 
+def oversubscribed_cell(transport: str, busy_work_us: float = 50.0) -> dict:
+    """Deliberately run more workers than the host has CPUs (ROADMAP 3c).
+
+    One worker per module (12 units on the OSI workload) oversubscribes any
+    realistic runner, so the honesty flags — ``oversubscribed`` and
+    ``comparable`` — are exercised *explicitly* per transport instead of
+    depending on whichever machine CI happens to land on.  The trace oracle
+    still applies: time-slicing may destroy the speedup, never the bytes.
+    """
+    source = SpecSource.from_estelle_file(SPEC_PATH)
+    cluster = build_cluster(PROCESSORS_PER_MACHINE)
+    reference = InProcessBackend().execute(
+        source,
+        cluster,
+        mapping=ThreadPerModuleMapping(),
+        busy_work_us_per_cost=busy_work_us,
+    )
+    result = MultiprocessBackend(transport=transport).execute(
+        source,
+        cluster,
+        mapping=ThreadPerModuleMapping(),
+        busy_work_us_per_cost=busy_work_us,
+    )
+    divergence = trace_diff(reference.trace, result.trace)
+    host_cpus = os.cpu_count() or 1
+    return {
+        "transport": result.transport,
+        "workers": result.workers,
+        "host_cpus": os.cpu_count(),
+        "oversubscribed": result.workers > host_cpus,
+        "comparable": host_cpus >= result.workers,
+        "measured_speedup": reference.wall_seconds / result.wall_seconds,
+        "traces_identical": divergence is None,
+        "trace_divergence": divergence,
+    }
+
+
 def measured_vs_predicted(busy_work_us: float = BUSY_WORK_US) -> dict:
     """The record ``benchmarks/run_all.py`` writes into BENCH_results.json."""
     record = ExperimentRecord(
@@ -126,7 +167,11 @@ def measured_vs_predicted(busy_work_us: float = BUSY_WORK_US) -> dict:
         "path, so grouped units approach the modelled parallel speedup",
     )
     results = {**predicted_speedup(), **measured_speedup(busy_work_us)}
+    results["oversubscribed_cells"] = [
+        oversubscribed_cell(transport) for transport in ("mp-queue", "tcp")
+    ]
     record.add_row(
+        transport=results["transport"],
         workers=results["workers"],
         predicted_speedup=round(results["predicted_speedup"], 2),
         measured_speedup=round(results["measured_speedup"], 2),
@@ -136,6 +181,16 @@ def measured_vs_predicted(busy_work_us: float = BUSY_WORK_US) -> dict:
         host_cpus=results["host_cpus"],
         comparable=results["comparable"],
     )
+    for cell in results["oversubscribed_cells"]:
+        record.add_row(
+            transport=cell["transport"],
+            workers=cell["workers"],
+            measured_speedup=round(cell["measured_speedup"], 2),
+            traces_identical=cell["traces_identical"],
+            host_cpus=cell["host_cpus"],
+            oversubscribed=cell["oversubscribed"],
+            comparable=cell["comparable"],
+        )
     print_experiment(record)
     if not results["comparable"]:
         print(
@@ -160,12 +215,14 @@ MATRIX_SPECS = {
 
 
 def equivalence_matrix() -> dict:
-    """{in-process, multiprocess} × {table-driven, generated, planner}.
+    """{in-process, multiprocess × {mp-queue, tcp}} × the three dispatches.
 
     The in-process table-driven trace of each workload is the reference; a
     cell records whether its trace is byte-identical to that reference, so
-    ``traces_identical`` being true everywhere proves all six combinations
-    agree with each other.
+    ``traces_identical`` being true everywhere proves all nine combinations
+    per workload agree with each other.  The transport axis (ISSUE 9) is a
+    real matrix dimension, not a bypass: the tcp mesh must reproduce the
+    bytes under every dispatch, exactly like mp-queue.
     """
     cells = []
     all_identical = True
@@ -173,9 +230,14 @@ def equivalence_matrix() -> dict:
         source = SpecSource.from_estelle_file(spec_path)
         reference = None
         for dispatch in MATRIX_DISPATCHES:
-            for backend_name, backend in (
-                ("in-process", InProcessBackend()),
-                ("multiprocess", MultiprocessBackend()),
+            for backend_name, transport, backend in (
+                ("in-process", None, InProcessBackend()),
+                ("multiprocess", "mp-queue", MultiprocessBackend()),
+                (
+                    "multiprocess",
+                    "tcp",
+                    MultiprocessBackend(transport="tcp"),
+                ),
             ):
                 result = backend.execute(
                     source,
@@ -190,6 +252,7 @@ def equivalence_matrix() -> dict:
                     {
                         "workload": spec_name,
                         "backend": backend_name,
+                        "transport": transport,
                         "dispatch": dispatch,
                         "rounds": result.rounds,
                         "transitions_fired": result.transitions_fired,
@@ -211,6 +274,18 @@ class TestParallelBackendBench:
         # The measurement itself is hardware-honest: only sanity-check it.
         assert results["measured_speedup"] > 0.0
         assert results["workers"] == 4
+        assert results["transport"] == "mp-queue"
+        # The oversubscribed cells force workers > host CPUs per transport:
+        # flags must be explicit and the trace oracle must survive slicing.
+        assert [c["transport"] for c in results["oversubscribed_cells"]] == [
+            "mp-queue",
+            "tcp",
+        ]
+        for cell in results["oversubscribed_cells"]:
+            assert cell["traces_identical"], cell["trace_divergence"]
+            assert cell["workers"] > 4
+            if (cell["host_cpus"] or 1) < cell["workers"]:
+                assert cell["oversubscribed"] and not cell["comparable"]
         if (results["host_cpus"] or 1) >= results["workers"]:
             # With enough real processors, the measured run must actually
             # overlap firing work (well below the serial wall-clock).
@@ -229,4 +304,5 @@ class TestParallelBackendBench:
         matrix = benchmark.pedantic(equivalence_matrix, rounds=1, iterations=1)
         failures = [c for c in matrix["cells"] if not c["traces_identical"]]
         assert matrix["all_traces_identical"], failures
-        assert len(matrix["cells"]) == 18  # 3 workloads × 2 backends × 3 dispatches
+        # 3 workloads × 3 dispatches × {in-process, mp over mp-queue, mp over tcp}
+        assert len(matrix["cells"]) == 27

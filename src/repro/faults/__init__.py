@@ -57,6 +57,10 @@ class ChannelDelay:
     Wall-clock only: the simulated clock never sees it, so a delay changes
     latency (and can trip a :class:`~repro.runtime.parallel.channels.ChannelTimeout`)
     but never the canonical trace.
+
+    Applied inside ``TransportEndpoint.send_batch`` — the transport layer,
+    not the worker's flush loop — so a delay schedule means the same thing
+    over every transport (shared queues or the TCP mesh).
     """
 
     source_unit: int

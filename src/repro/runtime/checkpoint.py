@@ -133,9 +133,11 @@ class WorkerCheckpoint:
     owned_paths: Tuple[str, ...]
     modules: Tuple[ModuleSnapshot, ...]
     #: the per-peer batches this worker flushed for ``round_index``, keyed by
-    #: peer unit uid.  A crash can lose batches that were ``put()`` but not
-    #: yet written by the queue's feeder thread, so a respawned worker
-    #: re-sends them; receivers discard the duplicates by round tag.
+    #: peer unit uid.  A crash can lose in-flight batches — an mp-queue
+    #: ``put()`` not yet written by the feeder thread, or a TCP frame on a
+    #: connection that died with the worker — so a respawned worker re-sends
+    #: them through its transport endpoint; receivers discard the duplicates
+    #: by round tag, whatever the transport.
     outgoing: Tuple[Tuple[int, Tuple[Any, ...]], ...] = ()
 
 

@@ -676,6 +676,9 @@ class BackendResult:
     #: why the round loop stopped: ``"quiescent"`` or ``"budget"`` (see
     #: :data:`repro.sim.metrics.STOP_REASONS`; backends take no deadline).
     stop_reason: Optional[str] = None
+    #: wire the batch mesh ran over (``"mp-queue"``, ``"tcp"``); ``None``
+    #: for backends without an inter-unit transport (in-process).
+    transport: Optional[str] = None
 
 
 def busy_work_for(us_per_cost: float) -> Optional[Callable[[float], None]]:

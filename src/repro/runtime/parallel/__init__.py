@@ -14,14 +14,18 @@ Pieces:
 * :mod:`.worker` — the per-unit worker process (rebuilds the specification
   from a picklable :class:`~repro.runtime.executor.SpecSource`, selects,
   fires, routes),
-* :mod:`.channels` — the batched inter-unit channel mesh and its round
-  protocol,
+* :mod:`.channels` — the batched round protocol (round tags, ``(plan_index,
+  seq)`` merge order) and the multiprocessing-queue channel primitives,
+* :mod:`.transport` — the pluggable wire layer: :class:`MpQueueTransport`
+  (default) and :class:`TcpTransport` (length-prefixed socket streams with
+  an address-based peer table) behind one :class:`Transport` interface,
 * :mod:`.trace` — the canonical byte encoding under which both backends'
   firing traces must be identical, plus a diff helper.
 
 Smoke-check from the command line (used by CI)::
 
     python -m repro.runtime.parallel examples/specs/mcam_core.estelle
+    python -m repro.runtime.parallel --transport tcp examples/specs/mcam_core.estelle
 """
 
 from .backend import (
@@ -39,6 +43,14 @@ from .channels import (
     merge_batches,
 )
 from .trace import canonical_trace_bytes, firing_tuple, trace_diff, traces_equal
+from .transport import (
+    MpQueueTransport,
+    TcpTransport,
+    Transport,
+    TransportEndpoint,
+    transport_by_name,
+    transport_names,
+)
 from .worker import UnitDescriptor, WorkerConfig, WorkerRuntime, worker_main
 
 __all__ = [
@@ -47,10 +59,14 @@ __all__ = [
     "ChannelMesh",
     "ChannelProtocolError",
     "ChannelTimeout",
+    "MpQueueTransport",
     "MultiprocessBackend",
     "ParallelExecutionError",
     "PrecomputedDispatch",
     "RoutedMessage",
+    "TcpTransport",
+    "Transport",
+    "TransportEndpoint",
     "UnitDescriptor",
     "WorkerConfig",
     "WorkerRuntime",
@@ -59,5 +75,7 @@ __all__ = [
     "merge_batches",
     "trace_diff",
     "traces_equal",
+    "transport_by_name",
+    "transport_names",
     "worker_main",
 ]

@@ -20,7 +20,9 @@ from ...estelle.frontend import compile_file
 from ...sim.machine import Cluster, Machine
 from ..executor import SpecSource, backend_by_name
 from ..mapping import GroupedMapping
+from .backend import MultiprocessBackend
 from .trace import canonical_trace_bytes, trace_diff
+from .transport import transport_names
 
 
 def cluster_from_placements(spec_path: str, processors: int) -> Cluster:
@@ -54,6 +56,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--max-rounds", type=int, default=1000)
     parser.add_argument(
+        "--transport",
+        default="mp-queue",
+        choices=transport_names(),
+        help="wire the multiprocess backend's batch mesh runs over: "
+        "mp-queue (default) or tcp (localhost socket mesh)",
+    )
+    parser.add_argument(
         "--busy-work-us",
         type=float,
         default=0.0,
@@ -66,7 +75,10 @@ def main(argv=None) -> int:
 
     results = {}
     for backend_name in ("in-process", "multiprocess"):
-        backend = backend_by_name(backend_name)
+        if backend_name == "multiprocess":
+            backend = MultiprocessBackend(transport=args.transport)
+        else:
+            backend = backend_by_name(backend_name)
         results[backend_name] = backend.execute(
             source,
             cluster,
@@ -76,10 +88,11 @@ def main(argv=None) -> int:
             busy_work_us_per_cost=args.busy_work_us,
         )
         result = results[backend_name]
+        wire = f" over {result.transport}" if result.transport else ""
         print(
             f"{backend_name:>12}: {result.rounds} rounds, "
             f"{result.transitions_fired} firings, {result.workers} worker(s), "
-            f"wall {result.wall_seconds * 1e3:.1f} ms"
+            f"wall {result.wall_seconds * 1e3:.1f} ms{wire}"
         )
 
     in_process, multiprocess = results["in-process"], results["multiprocess"]

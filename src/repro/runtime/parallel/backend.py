@@ -46,7 +46,7 @@ from ..mapping import MappingStrategy, SystemMapping, ThreadPerModuleMapping
 from ..planner import PLANNER_DISPATCH_NAME, compile_plan_program
 from ..scheduler import DecentralisedScheduler, RoundPlan, Scheduler
 from ..tracing import ExecutionTrace, FiringEvent
-from .channels import ChannelMesh
+from .transport import Transport, transport_by_name
 from .worker import (
     AssignedFiring,
     FiringReport,
@@ -83,7 +83,7 @@ class _Supervisor:
     def __init__(
         self,
         ctx,
-        mesh: ChannelMesh,
+        transport: Transport,
         barrier,
         result_queue,
         command_queues: Dict[int, Any],
@@ -92,7 +92,7 @@ class _Supervisor:
         obs: Observability,
     ) -> None:
         self.ctx = ctx
-        self.mesh = mesh
+        self.transport = transport
         self.barrier = barrier
         self.result_queue = result_queue
         self.command_queues = command_queues
@@ -144,15 +144,17 @@ class _Supervisor:
             restore=checkpoint,
         )
         self.configs[uid] = config
-        inbound, outbound = self.mesh.endpoints_for(uid)
+        # A fresh endpoint from the transport: mp-queue re-wraps the shared
+        # (surviving) queues; tcp re-dups the unit's still-bound listener so
+        # peers' redials land on the replacement.
+        endpoint = self.transport.endpoint_for(uid)
         process = self.ctx.Process(
             target=worker_main,
             args=(
                 config,
                 self.command_queues[uid],
                 self.result_queue,
-                inbound,
-                outbound,
+                endpoint,
                 self.barrier,
             ),
             daemon=True,
@@ -160,6 +162,15 @@ class _Supervisor:
         )
         self.processes[uid] = process
         process.start()
+        # Tell every unit holding a link into the crashed one to redial it
+        # and re-send its retransmit slot (the replacement needs the round's
+        # inbound batches, which on connection-oriented transports died with
+        # the process; mp-queue endpoints treat this as a no-op).  The
+        # command lands before the sender's next "fire", so the redial
+        # always precedes its next flush.
+        for sender in self.transport.senders_to(uid):
+            if sender != uid:
+                self.command_queues[sender].put(("reconnect", uid))
         # Re-issue the select the dead worker consumed; the replacement
         # answers it right after rebuilding + restoring its shard (its
         # "ready" is tolerated and skipped by the supervised gather).
@@ -374,13 +385,30 @@ class MultiprocessBackend(ExecutionBackend):
     rebuilding the specification from its :class:`SpecSource` (which is the
     point — workers must be able to reconstruct everything from picklable
     recipes).
+
+    ``transport`` picks the wire the batch mesh runs over (see
+    :mod:`repro.runtime.parallel.transport`): ``"mp-queue"`` (default, the
+    original multiprocessing queues) or ``"tcp"`` (length-prefixed socket
+    streams with an address-based peer table).  ``transport_options`` are
+    forwarded to the transport's constructor (e.g. ``host``/``base_port``
+    for tcp).  The control plane — command/result queues and the round
+    barrier — stays on multiprocessing primitives for every transport;
+    only the data plane is transport-pluggable.
     """
 
     name = "multiprocess"
 
-    def __init__(self, start_method: str = "spawn", round_timeout_s: float = 120.0):
+    def __init__(
+        self,
+        start_method: str = "spawn",
+        round_timeout_s: float = 120.0,
+        transport: str = "mp-queue",
+        transport_options: Optional[Dict[str, Any]] = None,
+    ):
         self.start_method = start_method
         self.round_timeout_s = round_timeout_s
+        self.transport = transport
+        self.transport_options = dict(transport_options or {})
 
     # -- orchestration -------------------------------------------------------------
 
@@ -461,14 +489,15 @@ class MultiprocessBackend(ExecutionBackend):
                     pairs.add((source_uid, target_uid))
 
         ctx = multiprocessing.get_context(self.start_method)
-        mesh = ChannelMesh(ctx, [unit.uid for unit in units], pairs=pairs)
+        transport = transport_by_name(self.transport, **self.transport_options)
+        transport.open(ctx, [unit.uid for unit in units], pairs=pairs)
         barrier = ctx.Barrier(len(units))
         result_queue = ctx.Queue()
         command_queues: Dict[int, Any] = {}
         processes: Dict[int, Any] = {}
         configs: Dict[int, WorkerConfig] = {}
         for unit in units:
-            inbound, outbound = mesh.endpoints_for(unit.uid)
+            endpoint = transport.endpoint_for(unit.uid)
             command_queue = ctx.Queue()
             command_queues[unit.uid] = command_queue
             config = WorkerConfig(
@@ -495,7 +524,7 @@ class MultiprocessBackend(ExecutionBackend):
             configs[unit.uid] = config
             process = ctx.Process(
                 target=worker_main,
-                args=(config, command_queue, result_queue, inbound, outbound, barrier),
+                args=(config, command_queue, result_queue, endpoint, barrier),
                 daemon=True,
                 name=f"estelle-unit-{unit.uid}",
             )
@@ -503,7 +532,7 @@ class MultiprocessBackend(ExecutionBackend):
         supervisor = (
             _Supervisor(
                 ctx,
-                mesh,
+                transport,
                 barrier,
                 result_queue,
                 command_queues,
@@ -715,7 +744,7 @@ class MultiprocessBackend(ExecutionBackend):
 
             wall = time.perf_counter() - loop_started
         finally:
-            self._shutdown(command_queues, processes, mesh)
+            self._shutdown(command_queues, processes, transport)
 
         return BackendResult(
             backend=self.name,
@@ -728,6 +757,7 @@ class MultiprocessBackend(ExecutionBackend):
             metrics=None,
             simulated_time=clock.now,
             stop_reason=stop_reason,
+            transport=transport.name,
         )
 
     # -- protocol helpers ----------------------------------------------------------
@@ -941,7 +971,9 @@ class MultiprocessBackend(ExecutionBackend):
         return collected
 
     @staticmethod
-    def _shutdown(command_queues: Dict[int, Any], processes: Dict[int, Any], mesh) -> None:
+    def _shutdown(
+        command_queues: Dict[int, Any], processes: Dict[int, Any], transport
+    ) -> None:
         for command_queue in command_queues.values():
             try:
                 command_queue.put(("stop",))
@@ -962,6 +994,6 @@ class MultiprocessBackend(ExecutionBackend):
                 process.kill()
                 process.join(timeout=5.0)
         try:
-            mesh.close()
+            transport.close()
         except (ValueError, OSError):  # pragma: no cover - best-effort cleanup
             pass

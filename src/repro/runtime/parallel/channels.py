@@ -43,13 +43,33 @@ class ChannelProtocolError(EstelleError):
     """The batch protocol was violated (wrong round tag, missing batch)."""
 
 
+def describe_transport(
+    transport: Optional[str], endpoint: Optional[str]
+) -> str:
+    """Render the ``[transport …, peer …]`` suffix of channel diagnostics.
+
+    Every wire-layer error names the transport it crossed and the peer
+    endpoint it was waiting on (a queue label for mp-queue, a ``host:port``
+    for tcp), so a multi-transport deployment's logs pinpoint the failing
+    link without correlating unit ids against an address table by hand.
+    """
+    if not transport and not endpoint:
+        return ""
+    parts = []
+    if transport:
+        parts.append(f"transport {transport}")
+    if endpoint:
+        parts.append(f"peer endpoint {endpoint}")
+    return f" [{', '.join(parts)}]"
+
+
 class ChannelTimeout(ChannelProtocolError):
     """No batch arrived within the receive window.
 
-    Carries the peer unit id and round index as structured attributes so
-    the worker loop and the coordinator can render an exact diagnostic
-    (which unit was waiting on whom, for which round) instead of a bare
-    message string.
+    Carries the peer unit id, round index, transport name and peer endpoint
+    as structured attributes so the worker loop and the coordinator can
+    render an exact diagnostic (which unit was waiting on whom, over which
+    wire, for which round) instead of a bare message string.
     """
 
     def __init__(
@@ -57,14 +77,19 @@ class ChannelTimeout(ChannelProtocolError):
         round_index: int,
         timeout_s: float,
         peer: Optional[int] = None,
+        transport: Optional[str] = None,
+        endpoint: Optional[str] = None,
     ) -> None:
         self.peer = peer
         self.round_index = round_index
         self.timeout_s = timeout_s
+        self.transport = transport
+        self.endpoint = endpoint
         source = f"from unit {peer} " if peer is not None else ""
         super().__init__(
             f"no batch {source}for round {round_index} arrived within "
             f"{timeout_s:.0f}s (peer worker dead or deadlocked?)"
+            + describe_transport(transport, endpoint)
         )
 
 
@@ -91,6 +116,54 @@ class Batch(NamedTuple):
     messages: Tuple[RoutedMessage, ...]
 
 
+def encode_batch(round_index: int, messages: Sequence[RoutedMessage]) -> bytes:
+    """Serialize one batch to its wire payload (shared by all transports).
+
+    The highest pickle protocol is used explicitly: a multiprocessing
+    queue's feeder thread would otherwise fall back to the (older) default
+    protocol, and a pre-encoded payload lets callers reuse their message
+    buffers immediately — the batch is snapshotted at this point.
+    """
+    return pickle.dumps(
+        Batch(round_index=round_index, messages=tuple(messages)),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def derive_link_pairs(
+    unit_ids: Sequence[int],
+    pairs: Optional[Iterable[Tuple[int, int]]] = None,
+) -> List[Tuple[int, int]]:
+    """Validate and normalise the directed link set of a transport mesh.
+
+    ``pairs=None`` yields the full mesh over ``unit_ids``; an explicit pair
+    set is checked against the known units (self-links and unknown units are
+    configuration errors, not runtime surprises).  Shared by every transport
+    so the mesh topology — which unit pairs get a wire at all — is a
+    transport-independent property of the mapping.
+    """
+    ordered = tuple(sorted(unit_ids))
+    if len(set(ordered)) != len(ordered):
+        raise ValueError(f"duplicate unit ids in {ordered}")
+    known = set(ordered)
+    if pairs is None:
+        return [
+            (source, target)
+            for source in ordered
+            for target in ordered
+            if source != target
+        ]
+    link_pairs = sorted(set(pairs))
+    for source, target in link_pairs:
+        if source == target:
+            raise ValueError(f"unit {source} cannot link to itself")
+        if source not in known or target not in known:
+            raise ValueError(
+                f"link ({source}, {target}) names a unit outside {ordered}"
+            )
+    return link_pairs
+
+
 class BatchChannel:
     """One direction of an inter-unit link: per-round batches over a queue.
 
@@ -104,22 +177,20 @@ class BatchChannel:
     def __init__(self, ctx) -> None:
         self._queue = ctx.Queue()
 
-    def send_batch(self, round_index: int, messages: Sequence[RoutedMessage]) -> None:
-        # Serialize here with the highest pickle protocol: the queue's feeder
-        # thread would otherwise use the (older) default protocol, and a
-        # pre-pickled bytes payload also lets callers reuse their message
-        # buffers immediately — the batch is snapshotted at this point.
-        payload = pickle.dumps(
-            Batch(round_index=round_index, messages=tuple(messages)),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
+    def send_payload(self, payload: bytes) -> None:
+        """Enqueue an already-encoded batch payload (see :func:`encode_batch`)."""
         self._queue.put(payload)
+
+    def send_batch(self, round_index: int, messages: Sequence[RoutedMessage]) -> None:
+        self.send_payload(encode_batch(round_index, messages))
 
     def receive_batch(
         self,
         round_index: int,
         timeout: float = 60.0,
         peer: Optional[int] = None,
+        transport: Optional[str] = None,
+        endpoint: Optional[str] = None,
     ) -> Batch:
         deadline = monotonic() + timeout
         while True:
@@ -127,7 +198,13 @@ class BatchChannel:
             try:
                 batch = pickle.loads(self._queue.get(timeout=remaining))
             except Empty:
-                raise ChannelTimeout(round_index, timeout, peer=peer) from None
+                raise ChannelTimeout(
+                    round_index,
+                    timeout,
+                    peer=peer,
+                    transport=transport,
+                    endpoint=endpoint,
+                ) from None
             if batch.round_index < round_index:
                 # A stale duplicate: a crashed-and-respawned sender re-sends
                 # its last checkpointed round's batches because its original
@@ -139,6 +216,7 @@ class BatchChannel:
                 raise ChannelProtocolError(
                     f"expected the batch for round {round_index}, "
                     f"got round {batch.round_index}"
+                    + describe_transport(transport, endpoint)
                 )
             return batch
 
@@ -173,28 +251,15 @@ class ChannelMesh:
         pairs: Optional[Iterable[Tuple[int, int]]] = None,
     ) -> None:
         self.unit_ids: Tuple[int, ...] = tuple(sorted(unit_ids))
-        if len(set(self.unit_ids)) != len(self.unit_ids):
-            raise ValueError(f"duplicate unit ids in {self.unit_ids}")
-        known = set(self.unit_ids)
-        if pairs is None:
-            link_pairs = [
-                (source, target)
-                for source in self.unit_ids
-                for target in self.unit_ids
-                if source != target
-            ]
-        else:
-            link_pairs = sorted(set(pairs))
-            for source, target in link_pairs:
-                if source == target:
-                    raise ValueError(f"unit {source} cannot link to itself")
-                if source not in known or target not in known:
-                    raise ValueError(
-                        f"link ({source}, {target}) names a unit outside {self.unit_ids}"
-                    )
         self._links: Dict[Tuple[int, int], BatchChannel] = {
-            pair: BatchChannel(ctx) for pair in link_pairs
+            pair: BatchChannel(ctx)
+            for pair in derive_link_pairs(self.unit_ids, pairs)
         }
+
+    @property
+    def pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The directed ``(source, target)`` link pairs of this mesh."""
+        return tuple(self._links)
 
     def endpoints_for(self, uid: int) -> Tuple[Dict[int, BatchChannel], Dict[int, BatchChannel]]:
         if uid not in self.unit_ids:

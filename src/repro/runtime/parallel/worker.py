@@ -45,7 +45,8 @@ from ..clock import SimulatedClock, next_delay_deadline
 from ..dispatch import dispatch_by_name
 from ..executor import SpecSource, busy_work_for
 from ..planner import PLANNER_DISPATCH_NAME
-from .channels import BatchChannel, ChannelTimeout, RoutedMessage, merge_batches
+from .channels import ChannelTimeout, RoutedMessage, merge_batches
+from .transport import TransportEndpoint
 
 #: Exit code of a deterministically injected worker crash (repro.faults).
 #: Distinct from 0/None so the coordinator's liveness check classifies the
@@ -132,12 +133,13 @@ class WorkerRuntime:
     def __init__(
         self,
         config: WorkerConfig,
-        inbound: Dict[int, BatchChannel],
-        outbound: Dict[int, BatchChannel],
+        endpoint: TransportEndpoint,
     ) -> None:
         self.config = config
-        self.inbound = inbound
-        self.outbound = outbound
+        self.endpoint = endpoint
+        # Fault-plan send delays apply inside the transport's send_batch so
+        # they are uniform across transports (mp-queue and tcp alike).
+        endpoint.configure(config.send_delays)
         self.specification = config.source.build()
         self.specification.validate()
         self.modules: Dict[str, Module] = {
@@ -165,11 +167,7 @@ class WorkerRuntime:
         # Reused per-peer send buffers: one list per outbound peer, cleared
         # per round instead of rebuilding a dict of lists every fire().
         self._outgoing: Dict[int, List[RoutedMessage]] = {
-            peer: [] for peer in outbound
-        }
-        self._send_delays: Dict[Tuple[int, int], float] = {
-            (target, round_index): seconds
-            for target, round_index, seconds in config.send_delays
+            peer: [] for peer in endpoint.peers_out
         }
         # Under the incremental planner ("planner" dispatch) a worker
         # re-evaluates only the dirty part of its shard and reports summary
@@ -206,10 +204,10 @@ class WorkerRuntime:
         round_index = self._undelivered_round
         self._undelivered_round = None
         batches = [
-            self.inbound[peer].receive_batch(
-                round_index, timeout=self.config.channel_timeout_s, peer=peer
+            self.endpoint.receive_batch(
+                peer, round_index, timeout=self.config.channel_timeout_s
             )
-            for peer in sorted(self.inbound)
+            for peer in self.endpoint.peers_in
         ]
         for message in merge_batches(batches):
             module = self.modules.get(message.target_path)
@@ -347,13 +345,13 @@ class WorkerRuntime:
         return reports, outgoing
 
     def flush(self, round_index: int, outgoing: Dict[int, List[RoutedMessage]]) -> None:
-        """Send exactly one batch (possibly empty) to every peer unit."""
-        for peer in sorted(self.outbound):
-            if self._send_delays:
-                delay = self._send_delays.get((peer, round_index))
-                if delay:
-                    time.sleep(delay)
-            self.outbound[peer].send_batch(round_index, outgoing.get(peer, ()))
+        """Send exactly one batch (possibly empty) to every peer unit.
+
+        Fault-plan send delays and the oversized-batch guard live inside the
+        endpoint's ``send_batch``, identically for every transport.
+        """
+        for peer in self.endpoint.peers_out:
+            self.endpoint.send_batch(peer, round_index, outgoing.get(peer, ()))
         self._undelivered_round = round_index
 
     # -- checkpoint/restore --------------------------------------------------------
@@ -373,7 +371,7 @@ class WorkerRuntime:
             ),
             outgoing=tuple(
                 (peer, tuple(outgoing.get(peer, ())))
-                for peer in sorted(self.outbound)
+                for peer in self.endpoint.peers_out
             ),
         )
 
@@ -411,16 +409,20 @@ class WorkerRuntime:
         self._selected_once = False
         self._topology_events.clear()
         # The crash happened at a select, i.e. *before* the previous round's
-        # batches were consumed — they are still queued in the (surviving)
-        # inbound channels, so deliver them on the next select.
+        # batches were consumed — deliver them on the next select.  On
+        # mp-queue they still sit in the surviving shared queues; on tcp
+        # they died with the process, and the supervisor's "reconnect"
+        # broadcast makes every live sender re-send its retransmit slot
+        # (exactly that round's batch) over a fresh connection.
         self._undelivered_round = checkpoint.round_index
-        # The crashed process's queue feeder thread may have died before
-        # writing some of the checkpointed round's outbound batches to the
-        # pipe (os._exit gives it no chance to drain).  Re-send them all:
-        # a receiver that already consumed the original discards the
-        # duplicate by its stale round tag.
+        # The crashed process's original flush may not have reached every
+        # peer (an mp queue's feeder thread dies with os._exit before
+        # draining; a TCP stream dies with its socket).  Re-send the whole
+        # checkpointed round over the fresh endpoint: a receiver that
+        # already consumed the original discards the duplicate by its stale
+        # round tag, on every transport.
         for peer, messages in checkpoint.outgoing:
-            self.outbound[peer].send_batch(checkpoint.round_index, messages)
+            self.endpoint.send_batch(peer, checkpoint.round_index, messages)
 
     # -- internals -----------------------------------------------------------------
 
@@ -483,7 +485,7 @@ class WorkerRuntime:
                 )
             if target_uid == self.unit.uid:
                 continue  # stayed inside this unit: the local enqueue stands
-            if target_uid not in self.outbound:
+            if target_uid not in self._outgoing:
                 raise SchedulingError(
                     f"{module.path} sent an interaction to unit {target_uid} "
                     "but no channel exists for that unit pair; was the "
@@ -508,24 +510,27 @@ def worker_main(
     config: WorkerConfig,
     command_queue,
     result_queue,
-    inbound: Dict[int, BatchChannel],
-    outbound: Dict[int, BatchChannel],
+    endpoint: TransportEndpoint,
     barrier,
 ) -> None:
     """Process entry point: serve the coordinator's round protocol.
 
-    Commands are ``("select", round, now)``, ``("fire", round, firings)``
-    and ``("stop",)``; every select/fire is answered with exactly one result
-    tuple ``(uid, kind, round, payload)``.  A ``select`` may repeat for the
-    same round with a later ``now`` when the coordinator jumps the simulated
-    clock over a delay deadline.  Any exception is reported as an
+    Commands are ``("select", round, now)``, ``("fire", round, firings)``,
+    ``("reconnect", peer)`` and ``("stop",)``; every select/fire is answered
+    with exactly one result tuple ``(uid, kind, round, payload)``.  A
+    ``select`` may repeat for the same round with a later ``now`` when the
+    coordinator jumps the simulated clock over a delay deadline; a
+    ``reconnect`` (sent by the supervisor after respawning a crashed peer,
+    unanswered) makes connection-oriented transports redial that peer and
+    re-send their retransmit slot.  Any exception is reported as an
     ``("error", traceback)`` result instead of dying silently, so the
     coordinator can fail fast with the worker's stack trace.
     """
     uid = config.unit_uid
     crash_rounds = frozenset(config.crash_rounds)
     try:
-        runtime = WorkerRuntime(config, inbound, outbound)
+        endpoint.connect()
+        runtime = WorkerRuntime(config, endpoint)
         if config.restore is not None:
             runtime.restore_shard(config.restore)
         result_queue.put((uid, "ready", 0, len(runtime.unit.module_paths)))
@@ -538,14 +543,13 @@ def worker_main(
                     # Deterministic fault injection (repro.faults): hard exit
                     # with no error report and the previous round's inbound
                     # batches left unconsumed (the supervisor's respawn picks
-                    # them up).  The transport feeders are quiesced first:
-                    # result_queue and the outbound channels share write
-                    # locks with live processes, and dying inside a feeder's
-                    # lock window would wedge every other worker — the model
-                    # here is "death at a round boundary", not a torn write
-                    # mid-pipe (which no respawn could repair).
-                    for channel in outbound.values():
-                        channel.close()
+                    # them up).  The transport is quiesced first: an mp
+                    # queue's feeder threads share write locks with live
+                    # processes, and dying inside a feeder's lock window
+                    # would wedge every other worker — the model here is
+                    # "death at a round boundary", not a torn write mid-pipe
+                    # (which no respawn could repair).
+                    endpoint.close()
                     result_queue.close()
                     result_queue.join_thread()
                     os._exit(CRASH_EXIT_CODE)
@@ -566,7 +570,7 @@ def worker_main(
                 barrier.wait(timeout=config.channel_timeout_s)
                 sync_seconds = time.perf_counter() - phase_started - busy_seconds
                 batch_sizes = tuple(
-                    len(outgoing.get(peer, ())) for peer in sorted(outbound)
+                    len(outgoing.get(peer, ())) for peer in endpoint.peers_out
                 )
                 delta: ObsDelta = (
                     busy_seconds,
@@ -582,6 +586,10 @@ def worker_main(
                         runtime.snapshot_shard(round_index, outgoing),
                     )
                 result_queue.put((uid, "fired", round_index, payload))
+            elif kind == "reconnect":
+                # A crashed peer was respawned; redial it (and re-send the
+                # retransmit slot) on transports whose links died with it.
+                endpoint.reconnect_peer(command[1])
             elif kind == "stop":
                 break
             else:  # pragma: no cover - coordinator never sends other kinds

@@ -112,11 +112,16 @@ def serve(
     max_inflight=None,
     max_body_bytes=None,
     step_timeout_s=None,
+    backend_transport=None,
 ) -> int:
     from .api import DEFAULT_MAX_BODY_BYTES, make_http_server
     from .engine import SessionEngine
 
-    engine = SessionEngine(state_dir=state_dir, step_timeout_s=step_timeout_s)
+    engine = SessionEngine(
+        state_dir=state_dir,
+        step_timeout_s=step_timeout_s,
+        backend_transport=backend_transport,
+    )
     restored = engine.session_ids()
     server = make_http_server(
         host=host,
@@ -196,6 +201,13 @@ def main(argv=None) -> int:
         metavar="SECONDS",
         help="wall-clock budget per step call (exceeding it returns HTTP 503)",
     )
+    parser.add_argument(
+        "--backend-transport",
+        default=None,
+        metavar="NAME",
+        help="advertise the deployment's execution-backend transport in "
+        "/stats and /metrics: in-process (default), mp-queue or tcp",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke is not None:
@@ -208,6 +220,7 @@ def main(argv=None) -> int:
         max_inflight=args.max_inflight,
         max_body_bytes=args.max_body_bytes,
         step_timeout_s=args.step_timeout,
+        backend_transport=args.backend_transport,
     )
 
 

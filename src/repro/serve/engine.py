@@ -101,6 +101,24 @@ class StepTimeout(ServeError):
         )
 
 
+def _validated_backend_transport(name: Optional[str]) -> str:
+    """Clamp the advertised backend transport to the known closed set.
+
+    The value becomes a ``/metrics`` label, so it must be bounded: either
+    ``"in-process"`` or a registered transport name — never free text.
+    """
+    from ..runtime.parallel.transport import transport_names
+
+    allowed = ("in-process",) + transport_names()
+    resolved = name if name is not None else "in-process"
+    if resolved not in allowed:
+        raise ServeError(
+            f"unknown backend transport {resolved!r}; expected one of "
+            f"{', '.join(allowed)}"
+        )
+    return resolved
+
+
 def default_cluster_for(specification: Specification) -> Cluster:
     """A cluster with one 2-processor machine per placement location.
 
@@ -250,8 +268,17 @@ class SessionEngine:
         step_timeout_s: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
         autopersist: bool = False,
+        backend_transport: Optional[str] = None,
     ):
         self.registry = registry if registry is not None else SpecRegistry()
+        #: which wire the deployment's execution backend runs over —
+        #: ``"in-process"`` (the default: sessions run the in-process
+        #: executor on the engine's thread pool) or a name from
+        #: :func:`repro.runtime.parallel.transport_names` for deployments
+        #: fronting a multiprocess mesh.  Validated against that closed set
+        #: so the ``/metrics`` label stays bounded-cardinality by
+        #: construction.
+        self.backend_transport = _validated_backend_transport(backend_transport)
         self.default_dispatch = default_dispatch
         self.cluster_factory = cluster_factory or default_cluster_for
         self.mapping_factory = mapping_factory
@@ -347,6 +374,15 @@ class SessionEngine:
             "Highest concurrent session population seen.",
             callback=lambda: self.peak_sessions,
         )
+        # An info-style gauge: constant 1, the payload is the label.  The
+        # label set is bounded by _validated_backend_transport, so scrape
+        # cardinality is fixed at one series per engine.
+        registry.gauge(
+            "repro_serve_backend_transport",
+            "The engine's configured execution-backend transport (info metric; "
+            "value is always 1, the transport is the label).",
+            labelnames=("transport",),
+        ).labels(transport=self.backend_transport).set(1)
         registry.counter(
             "repro_serve_registry_hits_total",
             "Spec registry lookups served without recompiling.",
@@ -712,6 +748,7 @@ class SessionEngine:
             "sessions_created": self.sessions_created,
             "sessions_closed": self.sessions_closed,
             "uptime_seconds": time.time() - self.started_at,
+            "backend_transport": self.backend_transport,
             "registry": self.registry.stats(),
             "plan_code_cache": plan_code_cache_info(),
             "obs": self.obs.stats(),
