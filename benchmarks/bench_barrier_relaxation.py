@@ -1,0 +1,187 @@
+"""E-RELAX — conservative lookahead: relaxing the global round barrier.
+
+ISSUE 10's before/after: the multiprocess coordinator used to synchronise
+*every* execution unit at *every* round — a select/fold/fire/barrier cycle
+even for units whose subtrees provably cannot interact with the rest of the
+specification within the round.  ``MultiprocessBackend(relax_barrier=True)``
+lets such units (whole-root ownership, no delay transitions) run windows of
+rounds locally and stream their round summaries to the coordinator, which
+folds them asynchronously into the canonical trace.
+
+The record keeps the backend's contract front and centre:
+
+* **byte identity** — every workload's relaxed trace must equal the
+  in-process reference (``traces_identical`` is a run_all.py gate);
+* **barrier fraction** — barrier unit-rounds over total unit-rounds, read
+  from the ``repro_parallel_{barrier,lookahead}_rounds_total`` counters.
+  Lookahead-friendly workloads (``osi_transfer``, ``mcam_sessions``) must
+  sit below 1.0 (gated); the delay-paced ``xmovie_stream`` control must
+  sit at exactly 1.0 — relaxation must refuse workloads it cannot prove;
+* **sync wall-clock** — the per-unit ``repro_parallel_unit_sync_seconds``
+  totals and round-loop wall seconds next to a strict-barrier run of the
+  same workload.  Wall-clock numbers are hardware-honest (recorded with a
+  ``comparable`` flag, never gated): on a time-sliced CI host the strict
+  and relaxed runs contend for the same cores.
+
+``benchmarks/run_all.py`` consolidates this under ``barrier_relaxation``
+in ``BENCH_results.json``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Observability
+from repro.runtime import (
+    GroupedMapping,
+    InProcessBackend,
+    MultiprocessBackend,
+    SpecSource,
+)
+from repro.runtime.parallel import trace_diff
+from repro.sim import Cluster, Machine
+
+SPEC_DIR = Path(__file__).parent.parent / "examples" / "specs"
+
+#: (workload name, machines, lookahead-friendly?) — friendly workloads are
+#: gated on a barrier fraction < 1.0; the delay-paced control is pinned to
+#: exactly 1.0 (the conservative fallback must hold the barrier).
+WORKLOADS = (
+    ("osi_transfer.estelle", ("ksr1", "client-ws-1"), True),
+    ("mcam_sessions.estelle", ("ksr1", "client-ws-1", "client-ws-2"), True),
+    ("mcam_core.estelle", ("ksr1", "client-ws-1"), True),
+    ("xmovie_stream.estelle", ("ksr1", "client-ws-1"), False),
+)
+
+
+def build_cluster(machines, processors: int = 2) -> Cluster:
+    cluster = Cluster()
+    for name in machines:
+        cluster.add(Machine(name, processors))
+    return cluster
+
+
+def _sync_seconds(obs: Observability) -> float:
+    family = obs.registry.counter(
+        "repro_parallel_unit_sync_seconds_total", "", labelnames=("unit",)
+    )
+    return sum(child.value for _, child in family.children())
+
+
+def _counter(obs: Observability, name: str) -> float:
+    return obs.registry.counter(name, "").value
+
+
+def relaxation_cell(spec_name: str, machines, lookahead_friendly: bool) -> dict:
+    source = SpecSource.from_estelle_file(SPEC_DIR / spec_name)
+    reference = InProcessBackend().execute(
+        source, build_cluster(machines), mapping=GroupedMapping()
+    )
+
+    relaxed_obs = Observability()
+    relaxed = MultiprocessBackend(relax_barrier=True).execute(
+        source, build_cluster(machines), mapping=GroupedMapping(), obs=relaxed_obs
+    )
+    barrier_rounds = _counter(relaxed_obs, "repro_parallel_barrier_rounds_total")
+    lookahead_rounds = _counter(
+        relaxed_obs, "repro_parallel_lookahead_rounds_total"
+    )
+    unit_rounds = barrier_rounds + lookahead_rounds
+
+    strict_obs = Observability()
+    strict = MultiprocessBackend().execute(
+        source, build_cluster(machines), mapping=GroupedMapping(), obs=strict_obs
+    )
+
+    divergence = trace_diff(reference.trace, relaxed.trace)
+    strict_divergence = trace_diff(reference.trace, strict.trace)
+    return {
+        "workload": f"examples/specs/{spec_name}",
+        "lookahead_friendly": lookahead_friendly,
+        "rounds": relaxed.rounds,
+        "workers": relaxed.workers,
+        "transitions_fired": relaxed.transitions_fired,
+        "simulated_time": relaxed.simulated_time,
+        "traces_identical": divergence is None and strict_divergence is None,
+        "trace_divergence": divergence or strict_divergence,
+        "barrier_unit_rounds": barrier_rounds,
+        "lookahead_unit_rounds": lookahead_rounds,
+        "barrier_round_fraction": (
+            barrier_rounds / unit_rounds if unit_rounds else 1.0
+        ),
+        "relaxed_wall_s": relaxed.wall_seconds,
+        "strict_wall_s": strict.wall_seconds,
+        "relaxed_sync_s": _sync_seconds(relaxed_obs),
+        "strict_sync_s": _sync_seconds(strict_obs),
+    }
+
+
+def barrier_relaxation_results() -> dict:
+    """The E-RELAX record consolidated into ``BENCH_results.json``."""
+    cells = [relaxation_cell(*workload) for workload in WORKLOADS]
+    by_name = {cell["workload"].rsplit("/", 1)[-1]: cell for cell in cells}
+    friendly = [cell for cell in cells if cell["lookahead_friendly"]]
+    control = by_name["xmovie_stream.estelle"]
+    return {
+        "cells": cells,
+        "traces_identical": all(cell["traces_identical"] for cell in cells),
+        # The tentpole's observable effect: lookahead-friendly workloads
+        # leave the barrier (fraction < 1.0) ...
+        "lookahead_effective": all(
+            cell["barrier_round_fraction"] < 1.0 for cell in friendly
+        ),
+        # ... and the delay-paced control never does (fraction == 1.0).
+        "control_holds_barrier": (
+            control["barrier_round_fraction"] == 1.0
+            and control["lookahead_unit_rounds"] == 0
+        ),
+        # Hardware honesty: wall/sync deltas are recorded for the trend but
+        # only meaningful when the host can actually run workers in
+        # parallel; the byte-identity and fraction gates carry the claim.
+        "sync_reduced_on_osi": (
+            by_name["osi_transfer.estelle"]["relaxed_sync_s"]
+            <= by_name["osi_transfer.estelle"]["strict_sync_s"]
+        ),
+    }
+
+
+class TestBarrierRelaxationBench:
+    def test_relaxation_record(self, benchmark):
+        results = benchmark.pedantic(
+            barrier_relaxation_results, rounds=1, iterations=1
+        )
+        bad = [
+            cell["workload"]
+            for cell in results["cells"]
+            if not cell["traces_identical"]
+        ]
+        assert results["traces_identical"], bad
+        assert results["lookahead_effective"], [
+            (cell["workload"], cell["barrier_round_fraction"])
+            for cell in results["cells"]
+        ]
+        assert results["control_holds_barrier"]
+        for cell in results["cells"]:
+            assert cell["rounds"] > 0
+            assert cell["workers"] > 1
+
+    def test_fully_relaxable_workload_never_hits_the_barrier(self, benchmark):
+        cell = benchmark.pedantic(
+            relaxation_cell,
+            args=("osi_transfer.estelle", ("ksr1", "client-ws-1"), True),
+            rounds=1,
+            iterations=1,
+        )
+        # Every OSI unit wholly owns its delay-free subtree under
+        # GroupedMapping: no unit-round synchronises globally.
+        assert cell["traces_identical"], cell["trace_divergence"]
+        assert cell["barrier_unit_rounds"] == 0
+        assert cell["lookahead_unit_rounds"] == cell["rounds"] * cell["workers"]
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(barrier_relaxation_results(), indent=2))

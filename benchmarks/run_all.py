@@ -42,7 +42,12 @@ history), so the repository carries its own perf trajectory:
   supervised worker-crash recovery next to the fault-free run (gated on
   byte-identical recovered traces), plus session checkpoint/restore
   latency and the restart-resumes-with-identical-suffix verdict
-  (``docs/RESILIENCE.md``).
+  (``docs/RESILIENCE.md``),
+* the E-RELAX record: conservative lookahead (``relax_barrier=True``) —
+  per-workload barrier-round fractions and sync wall-clock next to a
+  strict-barrier run, gated on byte-identical traces, a fraction < 1.0 on
+  the lookahead-friendly workloads and exactly 1.0 on the delay-paced
+  control (``docs/DISTRIBUTION.md``, "Conservative lookahead").
 
 Run with:  PYTHONPATH=src python benchmarks/run_all.py [--output PATH]
 """
@@ -194,6 +199,14 @@ def resilience_results() -> dict:
     return results
 
 
+def barrier_relaxation_results() -> dict:
+    """E-RELAX: relaxed-barrier fidelity, barrier fractions and sync cost."""
+    module = _load_bench_module("bench_barrier_relaxation")
+    results = module.barrier_relaxation_results()
+    results["cells"] = [_round_floats(cell) for cell in results["cells"]]
+    return results
+
+
 def load_history(output: Path) -> list:
     if not output.exists():
         return []
@@ -235,6 +248,7 @@ def main(argv=None) -> int:
         "serve_load": serve_load_results(),
         "obs_overhead": obs_overhead_results(),
         "resilience": resilience_results(),
+        "barrier_relaxation": barrier_relaxation_results(),
     }
     runs = [run_entry] + load_history(args.output)
     args.output.write_text(json.dumps({"runs": runs[:HISTORY_LIMIT]}, indent=2) + "\n")
@@ -372,6 +386,41 @@ def main(argv=None) -> int:
             f"{resilience['persistence']['sessions']} persisted sessions"
         )
         return 1
+    relaxation = run_entry["barrier_relaxation"]
+    if not relaxation["traces_identical"]:
+        bad = [
+            f"{cell['workload']}: {cell['trace_divergence']}"
+            for cell in relaxation["cells"]
+            if not cell["traces_identical"]
+        ]
+        print(f"regression: relaxed-barrier trace divergence: {bad}")
+        return 1
+    if not relaxation["lookahead_effective"]:
+        fractions = [
+            (cell["workload"], cell["barrier_round_fraction"])
+            for cell in relaxation["cells"]
+            if cell["lookahead_friendly"]
+        ]
+        print(
+            "regression: conservative lookahead no longer leaves the round "
+            f"barrier on lookahead-friendly workloads: {fractions}"
+        )
+        return 1
+    if not relaxation["control_holds_barrier"]:
+        print(
+            "regression: the delay-paced control workload ran lookahead "
+            "rounds — relaxation accepted a workload it cannot prove"
+        )
+        return 1
+    print(
+        "barrier relaxation: "
+        + ", ".join(
+            f"{cell['workload'].rsplit('/', 1)[-1]} at barrier fraction "
+            f"{cell['barrier_round_fraction']}"
+            for cell in relaxation["cells"]
+        )
+        + "; all relaxed traces byte-identical"
+    )
     print(
         f"obs overhead: enabled/disabled planning-time ratio "
         f"{obs['overhead_ratio']} on {obs['workload']} "

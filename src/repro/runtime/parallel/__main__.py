@@ -68,6 +68,14 @@ def main(argv=None) -> int:
         default=0.0,
         help="emulated processing time per cost unit, in microseconds",
     )
+    parser.add_argument(
+        "--relax-barrier",
+        action="store_true",
+        help="enable conservative lookahead: units that wholly own their "
+        "delay-free system subtrees run rounds locally instead of "
+        "synchronising at the global round barrier (the trace must stay "
+        "byte-identical either way)",
+    )
     args = parser.parse_args(argv)
 
     source = SpecSource.from_estelle_file(args.spec)
@@ -76,7 +84,9 @@ def main(argv=None) -> int:
     results = {}
     for backend_name in ("in-process", "multiprocess"):
         if backend_name == "multiprocess":
-            backend = MultiprocessBackend(transport=args.transport)
+            backend = MultiprocessBackend(
+                transport=args.transport, relax_barrier=args.relax_barrier
+            )
         else:
             backend = backend_by_name(backend_name)
         results[backend_name] = backend.execute(

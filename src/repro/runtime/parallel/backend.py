@@ -53,8 +53,47 @@ from .worker import (
     SelectionSummary,
     UnitDescriptor,
     WorkerConfig,
+    _declares_delay,
     worker_main,
 )
+
+
+def _relaxable_units(
+    specification: Specification,
+    units: Tuple[UnitDescriptor, ...],
+    owner_of: Dict[str, int],
+) -> frozenset:
+    """Units eligible for conservative lookahead (barrier relaxation).
+
+    A unit may run its rounds locally when (a) every system subtree it
+    touches is wholly owned by it — Estelle precedence never crosses system
+    subtrees, so the unit's restricted precedence walk equals the global
+    plan's projection onto its subtrees — and (b) none of its modules
+    declares a delay transition, so its selection never depends on the
+    coordinator-owned simulated clock (deadline jumps cannot change its
+    local plan, and it reports no deadlines of its own).
+    """
+    shared: set = set()
+    for root in specification.system_modules():
+        owners = {
+            owner_of[module.path]
+            for module in root.walk()
+            if module.path in owner_of
+        }
+        if len(owners) > 1:
+            shared.update(owners)
+    module_by_path = {module.path: module for module in specification.modules()}
+    relaxed = set()
+    for unit in units:
+        if unit.uid in shared:
+            continue
+        if any(
+            _declares_delay(type(module_by_path[path]))
+            for path in unit.module_paths
+        ):
+            continue
+        relaxed.add(unit.uid)
+    return frozenset(relaxed)
 
 
 class ParallelExecutionError(SchedulingError):
@@ -185,6 +224,81 @@ class _Supervisor:
         )
 
 
+class _ResultCollector:
+    """Kind-aware gather over the shared result queue (relaxed-barrier runs).
+
+    With the barrier relaxed, relaxed units stream ``lround`` results at
+    their own pace while barrier units answer selects and fires round by
+    round — results therefore interleave arbitrarily on the single result
+    queue.  The collector buffers everything it was not asked for and serves
+    later requests from the buffer first; a unit's own results stay in the
+    order it queued them.
+    """
+
+    def __init__(
+        self, result_queue, processes: Dict[int, Any], timeout_s: float
+    ) -> None:
+        self._queue = result_queue
+        self._processes = processes
+        self._timeout_s = timeout_s
+        self._buffered: List[Tuple[int, str, int, Any]] = []
+
+    def collect(self, kind: str, round_index: int, uids) -> Dict[int, Any]:
+        """One ``kind`` payload per unit in ``uids`` for ``round_index``."""
+        expected = set(uids)
+        collected: Dict[int, Any] = {}
+        kept: List[Tuple[int, str, int, Any]] = []
+        for item in self._buffered:
+            uid, got_kind, got_round, payload = item
+            if (
+                got_kind == kind
+                and got_round == round_index
+                and uid in expected
+                and uid not in collected
+            ):
+                collected[uid] = payload
+            else:
+                kept.append(item)
+        self._buffered = kept
+        deadline = time.perf_counter() + self._timeout_s
+        while len(collected) < len(expected):
+            try:
+                uid, got_kind, got_round, payload = self._queue.get(timeout=1.0)
+            except Empty:
+                dead = [
+                    process.name
+                    for process in self._processes.values()
+                    if not process.is_alive()
+                    and process.exitcode not in (0, None)
+                ]
+                if dead:
+                    raise ParallelExecutionError(
+                        f"worker(s) {', '.join(dead)} died without reporting "
+                        f"(waiting for {kind!r} of round {round_index})"
+                    ) from None
+                if time.perf_counter() >= deadline:
+                    raise ParallelExecutionError(
+                        f"timed out waiting for {kind!r} results of round "
+                        f"{round_index} ({len(collected)}/{len(expected)} "
+                        "units reported)"
+                    ) from None
+                continue
+            if got_kind == "error":
+                raise ParallelExecutionError(
+                    f"worker for unit {uid} failed:\n{payload}"
+                )
+            if got_kind == kind and got_round == round_index and uid in expected:
+                if uid in collected:
+                    raise ParallelExecutionError(
+                        f"unit {uid} reported {kind!r} twice for round "
+                        f"{round_index}"
+                    )
+                collected[uid] = payload
+            else:
+                self._buffered.append((uid, got_kind, got_round, payload))
+        return collected
+
+
 class PrecomputedDispatch(DispatchStrategy):
     """A dispatch strategy that replays selection results computed elsewhere.
 
@@ -234,6 +348,7 @@ class _RoundPlanner:
         self.dispatch = PrecomputedDispatch()
         self._transition_cache: Dict[Tuple[type, str], Any] = {}
         self._shape_changed = False
+        self._masked_roots: frozenset = frozenset()
         if incremental:
             # Walk-only: the result slots are refreshed from worker
             # summaries, so no selectors are compiled coordinator-side.
@@ -247,6 +362,43 @@ class _RoundPlanner:
             )
             self._pending: List[int] = [0] * len(self._program.modules)
             self._unfilled = len(self._program.modules)
+
+    def mask_roots(self, root_paths) -> None:
+        """Exclude relaxed units' system subtrees from the coordinator fold.
+
+        A masked root is wholly owned by one relaxed execution unit, which
+        plans it locally (its restricted precedence walk equals the global
+        plan's projection — precedence never crosses system subtrees).  The
+        coordinator fold then covers only the barrier units' roots: the
+        interpreted walk skips masked subtrees outright, while the fused
+        incremental program keeps their result slots pinned to a non-firing
+        placeholder so the whole-specification walk stays well-formed
+        without any worker ever reporting for them.
+        """
+        self._masked_roots = frozenset(root_paths)
+        if self.incremental:
+            self._mask_incremental_slots()
+
+    def _mask_incremental_slots(self) -> None:
+        placeholder = DispatchResult(
+            transition=None, examined=0, cost=0.0, external=False
+        )
+        for index, module in enumerate(self._program.modules):
+            root = "/".join(module.path.split("/", 2)[:2])
+            if root in self._masked_roots and self._results[index] is None:
+                self._results[index] = placeholder
+                self._pending[index] = 0
+                self._unfilled -= 1
+
+    def _active_roots(self):
+        """The system roots the coordinator fold covers (None = all)."""
+        if not self._masked_roots:
+            return None
+        return [
+            root
+            for root in self.specification.system_modules()
+            if root.path not in self._masked_roots
+        ]
 
     def note_structure_change(self) -> None:
         """A replayed init/release changed the coordinator replica's tree.
@@ -280,6 +432,11 @@ class _RoundPlanner:
         # full shard, so they are filled by this round's deltas.
         self._unfilled = sum(1 for result in self._results if result is None)
         self._shape_changed = False
+        if self._masked_roots:
+            # Masked slots carried over by path above; pin any the rebuild
+            # introduced (a masked root's subtree never changes coordinator-
+            # side, so this is a no-op in practice — kept for safety).
+            self._mask_incremental_slots()
 
     def _resolve_transition(self, module, name: str):
         key = (type(module), name)
@@ -298,8 +455,14 @@ class _RoundPlanner:
     def plan(self, summaries: Dict[str, SelectionSummary]) -> RoundPlan:
         if self.incremental:
             return self._plan_incremental(summaries)
+        roots = self._active_roots()
+        modules = (
+            self.specification.modules()
+            if roots is None
+            else (module for root in roots for module in root.walk())
+        )
         results: Dict[str, DispatchResult] = {}
-        for module in self.specification.modules():
+        for module in modules:
             path = module.path
             try:
                 _, transition_name, external, examined, cost, _pending = summaries[path]
@@ -316,7 +479,9 @@ class _RoundPlanner:
                 transition=transition, examined=examined, cost=cost, external=external
             )
         self.dispatch.results = results
-        return self.scheduler.plan_round(self.specification, self.dispatch)
+        return self.scheduler.plan_round(
+            self.specification, self.dispatch, roots=roots
+        )
 
     def _plan_incremental(self, deltas: Dict[str, SelectionSummary]) -> RoundPlan:
         """Apply summary deltas to the result cache, then run the fused walk."""
@@ -394,6 +559,17 @@ class MultiprocessBackend(ExecutionBackend):
     for tcp).  The control plane — command/result queues and the round
     barrier — stays on multiprocessing primitives for every transport;
     only the data plane is transport-pluggable.
+
+    ``relax_barrier`` enables decentralised conservative time management:
+    execution units that wholly own their system subtrees and declare no
+    delay transitions run windows of ``lookahead_rounds`` rounds locally —
+    no global round barrier, no per-round coordinator fold — streaming
+    per-round summaries the coordinator folds asynchronously, in
+    (round, declaration) order, into the very same canonical trace the
+    strict protocol produces.  Units that share a system subtree or carry
+    delay timers keep the barrier protocol (over a masked fold), and
+    supervised or fault-injected runs disable relaxation entirely — crash
+    recovery reasons in whole global rounds.
     """
 
     name = "multiprocess"
@@ -404,11 +580,19 @@ class MultiprocessBackend(ExecutionBackend):
         round_timeout_s: float = 120.0,
         transport: str = "mp-queue",
         transport_options: Optional[Dict[str, Any]] = None,
+        relax_barrier: bool = False,
+        lookahead_rounds: int = 16,
     ):
+        if lookahead_rounds < 1:
+            raise ValueError(
+                f"lookahead_rounds must be >= 1, got {lookahead_rounds}"
+            )
         self.start_method = start_method
         self.round_timeout_s = round_timeout_s
         self.transport = transport
         self.transport_options = dict(transport_options or {})
+        self.relax_barrier = relax_barrier
+        self.lookahead_rounds = lookahead_rounds
 
     # -- orchestration -------------------------------------------------------------
 
@@ -469,6 +653,21 @@ class MultiprocessBackend(ExecutionBackend):
         }
         cost_scale = cluster.machines()[0].cost_model.transition_cost_scale
 
+        # Conservative lookahead eligibility (decided statically, before
+        # spawn): supervision and fault injection keep the strict barrier
+        # protocol — crash recovery reasons in whole global rounds.
+        relax_active = (
+            self.relax_barrier and not supervised and fault_plan is None
+        )
+        relaxed_uids = (
+            _relaxable_units(specification, units, owner_of)
+            if relax_active
+            else frozenset()
+        )
+        barrier_units = tuple(
+            unit for unit in units if unit.uid not in relaxed_uids
+        )
+
         # Only unit pairs whose modules are actually connected need channels;
         # connectivity is read off the live IP peers (not just spec.connect)
         # so links wired by module initialisers are included.  A connection
@@ -491,7 +690,9 @@ class MultiprocessBackend(ExecutionBackend):
         ctx = multiprocessing.get_context(self.start_method)
         transport = transport_by_name(self.transport, **self.transport_options)
         transport.open(ctx, [unit.uid for unit in units], pairs=pairs)
-        barrier = ctx.Barrier(len(units))
+        # Only barrier units meet at the round barrier; relaxed units are
+        # paced per-link by the mesh's round tags instead.
+        barrier = ctx.Barrier(max(1, len(barrier_units)))
         result_queue = ctx.Queue()
         command_queues: Dict[int, Any] = {}
         processes: Dict[int, Any] = {}
@@ -520,6 +721,7 @@ class MultiprocessBackend(ExecutionBackend):
                     else ()
                 ),
                 checkpoint=supervised,
+                relaxed=unit.uid in relaxed_uids,
             )
             configs[unit.uid] = config
             process = ctx.Process(
@@ -549,16 +751,23 @@ class MultiprocessBackend(ExecutionBackend):
             scheduler or DecentralisedScheduler(),
             incremental=dispatch == PLANNER_DISPATCH_NAME,
         )
+        if relaxed_uids:
+            planner.mask_roots(
+                root.path
+                for root in specification.system_modules()
+                if {
+                    owner_of[m.path]
+                    for m in root.walk()
+                    if m.path in owner_of
+                }
+                <= relaxed_uids
+            )
         # The delay clock's single authority: the coordinator owns the time,
         # broadcasts it with every "select", and advances it by the busiest
         # unit's firing-cost sum per round — the identical derivation the
         # in-process executor uses, so FiringEvent.time stays byte-equal.
         clock = SimulatedClock()
         trace = ExecutionTrace(enabled=True)
-        rounds = 0
-        transitions_fired = 0
-        deadlocked = False
-        stop_reason = "budget"
 
         # Coordinator-side folds of the workers' per-round obs deltas.  All
         # pure wall-clock measurement: the deltas never touch the plan, the
@@ -587,9 +796,27 @@ class MultiprocessBackend(ExecutionBackend):
             "Messages per per-peer channel batch (one batch per peer per round).",
             buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
         )
+        m_barrier_rounds = registry.counter(
+            "repro_parallel_barrier_rounds_total",
+            "Unit-rounds that synchronised at the global round barrier.",
+        )
+        m_lookahead_rounds = registry.counter(
+            "repro_parallel_lookahead_rounds_total",
+            "Unit-rounds run locally under conservative lookahead "
+            "(relaxed barrier).",
+        )
         registry.gauge(
             "repro_parallel_workers", "Worker processes of the last run."
         ).set(len(units))
+        metrics = {
+            "rounds": m_rounds,
+            "busy": m_busy,
+            "sync": m_sync,
+            "messages": m_messages,
+            "batch": h_batch,
+            "barrier_rounds": m_barrier_rounds,
+            "lookahead_rounds": m_lookahead_rounds,
+        }
 
         try:
             for process in processes.values():
@@ -603,145 +830,42 @@ class MultiprocessBackend(ExecutionBackend):
                     modules=len(unit.module_paths),
                 )
             loop_started = time.perf_counter()
-
-            for round_index in range(1, max_rounds + 1):
-                summaries, deadlines = self._select_round(
-                    command_queues,
-                    result_queue,
-                    processes,
-                    units,
-                    round_index,
-                    clock,
-                    supervisor=supervisor,
+            if relaxed_uids:
+                rounds, transitions_fired, deadlocked, stop_reason = (
+                    self._run_relaxed_loop(
+                        specification=specification,
+                        owner_of=owner_of,
+                        unit_by_uid=unit_by_uid,
+                        barrier_units=barrier_units,
+                        relaxed_uids=relaxed_uids,
+                        command_queues=command_queues,
+                        result_queue=result_queue,
+                        processes=processes,
+                        planner=planner,
+                        clock=clock,
+                        trace=trace,
+                        max_rounds=max_rounds,
+                        metrics=metrics,
+                    )
                 )
-                plan = planner.plan(summaries)
-                # An empty plan with delay timers still running means time is
-                # the missing enabler: jump the clock to the earliest worker-
-                # reported deadline and re-select (same round index — a jump
-                # is not a computation round).  Each jump strictly advances
-                # the clock, so the loop terminates.
-                resume_at = clock.now
-                while plan.empty and deadlines:
-                    next_deadline = min(deadlines)
-                    if next_deadline <= clock.now:
-                        break
-                    clock.now = next_deadline
-                    # Fresh summaries cover both modes: incremental workers
-                    # report deltas (the planner's cache holds the rest),
-                    # non-incremental workers re-report their full shard.
-                    summaries, deadlines = self._select_round(
-                        command_queues,
-                        result_queue,
-                        processes,
-                        units,
-                        round_index,
-                        clock,
+            else:
+                rounds, transitions_fired, deadlocked, stop_reason = (
+                    self._run_barrier_loop(
+                        specification=specification,
+                        owner_of=owner_of,
+                        unit_by_uid=unit_by_uid,
+                        units=units,
+                        command_queues=command_queues,
+                        result_queue=result_queue,
+                        processes=processes,
+                        planner=planner,
+                        clock=clock,
+                        trace=trace,
+                        max_rounds=max_rounds,
+                        metrics=metrics,
                         supervisor=supervisor,
                     )
-                    plan = planner.plan(summaries)
-                if plan.empty:
-                    # Quiescent: rewind jumps taken chasing stale deadline
-                    # entries, mirroring the in-process executor, so the
-                    # final simulated_time matches across dispatches.
-                    clock.now = resume_at
-                    deadlocked = (
-                        planner.has_pending()
-                        if planner.incremental
-                        else any(summary[5] > 0 for summary in summaries.values())
-                    )
-                    stop_reason = "quiescent"
-                    break
-
-                assignments: Dict[int, List[AssignedFiring]] = {
-                    unit.uid: [] for unit in units
-                }
-                for plan_index, firing in enumerate(plan.firings):
-                    path = firing.module.path
-                    try:
-                        target_uid = owner_of[path]
-                    except KeyError as exc:
-                        raise SchedulingError(
-                            f"module {path!r} has no execution unit; statically "
-                            "mapped modules must be covered by the mapping, and "
-                            "dynamically created ones inherit their parent's "
-                            "unit through the topology replay"
-                        ) from exc
-                    assignments[target_uid].append(
-                        (
-                            plan_index,
-                            path,
-                            firing.result.transition.name
-                            if firing.result.transition
-                            else None,
-                            firing.is_external,
-                        )
-                    )
-
-                round_started = time.perf_counter()
-                for uid, command_queue in command_queues.items():
-                    command_queue.put(("fire", round_index, tuple(assignments[uid])))
-                report_sets = self._gather(
-                    result_queue, "fired", round_index, len(units), processes
                 )
-                round_wall = time.perf_counter() - round_started
-
-                ordered: List[Tuple[int, FiringReport]] = []
-                for uid, payload in report_sets.items():
-                    reports, delta = payload[0], payload[1]
-                    if supervisor is not None and len(payload) > 2:
-                        supervisor.store_checkpoint(uid, payload[2])
-                    busy_seconds, sync_seconds, messages, batch_sizes = delta
-                    m_busy.labels(unit=str(uid)).inc(busy_seconds)
-                    m_sync.labels(unit=str(uid)).inc(sync_seconds)
-                    if messages:
-                        m_messages.inc(messages)
-                    for size in batch_sizes:
-                        h_batch.observe(size)
-                    ordered.extend((uid, report) for report in reports)
-                ordered.sort(key=lambda item: item[1][0])  # by plan index
-
-                trace.start_round(round_index)
-                unit_firing_costs: Dict[int, float] = {}
-                for uid, report in ordered:
-                    (
-                        _,
-                        path,
-                        name,
-                        state_before,
-                        state_after,
-                        interaction,
-                        cost,
-                        topology,
-                    ) = report
-                    unit = unit_by_uid[uid]
-                    unit_firing_costs[uid] = unit_firing_costs.get(uid, 0.0) + cost
-                    trace.record_firing(
-                        FiringEvent(
-                            round_index=round_index,
-                            module_path=path,
-                            transition_name=name,
-                            state_before=state_before,
-                            state_after=state_after,
-                            interaction_name=interaction,
-                            cost=cost,
-                            unit_id=unit.uid,
-                            machine=unit.machine,
-                            time=clock.now,
-                        )
-                    )
-                    if topology:
-                        # Replay worker-side init/release on the coordinator
-                        # replica, in global plan order, so the precedence
-                        # fold sees the same tree as the in-process executor.
-                        self._replay_topology(
-                            specification, owner_of, planner, topology
-                        )
-                trace.finish_round(makespan=round_wall, serial_overhead=0.0)
-                clock.advance(firing_advance(unit_firing_costs))
-                rounds += 1
-                transitions_fired += len(ordered)
-                m_rounds.inc()
-
             wall = time.perf_counter() - loop_started
         finally:
             self._shutdown(command_queues, processes, transport)
@@ -759,6 +883,439 @@ class MultiprocessBackend(ExecutionBackend):
             stop_reason=stop_reason,
             transport=transport.name,
         )
+
+    # -- the two coordinator loops -------------------------------------------------
+
+    def _run_barrier_loop(
+        self,
+        *,
+        specification: Specification,
+        owner_of: Dict[str, int],
+        unit_by_uid: Dict[int, UnitDescriptor],
+        units,
+        command_queues: Dict[int, Any],
+        result_queue,
+        processes: Dict[int, Any],
+        planner: _RoundPlanner,
+        clock: SimulatedClock,
+        trace: ExecutionTrace,
+        max_rounds: int,
+        metrics: Dict[str, Any],
+        supervisor: Optional[_Supervisor],
+    ) -> Tuple[int, int, bool, str]:
+        """The strict protocol: every unit synchronises every round."""
+        rounds = 0
+        transitions_fired = 0
+        deadlocked = False
+        stop_reason = "budget"
+        all_uids = frozenset(unit.uid for unit in units)
+        for round_index in range(1, max_rounds + 1):
+            summaries, deadlines = self._select_round(
+                command_queues,
+                result_queue,
+                processes,
+                units,
+                round_index,
+                clock,
+                supervisor=supervisor,
+            )
+            plan = planner.plan(summaries)
+            # An empty plan with delay timers still running means time is
+            # the missing enabler: jump the clock to the earliest worker-
+            # reported deadline and re-select (same round index — a jump
+            # is not a computation round).  Each jump strictly advances
+            # the clock, so the loop terminates.
+            resume_at = clock.now
+            while plan.empty and deadlines:
+                next_deadline = min(deadlines)
+                if next_deadline <= clock.now:
+                    break
+                clock.now = next_deadline
+                # Fresh summaries cover both modes: incremental workers
+                # report deltas (the planner's cache holds the rest),
+                # non-incremental workers re-report their full shard.
+                summaries, deadlines = self._select_round(
+                    command_queues,
+                    result_queue,
+                    processes,
+                    units,
+                    round_index,
+                    clock,
+                    supervisor=supervisor,
+                )
+                plan = planner.plan(summaries)
+            if plan.empty:
+                # Quiescent: rewind jumps taken chasing stale deadline
+                # entries, mirroring the in-process executor, so the
+                # final simulated_time matches across dispatches.
+                clock.now = resume_at
+                deadlocked = (
+                    planner.has_pending()
+                    if planner.incremental
+                    else any(summary[5] > 0 for summary in summaries.values())
+                )
+                stop_reason = "quiescent"
+                break
+
+            assignments = self._build_assignments(
+                plan, owner_of, [unit.uid for unit in units]
+            )
+            round_started = time.perf_counter()
+            for uid, command_queue in command_queues.items():
+                command_queue.put(("fire", round_index, tuple(assignments[uid])))
+            report_sets = self._gather(
+                result_queue, "fired", round_index, len(units), processes
+            )
+            round_wall = time.perf_counter() - round_started
+
+            ordered: List[Tuple[int, FiringReport]] = []
+            for uid, payload in report_sets.items():
+                reports, delta = payload[0], payload[1]
+                if supervisor is not None and len(payload) > 2:
+                    supervisor.store_checkpoint(uid, payload[2])
+                self._fold_delta(metrics, uid, delta)
+                ordered.extend((uid, report) for report in reports)
+            ordered.sort(key=lambda item: item[1][0])  # by plan index
+
+            trace.start_round(round_index)
+            unit_firing_costs = self._record_reports(
+                trace,
+                round_index,
+                ordered,
+                unit_by_uid,
+                clock,
+                specification,
+                owner_of,
+                planner,
+                replay_uids=all_uids,
+            )
+            trace.finish_round(makespan=round_wall, serial_overhead=0.0)
+            clock.advance(firing_advance(unit_firing_costs))
+            rounds += 1
+            transitions_fired += len(ordered)
+            metrics["rounds"].inc()
+            metrics["barrier_rounds"].inc(len(units))
+        return rounds, transitions_fired, deadlocked, stop_reason
+
+    def _run_relaxed_loop(
+        self,
+        *,
+        specification: Specification,
+        owner_of: Dict[str, int],
+        unit_by_uid: Dict[int, UnitDescriptor],
+        barrier_units,
+        relaxed_uids: frozenset,
+        command_queues: Dict[int, Any],
+        result_queue,
+        processes: Dict[int, Any],
+        planner: _RoundPlanner,
+        clock: SimulatedClock,
+        trace: ExecutionTrace,
+        max_rounds: int,
+        metrics: Dict[str, Any],
+    ) -> Tuple[int, int, bool, str]:
+        """The coordinator loop with the round barrier relaxed.
+
+        Barrier units keep the strict select/plan/fire protocol, folded
+        over the masked specification (their roots only).  Relaxed units
+        receive *windows* of rounds (``run_rounds``) and stream back one
+        ``lround`` summary per round; this loop folds each global round's
+        barrier reports and relaxed summaries — bucketed per system root,
+        concatenated in declaration order — into the same canonical trace
+        the strict protocol produces.  Pacing is delegated to the mesh's
+        per-link round tags: a relaxed unit runs at most one round ahead
+        of any peer it shares a link with, and arbitrarily far ahead of
+        units it never exchanges interactions with.
+        """
+        rounds = 0
+        transitions_fired = 0
+        deadlocked = False
+        stop_reason = "budget"
+        barrier_uids = [unit.uid for unit in barrier_units]
+        relaxed_order = sorted(relaxed_uids)
+        collector = _ResultCollector(
+            result_queue, processes, self.round_timeout_s
+        )
+        system_roots = [root.path for root in specification.system_modules()]
+        window_end = 0
+
+        def root_of(path: str) -> str:
+            # System module paths are "<spec>/<root>"; every descendant
+            # path extends one, so its first two segments name its root.
+            return "/".join(path.split("/", 2)[:2])
+
+        for round_index in range(1, max_rounds + 1):
+            if round_index > window_end:
+                window_end = min(
+                    round_index + self.lookahead_rounds - 1, max_rounds
+                )
+                for uid in relaxed_order:
+                    command_queues[uid].put(
+                        ("run_rounds", round_index, window_end)
+                    )
+            summaries, deadlines = self._select_subset(
+                command_queues, collector, barrier_uids, round_index, clock
+            )
+            plan = planner.plan(summaries)
+            lrounds = collector.collect("lround", round_index, relaxed_order)
+            relaxed_planned = sum(payload[0] for payload in lrounds.values())
+            # The deadline-jump loop involves the barrier units only: a
+            # relaxed unit is delay-free, so its (already executed) local
+            # plan for this round is invariant under clock jumps.
+            resume_at = clock.now
+            while plan.empty and relaxed_planned == 0 and deadlines:
+                next_deadline = min(deadlines)
+                if next_deadline <= clock.now:
+                    break
+                clock.now = next_deadline
+                summaries, deadlines = self._select_subset(
+                    command_queues, collector, barrier_uids, round_index, clock
+                )
+                plan = planner.plan(summaries)
+            if plan.empty and relaxed_planned == 0:
+                clock.now = resume_at
+                deadlocked = (
+                    planner.has_pending()
+                    if planner.incremental
+                    else any(summary[5] > 0 for summary in summaries.values())
+                ) or any(payload[3] > 0 for payload in lrounds.values())
+                stop_reason = "quiescent"
+                for uid, payload in lrounds.items():
+                    self._fold_delta(metrics, uid, payload[2])
+                self._drain_windows(
+                    command_queues,
+                    collector,
+                    barrier_uids,
+                    relaxed_order,
+                    round_index,
+                    window_end,
+                    metrics,
+                )
+                break
+
+            assignments = self._build_assignments(plan, owner_of, barrier_uids)
+            round_started = time.perf_counter()
+            for uid in barrier_uids:
+                # Every barrier unit fires every round — an empty assignment
+                # still flushes empty batches, pacing relaxed downstreams.
+                command_queues[uid].put(
+                    ("fire", round_index, tuple(assignments[uid]))
+                )
+            report_sets = collector.collect("fired", round_index, barrier_uids)
+            round_wall = time.perf_counter() - round_started
+
+            barrier_reports: List[Tuple[int, FiringReport]] = []
+            for uid, payload in report_sets.items():
+                reports, delta = payload[0], payload[1]
+                self._fold_delta(metrics, uid, delta)
+                barrier_reports.extend((uid, report) for report in reports)
+            barrier_reports.sort(key=lambda item: item[1][0])  # masked plan order
+
+            # Reassemble the global round order without global plan indices:
+            # the in-process plan walks system roots in declaration order,
+            # and each root's firings come from exactly one source — the
+            # masked coordinator plan (barrier roots, already in plan order)
+            # or one relaxed unit's local plan (in its report order).
+            buckets: Dict[str, List[Tuple[int, FiringReport]]] = {}
+            for uid, report in barrier_reports:
+                buckets.setdefault(root_of(report[1]), []).append((uid, report))
+            for uid in relaxed_order:
+                _planned, reports, delta, _pending = lrounds[uid]
+                self._fold_delta(metrics, uid, delta)
+                for report in reports:
+                    buckets.setdefault(root_of(report[1]), []).append(
+                        (uid, report)
+                    )
+            ordered = [
+                item for root in system_roots for item in buckets.get(root, [])
+            ]
+
+            trace.start_round(round_index)
+            unit_firing_costs = self._record_reports(
+                trace,
+                round_index,
+                ordered,
+                unit_by_uid,
+                clock,
+                specification,
+                owner_of,
+                planner,
+                # A relaxed unit's subtree is masked out of the fold, so its
+                # topology events never replay on the coordinator replica.
+                replay_uids=frozenset(barrier_uids),
+            )
+            trace.finish_round(makespan=round_wall, serial_overhead=0.0)
+            clock.advance(firing_advance(unit_firing_costs))
+            rounds += 1
+            transitions_fired += len(ordered)
+            metrics["rounds"].inc()
+            metrics["barrier_rounds"].inc(len(barrier_uids))
+            metrics["lookahead_rounds"].inc(len(relaxed_uids))
+        return rounds, transitions_fired, deadlocked, stop_reason
+
+    def _drain_windows(
+        self,
+        command_queues: Dict[int, Any],
+        collector: _ResultCollector,
+        barrier_uids: List[int],
+        relaxed_order: List[int],
+        round_index: int,
+        window_end: int,
+        metrics: Dict[str, Any],
+    ) -> None:
+        """Run the already-issued lookahead windows out on empty rounds.
+
+        At quiescence the relaxed units still hold windows reaching
+        ``window_end``; each is blocked (or about to block) on its barrier
+        in-peers' next batch.  Firing the barrier units with empty
+        assignments keeps the per-link round tags flowing, so every relaxed
+        unit finishes its window with provably empty rounds — a non-empty
+        drained round is a soundness violation and fails loud — and every
+        queue drains clean before shutdown.
+        """
+        for drain_round in range(round_index, window_end):
+            for uid in barrier_uids:
+                command_queues[uid].put(("fire", drain_round, ()))
+            fired = collector.collect("fired", drain_round, barrier_uids)
+            for uid, payload in fired.items():
+                self._fold_delta(metrics, uid, payload[1])
+        for drain_round in range(round_index + 1, window_end + 1):
+            lrounds = collector.collect("lround", drain_round, relaxed_order)
+            for uid, (planned, _reports, delta, _pending) in lrounds.items():
+                self._fold_delta(metrics, uid, delta)
+                if planned:
+                    raise ParallelExecutionError(
+                        f"unit {uid} planned {planned} firing(s) in round "
+                        f"{drain_round}, after the specification quiesced "
+                        f"in round {round_index}; conservative lookahead "
+                        "drained a non-empty round"
+                    )
+        collector.collect("window_done", window_end, relaxed_order)
+
+    @staticmethod
+    def _select_subset(
+        command_queues: Dict[int, Any],
+        collector: _ResultCollector,
+        barrier_uids: List[int],
+        round_index: int,
+        clock: SimulatedClock,
+    ) -> Tuple[Dict[str, SelectionSummary], List[float]]:
+        """Select over the barrier units only (relaxed units plan locally)."""
+        if not barrier_uids:
+            return {}, []
+        for uid in barrier_uids:
+            command_queues[uid].put(("select", round_index, clock.now))
+        summary_sets = collector.collect("summaries", round_index, barrier_uids)
+        summaries: Dict[str, SelectionSummary] = {}
+        deadlines: List[float] = []
+        for per_unit, unit_deadline in summary_sets.values():
+            for summary in per_unit:
+                summaries[summary[0]] = summary
+            if unit_deadline is not None:
+                deadlines.append(unit_deadline)
+        return summaries, deadlines
+
+    @staticmethod
+    def _build_assignments(
+        plan: RoundPlan, owner_of: Dict[str, int], unit_uids
+    ) -> Dict[int, List[AssignedFiring]]:
+        """Split the plan's firings into per-unit assignment lists."""
+        assignments: Dict[int, List[AssignedFiring]] = {
+            uid: [] for uid in unit_uids
+        }
+        for plan_index, firing in enumerate(plan.firings):
+            path = firing.module.path
+            try:
+                target_uid = owner_of[path]
+            except KeyError as exc:
+                raise SchedulingError(
+                    f"module {path!r} has no execution unit; statically "
+                    "mapped modules must be covered by the mapping, and "
+                    "dynamically created ones inherit their parent's "
+                    "unit through the topology replay"
+                ) from exc
+            if target_uid not in assignments:
+                raise ParallelExecutionError(
+                    f"the round plan assigned {path!r} to unit {target_uid}, "
+                    "which is not part of this fold (a relaxed unit's module "
+                    "leaked into the masked coordinator plan?)"
+                )
+            assignments[target_uid].append(
+                (
+                    plan_index,
+                    path,
+                    firing.result.transition.name
+                    if firing.result.transition
+                    else None,
+                    firing.is_external,
+                )
+            )
+        return assignments
+
+    def _record_reports(
+        self,
+        trace: ExecutionTrace,
+        round_index: int,
+        ordered: List[Tuple[int, FiringReport]],
+        unit_by_uid: Dict[int, UnitDescriptor],
+        clock: SimulatedClock,
+        specification: Specification,
+        owner_of: Dict[str, int],
+        planner: _RoundPlanner,
+        replay_uids: frozenset,
+    ) -> Dict[int, float]:
+        """Record one round's merged firing reports on the canonical trace.
+
+        ``replay_uids`` limits whose topology events replay on the
+        coordinator replica: barrier units' events must (the precedence
+        fold needs the tree), a relaxed unit's must not (its subtree is
+        masked out of the fold and stays frozen coordinator-side).
+        """
+        unit_firing_costs: Dict[int, float] = {}
+        for uid, report in ordered:
+            (
+                _,
+                path,
+                name,
+                state_before,
+                state_after,
+                interaction,
+                cost,
+                topology,
+            ) = report
+            unit = unit_by_uid[uid]
+            unit_firing_costs[uid] = unit_firing_costs.get(uid, 0.0) + cost
+            trace.record_firing(
+                FiringEvent(
+                    round_index=round_index,
+                    module_path=path,
+                    transition_name=name,
+                    state_before=state_before,
+                    state_after=state_after,
+                    interaction_name=interaction,
+                    cost=cost,
+                    unit_id=unit.uid,
+                    machine=unit.machine,
+                    time=clock.now,
+                )
+            )
+            if topology and uid in replay_uids:
+                # Replay worker-side init/release on the coordinator
+                # replica, in global plan order, so the precedence
+                # fold sees the same tree as the in-process executor.
+                self._replay_topology(specification, owner_of, planner, topology)
+        return unit_firing_costs
+
+    @staticmethod
+    def _fold_delta(metrics: Dict[str, Any], uid: int, delta) -> None:
+        """Fold one worker round's obs delta into the coordinator counters."""
+        busy_seconds, sync_seconds, messages, batch_sizes = delta
+        metrics["busy"].labels(unit=str(uid)).inc(busy_seconds)
+        metrics["sync"].labels(unit=str(uid)).inc(sync_seconds)
+        if messages:
+            metrics["messages"].inc(messages)
+        for size in batch_sizes:
+            metrics["batch"].observe(size)
 
     # -- protocol helpers ----------------------------------------------------------
 

@@ -184,6 +184,18 @@ class BatchChannel:
     def send_batch(self, round_index: int, messages: Sequence[RoutedMessage]) -> None:
         self.send_payload(encode_batch(round_index, messages))
 
+    def poll_payload(self, timeout: float) -> Optional[bytes]:
+        """Next raw encoded batch within ``timeout`` seconds, or ``None``.
+
+        The round-tag discipline (stale skip / future error / timeout
+        diagnostics) lives in :meth:`TransportEndpoint.resolve_round`, shared
+        by every transport; this is the mp-queue transport's raw ``_poll``.
+        """
+        try:
+            return self._queue.get(timeout=max(timeout, 0.001))
+        except Empty:
+            return None
+
     def receive_batch(
         self,
         round_index: int,

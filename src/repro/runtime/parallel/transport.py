@@ -65,6 +65,7 @@ from .channels import (
 
 __all__ = [
     "DEFAULT_MAX_BATCH_BYTES",
+    "DEFAULT_RECEIVE_TIMEOUT_S",
     "MpQueueTransport",
     "TcpTransport",
     "Transport",
@@ -79,6 +80,12 @@ __all__ = [
 #: identically on every transport.
 DEFAULT_MAX_BATCH_BYTES = 64 * 1024 * 1024
 
+#: Fallback receive window when neither the caller nor :meth:`configure`
+#: supplied one.  Operators set their own through the backend's
+#: ``round_timeout_s`` (threaded to every endpoint via ``WorkerConfig``);
+#: this constant only covers endpoints driven outside a worker.
+DEFAULT_RECEIVE_TIMEOUT_S = 60.0
+
 
 class TransportEndpoint:
     """One unit's view of the mesh: its inbound and outbound links.
@@ -91,8 +98,8 @@ class TransportEndpoint:
 
     * fault-plan send delays (wall-clock only, applied before encoding) and
       the ``max_batch_bytes`` guard in :meth:`send_batch`,
-    * the round-tag resolution loop (stale skip / future error / timeout)
-      in :meth:`receive_batch`, over the subclass's ``_poll``.
+    * the round-window resolution loop (stale skip / future error / timeout)
+      in :meth:`resolve_round`, over the subclass's ``_poll``.
     """
 
     transport_name = "abstract"
@@ -109,22 +116,37 @@ class TransportEndpoint:
         self.peers_out: Tuple[int, ...] = tuple(sorted(peers_out))
         self.max_batch_bytes = max_batch_bytes
         self._send_delays: Dict[Tuple[int, int], float] = {}
+        self._receive_timeout_s: Optional[float] = None
+        # Per-peer round window: the highest round tag resolved on each
+        # inbound link.  Round tags strictly increase per link, but under
+        # barrier relaxation the links advance *independently* — one peer may
+        # be rounds ahead of another — so the high-water mark is per peer,
+        # not per endpoint.
+        self._round_window: Dict[int, int] = {}
 
     # -- worker-side lifecycle -----------------------------------------------------
 
     def configure(
-        self, send_delays: Sequence[Tuple[int, int, float]] = ()
+        self,
+        send_delays: Sequence[Tuple[int, int, float]] = (),
+        receive_timeout_s: Optional[float] = None,
     ) -> None:
-        """Install per-``(target, round)`` fault-plan send delays.
+        """Install per-``(target, round)`` fault-plan send delays and the
+        operator's receive window.
 
         Called by the worker from its :class:`WorkerConfig` after the
         endpoint crossed the process boundary; the delays then apply
-        uniformly inside :meth:`send_batch`, whatever the transport.
+        uniformly inside :meth:`send_batch`, whatever the transport, and
+        ``receive_timeout_s`` (the backend's ``round_timeout_s``) becomes
+        the default window of :meth:`resolve_round` — so chaos runs on slow
+        hosts time out with the configured setting, not a hardcoded one.
         """
         self._send_delays = {
             (target, round_index): seconds
             for target, round_index, seconds in send_delays
         }
+        if receive_timeout_s is not None:
+            self._receive_timeout_s = receive_timeout_s
 
     def connect(self) -> None:
         """Activate the endpoint in the worker process (bind, listen, dial).
@@ -157,15 +179,29 @@ class TransportEndpoint:
             )
         self._send_payload(peer, round_index, payload)
 
-    def receive_batch(
-        self, peer: int, round_index: int, timeout: float = 60.0
+    def resolve_round(
+        self, peer: int, round_index: int, timeout: Optional[float] = None
     ) -> Batch:
         """Block until ``peer``'s batch for ``round_index`` arrives.
 
-        Stale round tags are duplicates from a respawned sender's retransmit
-        and are skipped; a *future* round tag means a sender flushed twice —
-        a protocol bug — and raises immediately.
+        The round tag on each link marks the link's position in that *peer's*
+        round window — under barrier relaxation different links of one
+        endpoint legitimately sit at different rounds, so resolution is a
+        per-peer affair: anything older than the requested round is a
+        duplicate (a respawned sender's retransmit, or a redial's slot
+        re-send) and is skipped; a *future* round tag means a sender flushed
+        twice for one round — a protocol bug — and raises immediately.
+
+        ``timeout=None`` uses the window installed by :meth:`configure`
+        (the backend's ``round_timeout_s``), falling back to
+        :data:`DEFAULT_RECEIVE_TIMEOUT_S` for bare endpoints.
         """
+        if timeout is None:
+            timeout = (
+                self._receive_timeout_s
+                if self._receive_timeout_s is not None
+                else DEFAULT_RECEIVE_TIMEOUT_S
+            )
         deadline = monotonic() + timeout
         while True:
             remaining = max(deadline - monotonic(), 0.001)
@@ -189,7 +225,19 @@ class TransportEndpoint:
                         self.transport_name, self.describe_peer(peer)
                     )
                 )
+            self._round_window[peer] = batch.round_index
             return batch
+
+    def receive_batch(
+        self, peer: int, round_index: int, timeout: Optional[float] = None
+    ) -> Batch:
+        """Compatibility alias for :meth:`resolve_round`."""
+        return self.resolve_round(peer, round_index, timeout=timeout)
+
+    def round_window(self, peer: int) -> int:
+        """The highest round resolved on the inbound link from ``peer``
+        (0 before the first batch) — the link's round-window high-water mark."""
+        return self._round_window.get(peer, 0)
 
     def reconnect_peer(self, peer: int) -> None:
         """Re-establish the outbound link to a respawned ``peer``.
@@ -261,10 +309,12 @@ class MpQueueEndpoint(TransportEndpoint):
     """Per-unit view over inherited :class:`BatchChannel` queues.
 
     Behaviour-preserving by construction: send is the original
-    ``BatchChannel.send_batch`` pickle-and-put, receive delegates to the
-    original round-tag loop.  The queues are owned by the coordinator's
-    :class:`ChannelMesh` and *survive a worker crash*, so no retransmit
-    machinery is needed — :meth:`reconnect_peer` is a no-op.
+    ``BatchChannel.send_batch`` pickle-and-put; receive is the shared
+    :meth:`TransportEndpoint.resolve_round` window loop over the channel's
+    raw ``poll_payload``, so the round-tag discipline is enforced by exactly
+    one implementation for every transport.  The queues are owned by the
+    coordinator's :class:`ChannelMesh` and *survive a worker crash*, so no
+    retransmit machinery is needed — :meth:`reconnect_peer` is a no-op.
     """
 
     transport_name = "mp-queue"
@@ -286,18 +336,8 @@ class MpQueueEndpoint(TransportEndpoint):
     def _send_payload(self, peer: int, round_index: int, payload: bytes) -> None:
         self._outbound[peer].send_payload(payload)
 
-    def receive_batch(
-        self, peer: int, round_index: int, timeout: float = 60.0
-    ) -> Batch:
-        # Delegate to the channel's own loop (identical semantics, no
-        # re-buffering) rather than the base _poll machinery.
-        return self._inbound[peer].receive_batch(
-            round_index,
-            timeout=timeout,
-            peer=peer,
-            transport=self.transport_name,
-            endpoint=self.describe_peer(peer),
-        )
+    def _poll(self, peer: int, timeout: float) -> Optional[bytes]:
+        return self._inbound[peer].poll_payload(timeout)
 
     def close(self) -> None:
         # Quiesce the outbound feeder threads (a dying feeder holding a
@@ -418,6 +458,7 @@ class TcpEndpoint(TransportEndpoint):
         state["_retransmit"] = {}
         state["_accept_thread"] = None
         state["_stopping"] = False
+        state["_round_window"] = {}
         return state
 
     def describe_peer(self, peer: int) -> str:

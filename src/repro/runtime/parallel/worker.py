@@ -45,6 +45,7 @@ from ..clock import SimulatedClock, next_delay_deadline
 from ..dispatch import dispatch_by_name
 from ..executor import SpecSource, busy_work_for
 from ..planner import PLANNER_DISPATCH_NAME
+from ..scheduler import DecentralisedScheduler
 from .channels import ChannelTimeout, RoutedMessage, merge_batches
 from .transport import TransportEndpoint
 
@@ -90,6 +91,12 @@ class WorkerConfig:
     #: shard checkpoint to resume from instead of the fresh initial state
     #: (set by the coordinator when respawning a crashed worker).
     restore: Optional[WorkerCheckpoint] = None
+    #: this unit runs under conservative lookahead: it wholly owns its
+    #: system subtrees and none of its modules declares a delay transition,
+    #: so the coordinator grants it windows of rounds to plan and fire
+    #: locally (``run_rounds``) instead of folding it into the global
+    #: barrier round (see MultiprocessBackend ``relax_barrier``).
+    relaxed: bool = False
 
 
 #: One module's selection outcome, reported to the coordinator:
@@ -126,6 +133,14 @@ FiringReport = Tuple[
 ObsDelta = Tuple[float, float, int, Tuple[int, ...]]
 
 
+def _declares_delay(module_class: type) -> bool:
+    """Whether any transition declared on ``module_class`` is delay-bearing."""
+    declarations = getattr(module_class, "_transition_declarations", {})
+    return any(
+        t.delay > 0 or t.delay_max is not None for t in declarations.values()
+    )
+
+
 class WorkerRuntime:
     """The in-process core of a worker (separated from the process entry
     point so the round protocol is unit-testable without spawning)."""
@@ -138,8 +153,12 @@ class WorkerRuntime:
         self.config = config
         self.endpoint = endpoint
         # Fault-plan send delays apply inside the transport's send_batch so
-        # they are uniform across transports (mp-queue and tcp alike).
-        endpoint.configure(config.send_delays)
+        # they are uniform across transports (mp-queue and tcp alike), and
+        # the operator's round timeout becomes the endpoint's default
+        # receive window (no hardcoded 60 s on any resolve_round call site).
+        endpoint.configure(
+            config.send_delays, receive_timeout_s=config.channel_timeout_s
+        )
         self.specification = config.source.build()
         self.specification.validate()
         self.modules: Dict[str, Module] = {
@@ -193,6 +212,20 @@ class WorkerRuntime:
         self._topology_events: List[TopologyEvent] = []
         for module in self.specification.root.walk():
             module._topology_hook = self._topology_events.append
+        # Conservative lookahead (relaxed units only): this unit's system
+        # subtrees, in specification declaration order.  System modules are
+        # mutually independent — precedence never crosses system subtrees —
+        # so restricting the Estelle precedence walk to the owned roots
+        # yields exactly the global plan's projection onto this unit.
+        own_roots = {
+            "/".join(path.split("/", 2)[:2]) for path in self.unit.module_paths
+        }
+        self._own_roots = tuple(
+            root
+            for root in self.specification.system_modules()
+            if root.path in own_roots
+        )
+        self._local_scheduler = DecentralisedScheduler()
 
     # -- the three phases ----------------------------------------------------------
 
@@ -204,9 +237,7 @@ class WorkerRuntime:
         round_index = self._undelivered_round
         self._undelivered_round = None
         batches = [
-            self.endpoint.receive_batch(
-                peer, round_index, timeout=self.config.channel_timeout_s
-            )
+            self.endpoint.resolve_round(peer, round_index)
             for peer in self.endpoint.peers_in
         ]
         for message in merge_batches(batches):
@@ -354,6 +385,67 @@ class WorkerRuntime:
             self.endpoint.send_batch(peer, round_index, outgoing.get(peer, ()))
         self._undelivered_round = round_index
 
+    # -- conservative lookahead (relaxed units) ------------------------------------
+
+    def local_round(
+        self, round_index: int
+    ) -> Tuple[int, List[FiringReport], ObsDelta, int]:
+        """Run one computation round entirely locally (no coordinator fold).
+
+        A relaxed unit wholly owns its system subtrees, so the restricted
+        precedence walk over ``self._own_roots`` *is* the global plan's
+        projection onto this unit; and it is delay-free, so the plan does not
+        depend on the simulated clock.  The round is still paced by the
+        mesh: ``deliver_pending`` blocks per inbound link on the previous
+        round's batch (a peer — barrier or relaxed — that has not finished
+        that round yet holds this unit back exactly one round), and the
+        flush ships this round's batches so downstream peers can proceed.
+
+        Returns ``(planned, reports, obs_delta, pending)``: the number of
+        *planned* firings (before any released-module skip, i.e. the local
+        plan's emptiness as the in-process executor would see it), the
+        firing reports, the usual observability delta (sync here is the
+        inbound-pacing wait instead of a barrier wait), and the number of
+        queued interactions (only counted when the plan was empty — the
+        coordinator's deadlock verdict needs it then).
+        """
+        phase_started = time.perf_counter()
+        self.deliver_pending()
+        sync_seconds = time.perf_counter() - phase_started
+        plan = self._local_scheduler.plan_round(
+            self.specification, self.dispatch, roots=self._own_roots
+        )
+        firings: Tuple[AssignedFiring, ...] = tuple(
+            (
+                index,
+                planned.module.path,
+                planned.result.transition.name
+                if planned.result.transition
+                else None,
+                planned.is_external,
+            )
+            for index, planned in enumerate(plan.firings)
+        )
+        fire_started = time.perf_counter()
+        reports, outgoing = self.fire(round_index, firings)
+        self.flush(round_index, outgoing)
+        busy_seconds = time.perf_counter() - fire_started
+        batch_sizes = tuple(
+            len(outgoing.get(peer, ())) for peer in self.endpoint.peers_out
+        )
+        delta: ObsDelta = (
+            busy_seconds,
+            sync_seconds,
+            sum(batch_sizes),
+            batch_sizes,
+        )
+        pending = 0
+        if not firings:
+            pending = sum(
+                self.modules[path].pending_interactions() for path in self._owned
+            )
+        return len(firings), reports, delta, pending
+
     # -- checkpoint/restore --------------------------------------------------------
 
     def snapshot_shard(
@@ -440,6 +532,18 @@ class WorkerRuntime:
                 parent = self.modules[parent_path]
                 child = parent.children[child_name]
                 for descendant in child.walk():
+                    if self.config.relaxed and _declares_delay(type(descendant)):
+                        # Relaxation eligibility was decided statically from
+                        # the initial tree; a dynamically created delay
+                        # transition would need the coordinator's clock
+                        # authority this unit deliberately runs without.
+                        raise SchedulingError(
+                            f"dynamically created module {descendant.path!r} "
+                            "declares a delay transition, but its execution "
+                            "unit runs with the round barrier relaxed "
+                            "(delay-free conservative lookahead); run this "
+                            "specification with relax_barrier=False"
+                        )
                     self.modules[descendant.path] = descendant
                     self._owned[descendant.path] = None
                     self.owner_of[descendant.path] = self.unit.uid
@@ -516,8 +620,11 @@ def worker_main(
     """Process entry point: serve the coordinator's round protocol.
 
     Commands are ``("select", round, now)``, ``("fire", round, firings)``,
-    ``("reconnect", peer)`` and ``("stop",)``; every select/fire is answered
-    with exactly one result tuple ``(uid, kind, round, payload)``.  A
+    ``("run_rounds", start, end)`` (relaxed units: a window of locally
+    planned rounds, answered with one ``lround`` per round plus a
+    ``window_done``), ``("reconnect", peer)`` and ``("stop",)``; every
+    select/fire is answered with exactly one result tuple
+    ``(uid, kind, round, payload)``.  A
     ``select`` may repeat for the same round with a later ``now`` when the
     coordinator jumps the simulated clock over a delay deadline; a
     ``reconnect`` (sent by the supervisor after respawning a crashed peer,
@@ -586,6 +693,27 @@ def worker_main(
                         runtime.snapshot_shard(round_index, outgoing),
                     )
                 result_queue.put((uid, "fired", round_index, payload))
+            elif kind == "run_rounds":
+                # Conservative lookahead: run a window of rounds entirely
+                # locally, streaming one "lround" result per round (the
+                # coordinator folds them asynchronously, in round order)
+                # and a terminal "window_done" marker.  Pacing is purely
+                # per-link: deliver_pending inside local_round blocks on
+                # each inbound peer's previous-round batch.
+                start_round, end_round = command[1], command[2]
+                for local_index in range(start_round, end_round + 1):
+                    planned, reports, delta, pending = runtime.local_round(
+                        local_index
+                    )
+                    result_queue.put(
+                        (
+                            uid,
+                            "lround",
+                            local_index,
+                            (planned, tuple(reports), delta, pending),
+                        )
+                    )
+                result_queue.put((uid, "window_done", end_round, None))
             elif kind == "reconnect":
                 # A crashed peer was respawned; redial it (and re-send the
                 # retransmit slot) on transports whose links died with it.

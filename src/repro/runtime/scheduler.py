@@ -115,11 +115,26 @@ class Scheduler:
         self.per_module_cost = per_module_cost
 
     def plan_round(
-        self, specification: Specification, dispatch: DispatchStrategy
+        self,
+        specification: Specification,
+        dispatch: DispatchStrategy,
+        roots: Optional[Iterable[Module]] = None,
     ) -> RoundPlan:
-        """Select the transitions to fire in the next round."""
+        """Select the transitions to fire in the next round.
+
+        ``roots`` restricts the walk to a subset of the specification's
+        system modules (callers must pass them in declaration order).
+        System modules are mutually independent — precedence never crosses
+        system subtrees — so the restricted plan is exactly the global
+        plan's projection onto those subtrees.  The multiprocess backend's
+        barrier relaxation leans on this: a relaxed worker plans only its
+        own roots, the coordinator plans only the barrier roots, and the
+        concatenation (in declaration order) reproduces the global plan.
+        """
         plan = RoundPlan()
-        for system_module in specification.system_modules():
+        for system_module in (
+            roots if roots is not None else specification.system_modules()
+        ):
             _select_subtree(system_module, dispatch, plan)
         return plan
 

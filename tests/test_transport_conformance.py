@@ -220,6 +220,82 @@ class TestOversizedBatches:
         assert batch.messages[0].params == (("blob", blob),)
 
 
+class TestConfiguredTimeout:
+    def test_configured_receive_window_replaces_the_hardcoded_default(self, duplex):
+        # Regression (ISSUE 10): the backend's round_timeout_s used to stop
+        # at the worker's deliver loop while the endpoint waited a hardcoded
+        # 60.0 s.  configure() now installs the operator's window as the
+        # resolve_round default, so a small configured timeout surfaces as
+        # a prompt, fully-attributed ChannelTimeout.
+        name, endpoints = duplex
+        endpoints[2].configure(receive_timeout_s=0.1)
+        started = time.perf_counter()
+        with pytest.raises(ChannelTimeout) as excinfo:
+            endpoints[2].resolve_round(1, 5)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0, "configured 0.1 s window was not applied"
+        error = excinfo.value
+        assert error.timeout_s == 0.1
+        assert error.peer == 1
+        assert error.round_index == 5
+        assert error.transport == name
+        assert f"transport {name}" in str(error)
+
+    def test_explicit_timeout_still_overrides_the_configured_window(self, duplex):
+        _, endpoints = duplex
+        endpoints[2].configure(receive_timeout_s=30.0)
+        started = time.perf_counter()
+        with pytest.raises(ChannelTimeout) as excinfo:
+            endpoints[2].resolve_round(1, 5, timeout=0.05)
+        assert time.perf_counter() - started < 5.0
+        assert excinfo.value.timeout_s == 0.05
+
+
+class TestReconnectDuringInflight:
+    def test_tcp_reconnect_with_an_inflight_batch_never_double_delivers(self):
+        # Supervised recovery redials mid-stream: the sender has flushed
+        # round 2 (in flight, possibly delivered), then reconnect_peer
+        # redials and re-sends its retransmit slot — round 2 goes over the
+        # wire twice.  The per-link round tags strictly increase, so the
+        # receiver takes exactly one copy and the stale-tag skip absorbs
+        # the other, in every interleaving.
+        transport = open_transport("tcp", [1, 2], [(1, 2)])
+        sender = transport.endpoint_for(1)
+        receiver = transport.endpoint_for(2)
+        try:
+            for endpoint in (sender, receiver):
+                endpoint.connect()
+            sender.send_batch(2, 1, (message(0, 0, r=1),))
+            assert receiver.resolve_round(1, 1, timeout=10.0).round_index == 1
+
+            sender.send_batch(2, 2, (message(0, 0, r=2),))  # in flight
+            sender.reconnect_peer(2)  # redial + retransmit-slot re-send
+            batch = receiver.resolve_round(1, 2, timeout=10.0)
+            assert batch.round_index == 2
+            assert batch.messages[0].params == (("r", 2),)
+
+            # The duplicate copy of round 2 (whichever of the original send
+            # and the retransmit arrived second) must be skipped as stale
+            # while resolving round 3 on the new connection.
+            sender.send_batch(2, 3, (message(0, 0, r=3),))
+            batch = receiver.resolve_round(1, 3, timeout=10.0)
+            assert batch.round_index == 3
+            assert batch.messages[0].params == (("r", 3),)
+            assert receiver.round_window(1) == 3
+        finally:
+            for endpoint in (sender, receiver):
+                endpoint.close()
+            transport.close()
+
+    def test_mp_queue_reconnect_is_a_no_op_and_links_survive(self, duplex):
+        name, endpoints = duplex
+        if name != "mp-queue":
+            pytest.skip("mp-queue-specific no-op contract")
+        endpoints[1].send_batch(2, 1, (message(0, 0, r=1),))
+        endpoints[1].reconnect_peer(2)
+        assert endpoints[2].resolve_round(1, 1, timeout=10.0).round_index == 1
+
+
 class TestSendDelays:
     def test_configured_delay_applies_at_the_transport_layer(self, duplex):
         # FaultPlan.ChannelDelay lands here: the endpoint sleeps before
